@@ -1,0 +1,118 @@
+//! Ablation — the value of hierarchical control (§3.2).
+//!
+//! The paper motivates the hierarchy two ways:
+//!
+//! 1. **Arithmetic**: per-request DRL inference is infeasible. At the
+//!    measured inference costs (Table 2) and Tailbench request rates, the
+//!    inference alone would consume multiple dedicated cores. Printed
+//!    below from this repo's own measured inference time.
+//! 2. **Control quality**: a DRL agent acting once per second *without*
+//!    the millisecond thread controller must pick one frequency per
+//!    interval — it cannot exploit the skew between short and long
+//!    requests. We train such a "flat" agent with identical state,
+//!    reward and budget, and compare.
+
+use deeppower_bench::{trained_policy, Scale};
+use deeppower_core::train::{default_peak_load, trace_for};
+use deeppower_core::{DeepPowerGovernor, FlatDrlGovernor, Mode, TrainConfig, STATE_DIM};
+use deeppower_drl::{Ddpg, DdpgConfig};
+use deeppower_simd_server::{FreqPlan, RunOptions, Server, ServerConfig, MILLISECOND};
+use deeppower_workload::{trace_arrivals, App, AppSpec};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let app = App::Xapian;
+    let spec = AppSpec::get(app);
+
+    // ---- part 1: the per-request-inference arithmetic ----
+    let probe = Ddpg::new(DdpgConfig { state_dim: STATE_DIM, action_dim: 2, ..Default::default() });
+    let state = [0.4f32; STATE_DIM];
+    let iters = 20_000u32;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(probe.act(black_box(&state)));
+    }
+    let t_inf_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    let rps = spec.capacity_rps();
+    let cores_needed = rps * t_inf_ns * 1e-9;
+    println!("# Ablation — hierarchical vs request-level / flat DRL control\n");
+    println!(
+        "per-request inference arithmetic: {:.2} us/action x {:.0} RPS = {:.2} cores of pure \
+         inference (paper, at 231 us: {:.1} cores) — hierarchical control sidesteps this entirely\n",
+        t_inf_ns / 1e3,
+        rps,
+        cores_needed,
+        rps * 231e-6
+    );
+
+    // ---- part 2: flat (non-hierarchical) DRL vs DeepPower ----
+    let server = Server::new(ServerConfig::paper_default(spec.n_threads));
+    let trace = trace_for(&spec, default_peak_load(app), scale.eval_s, 999);
+    let arrivals = trace_arrivals(&spec, &trace, 4242);
+
+    // Train the flat agent with the same budget as the cached DeepPower
+    // policy.
+    let base_cfg = TrainConfig::for_app(app);
+    let mut flat_agent = Ddpg::new(DdpgConfig { seed: 11, ..base_cfg.deeppower.ddpg });
+    for ep in 0..scale.train_episodes {
+        let ep_trace =
+            trace_for(&spec, default_peak_load(app), scale.train_episode_s, 1 + ep as u64);
+        let ep_arrivals = trace_arrivals(&spec, &ep_trace, 31 * (1 + ep as u64) + 7);
+        let mut gov = FlatDrlGovernor::new(
+            &mut flat_agent,
+            base_cfg.deeppower,
+            FreqPlan::xeon_gold_5218r(),
+            Mode::Train,
+        );
+        let _ = server.run(
+            &ep_arrivals,
+            &mut gov,
+            RunOptions { tick_ns: base_cfg.deeppower.short_time, ..Default::default() },
+        );
+    }
+    let mut flat_gov = FlatDrlGovernor::new(
+        &mut flat_agent,
+        base_cfg.deeppower,
+        FreqPlan::xeon_gold_5218r(),
+        Mode::Eval,
+    );
+    let r_flat = server.run(
+        &arrivals,
+        &mut flat_gov,
+        RunOptions { tick_ns: base_cfg.deeppower.short_time, ..Default::default() },
+    );
+
+    let policy = trained_policy(app, scale, 11);
+    let mut agent = policy.build_agent();
+    let mut dp = DeepPowerGovernor::new(&mut agent, policy.deeppower, Mode::Eval);
+    let r_dp = server.run(
+        &arrivals,
+        &mut dp,
+        RunOptions { tick_ns: policy.deeppower.short_time, ..Default::default() },
+    );
+
+    println!("{:<22} {:>9} {:>10} {:>9}", "policy", "power(W)", "p99(ms)", "timeout%");
+    for (name, r) in [("flat DRL (no bottom)", &r_flat), ("DeepPower (hier.)", &r_dp)] {
+        println!(
+            "{:<22} {:>9.1} {:>10.2} {:>8.2}%",
+            name,
+            r.avg_power_w,
+            r.stats.p99_ns as f64 / MILLISECOND as f64,
+            r.stats.timeout_rate() * 100.0
+        );
+    }
+
+    // Shape check: hierarchy dominates on the power×QoS frontier — it must
+    // not lose on both axes, and when QoS is comparable it must be cheaper.
+    let dp_ok = r_dp.stats.timeout_rate() < 0.02;
+    assert!(dp_ok, "DeepPower itself failed QoS in the ablation");
+    let flat_worse_qos = r_flat.stats.timeout_rate() > r_dp.stats.timeout_rate() + 0.005;
+    let flat_worse_power = r_flat.avg_power_w > r_dp.avg_power_w * 0.99;
+    assert!(
+        flat_worse_qos || flat_worse_power,
+        "flat DRL unexpectedly dominates hierarchical control"
+    );
+    println!("\n[shape OK] hierarchical control beats interval-constant DRL on the power/QoS frontier");
+}

@@ -1,0 +1,103 @@
+//! Extension — sleep states (the paper's future work, §6).
+//!
+//! "Entering the sleep state significantly reduces the power consumption
+//! of a core, but returning it to normal state takes a considerable amount
+//! of time (i.e. about 100us for C6 state). As a result, utilizing the
+//! sleep state carries the risk of request timeouts. … We leave this to
+//! future work."
+//!
+//! This bench implements that future work and quantifies both sides of
+//! the trade-off on top of the trained DeepPower policy:
+//!
+//! * Xapian (8 ms SLA ≫ 100 µs wake): sleep states recover additional idle
+//!   power at negligible QoS cost;
+//! * Masstree (1 ms SLA, 10× the C6 wake): the wake latency visibly eats
+//!   into the budget — the "risk of request timeouts" the paper warns
+//!   about.
+
+use deeppower_bench::{trained_policy, Scale};
+use deeppower_core::train::{default_peak_load, trace_for};
+use deeppower_core::{DeepPowerGovernor, Mode, SleepAware, SleepPolicy};
+use deeppower_simd_server::{RunOptions, Server, ServerConfig, MILLISECOND};
+use deeppower_workload::{trace_arrivals, App, AppSpec};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Extension — DeepPower + C-states (C1 @ 2 us, C6 @ 100 us wake)\n");
+
+    let mut xapian_saving = 0.0;
+    let mut masstree_penalty = 0.0;
+    for app in [App::Xapian, App::Masstree] {
+        let spec = AppSpec::get(app);
+        // Light-ish load so idle periods exist for the sleep policy.
+        let trace = trace_for(&spec, default_peak_load(app) * 0.6, scale.eval_s, 999);
+        let arrivals = trace_arrivals(&spec, &trace, 4242);
+        let policy = trained_policy(app, scale, 11);
+
+        let run = |sleep: bool| {
+            let server = if sleep {
+                Server::new(ServerConfig::paper_with_cstates(spec.n_threads))
+            } else {
+                Server::new(ServerConfig::paper_default(spec.n_threads))
+            };
+            let mut agent = policy.build_agent();
+            let dp = DeepPowerGovernor::new(&mut agent, policy.deeppower, Mode::Eval);
+            let opts = RunOptions {
+                tick_ns: policy.deeppower.short_time,
+                ..Default::default()
+            };
+            if sleep {
+                let mut gov = SleepAware::new(dp, spec.n_threads, SleepPolicy::default());
+                server.run(&arrivals, &mut gov, opts)
+            } else {
+                let mut gov = dp;
+                server.run(&arrivals, &mut gov, opts)
+            }
+        };
+
+        let plain = run(false);
+        let slept = run(true);
+        println!("## {} (SLA {} ms)", spec.name, spec.sla / MILLISECOND);
+        println!(
+            "{:<22} {:>9} {:>10} {:>10} {:>9}",
+            "variant", "power(W)", "mean(ms)", "p99(ms)", "timeout%"
+        );
+        for (name, r) in [("deeppower", &plain), ("deeppower + C-states", &slept)] {
+            println!(
+                "{:<22} {:>9.2} {:>10.3} {:>10.3} {:>8.2}%",
+                name,
+                r.avg_power_w,
+                r.stats.mean_ns / MILLISECOND as f64,
+                r.stats.p99_ns as f64 / MILLISECOND as f64,
+                r.stats.timeout_rate() * 100.0
+            );
+        }
+        let saving = plain.avg_power_w - slept.avg_power_w;
+        let lat_penalty_us =
+            (slept.stats.mean_ns - plain.stats.mean_ns) / 1_000.0;
+        println!(
+            "sleep states: {saving:+.2} W, mean latency {lat_penalty_us:+.1} us\n"
+        );
+        if app == App::Xapian {
+            xapian_saving = saving;
+            assert!(
+                slept.stats.p99_ns <= spec.sla,
+                "C-states must not break Xapian's roomy SLA"
+            );
+        } else {
+            masstree_penalty = lat_penalty_us;
+        }
+    }
+
+    // Shape checks: real additional savings where the SLA is roomy; a
+    // visible wake-latency cost where it is not.
+    assert!(xapian_saving > 0.3, "sleep states saved too little on Xapian: {xapian_saving:.2} W");
+    assert!(
+        masstree_penalty > 5.0,
+        "Masstree should visibly feel the wake latencies ({masstree_penalty:.1} us)"
+    );
+    println!(
+        "[shape OK] deep sleep recovers idle power under roomy SLAs and charges a visible \
+         wake cost to microsecond-scale services — the §6 trade-off, quantified"
+    );
+}

@@ -1,0 +1,85 @@
+//! Fig. 2 — heatmap of relative RMSE when a service-time model trained at
+//! load level *i* predicts load level *j* (Masstree and Sphinx).
+//!
+//! §3.1: "Linear regression models … are adopted to train with data
+//! collected from different load levels … define Relative RMSE(i, j) as
+//! error(i, j)/error(j, j), i.e., the prediction error after the load
+//! changes. … when the load changes substantially, the prediction becomes
+//! inaccurate."
+//!
+//! The diagonal is 1 by construction; the reproduction claim is that
+//! off-diagonal entries grow with |i − j| — the contention-driven drift
+//! that motivates load-aware power management.
+
+use deeppower_baselines::{collect_profile, LinReg};
+use deeppower_bench::Scale;
+use deeppower_workload::{App, AppSpec};
+
+fn main() {
+    let scale = Scale::from_env();
+    let loads = [0.2, 0.35, 0.5, 0.65, 0.8];
+    let secs = if scale.full { 10 } else { 3 };
+
+    for app in [App::Masstree, App::Sphinx] {
+        let spec = AppSpec::get(app);
+        println!("\n# Fig. 2 — relative RMSE heatmap, {}", spec.name);
+
+        // Profile at each load, fit one model per load.
+        let profiles: Vec<_> = loads
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| collect_profile(&spec, l, secs, 100 + i as u64))
+            .collect();
+        let models: Vec<LinReg> = profiles
+            .iter()
+            .map(|p| {
+                let xs: Vec<Vec<f32>> = p.iter().map(|s| s.features.clone()).collect();
+                let ys: Vec<f64> = p.iter().map(|s| s.service_ns).collect();
+                LinReg::fit(&xs, &ys).expect("fit")
+            })
+            .collect();
+
+        // error(i, j): model trained at load i, evaluated at load j.
+        let err = |i: usize, j: usize| {
+            let xs: Vec<Vec<f32>> = profiles[j].iter().map(|s| s.features.clone()).collect();
+            let ys: Vec<f64> = profiles[j].iter().map(|s| s.service_ns).collect();
+            models[i].rmse(&xs, &ys)
+        };
+
+        print!("{:>8}", "train\\ev");
+        for &l in &loads {
+            print!("{:>7.0}%", l * 100.0);
+        }
+        println!();
+        let mut max_off_diag: f64 = 0.0;
+        let mut heat = vec![vec![0.0; loads.len()]; loads.len()];
+        for i in 0..loads.len() {
+            print!("{:>7.0}%", loads[i] * 100.0);
+            for j in 0..loads.len() {
+                let rel = err(i, j) / err(j, j);
+                heat[i][j] = rel;
+                if i != j {
+                    max_off_diag = max_off_diag.max(rel);
+                }
+                print!("{rel:>8.3}");
+            }
+            println!();
+        }
+
+        // Shape checks: diagonal = 1; extreme-corner mismatch largest.
+        for (j, row) in heat.iter().enumerate() {
+            assert!((row[j] - 1.0).abs() < 1e-9, "diagonal must be 1");
+        }
+        let corner = heat[0][loads.len() - 1].max(heat[loads.len() - 1][0]);
+        let near = heat[0][1].max(heat[1][0]);
+        println!(
+            "max off-diagonal {max_off_diag:.3}; corner (20%↔80%) {corner:.3} vs adjacent {near:.3}"
+        );
+        assert!(
+            corner > 1.02,
+            "{}: cross-load prediction should degrade (corner {corner:.3})",
+            spec.name
+        );
+    }
+    println!("\n[shape OK] cross-load prediction error grows away from the training load");
+}

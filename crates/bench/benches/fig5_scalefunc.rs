@@ -1,0 +1,32 @@
+//! Fig. 5 — the reward scale function at η = 100.
+//!
+//! `scaleFunc(x) = (x/η) / (x/η + η/(x+ε))` — "substantially close to 0
+//! when x is less than η and converges to 1 when x goes to infinity",
+//! with the change point (marked with a red pentagram in the paper) at
+//! x = η where the function crosses 1/2.
+
+use deeppower_bench::sparkline;
+use deeppower_core::scale_func;
+
+fn main() {
+    let eta = 100.0;
+    println!("# Fig. 5 — scaleFunc(x) at eta = {eta}\n");
+
+    let xs: Vec<f64> = (0..=40).map(|i| i as f64 * 10.0).collect();
+    let ys: Vec<f64> = xs.iter().map(|&x| scale_func(x, eta)).collect();
+
+    println!("{:>6}  {:>8}", "x", "scaleFunc");
+    for (x, y) in xs.iter().zip(&ys).step_by(4) {
+        let marker = if (*x - eta).abs() < 1e-9 { "  <- change point (x = eta)" } else { "" };
+        println!("{x:>6.0}  {y:>8.4}{marker}");
+    }
+    println!("\n0..400: |{}|", sparkline(&ys));
+
+    // Shape checks straight from the paper's description.
+    assert!(scale_func(10.0, eta) < 0.02, "≈0 well below eta");
+    assert!((scale_func(eta, eta) - 0.5).abs() < 1e-6, "crosses 1/2 at x = eta");
+    assert!(scale_func(1e6, eta) > 0.999, "→1 as x → ∞");
+    let mono = xs.windows(2).all(|w| scale_func(w[1], eta) >= scale_func(w[0], eta));
+    assert!(mono, "monotone increasing");
+    println!("\n[shape OK] sigmoid-like gate: ~0 below eta, 1/2 at eta, ->1 beyond");
+}

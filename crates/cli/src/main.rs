@@ -1,0 +1,246 @@
+//! `deeppower` — command-line driver for the reproduction.
+//!
+//! ```text
+//! deeppower train   --app xapian [--episodes N] [--episode-s S] [--seed K] -o policy.json
+//! deeppower eval    --policy policy.json [--duration-s S] [--peak-load F] [--seed K]
+//! deeppower compare --app xapian [--duration-s S] [--seed K]
+//! deeppower trace   --period-s S --base-rps R [--seed K] -o trace.csv
+//! ```
+//!
+//! Argument parsing is hand-rolled (no CLI dependency is in the
+//! sanctioned offline set); every flag has a sane default.
+
+use deeppower_baselines::{
+    collect_profile, max_freq_governor, GeminiConfig, GeminiGovernor, RetailConfig,
+    RetailGovernor,
+};
+use deeppower_core::train::{default_peak_load, trace_for};
+use deeppower_core::{evaluate, train, DeepPowerGovernor, Mode, TrainConfig, TrainedPolicy};
+use deeppower_simd_server::{
+    FreqPlan, RunOptions, Server, ServerConfig, TraceConfig, MILLISECOND,
+};
+use deeppower_workload::{save_trace_csv, trace_arrivals, App, AppSpec, DiurnalConfig, DiurnalTrace};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "train" => cmd_train(&flags),
+        "eval" => cmd_eval(&flags),
+        "compare" => cmd_compare(&flags),
+        "trace" => cmd_trace(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+deeppower — DRL power management for latency-critical applications (ICPP'23 reproduction)
+
+USAGE:
+  deeppower train   --app <name> [--episodes N] [--episode-s S] [--peak-load F] [--seed K] [-o FILE]
+  deeppower eval    --policy FILE [--duration-s S] [--peak-load F] [--seed K]
+  deeppower compare --app <name> [--duration-s S] [--seed K]
+  deeppower trace   [--period-s S] [--base-rps R] [--seed K] -o FILE
+
+APPS: xapian | masstree | moses | sphinx | img-dnn";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let key = match a.as_str() {
+            "-o" => "out".to_string(),
+            s if s.starts_with("--") => s.trim_start_matches("--").to_string(),
+            other => return Err(format!("unexpected argument `{other}`")),
+        };
+        let val = it.next().ok_or_else(|| format!("flag `{a}` needs a value"))?;
+        out.insert(key, val.clone());
+    }
+    Ok(out)
+}
+
+fn get<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
+    }
+}
+
+fn parse_app(flags: &Flags) -> Result<App, String> {
+    let name = flags.get("app").ok_or("missing --app")?;
+    match name.as_str() {
+        "xapian" => Ok(App::Xapian),
+        "masstree" => Ok(App::Masstree),
+        "moses" => Ok(App::Moses),
+        "sphinx" => Ok(App::Sphinx),
+        "img-dnn" | "imgdnn" => Ok(App::ImgDnn),
+        other => Err(format!("unknown app `{other}`")),
+    }
+}
+
+fn cmd_train(flags: &Flags) -> Result<(), String> {
+    let app = parse_app(flags)?;
+    let mut cfg = TrainConfig::for_app(app);
+    cfg.episodes = get(flags, "episodes", 8usize)?;
+    cfg.episode_s = get(flags, "episode-s", 120u64)?;
+    cfg.peak_load = get(flags, "peak-load", cfg.peak_load)?;
+    cfg.seed = get(flags, "seed", 0u64)?;
+    let out: PathBuf = get(flags, "out", PathBuf::from("policy.json"))?;
+
+    println!(
+        "training DeepPower for {:?}: {} episodes x {} s (peak load {:.2})",
+        app, cfg.episodes, cfg.episode_s, cfg.peak_load
+    );
+    let t0 = std::time::Instant::now();
+    let (policy, report) = train(&cfg);
+    for (i, ((r, p), to)) in report
+        .episode_rewards
+        .iter()
+        .zip(&report.episode_power_w)
+        .zip(&report.episode_timeout_rate)
+        .enumerate()
+    {
+        println!(
+            "  episode {i:>2}: mean reward {r:>7.3}  power {p:>6.1} W  timeouts {:>5.2}%",
+            to * 100.0
+        );
+    }
+    policy.save(&out).map_err(|e| e.to_string())?;
+    println!(
+        "{} DDPG updates in {:.1} s; policy written to {}",
+        report.updates,
+        t0.elapsed().as_secs_f64(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_eval(flags: &Flags) -> Result<(), String> {
+    let path: PathBuf = get(flags, "policy", PathBuf::from("policy.json"))?;
+    let policy = TrainedPolicy::load(Path::new(&path)).map_err(|e| e.to_string())?;
+    let duration_s = get(flags, "duration-s", 60u64)?;
+    let peak = get(flags, "peak-load", default_peak_load(policy.app))?;
+    let seed = get(flags, "seed", 999u64)?;
+
+    let spec = AppSpec::get(policy.app);
+    println!("evaluating {:?} policy: {duration_s} s at peak load {peak:.2}", policy.app);
+    let out = evaluate(&policy, peak, duration_s, seed, TraceConfig::default());
+    let s = &out.sim.stats;
+    println!(
+        "power {:.1} W | mean {:.3} ms | p99 {:.3} ms (SLA {} ms) | timeouts {:.2}% | {} requests",
+        out.sim.avg_power_w,
+        s.mean_ns / MILLISECOND as f64,
+        s.p99_ns as f64 / MILLISECOND as f64,
+        spec.sla / MILLISECOND,
+        s.timeout_rate() * 100.0,
+        s.count
+    );
+    Ok(())
+}
+
+fn cmd_compare(flags: &Flags) -> Result<(), String> {
+    let app = parse_app(flags)?;
+    let duration_s = get(flags, "duration-s", 60u64)?;
+    let seed = get(flags, "seed", 999u64)?;
+    let spec = AppSpec::get(app);
+    let server = Server::new(ServerConfig::paper_default(spec.n_threads));
+    let trace = trace_for(&spec, default_peak_load(app), duration_s, seed);
+    let arrivals = trace_arrivals(&spec, &trace, seed.wrapping_mul(41) + 3);
+    let profile = collect_profile(&spec, 0.5, 3, 77);
+    let opts = RunOptions::default();
+
+    println!("comparing policies on {:?} ({} requests over {duration_s} s)", app, arrivals.len());
+    let mut maxf = max_freq_governor();
+    let base = server.run(&arrivals, &mut maxf, opts);
+    let mut retail =
+        RetailGovernor::train(&profile, FreqPlan::xeon_gold_5218r(), RetailConfig::default());
+    let r_retail = server.run(&arrivals, &mut retail, opts);
+    let mut gemini = GeminiGovernor::train(
+        &profile,
+        FreqPlan::xeon_gold_5218r(),
+        spec.n_threads,
+        GeminiConfig::default(),
+        5,
+    );
+    let r_gemini = server.run(&arrivals, &mut gemini, opts);
+
+    println!("training DeepPower (8 episodes x 120 s)...");
+    let mut cfg = TrainConfig::for_app(app);
+    cfg.episodes = 8;
+    cfg.episode_s = 120;
+    cfg.seed = 11;
+    let (policy, _) = train(&cfg);
+    let mut agent = policy.build_agent();
+    let mut dp = DeepPowerGovernor::new(&mut agent, policy.deeppower, Mode::Eval);
+    let r_dp = server.run(
+        &arrivals,
+        &mut dp,
+        RunOptions { tick_ns: policy.deeppower.short_time, ..Default::default() },
+    );
+
+    println!(
+        "\n{:<11} {:>9} {:>8} {:>10} {:>9}",
+        "policy", "power(W)", "saving%", "p99(ms)", "timeout%"
+    );
+    for (name, r) in [
+        ("baseline", &base),
+        ("retail", &r_retail),
+        ("gemini", &r_gemini),
+        ("deeppower", &r_dp),
+    ] {
+        println!(
+            "{:<11} {:>9.1} {:>7.1}% {:>10.2} {:>8.2}%",
+            name,
+            r.avg_power_w,
+            100.0 * (1.0 - r.avg_power_w / base.avg_power_w),
+            r.stats.p99_ns as f64 / MILLISECOND as f64,
+            r.stats.timeout_rate() * 100.0,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace(flags: &Flags) -> Result<(), String> {
+    let period_s = get(flags, "period-s", 360u64)?;
+    let base_rps = get(flags, "base-rps", 1000.0f64)?;
+    let seed = get(flags, "seed", 0u64)?;
+    let out: PathBuf = get(flags, "out", PathBuf::from("trace.csv"))?;
+    let cfg = DiurnalConfig { period_s, base_rps, ..Default::default() };
+    let trace = DiurnalTrace::generate(&cfg, seed);
+    save_trace_csv(&trace, Path::new(&out)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} slots ({} s) to {} — mean {:.0} rps, peak {:.0} rps",
+        trace.n_slots(),
+        period_s,
+        out.display(),
+        trace.mean_rps(),
+        trace.max_rps()
+    );
+    Ok(())
+}

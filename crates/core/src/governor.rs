@@ -1,0 +1,324 @@
+//! The hierarchical control loop — the heart of DeepPower (§3.2, §4.1).
+//!
+//! "The top layer outputs an action in a longer interval, and trains the
+//! neural network based on the state transition and reward function.
+//! Meanwhile, the bottom layer selects a frequency for each CPU core in
+//! shorter intervals, guided by the action of the top layer."
+//!
+//! [`DeepPowerGovernor`] plugs into the simulator's [`Governor`] hook at
+//! `ShortTime` granularity. Every tick it runs Algorithm 1 (the thread
+//! controller); every `LongTime` it additionally performs one DRL step:
+//! observe the 8-dim state, compute the reward for the elapsed step, push
+//! the transition into the replay pool, (in training mode) run a DDPG
+//! update, and emit the next `(BaseFreq, ScalingCoef)` action.
+
+use crate::config::DeepPowerConfig;
+use crate::reward::{RewardCalculator, RewardTerms};
+use crate::state::{StateObserver, STATE_DIM};
+use crate::thread_controller::{ControllerParams, ThreadController};
+use deeppower_drl::{Ddpg, Transition};
+use deeppower_simd_server::{FreqCommands, Governor, Nanos, ServerView};
+use serde::{Deserialize, Serialize};
+
+/// Whether the agent explores and learns, or just executes its policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    Train,
+    Eval,
+}
+
+/// One DRL-step log entry — the raw material for Fig. 8's time series.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct StepLog {
+    /// Step end time.
+    pub t: Nanos,
+    /// Arrivals during the step (the RPS curve).
+    pub num_req: u64,
+    /// Average socket power over the step, watts.
+    pub power_w: f64,
+    /// Action taken *for the next step*.
+    pub base_freq: f32,
+    pub scaling_coef: f32,
+    /// Mean commanded core frequency at the step boundary, MHz.
+    pub avg_freq_mhz: f64,
+    pub queue_len: usize,
+    /// Timeouts during the step.
+    pub timeouts: u64,
+    /// Reward granted for the elapsed step.
+    pub reward: f64,
+    pub terms: RewardTerms,
+}
+
+/// Hierarchical DeepPower governor. Borrows the DDPG agent so training
+/// state persists across episodes.
+pub struct DeepPowerGovernor<'a> {
+    agent: &'a mut Ddpg,
+    cfg: DeepPowerConfig,
+    controller: ThreadController,
+    observer: StateObserver,
+    reward: RewardCalculator,
+    mode: Mode,
+    ticks_per_long: u64,
+    tick_count: u64,
+    /// `(state, action)` awaiting its outcome (next state + reward).
+    pending: Option<([f32; STATE_DIM], Vec<f32>)>,
+    /// Per-step telemetry (Fig. 8).
+    pub log: Vec<StepLog>,
+    // Counters for the log's per-step deltas.
+    prev_arrived: u64,
+    prev_timeouts: u64,
+    prev_energy_uj: u64,
+    /// DDPG updates performed through this governor.
+    pub updates_done: u64,
+}
+
+impl<'a> DeepPowerGovernor<'a> {
+    pub fn new(agent: &'a mut Ddpg, cfg: DeepPowerConfig, mode: Mode) -> Self {
+        cfg.validate().expect("invalid DeepPower config");
+        assert_eq!(agent.cfg.state_dim, STATE_DIM, "agent state dim mismatch");
+        assert_eq!(agent.cfg.action_dim, 2, "agent action dim mismatch");
+        let mut reward = RewardCalculator::new(cfg.alpha, cfg.beta, cfg.gamma_q, cfg.eta);
+        // Tie the energy normalization band to nothing app-specific: the
+        // defaults inside RewardCalculator cover the Xeon socket model.
+        reward.reset();
+        Self {
+            controller: ThreadController::new(ControllerParams::default()),
+            observer: StateObserver::new(cfg.state_norm),
+            reward,
+            mode,
+            ticks_per_long: cfg.ticks_per_long(),
+            tick_count: 0,
+            pending: None,
+            log: Vec::new(),
+            prev_arrived: 0,
+            prev_timeouts: 0,
+            prev_energy_uj: 0,
+            updates_done: 0,
+            agent,
+            cfg,
+        }
+    }
+
+    /// Current thread-controller parameters (the last action).
+    pub fn params(&self) -> ControllerParams {
+        self.controller.params
+    }
+
+    fn drl_step(&mut self, view: &ServerView<'_>) {
+        let next_state = self.observer.observe(view);
+        let (r, terms) = self.reward.step(
+            view.energy_uj,
+            view.total_timeouts,
+            view.total_arrived,
+            view.queue.len(),
+            self.cfg.long_time,
+        );
+
+        if let Some((state, action)) = self.pending.take() {
+            self.agent.observe(Transition {
+                state: state.to_vec(),
+                action,
+                reward: r as f32,
+                next_state: next_state.to_vec(),
+                done: false,
+            });
+            if self.mode == Mode::Train && self.agent.ready() {
+                for _ in 0..self.cfg.updates_per_step.max(1) {
+                    self.agent.update();
+                    self.updates_done += 1;
+                }
+            }
+        }
+
+        let action = match self.mode {
+            Mode::Train => self.agent.act_explore(&next_state),
+            Mode::Eval => self.agent.act(&next_state),
+        };
+        self.controller.params = ControllerParams::from_action(&action);
+
+        // Telemetry.
+        let num_req = view.total_arrived - self.prev_arrived;
+        let timeouts = view.total_timeouts - self.prev_timeouts;
+        let d_energy_j = (view.energy_uj - self.prev_energy_uj) as f64 * 1e-6;
+        let power_w = d_energy_j / (self.cfg.long_time as f64 * 1e-9);
+        self.prev_arrived = view.total_arrived;
+        self.prev_timeouts = view.total_timeouts;
+        self.prev_energy_uj = view.energy_uj;
+        let avg_freq = if view.cores.is_empty() {
+            0.0
+        } else {
+            view.cores.iter().map(|c| c.freq_mhz as f64).sum::<f64>() / view.cores.len() as f64
+        };
+        self.log.push(StepLog {
+            t: view.now,
+            num_req,
+            power_w,
+            base_freq: self.controller.params.base_freq,
+            scaling_coef: self.controller.params.scaling_coef,
+            avg_freq_mhz: avg_freq,
+            queue_len: view.queue.len(),
+            timeouts,
+            reward: r,
+            terms,
+        });
+
+        self.pending = Some((next_state, self.action_vec()));
+    }
+
+    fn action_vec(&self) -> Vec<f32> {
+        vec![self.controller.params.base_freq, self.controller.params.scaling_coef]
+    }
+}
+
+impl Governor for DeepPowerGovernor<'_> {
+    fn on_tick(&mut self, view: &ServerView<'_>, cmds: &mut FreqCommands) {
+        if self.tick_count % self.ticks_per_long == 0 {
+            self.drl_step(view);
+        }
+        self.tick_count += 1;
+        self.controller.scale_all(view, cmds);
+    }
+
+    fn name(&self) -> &str {
+        match self.mode {
+            Mode::Train => "deeppower-train",
+            Mode::Eval => "deeppower",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeppower_drl::DdpgConfig;
+    use deeppower_simd_server::{
+        RunOptions, Server, ServerConfig, MILLISECOND, SECOND,
+    };
+    use deeppower_workload::{constant_rate_arrivals, App, AppSpec};
+
+    fn agent(warmup: usize) -> Ddpg {
+        Ddpg::new(DdpgConfig {
+            state_dim: STATE_DIM,
+            action_dim: 2,
+            warmup,
+            batch_size: 16,
+            seed: 1,
+            ..Default::default()
+        })
+    }
+
+    fn small_cfg() -> DeepPowerConfig {
+        let mut cfg = DeepPowerConfig::default();
+        cfg.short_time = MILLISECOND;
+        cfg.long_time = 100 * MILLISECOND; // fast DRL cadence for tests
+        cfg
+    }
+
+    #[test]
+    fn drl_steps_fire_at_long_time_cadence() {
+        let mut ag = agent(1_000_000); // never trains in this test
+        let cfg = small_cfg();
+        let mut gov = DeepPowerGovernor::new(&mut ag, cfg, Mode::Train);
+        let spec = AppSpec::get(App::Xapian);
+        let arrivals = constant_rate_arrivals(&spec, 2000.0, SECOND, 3);
+        let server = Server::new(ServerConfig::paper_default(8));
+        let _ = server.run(&arrivals, &mut gov, RunOptions::default());
+        // 1 s of workload at a 100 ms DRL period → ~10-12 steps.
+        assert!(
+            (9..=14).contains(&gov.log.len()),
+            "unexpected DRL step count {}",
+            gov.log.len()
+        );
+    }
+
+    #[test]
+    fn transitions_accumulate_in_replay() {
+        let mut ag = agent(1_000_000);
+        let mut gov = DeepPowerGovernor::new(&mut ag, small_cfg(), Mode::Train);
+        let spec = AppSpec::get(App::Xapian);
+        let arrivals = constant_rate_arrivals(&spec, 2000.0, SECOND, 4);
+        let server = Server::new(ServerConfig::paper_default(8));
+        let _ = server.run(&arrivals, &mut gov, RunOptions::default());
+        let steps = gov.log.len();
+        drop(gov);
+        // One pending transition lags behind the step count.
+        assert_eq!(ag.replay.len(), steps - 1);
+    }
+
+    #[test]
+    fn training_mode_performs_updates_once_warm() {
+        let mut ag = agent(4);
+        let mut gov = DeepPowerGovernor::new(&mut ag, small_cfg(), Mode::Train);
+        let spec = AppSpec::get(App::Xapian);
+        let arrivals = constant_rate_arrivals(&spec, 2000.0, 3 * SECOND, 5);
+        let server = Server::new(ServerConfig::paper_default(8));
+        let _ = server.run(&arrivals, &mut gov, RunOptions::default());
+        assert!(gov.updates_done > 0, "no DDPG updates happened");
+    }
+
+    #[test]
+    fn eval_mode_never_updates_and_is_deterministic() {
+        let spec = AppSpec::get(App::Xapian);
+        let arrivals = constant_rate_arrivals(&spec, 2000.0, SECOND, 6);
+        let server = Server::new(ServerConfig::paper_default(8));
+
+        let run = |seed| {
+            let mut ag = Ddpg::new(DdpgConfig {
+                state_dim: STATE_DIM,
+                action_dim: 2,
+                seed,
+                ..Default::default()
+            });
+            let mut gov = DeepPowerGovernor::new(&mut ag, small_cfg(), Mode::Eval);
+            let res = server.run(&arrivals, &mut gov, RunOptions::default());
+            let updates = gov.updates_done;
+            let actions: Vec<(f32, f32)> =
+                gov.log.iter().map(|l| (l.base_freq, l.scaling_coef)).collect();
+            (res.energy_j, updates, actions)
+        };
+        let (e1, u1, a1) = run(7);
+        let (e2, _, a2) = run(7);
+        assert_eq!(u1, 0);
+        assert_eq!(e1, e2);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn actions_stay_in_unit_box() {
+        let mut ag = agent(0);
+        let mut gov = DeepPowerGovernor::new(&mut ag, small_cfg(), Mode::Train);
+        let spec = AppSpec::get(App::Xapian);
+        let arrivals = constant_rate_arrivals(&spec, 3000.0, 2 * SECOND, 8);
+        let server = Server::new(ServerConfig::paper_default(8));
+        let _ = server.run(&arrivals, &mut gov, RunOptions::default());
+        for l in &gov.log {
+            assert!((0.0..=1.0).contains(&l.base_freq));
+            assert!((0.0..=1.0).contains(&l.scaling_coef));
+        }
+    }
+
+    #[test]
+    fn log_power_matches_simulated_average() {
+        let mut ag = agent(1_000_000);
+        let mut gov = DeepPowerGovernor::new(&mut ag, small_cfg(), Mode::Eval);
+        let spec = AppSpec::get(App::Xapian);
+        let arrivals = constant_rate_arrivals(&spec, 2000.0, 2 * SECOND, 9);
+        let server = Server::new(ServerConfig::paper_default(8));
+        let res = server.run(&arrivals, &mut gov, RunOptions::default());
+        // Mean of per-step powers ≈ overall average power (same socket).
+        let mean_step: f64 =
+            gov.log.iter().skip(1).map(|l| l.power_w).sum::<f64>() / (gov.log.len() - 1) as f64;
+        assert!(
+            (mean_step - res.avg_power_w).abs() / res.avg_power_w < 0.25,
+            "per-step power {mean_step} vs run average {}",
+            res.avg_power_w
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "state dim mismatch")]
+    fn rejects_mismatched_agent() {
+        let mut ag = Ddpg::new(DdpgConfig { state_dim: 4, ..Default::default() });
+        let _ = DeepPowerGovernor::new(&mut ag, small_cfg(), Mode::Eval);
+    }
+}

@@ -1,0 +1,267 @@
+//! The thread controller — Algorithm 1 of the paper.
+//!
+//! Every `ShortTime` the controller walks all cores. For core *i*
+//! processing a request that began at `beginTimes[i]`:
+//!
+//! ```text
+//! consumed = (curTime − beginTimes[i]) / SLA
+//! score    = consumed · ScalingCoef + BaseFreq
+//! if score ≥ 1 → turbo
+//! else        → freq = f_min + (f_max − f_min) · score
+//! ```
+//!
+//! so short requests finish at low frequency while long-running ones are
+//! *gradually* accelerated toward turbo — the per-millisecond ramps
+//! visible in Fig. 4. Idle cores sit at the `BaseFreq`-interpolated
+//! frequency (Fig. 4: "If there is no request processing, the frequency is
+//! set to BaseFreq").
+//!
+//! "Begin time" is the request's *arrival* (the score must reflect how
+//! close the request is to its latency SLA, which is measured from
+//! arrival — a request that queued for long must be boosted immediately).
+
+use deeppower_simd_server::{FreqCommands, Governor, ServerView};
+use serde::{Deserialize, Serialize};
+
+/// The two parameters the DRL agent controls (§4.4.3), both in `[0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ControllerParams {
+    pub base_freq: f32,
+    pub scaling_coef: f32,
+}
+
+impl ControllerParams {
+    pub fn new(base_freq: f32, scaling_coef: f32) -> Self {
+        Self { base_freq: base_freq.clamp(0.0, 1.0), scaling_coef: scaling_coef.max(0.0) }
+    }
+
+    /// From a raw DRL action vector `[base_freq, scaling_coef]`.
+    pub fn from_action(action: &[f32]) -> Self {
+        assert_eq!(action.len(), 2, "controller action must be 2-dimensional");
+        Self::new(action[0], action[1])
+    }
+}
+
+impl Default for ControllerParams {
+    fn default() -> Self {
+        // A safe mid-range starting point before the agent takes over.
+        Self { base_freq: 0.5, scaling_coef: 0.5 }
+    }
+}
+
+/// Algorithm 1 as a standalone [`Governor`]. With fixed parameters this is
+/// exactly the Fig. 11 experiment; inside [`crate::DeepPowerGovernor`] the
+/// parameters are re-written by the DRL agent every `LongTime`.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadController {
+    pub params: ControllerParams,
+}
+
+impl ThreadController {
+    pub fn new(params: ControllerParams) -> Self {
+        Self { params }
+    }
+
+    /// The score of Algorithm 1 line 5 for a request that has consumed
+    /// `consumed_frac` of its SLA.
+    pub fn score(&self, consumed_frac: f32) -> f32 {
+        consumed_frac * self.params.scaling_coef + self.params.base_freq
+    }
+
+    /// Apply Algorithm 1's body to every core given the current view.
+    pub fn scale_all(&self, view: &ServerView<'_>, cmds: &mut FreqCommands) {
+        for (core_id, core) in view.cores.iter().enumerate() {
+            match &core.running {
+                Some(run) => {
+                    let consumed = (view.now.saturating_sub(run.arrival)) as f32 / run.sla as f32;
+                    let score = self.score(consumed);
+                    if score >= 1.0 {
+                        cmds.set_turbo(core_id); // Algorithm 1 line 7
+                    } else {
+                        cmds.set(core_id, interpolate_cmd(cmds, score));
+                    }
+                }
+                None => {
+                    // Idle: hold at the BaseFreq level.
+                    let score = self.params.base_freq;
+                    if score >= 1.0 {
+                        cmds.set_turbo(core_id);
+                    } else {
+                        cmds.set(core_id, interpolate_cmd(cmds, score));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `f_min + (f_max − f_min) · score` in MHz. The engine snaps the value to
+/// its plan's nearest level; using the Xeon range here keeps the command
+/// meaningful for any plan covering 0.8–2.1 GHz.
+fn interpolate_cmd(_cmds: &FreqCommands, score: f32) -> u32 {
+    const F_MIN: f32 = 800.0;
+    const F_MAX: f32 = 2100.0;
+    (F_MIN + (F_MAX - F_MIN) * score.clamp(0.0, 1.0)).round() as u32
+}
+
+impl Governor for ThreadController {
+    fn on_tick(&mut self, view: &ServerView<'_>, cmds: &mut FreqCommands) {
+        self.scale_all(view, cmds);
+    }
+
+    fn name(&self) -> &str {
+        "thread-controller"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeppower_simd_server::{
+        ContentionModel, FreqPlan, PowerModel, Request, RunOptions, Server, ServerConfig,
+        TraceConfig, MILLISECOND,
+    };
+
+    fn server(n: usize) -> Server {
+        Server::new(ServerConfig {
+            n_cores: n,
+            freq_plan: FreqPlan::xeon_gold_5218r(),
+            power: PowerModel::default(),
+            contention: ContentionModel::none(),
+            initial_mhz: 2100,
+            cstates: deeppower_simd_server::CStatePlan::none(),
+        })
+    }
+
+    fn req(id: u64, arrival: u64, work: u64, sla: u64) -> Request {
+        Request {
+            id,
+            arrival,
+            work_ref_ns: work,
+            freq_sensitivity: 1.0,
+            sla,
+            features: vec![],
+        }
+    }
+
+    #[test]
+    fn params_clamped_to_unit_range() {
+        let p = ControllerParams::new(-0.5, 1.5);
+        assert_eq!(p.base_freq, 0.0);
+        assert_eq!(p.scaling_coef, 1.5); // coef may exceed 1 (score cap handles it)
+        let p = ControllerParams::from_action(&[0.3, 0.9]);
+        assert_eq!(p, ControllerParams::new(0.3, 0.9));
+    }
+
+    #[test]
+    fn score_formula_matches_algorithm1() {
+        let tc = ThreadController::new(ControllerParams::new(0.4, 1.0));
+        assert!((tc.score(0.0) - 0.4).abs() < 1e-6);
+        assert!((tc.score(0.3) - 0.7).abs() < 1e-6);
+        assert!(tc.score(0.6) >= 1.0); // turbo region
+    }
+
+    #[test]
+    fn long_request_ramps_frequency_up_to_turbo() {
+        // One request with SLA 10 ms and ~18 ms of min-frequency work:
+        // the controller must ramp it through the levels into turbo.
+        let s = server(1);
+        let mut tc = ThreadController::new(ControllerParams::new(0.2, 1.2));
+        let arrivals = vec![req(0, 0, 7 * MILLISECOND, 10 * MILLISECOND)];
+        let res = s.run(
+            &arrivals,
+            &mut tc,
+            RunOptions { tick_ns: MILLISECOND, trace: TraceConfig::millisecond() },
+        );
+        let freqs: Vec<u32> = res.traces.freq.iter().map(|&(_, _, f)| f).collect();
+        // Frequency is non-decreasing while the request runs.
+        let busy_freqs: Vec<u32> = freqs.clone();
+        assert!(busy_freqs.windows(2).all(|w| w[1] >= w[0] || w[1] == 800),
+            "freq not ramping: {busy_freqs:?}");
+        // Reaches turbo before completion (score crosses 1 at 6.67 ms).
+        assert!(freqs.contains(&3000), "never hit turbo: {freqs:?}");
+        assert_eq!(res.stats.count, 1);
+    }
+
+    #[test]
+    fn short_request_finishes_at_low_frequency() {
+        let s = server(1);
+        let mut tc = ThreadController::new(ControllerParams::new(0.1, 0.5));
+        // 0.35 ms of work at reference; at the initial interpolated level
+        // (~930 MHz) it still finishes well within 10 % of SLA → never
+        // leaves the bottom levels.
+        let arrivals = vec![req(0, 0, 350_000, 10 * MILLISECOND)];
+        let res = s.run(
+            &arrivals,
+            &mut tc,
+            RunOptions { tick_ns: MILLISECOND, trace: TraceConfig::millisecond() },
+        );
+        let max_freq = res.traces.freq.iter().map(|&(_, _, f)| f).max().unwrap();
+        assert!(max_freq <= 1000, "short request over-accelerated: {max_freq}");
+        assert_eq!(res.stats.timeouts, 0);
+    }
+
+    #[test]
+    fn idle_cores_sit_at_base_freq_level() {
+        let s = server(2);
+        let mut tc = ThreadController::new(ControllerParams::new(0.5, 1.0));
+        // Only one long request → core 1 stays idle.
+        let arrivals = vec![req(0, 0, 3 * MILLISECOND, 100 * MILLISECOND)];
+        let res = s.run(
+            &arrivals,
+            &mut tc,
+            RunOptions { tick_ns: MILLISECOND, trace: TraceConfig::millisecond() },
+        );
+        let idle_freqs: Vec<u32> = res
+            .traces
+            .freq
+            .iter()
+            .filter(|&&(_, c, _)| c == 1)
+            .map(|&(_, _, f)| f)
+            .collect();
+        // base 0.5 → 800 + 1300·0.5 = 1450 → snaps to 1400 or 1500.
+        assert!(
+            idle_freqs.iter().all(|&f| f == 1400 || f == 1500),
+            "idle core not at base level: {idle_freqs:?}"
+        );
+    }
+
+    #[test]
+    fn base_freq_one_means_permanent_turbo() {
+        let s = server(1);
+        let mut tc = ThreadController::new(ControllerParams::new(1.0, 0.0));
+        let arrivals = vec![req(0, 0, MILLISECOND, 10 * MILLISECOND)];
+        let res = s.run(
+            &arrivals,
+            &mut tc,
+            RunOptions { tick_ns: MILLISECOND, trace: TraceConfig::millisecond() },
+        );
+        assert!(res.traces.freq.iter().all(|&(_, _, f)| f == 3000));
+    }
+
+    #[test]
+    fn queued_wait_time_counts_toward_score() {
+        // Two requests on one core; the second queues behind the first.
+        // When it finally starts, its consumed fraction is already high →
+        // immediate boost. We verify it runs faster than the first did.
+        let s = server(1);
+        let mut tc = ThreadController::new(ControllerParams::new(0.0, 1.1));
+        let arrivals = vec![
+            req(0, 0, 4 * MILLISECOND, 10 * MILLISECOND),
+            req(1, 0, 4 * MILLISECOND, 10 * MILLISECOND),
+        ];
+        let res = s.run(
+            &arrivals,
+            &mut tc,
+            RunOptions { tick_ns: MILLISECOND, trace: TraceConfig::millisecond() },
+        );
+        let r0 = res.records.iter().find(|r| r.id == 0).unwrap();
+        let r1 = res.records.iter().find(|r| r.id == 1).unwrap();
+        let service0 = r0.completed - r0.started;
+        let service1 = r1.completed - r1.started;
+        assert!(
+            service1 < service0,
+            "queued request was not boosted: {service1} vs {service0}"
+        );
+    }
+}

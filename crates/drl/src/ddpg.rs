@@ -1,0 +1,361 @@
+//! Deep Deterministic Policy Gradient (Lillicrap et al., 2015) — the
+//! algorithm DeepPower's top-level agent uses (§4.3, §4.5, Algorithm 2).
+//!
+//! Four networks: actor `π_θ`, critic `Q_w`, and slow-moving target copies
+//! `π_θ'`, `Q_w'` updated by Polyak averaging. The critic regresses the
+//! one-step bootstrap target `y = r + γ·Q_w'(s', π_θ'(s'))`; the actor
+//! ascends `Q_w(s, π_θ(s))` via the chain rule through the critic's action
+//! input (`dQ/da`, supplied by [`Critic::backward`]).
+
+use crate::actor::TwoHeadActor;
+use crate::critic::Critic;
+use crate::noise::{clamp_action, GaussianNoise};
+use crate::replay::{ReplayBuffer, Transition};
+use deeppower_nn::{mse_loss, Adam, AdamConfig, Matrix, Optimizer, Params};
+use rand::{rngs::StdRng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// DDPG hyper-parameters. Defaults follow the paper where it is explicit
+/// (noise `N(0.3, 1)`, batch 64) and the DDPG paper elsewhere.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DdpgConfig {
+    pub state_dim: usize,
+    pub action_dim: usize,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// Polyak coefficient τ for the target-network soft update.
+    pub tau: f32,
+    pub actor_lr: f32,
+    pub critic_lr: f32,
+    pub batch_size: usize,
+    pub replay_capacity: usize,
+    /// Exploration noise added to actions during training (§4.6).
+    pub noise_mu: f32,
+    pub noise_sigma: f32,
+    /// Steps of uniform-random actions before the policy takes over
+    /// (Algorithm 2's WARMUP).
+    pub warmup: usize,
+    /// Global gradient-norm clip (0 disables).
+    pub grad_clip: f32,
+    /// Multiplicative decay applied to the exploration noise sigma after
+    /// every update (1.0 = the paper's constant noise).
+    pub noise_decay: f32,
+    /// Floor under the decayed sigma — exploration never fully dies.
+    pub noise_sigma_min: f32,
+    pub seed: u64,
+}
+
+impl Default for DdpgConfig {
+    fn default() -> Self {
+        Self {
+            state_dim: 8,
+            action_dim: 2,
+            gamma: 0.95,
+            tau: 0.005,
+            actor_lr: 1e-3,
+            critic_lr: 1e-3,
+            batch_size: 64,
+            replay_capacity: 100_000,
+            noise_mu: 0.3,
+            noise_sigma: 1.0,
+            warmup: 64,
+            grad_clip: 5.0,
+            noise_decay: 1.0,
+            noise_sigma_min: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+/// Losses and diagnostics from one [`Ddpg::update`] call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UpdateStats {
+    pub critic_loss: f32,
+    /// Mean `Q(s, π(s))` over the batch — the quantity the actor maximizes.
+    pub actor_q: f32,
+}
+
+/// The DDPG agent.
+pub struct Ddpg {
+    pub cfg: DdpgConfig,
+    pub actor: TwoHeadActor,
+    pub critic: Critic,
+    actor_target: TwoHeadActor,
+    critic_target: Critic,
+    actor_opt: Adam,
+    critic_opt: Adam,
+    pub replay: ReplayBuffer,
+    noise: GaussianNoise,
+    rng: StdRng,
+    updates: u64,
+}
+
+impl Ddpg {
+    pub fn new(cfg: DdpgConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let actor = TwoHeadActor::paper_default(&mut rng, cfg.state_dim, cfg.action_dim);
+        let critic = Critic::paper_default(&mut rng, cfg.state_dim, cfg.action_dim);
+        let actor_target = actor.clone();
+        let critic_target = critic.clone();
+        let actor_opt = Adam::new(AdamConfig { lr: cfg.actor_lr, ..Default::default() }, &actor);
+        let critic_opt =
+            Adam::new(AdamConfig { lr: cfg.critic_lr, ..Default::default() }, &critic);
+        Self {
+            noise: GaussianNoise::new(cfg.noise_mu, cfg.noise_sigma),
+            replay: ReplayBuffer::new(cfg.replay_capacity),
+            actor,
+            critic,
+            actor_target,
+            critic_target,
+            actor_opt,
+            critic_opt,
+            rng,
+            updates: 0,
+            cfg,
+        }
+    }
+
+    /// Deterministic (evaluation) action — what runs after training.
+    pub fn act(&self, state: &[f32]) -> Vec<f32> {
+        self.actor.act(state)
+    }
+
+    /// Training action: before `warmup` transitions have been observed a
+    /// uniform-random action is returned (Algorithm 2 line 7), afterwards
+    /// the actor output plus Gaussian noise, clamped to `[0, 1]`.
+    pub fn act_explore(&mut self, state: &[f32]) -> Vec<f32> {
+        let mut a = if (self.replay.total_pushed() as usize) < self.cfg.warmup {
+            (0..self.cfg.action_dim)
+                .map(|_| rand::Rng::random_range(&mut self.rng, 0.0..1.0))
+                .collect()
+        } else {
+            let mut a = self.actor.act(state);
+            self.noise.perturb(&mut self.rng, &mut a);
+            a
+        };
+        clamp_action(&mut a, 0.0, 1.0);
+        a
+    }
+
+    /// Store a transition in the replay pool.
+    pub fn observe(&mut self, t: Transition) {
+        debug_assert_eq!(t.state.len(), self.cfg.state_dim);
+        debug_assert_eq!(t.action.len(), self.cfg.action_dim);
+        self.replay.push(t);
+    }
+
+    /// Whether enough experience has accumulated to train.
+    pub fn ready(&self) -> bool {
+        self.replay.len() >= self.cfg.batch_size
+            && self.replay.total_pushed() as usize >= self.cfg.warmup
+    }
+
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// One gradient step on a sampled mini-batch (Algorithm 2 lines 14–18):
+    /// critic MSE regression to the bootstrap target, actor ascent on
+    /// `Q(s, π(s))`, then soft target updates.
+    pub fn update(&mut self) -> UpdateStats {
+        assert!(self.ready(), "update called before replay warm-up");
+        let n = self.cfg.batch_size;
+        let batch = {
+            let sampled = self.replay.sample(&mut self.rng, n);
+            sampled.into_iter().cloned().collect::<Vec<Transition>>()
+        };
+
+        let states = Matrix::from_rows(&batch.iter().map(|t| t.state.as_slice()).collect::<Vec<_>>());
+        let actions =
+            Matrix::from_rows(&batch.iter().map(|t| t.action.as_slice()).collect::<Vec<_>>());
+        let next_states =
+            Matrix::from_rows(&batch.iter().map(|t| t.next_state.as_slice()).collect::<Vec<_>>());
+
+        // Bootstrap target y = r + γ (1 - done) Q'(s', π'(s')).
+        let next_actions = self.actor_target.forward_inference(&next_states);
+        let q_next = self.critic_target.forward_inference(&next_states, &next_actions);
+        let mut targets = Matrix::zeros(n, 1);
+        for (i, t) in batch.iter().enumerate() {
+            let cont = if t.done { 0.0 } else { 1.0 };
+            targets.set(i, 0, t.reward + self.cfg.gamma * cont * q_next.get(i, 0));
+        }
+
+        // Critic step.
+        self.critic.zero_grad();
+        let q = self.critic.forward(&states, &actions);
+        let (critic_loss, d_q) = mse_loss(&q, &targets);
+        let _ = self.critic.backward(&d_q);
+        if self.cfg.grad_clip > 0.0 {
+            self.critic.clip_grad_norm(self.cfg.grad_clip);
+        }
+        self.critic_opt.step(&mut self.critic);
+
+        // Actor step: maximize mean Q(s, π(s)) ⇒ descend on its negation.
+        // The critic accumulates gradients here too, but they are zeroed at
+        // the start of the next critic step, so they never reach its
+        // optimizer.
+        self.actor.zero_grad();
+        self.critic.zero_grad();
+        let pred_actions = self.actor.forward(&states);
+        let q_pi = self.critic.forward(&states, &pred_actions);
+        let actor_q = q_pi.mean();
+        let d_q_actor = Matrix::full(n, 1, -1.0 / n as f32);
+        let (_, d_actions) = self.critic.backward(&d_q_actor);
+        let _ = self.actor.backward(&d_actions);
+        if self.cfg.grad_clip > 0.0 {
+            self.actor.clip_grad_norm(self.cfg.grad_clip);
+        }
+        self.actor_opt.step(&mut self.actor);
+
+        // Soft target updates.
+        let actor_snap = self.actor.snapshot();
+        self.actor_target.soft_update_from(&actor_snap, self.cfg.tau);
+        let critic_snap = self.critic.snapshot();
+        self.critic_target.soft_update_from(&critic_snap, self.cfg.tau);
+
+        self.updates += 1;
+        self.noise.sigma = (self.noise.sigma * self.cfg.noise_decay).max(self.cfg.noise_sigma_min);
+        UpdateStats { critic_loss, actor_q }
+    }
+
+    /// Flat weight snapshot of the actor (checkpointing the learned policy).
+    pub fn actor_snapshot(&self) -> Vec<f32> {
+        self.actor.snapshot()
+    }
+
+    /// Restore actor weights (and sync its target copy).
+    pub fn load_actor_snapshot(&mut self, flat: &[f32]) {
+        self.actor.load_snapshot(flat);
+        self.actor_target.load_snapshot(flat);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-dimensional continuous bandit: reward peaks at a = (0.8, 0.2)
+    /// regardless of state. DDPG should steer the deterministic policy
+    /// toward that optimum.
+    #[test]
+    fn ddpg_solves_continuous_bandit() {
+        let cfg = DdpgConfig {
+            state_dim: 3,
+            action_dim: 2,
+            gamma: 0.0, // bandit: no bootstrapping needed
+            warmup: 128,
+            batch_size: 32,
+            actor_lr: 5e-3,
+            critic_lr: 5e-3,
+            noise_mu: 0.0,
+            noise_sigma: 0.3,
+            seed: 7,
+            ..Default::default()
+        };
+        let mut agent = Ddpg::new(cfg);
+        let state = vec![0.1, -0.2, 0.4];
+        for _ in 0..2500 {
+            let a = agent.act_explore(&state);
+            let r = 1.0 - (a[0] - 0.8).powi(2) - (a[1] - 0.2).powi(2);
+            agent.observe(Transition {
+                state: state.clone(),
+                action: a,
+                reward: r,
+                next_state: state.clone(),
+                done: true,
+            });
+            if agent.ready() {
+                agent.update();
+            }
+        }
+        let a = agent.act(&state);
+        assert!(
+            (a[0] - 0.8).abs() < 0.2 && (a[1] - 0.2).abs() < 0.2,
+            "policy did not converge: {a:?}"
+        );
+    }
+
+    #[test]
+    fn warmup_actions_are_random_and_bounded() {
+        let mut agent = Ddpg::new(DdpgConfig { warmup: 100, seed: 1, ..Default::default() });
+        let s = vec![0.0; 8];
+        let a1 = agent.act_explore(&s);
+        let a2 = agent.act_explore(&s);
+        assert_ne!(a1, a2, "warm-up actions should vary");
+        for a in [&a1, &a2] {
+            assert!(a.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn explore_actions_clamped_after_warmup() {
+        let mut agent = Ddpg::new(DdpgConfig {
+            warmup: 0,
+            noise_mu: 5.0, // force saturation
+            noise_sigma: 0.0,
+            ..Default::default()
+        });
+        let a = agent.act_explore(&[0.0; 8]);
+        assert!(a.iter().all(|&x| x == 1.0), "{a:?}");
+    }
+
+    #[test]
+    fn update_before_warmup_panics() {
+        let mut agent = Ddpg::new(DdpgConfig { warmup: 10, ..Default::default() });
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            agent.update();
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn critic_loss_decreases_on_fixed_batch_distribution() {
+        let mut agent = Ddpg::new(DdpgConfig {
+            state_dim: 2,
+            action_dim: 2,
+            warmup: 0,
+            batch_size: 32,
+            seed: 3,
+            gamma: 0.0,
+            ..Default::default()
+        });
+        // Deterministic reward structure: r = a0 - a1.
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..256 {
+            let a = vec![
+                rand::Rng::random_range(&mut rng, 0.0..1.0),
+                rand::Rng::random_range(&mut rng, 0.0..1.0),
+            ];
+            agent.observe(Transition {
+                state: vec![0.5, 0.5],
+                action: a.clone(),
+                reward: a[0] - a[1],
+                next_state: vec![0.5, 0.5],
+                done: true,
+            });
+        }
+        let first: f32 = (0..5).map(|_| agent.update().critic_loss).sum::<f32>() / 5.0;
+        for _ in 0..200 {
+            agent.update();
+        }
+        let last: f32 = (0..5).map(|_| agent.update().critic_loss).sum::<f32>() / 5.0;
+        assert!(last < first, "critic loss did not fall: {first} -> {last}");
+    }
+
+    #[test]
+    fn actor_snapshot_roundtrip_changes_then_restores_policy() {
+        let mut agent = Ddpg::new(DdpgConfig { seed: 9, ..Default::default() });
+        let s = vec![0.2; 8];
+        let before = agent.act(&s);
+        let snap = agent.actor_snapshot();
+        // Corrupt weights.
+        let zeros = vec![0.0; snap.len()];
+        agent.load_actor_snapshot(&zeros);
+        assert_ne!(agent.act(&s), before);
+        agent.load_actor_snapshot(&snap);
+        let after = agent.act(&s);
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b - a).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Experience replay.
+//!
+//! A fixed-capacity ring buffer of transitions with uniform random
+//! mini-batch sampling — the replay pool of Algorithm 2 step 12/14.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One state transition `(s, a, r, s', done)`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    pub state: Vec<f32>,
+    pub action: Vec<f32>,
+    pub reward: f32,
+    pub next_state: Vec<f32>,
+    /// Terminal flag. In the DeepPower setting episodes are long-running
+    /// workloads, so `done` is only set at workload end.
+    pub done: bool,
+}
+
+/// Fixed-capacity ring buffer of [`Transition`]s.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    data: Vec<Transition>,
+    /// Next slot to overwrite once full.
+    head: usize,
+    /// Total number of pushes ever (for diagnostics).
+    pushed: u64,
+}
+
+impl ReplayBuffer {
+    /// Create a buffer holding at most `capacity` transitions.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        Self { capacity, data: Vec::with_capacity(capacity.min(1 << 20)), head: 0, pushed: 0 }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Total transitions pushed over the buffer's lifetime (≥ `len`).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Insert a transition, evicting the oldest once at capacity.
+    pub fn push(&mut self, t: Transition) {
+        if self.data.len() < self.capacity {
+            self.data.push(t);
+        } else {
+            self.data[self.head] = t;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.pushed += 1;
+    }
+
+    /// Sample `batch` transitions uniformly with replacement. Panics when
+    /// empty; callers gate on warm-up length first (Algorithm 2 line 13).
+    pub fn sample<'a, R: Rng>(&'a self, rng: &mut R, batch: usize) -> Vec<&'a Transition> {
+        assert!(!self.data.is_empty(), "sampling from empty replay buffer");
+        (0..batch)
+            .map(|_| &self.data[rng.random_range(0..self.data.len())])
+            .collect()
+    }
+
+    /// Iterate over the stored transitions (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &Transition> {
+        self.data.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn t(v: f32) -> Transition {
+        Transition {
+            state: vec![v],
+            action: vec![v],
+            reward: v,
+            next_state: vec![v + 1.0],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn fills_then_evicts_oldest_first() {
+        let mut b = ReplayBuffer::new(3);
+        for i in 0..5 {
+            b.push(t(i as f32));
+        }
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.total_pushed(), 5);
+        let rewards: Vec<f32> = b.iter().map(|x| x.reward).collect();
+        // Slots 0 and 1 were overwritten by 3 and 4; slot 2 still holds 2.
+        assert!(rewards.contains(&2.0));
+        assert!(rewards.contains(&3.0));
+        assert!(rewards.contains(&4.0));
+        assert!(!rewards.contains(&0.0));
+    }
+
+    #[test]
+    fn sample_returns_requested_batch() {
+        let mut b = ReplayBuffer::new(10);
+        for i in 0..4 {
+            b.push(t(i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let batch = b.sample(&mut rng, 64);
+        assert_eq!(batch.len(), 64);
+        assert!(batch.iter().all(|x| x.reward < 4.0));
+    }
+
+    #[test]
+    fn sample_eventually_touches_every_element() {
+        let mut b = ReplayBuffer::new(8);
+        for i in 0..8 {
+            b.push(t(i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for s in b.sample(&mut rng, 1000) {
+            seen.insert(s.reward as i64);
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling from empty")]
+    fn sampling_empty_panics() {
+        let b = ReplayBuffer::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = b.sample(&mut rng, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ReplayBuffer::new(0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Measurement: per-request records, latency percentiles, and optional
+//! time-series traces (frequency, power, queue depth) for the paper's
+//! figures.
+
+use crate::clock::{Nanos, MILLISECOND};
+use serde::{Deserialize, Serialize};
+
+/// Completion record for one request.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    pub id: u64,
+    pub arrival: Nanos,
+    pub started: Nanos,
+    pub completed: Nanos,
+    /// End-to-end latency (`completed - arrival`), the quantity the SLA
+    /// constrains (§4.3: "Latency is defined as the time between when a
+    /// request arrives at the server and when it is sent back").
+    pub latency: Nanos,
+    pub timed_out: bool,
+}
+
+/// Aggregate latency statistics over a set of records.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    pub count: u64,
+    pub mean_ns: f64,
+    pub p50_ns: Nanos,
+    pub p95_ns: Nanos,
+    pub p99_ns: Nanos,
+    pub max_ns: Nanos,
+    pub timeouts: u64,
+}
+
+impl LatencyStats {
+    /// Compute stats from records (sorts a copy of the latencies).
+    pub fn from_records(records: &[RequestRecord]) -> Self {
+        if records.is_empty() {
+            return Self::default();
+        }
+        let mut lat: Vec<Nanos> = records.iter().map(|r| r.latency).collect();
+        lat.sort_unstable();
+        let count = lat.len() as u64;
+        let sum: u128 = lat.iter().map(|&x| x as u128).sum();
+        Self {
+            count,
+            mean_ns: sum as f64 / count as f64,
+            p50_ns: percentile_sorted(&lat, 0.50),
+            p95_ns: percentile_sorted(&lat, 0.95),
+            p99_ns: percentile_sorted(&lat, 0.99),
+            max_ns: *lat.last().unwrap(),
+            timeouts: records.iter().filter(|r| r.timed_out).count() as u64,
+        }
+    }
+
+    /// Fraction of requests that violated their SLA.
+    pub fn timeout_rate(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.timeouts as f64 / self.count as f64
+        }
+    }
+
+    /// The paper's Fig. 7c "mean/tail rate": mean latency ÷ p99 latency.
+    /// Higher is better — it means short requests are not being dragged up
+    /// to tail speed (i.e. the policy slows down only where it is safe).
+    pub fn mean_tail_ratio(&self) -> f64 {
+        if self.p99_ns == 0 {
+            0.0
+        } else {
+            self.mean_ns / self.p99_ns as f64
+        }
+    }
+}
+
+/// Nearest-rank percentile on a sorted slice.
+pub fn percentile_sorted(sorted: &[Nanos], q: f64) -> Nanos {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// What to trace during a run. Tracing is off by default: a 360 s run at
+/// 1 ms sampling × 20 cores is 7.2 M samples, only the figure benches
+/// need it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceConfig {
+    /// Sample per-core frequency every `freq_sample_ns` (0 disables).
+    pub freq_sample_ns: Nanos,
+    /// Sample socket power & queue depth every `power_sample_ns` (0 disables).
+    pub power_sample_ns: Nanos,
+    /// Record request start/end marks per core (Fig. 4's green/blue marks).
+    pub request_marks: bool,
+}
+
+impl TraceConfig {
+    /// Millisecond-resolution everything — what Figs. 4, 9, 10, 11 need.
+    pub fn millisecond() -> Self {
+        Self { freq_sample_ns: MILLISECOND, power_sample_ns: MILLISECOND, request_marks: true }
+    }
+}
+
+/// One frequency sample: `(time, core, commanded MHz)`.
+pub type FreqSample = (Nanos, usize, u32);
+/// One power/queue sample: `(time, socket watts, queue length, busy cores)`.
+pub type PowerSample = (Nanos, f64, usize, usize);
+/// Request lifecycle mark: `(time, core, request id, is_start)`.
+pub type RequestMark = (Nanos, usize, u64, bool);
+
+/// Collected time series.
+#[derive(Clone, Debug, Default)]
+pub struct Traces {
+    pub freq: Vec<FreqSample>,
+    pub power: Vec<PowerSample>,
+    pub marks: Vec<RequestMark>,
+}
+
+/// Accumulates per-request records and counters during a run.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsCollector {
+    pub records: Vec<RequestRecord>,
+    pub arrived: u64,
+    pub completed: u64,
+    pub timeouts: u64,
+    /// Count of actual frequency transitions applied (a commanded value
+    /// equal to the current one is not a transition).
+    pub freq_transitions: u64,
+}
+
+impl MetricsCollector {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn on_arrival(&mut self) {
+        self.arrived += 1;
+    }
+
+    pub fn on_completion(&mut self, rec: RequestRecord) {
+        self.completed += 1;
+        if rec.timed_out {
+            self.timeouts += 1;
+        }
+        self.records.push(rec);
+    }
+
+    pub fn stats(&self) -> LatencyStats {
+        LatencyStats::from_records(&self.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(latency: Nanos, timed_out: bool) -> RequestRecord {
+        RequestRecord { id: 0, arrival: 0, started: 0, completed: latency, latency, timed_out }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<Nanos> = (1..=100).collect();
+        assert_eq!(percentile_sorted(&v, 0.50), 50);
+        assert_eq!(percentile_sorted(&v, 0.99), 99);
+        assert_eq!(percentile_sorted(&v, 1.0), 100);
+        assert_eq!(percentile_sorted(&v, 0.0), 1);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile_sorted(&[42], 0.99), 42);
+    }
+
+    #[test]
+    fn stats_from_records() {
+        let records: Vec<RequestRecord> =
+            (1..=100).map(|i| rec(i * 1000, i > 99)).collect();
+        let s = LatencyStats::from_records(&records);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ns, 50_000);
+        assert_eq!(s.p99_ns, 99_000);
+        assert_eq!(s.max_ns, 100_000);
+        assert_eq!(s.timeouts, 1);
+        assert!((s.timeout_rate() - 0.01).abs() < 1e-12);
+        assert!((s.mean_ns - 50_500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_tail_ratio_sane() {
+        // Uniform latencies → mean/p99 near 0.5; constant latencies → 1.0.
+        let uniform: Vec<RequestRecord> = (1..=1000).map(|i| rec(i, false)).collect();
+        let s = LatencyStats::from_records(&uniform);
+        assert!((s.mean_tail_ratio() - 0.5).abs() < 0.02);
+        let constant: Vec<RequestRecord> = (0..100).map(|_| rec(777, false)).collect();
+        assert!((LatencyStats::from_records(&constant).mean_tail_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_records_yield_zero_stats() {
+        let s = LatencyStats::from_records(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.timeout_rate(), 0.0);
+        assert_eq!(s.mean_tail_ratio(), 0.0);
+    }
+
+    #[test]
+    fn collector_counts() {
+        let mut c = MetricsCollector::new();
+        c.on_arrival();
+        c.on_arrival();
+        c.on_completion(rec(10, false));
+        c.on_completion(rec(20, true));
+        assert_eq!(c.arrived, 2);
+        assert_eq!(c.completed, 2);
+        assert_eq!(c.timeouts, 1);
+        assert_eq!(c.stats().count, 2);
+    }
+}

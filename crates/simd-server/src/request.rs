@@ -1,0 +1,110 @@
+//! Requests.
+
+use crate::clock::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// One client request as seen by the server.
+///
+/// `work_ref_ns` is the request's *intrinsic* service time: the wall time it
+/// would take on an otherwise-idle machine at the reference frequency.
+/// Actual processing time depends on the core frequency (through
+/// `freq_sensitivity`) and on contention from sibling cores — both applied
+/// by the engine, never baked into the request.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Monotonically increasing id (assigned by the workload generator).
+    pub id: u64,
+    /// Arrival time at the server queue.
+    pub arrival: Nanos,
+    /// Intrinsic service time at the reference frequency, uncontended.
+    pub work_ref_ns: Nanos,
+    /// Fraction of the work that scales with core frequency; the remainder
+    /// is memory/IO-bound and frequency-insensitive. In `[0, 1]`.
+    pub freq_sensitivity: f32,
+    /// The request's latency SLA (same for all requests of an application).
+    pub sla: Nanos,
+    /// Observable features (e.g. input size, request type) — the inputs the
+    /// service-time predictors of ReTail/Gemini are allowed to see. The
+    /// true `work_ref_ns` is *not* observable.
+    pub features: Vec<f32>,
+}
+
+impl Request {
+    /// Wall-clock time this request needs on a core at `freq_mhz`, given
+    /// the reference frequency and a contention inflation factor, starting
+    /// from `remaining_ref_ns` of intrinsic work.
+    ///
+    /// `time = remaining_ref · (s · f_ref/f + (1 − s)) · inflation`
+    pub fn scaled_time(
+        remaining_ref_ns: f64,
+        freq_sensitivity: f32,
+        freq_mhz: u32,
+        reference_mhz: u32,
+        inflation: f64,
+    ) -> f64 {
+        debug_assert!(freq_mhz > 0);
+        let s = freq_sensitivity as f64;
+        let scale = s * reference_mhz as f64 / freq_mhz as f64 + (1.0 - s);
+        remaining_ref_ns * scale * inflation
+    }
+
+    /// Inverse of [`Request::scaled_time`]: how much intrinsic work is
+    /// retired by running `dt` nanoseconds at the given conditions.
+    pub fn retired_work(
+        dt: f64,
+        freq_sensitivity: f32,
+        freq_mhz: u32,
+        reference_mhz: u32,
+        inflation: f64,
+    ) -> f64 {
+        let s = freq_sensitivity as f64;
+        let scale = s * reference_mhz as f64 / freq_mhz as f64 + (1.0 - s);
+        dt / (scale * inflation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_sensitive_work_scales_inversely_with_frequency() {
+        // s = 1: halving the frequency doubles the time.
+        let t_full = Request::scaled_time(1000.0, 1.0, 2100, 2100, 1.0);
+        let t_half = Request::scaled_time(1000.0, 1.0, 1050, 2100, 1.0);
+        assert!((t_full - 1000.0).abs() < 1e-9);
+        assert!((t_half - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insensitive_work_ignores_frequency() {
+        let t_slow = Request::scaled_time(1000.0, 0.0, 800, 2100, 1.0);
+        let t_fast = Request::scaled_time(1000.0, 0.0, 2100, 2100, 1.0);
+        assert_eq!(t_slow, t_fast);
+    }
+
+    #[test]
+    fn contention_inflates_linearly() {
+        let base = Request::scaled_time(1000.0, 0.7, 1500, 2100, 1.0);
+        let inflated = Request::scaled_time(1000.0, 0.7, 1500, 2100, 1.25);
+        assert!((inflated / base - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retired_work_inverts_scaled_time() {
+        let remaining = 12345.0;
+        let t = Request::scaled_time(remaining, 0.6, 1300, 2100, 1.1);
+        let retired = Request::retired_work(t, 0.6, 1300, 2100, 1.1);
+        assert!((retired - remaining).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partial_sensitivity_between_extremes() {
+        let t_min = Request::scaled_time(1000.0, 0.0, 800, 2100, 1.0);
+        let t_mid = Request::scaled_time(1000.0, 0.5, 800, 2100, 1.0);
+        let t_max = Request::scaled_time(1000.0, 1.0, 800, 2100, 1.0);
+        assert!(t_min < t_mid && t_mid < t_max);
+        // s = 0.5 at f = f_ref/2.625 → scale = 0.5·2.625 + 0.5.
+        assert!((t_mid - 1000.0 * (0.5 * 2100.0 / 800.0 + 0.5)).abs() < 1e-6);
+    }
+}

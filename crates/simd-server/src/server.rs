@@ -1,0 +1,666 @@
+//! The event-driven simulation engine.
+//!
+//! Models the latency-critical serving loop of §4.1: requests arrive into a
+//! single FIFO queue, each of `n` cores processes one request at a time
+//! without preemption, and a [`Governor`] commands per-core frequencies.
+//!
+//! Between events every core runs at a constant frequency and the busy-core
+//! count is fixed, so request progress and completion times are computed
+//! *analytically* — no fixed time-step error, and a 360-second workload at
+//! thousands of RPS simulates in well under a second. Events are:
+//!
+//! 1. request completion (a core drains its remaining intrinsic work),
+//! 2. request arrival,
+//! 3. governor control tick (the paper's `ShortTime`),
+//! 4. trace sampling points.
+//!
+//! Within one timestamp events are processed in the deterministic order
+//! completions → arrivals → dispatch → tick → samples, which makes every
+//! run bit-replayable.
+
+use crate::clock::Nanos;
+use crate::contention::ContentionModel;
+use crate::cstates::CStatePlan;
+use crate::dvfs::FreqPlan;
+use crate::governor::{CoreView, FreqCommands, Governor, RunningView, ServerView};
+use crate::metrics::{LatencyStats, MetricsCollector, RequestRecord, TraceConfig, Traces};
+use crate::power::{EnergyMeter, PowerModel};
+use crate::request::Request;
+use std::collections::VecDeque;
+
+/// Work remaining below this many reference-nanoseconds counts as done
+/// (guards floating-point residue after an exact-advance step).
+const WORK_EPS: f64 = 1e-6;
+
+/// Static server parameters.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads = physical cores (paper: 20, or 8 for Masstree).
+    pub n_cores: usize,
+    pub freq_plan: FreqPlan,
+    pub power: PowerModel,
+    pub contention: ContentionModel,
+    /// Frequency every core starts at.
+    pub initial_mhz: u32,
+    /// Idle states governors may use (empty = the paper's main setting,
+    /// where the `userspace` governor keeps cores clocked).
+    pub cstates: CStatePlan,
+}
+
+impl ServerConfig {
+    /// The paper's testbed socket: 20 cores, Xeon plan, default power and
+    /// contention models, starting at max nominal frequency.
+    pub fn paper_default(n_cores: usize) -> Self {
+        let freq_plan = FreqPlan::xeon_gold_5218r();
+        let initial_mhz = freq_plan.max_mhz();
+        Self {
+            n_cores,
+            freq_plan,
+            power: PowerModel::xeon_gold_5218r(),
+            contention: ContentionModel::default(),
+            initial_mhz,
+            cstates: CStatePlan::none(),
+        }
+    }
+
+    /// Paper testbed plus Xeon-like C1/C6 idle states — the substrate for
+    /// the sleep-states extension (the paper's future work, §6).
+    pub fn paper_with_cstates(n_cores: usize) -> Self {
+        Self { cstates: CStatePlan::xeon(), ..Self::paper_default(n_cores) }
+    }
+}
+
+/// Per-run options.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Governor control period (`ShortTime`; 1 ms in the paper).
+    pub tick_ns: Nanos,
+    /// Trace collection (off by default — figure benches enable it).
+    pub trace: TraceConfig,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self { tick_ns: crate::clock::MILLISECOND, trace: TraceConfig::default() }
+    }
+}
+
+/// Everything a run produces.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    pub stats: LatencyStats,
+    pub records: Vec<RequestRecord>,
+    /// Total socket energy over the run, joules.
+    pub energy_j: f64,
+    /// Energy ÷ wall time.
+    pub avg_power_w: f64,
+    /// Simulated wall time from t=0 to the last completion.
+    pub duration_ns: Nanos,
+    pub traces: Traces,
+    pub freq_transitions: u64,
+}
+
+struct Running {
+    req: Request,
+    started: Nanos,
+    remaining_ref_ns: f64,
+    /// Real-time wake latency still to pay before work retires (set when
+    /// a request is dispatched to a sleeping core; frequency- and
+    /// contention-independent).
+    wake_remaining_ns: f64,
+}
+
+struct CoreState {
+    freq_mhz: u32,
+    running: Option<Running>,
+    /// Current C-state index while idle (`None` = C0).
+    sleep: Option<usize>,
+}
+
+/// The simulated server.
+pub struct Server {
+    cfg: ServerConfig,
+}
+
+impl Server {
+    pub fn new(cfg: ServerConfig) -> Self {
+        assert!(cfg.n_cores > 0, "server needs at least one core");
+        cfg.freq_plan.validate().expect("invalid frequency plan");
+        cfg.cstates.validate().expect("invalid C-state plan");
+        assert!(
+            cfg.freq_plan.is_valid(cfg.initial_mhz),
+            "initial frequency must be a legal level"
+        );
+        Self { cfg }
+    }
+
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Simulate `arrivals` (must be sorted by arrival time) to completion
+    /// under `governor`. Returns all metrics, energy and traces.
+    pub fn run(
+        &self,
+        arrivals: &[Request],
+        governor: &mut dyn Governor,
+        opts: RunOptions,
+    ) -> SimResult {
+        assert!(opts.tick_ns > 0, "tick period must be positive");
+        debug_assert!(
+            arrivals.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "arrivals must be sorted by time"
+        );
+
+        let n = self.cfg.n_cores;
+        let plan = &self.cfg.freq_plan;
+        let mut cores: Vec<CoreState> = (0..n)
+            .map(|_| CoreState { freq_mhz: self.cfg.initial_mhz, running: None, sleep: None })
+            .collect();
+        let mut queue: VecDeque<Request> = VecDeque::new();
+        let mut metrics = MetricsCollector::new();
+        let mut energy = EnergyMeter::new();
+        let mut traces = Traces::default();
+        let mut cmds = FreqCommands::new(n, plan);
+
+        let mut now: Nanos = 0;
+        let mut arr_idx = 0usize;
+        let mut next_tick: Nanos = 0;
+        let mut next_freq_sample: Nanos =
+            if opts.trace.freq_sample_ns > 0 { 0 } else { Nanos::MAX };
+        let mut next_power_sample: Nanos =
+            if opts.trace.power_sample_ns > 0 { 0 } else { Nanos::MAX };
+
+        loop {
+            // ---- 1. Completions at `now` ----
+            for core_id in 0..n {
+                let done = matches!(&cores[core_id].running,
+                    Some(r) if r.remaining_ref_ns <= WORK_EPS && r.wake_remaining_ns <= WORK_EPS);
+                if done {
+                    let running = cores[core_id].running.take().unwrap();
+                    let latency = now - running.req.arrival;
+                    let rec = RequestRecord {
+                        id: running.req.id,
+                        arrival: running.req.arrival,
+                        started: running.started,
+                        completed: now,
+                        latency,
+                        timed_out: latency > running.req.sla,
+                    };
+                    metrics.on_completion(rec);
+                    if opts.trace.request_marks {
+                        traces.marks.push((now, core_id, running.req.id, false));
+                    }
+                    governor.on_request_complete(now, core_id, &running.req, latency);
+                }
+            }
+
+            // ---- 2. Arrivals at `now` ----
+            while arr_idx < arrivals.len() && arrivals[arr_idx].arrival <= now {
+                metrics.on_arrival();
+                queue.push_back(arrivals[arr_idx].clone());
+                arr_idx += 1;
+            }
+
+            // ---- 3. Dispatch queued requests to idle cores ----
+            // Awake idle cores are preferred; a sleeping core is woken
+            // only when no awake core is free, and the request then pays
+            // the C-state's wake latency.
+            while !queue.is_empty() {
+                let awake = cores
+                    .iter()
+                    .position(|c| c.running.is_none() && c.sleep.is_none());
+                let any_idle = awake.or_else(|| cores.iter().position(|c| c.running.is_none()));
+                let Some(core_id) = any_idle else { break };
+                let req = queue.pop_front().unwrap();
+                {
+                    let views = build_core_views(&cores, now);
+                    let view = make_view(now, &queue, &views, &metrics, &energy);
+                    governor.on_request_start(&view, core_id, &req, &mut cmds);
+                }
+                apply_commands(&mut cores, &mut cmds, plan, &self.cfg.cstates, &mut metrics);
+                if opts.trace.request_marks {
+                    traces.marks.push((now, core_id, req.id, true));
+                }
+                let wake_ns = cores[core_id]
+                    .sleep
+                    .take()
+                    .and_then(|i| self.cfg.cstates.get(i))
+                    .map(|st| st.wake_ns as f64)
+                    .unwrap_or(0.0);
+                let remaining = req.work_ref_ns as f64;
+                cores[core_id].running = Some(Running {
+                    req,
+                    started: now,
+                    remaining_ref_ns: remaining,
+                    wake_remaining_ns: wake_ns,
+                });
+            }
+
+            // ---- 4. Governor tick ----
+            if now >= next_tick {
+                {
+                    let views = build_core_views(&cores, now);
+                    let view = make_view(now, &queue, &views, &metrics, &energy);
+                    governor.on_tick(&view, &mut cmds);
+                }
+                apply_commands(&mut cores, &mut cmds, plan, &self.cfg.cstates, &mut metrics);
+                next_tick = now + opts.tick_ns;
+            }
+
+            // ---- 5. Trace samples ----
+            if now >= next_freq_sample {
+                for (i, c) in cores.iter().enumerate() {
+                    traces.freq.push((now, i, c.freq_mhz));
+                }
+                next_freq_sample = now + opts.trace.freq_sample_ns;
+            }
+            if now >= next_power_sample {
+                let p = socket_power(&self.cfg, &cores);
+                let busy = cores.iter().filter(|c| c.running.is_some()).count();
+                traces.power.push((now, p, queue.len(), busy));
+                next_power_sample = now + opts.trace.power_sample_ns;
+            }
+
+            // ---- 6. Termination ----
+            let all_idle = cores.iter().all(|c| c.running.is_none());
+            if arr_idx == arrivals.len() && queue.is_empty() && all_idle {
+                break;
+            }
+
+            // ---- 7. Next event time ----
+            let busy = cores.iter().filter(|c| c.running.is_some()).count();
+            let inflation = self.cfg.contention.inflation(busy, n);
+            let mut t_next = next_tick.min(next_freq_sample).min(next_power_sample);
+            if arr_idx < arrivals.len() {
+                t_next = t_next.min(arrivals[arr_idx].arrival);
+            }
+            for c in &cores {
+                if let Some(r) = &c.running {
+                    let t = r.wake_remaining_ns
+                        + Request::scaled_time(
+                            r.remaining_ref_ns,
+                            r.req.freq_sensitivity,
+                            c.freq_mhz,
+                            plan.reference_mhz,
+                            inflation,
+                        );
+                    let tc = now + (t.ceil().max(1.0)) as Nanos;
+                    t_next = t_next.min(tc);
+                }
+            }
+            debug_assert!(t_next > now, "event time did not advance");
+            let dt = t_next - now;
+
+            // ---- 8. Advance: integrate energy, retire work ----
+            let p = socket_power(&self.cfg, &cores);
+            energy.accumulate(p, dt);
+            for c in &mut cores {
+                if let Some(r) = &mut c.running {
+                    // Wake latency drains first, in real time.
+                    let mut dt_work = dt as f64;
+                    if r.wake_remaining_ns > 0.0 {
+                        let waking = r.wake_remaining_ns.min(dt_work);
+                        r.wake_remaining_ns -= waking;
+                        dt_work -= waking;
+                    }
+                    if dt_work > 0.0 {
+                        let retired = Request::retired_work(
+                            dt_work,
+                            r.req.freq_sensitivity,
+                            c.freq_mhz,
+                            plan.reference_mhz,
+                            inflation,
+                        );
+                        r.remaining_ref_ns = (r.remaining_ref_ns - retired).max(0.0);
+                    }
+                }
+            }
+            now = t_next;
+        }
+
+        SimResult {
+            stats: metrics.stats(),
+            energy_j: energy.joules(),
+            avg_power_w: energy.average_power_w(),
+            duration_ns: now,
+            records: std::mem::take(&mut metrics.records),
+            traces,
+            freq_transitions: metrics.freq_transitions,
+        }
+    }
+}
+
+fn build_core_views(cores: &[CoreState], _now: Nanos) -> Vec<CoreView<'_>> {
+    cores
+        .iter()
+        .map(|c| CoreView {
+            freq_mhz: c.freq_mhz,
+            running: c.running.as_ref().map(|r| RunningView {
+                arrival: r.req.arrival,
+                started: r.started,
+                features: &r.req.features,
+                sla: r.req.sla,
+            }),
+            sleeping: c.sleep,
+        })
+        .collect()
+}
+
+/// Socket power with C-states: a sleeping core draws its state's residual
+/// power; an awake idle core its clocked-idle power; a busy core full
+/// dynamic power (including while paying wake latency).
+fn socket_power(cfg: &ServerConfig, cores: &[CoreState]) -> f64 {
+    cfg.power.static_w
+        + cores
+            .iter()
+            .map(|c| match (&c.running, c.sleep) {
+                (Some(_), _) => cfg.power.core_power_w(c.freq_mhz, true),
+                (None, Some(i)) => {
+                    cfg.cstates.get(i).map(|s| s.power_w).unwrap_or(0.0)
+                }
+                (None, None) => cfg.power.core_power_w(c.freq_mhz, false),
+            })
+            .sum::<f64>()
+}
+
+fn make_view<'a>(
+    now: Nanos,
+    queue: &'a VecDeque<Request>,
+    cores: &'a [CoreView<'a>],
+    metrics: &MetricsCollector,
+    energy: &EnergyMeter,
+) -> ServerView<'a> {
+    ServerView {
+        now,
+        queue,
+        cores,
+        total_arrived: metrics.arrived,
+        total_completed: metrics.completed,
+        total_timeouts: metrics.timeouts,
+        energy_uj: energy.read_energy_uj(),
+    }
+}
+
+fn apply_commands(
+    cores: &mut [CoreState],
+    cmds: &mut FreqCommands,
+    plan: &FreqPlan,
+    cstates: &CStatePlan,
+    metrics: &mut MetricsCollector,
+) {
+    for (i, core) in cores.iter_mut().enumerate() {
+        if let Some(mhz) = cmds.take(i) {
+            let snapped = if mhz == plan.turbo_mhz { mhz } else { plan.snap(mhz) };
+            if snapped != core.freq_mhz {
+                core.freq_mhz = snapped;
+                metrics.freq_transitions += 1;
+            }
+        }
+        if let Some(level) = cmds.take_sleep(i) {
+            // Only idle cores may sleep; invalid levels are ignored.
+            if core.running.is_none() && cstates.get(level).is_some() {
+                core.sleep = Some(level);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{MILLISECOND, SECOND};
+    use crate::governor::FixedFrequency;
+
+    fn req(id: u64, arrival: Nanos, work: Nanos) -> Request {
+        Request {
+            id,
+            arrival,
+            work_ref_ns: work,
+            freq_sensitivity: 1.0,
+            sla: 10 * MILLISECOND,
+            features: vec![],
+        }
+    }
+
+    fn one_core_server() -> Server {
+        Server::new(ServerConfig {
+            n_cores: 1,
+            freq_plan: FreqPlan::xeon_gold_5218r(),
+            power: PowerModel::default(),
+            contention: ContentionModel::none(),
+            initial_mhz: 2100,
+            cstates: crate::CStatePlan::none(),
+        })
+    }
+
+    #[test]
+    fn single_request_latency_equals_work_at_reference_frequency() {
+        let server = one_core_server();
+        let arrivals = vec![req(0, 0, 2 * MILLISECOND)];
+        let mut gov = FixedFrequency { mhz: 2100 };
+        let res = server.run(&arrivals, &mut gov, RunOptions::default());
+        assert_eq!(res.stats.count, 1);
+        // Exact to within the 1 ns ceil.
+        assert!(res.records[0].latency.abs_diff(2 * MILLISECOND) <= 1);
+        assert_eq!(res.stats.timeouts, 0);
+    }
+
+    #[test]
+    fn half_frequency_doubles_service_time() {
+        let server = one_core_server();
+        let arrivals = vec![req(0, 0, 2 * MILLISECOND)];
+        // 1050 MHz is an available level? Nearest is 1000 or 1100; use 1050→snap.
+        let mut gov = FixedFrequency { mhz: 1000 };
+        let res = server.run(&arrivals, &mut gov, RunOptions::default());
+        let expected = 2 * MILLISECOND * 2100 / 1000;
+        assert!(
+            res.records[0].latency.abs_diff(expected) <= 2,
+            "latency {} vs expected {expected}",
+            res.records[0].latency
+        );
+    }
+
+    #[test]
+    fn fifo_queueing_on_one_core() {
+        let server = one_core_server();
+        // Two requests arrive together; second waits for the first.
+        let arrivals = vec![req(0, 0, MILLISECOND), req(1, 0, MILLISECOND)];
+        let mut gov = FixedFrequency { mhz: 2100 };
+        let res = server.run(&arrivals, &mut gov, RunOptions::default());
+        let r0 = res.records.iter().find(|r| r.id == 0).unwrap();
+        let r1 = res.records.iter().find(|r| r.id == 1).unwrap();
+        assert!(r0.latency.abs_diff(MILLISECOND) <= 1);
+        assert!(r1.latency.abs_diff(2 * MILLISECOND) <= 2);
+        assert!(r1.started >= r0.completed);
+    }
+
+    #[test]
+    fn two_cores_run_in_parallel() {
+        let server = Server::new(ServerConfig {
+            n_cores: 2,
+            contention: ContentionModel::none(),
+            ..ServerConfig::paper_default(2)
+        });
+        let arrivals = vec![req(0, 0, MILLISECOND), req(1, 0, MILLISECOND)];
+        let mut gov = FixedFrequency { mhz: 2100 };
+        let res = server.run(&arrivals, &mut gov, RunOptions::default());
+        for r in &res.records {
+            assert!(r.latency.abs_diff(MILLISECOND) <= 1, "latency {}", r.latency);
+        }
+    }
+
+    #[test]
+    fn timeout_flagged_when_latency_exceeds_sla() {
+        let server = one_core_server();
+        let mut r = req(0, 0, 20 * MILLISECOND);
+        r.sla = 5 * MILLISECOND;
+        let mut gov = FixedFrequency { mhz: 2100 };
+        let res = server.run(&[r], &mut gov, RunOptions::default());
+        assert_eq!(res.stats.timeouts, 1);
+    }
+
+    #[test]
+    fn contention_slows_down_parallel_work() {
+        let make = |contention| {
+            Server::new(ServerConfig {
+                n_cores: 2,
+                contention,
+                ..ServerConfig::paper_default(2)
+            })
+        };
+        let arrivals = vec![req(0, 0, MILLISECOND), req(1, 0, MILLISECOND)];
+        let mut gov = FixedFrequency { mhz: 2100 };
+        let clean = make(ContentionModel::none()).run(&arrivals, &mut gov, RunOptions::default());
+        let contended = make(ContentionModel { coeff: 0.5, exponent: 1.0 })
+            .run(&arrivals, &mut gov, RunOptions::default());
+        assert!(
+            contended.stats.mean_ns > clean.stats.mean_ns * 1.3,
+            "contention had no effect: {} vs {}",
+            contended.stats.mean_ns,
+            clean.stats.mean_ns
+        );
+    }
+
+    #[test]
+    fn energy_scales_with_frequency() {
+        let server = one_core_server();
+        let arrivals = vec![req(0, 0, 50 * MILLISECOND)];
+        let mut hi = FixedFrequency { mhz: 2100 };
+        let mut lo = FixedFrequency { mhz: 800 };
+        let res_hi = server.run(&arrivals, &mut hi, RunOptions::default());
+        let res_lo = server.run(&arrivals, &mut lo, RunOptions::default());
+        // Low frequency: longer runtime but lower average power.
+        assert!(res_lo.duration_ns > res_hi.duration_ns);
+        assert!(res_lo.avg_power_w < res_hi.avg_power_w);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let server = Server::new(ServerConfig::paper_default(4));
+        let arrivals: Vec<Request> =
+            (0..50).map(|i| req(i, i * 100_000, 300_000 + (i % 7) * 50_000)).collect();
+        let mut g1 = FixedFrequency { mhz: 1500 };
+        let mut g2 = FixedFrequency { mhz: 1500 };
+        let a = server.run(&arrivals, &mut g1, RunOptions::default());
+        let b = server.run(&arrivals, &mut g2, RunOptions::default());
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.energy_j, b.energy_j);
+    }
+
+    #[test]
+    fn governor_tick_fires_at_requested_period() {
+        struct TickCounter {
+            ticks: u64,
+        }
+        impl Governor for TickCounter {
+            fn on_tick(&mut self, _v: &ServerView<'_>, _c: &mut FreqCommands) {
+                self.ticks += 1;
+            }
+        }
+        let server = one_core_server();
+        let arrivals = vec![req(0, 0, 10 * MILLISECOND)];
+        let mut gov = TickCounter { ticks: 0 };
+        let _ = server.run(
+            &arrivals,
+            &mut gov,
+            RunOptions { tick_ns: MILLISECOND, ..Default::default() },
+        );
+        // ~10 ms of simulated time at a 1 ms tick → 10-11 ticks.
+        assert!((10..=12).contains(&gov.ticks), "ticks {}", gov.ticks);
+    }
+
+    #[test]
+    fn freq_trace_records_all_cores() {
+        let server = Server::new(ServerConfig::paper_default(3));
+        let arrivals = vec![req(0, 0, 5 * MILLISECOND)];
+        let mut gov = FixedFrequency { mhz: 1200 };
+        let res = server.run(
+            &arrivals,
+            &mut gov,
+            RunOptions { trace: TraceConfig::millisecond(), ..Default::default() },
+        );
+        assert!(!res.traces.freq.is_empty());
+        let core_ids: std::collections::HashSet<usize> =
+            res.traces.freq.iter().map(|&(_, c, _)| c).collect();
+        assert_eq!(core_ids.len(), 3);
+        // Request marks: one start, one end.
+        let starts = res.traces.marks.iter().filter(|m| m.3).count();
+        let ends = res.traces.marks.iter().filter(|m| !m.3).count();
+        assert_eq!(starts, 1);
+        assert_eq!(ends, 1);
+    }
+
+    #[test]
+    fn request_level_governor_hook_sets_frequency_at_start() {
+        struct PerRequest;
+        impl Governor for PerRequest {
+            fn on_request_start(
+                &mut self,
+                _view: &ServerView<'_>,
+                core_id: usize,
+                _req: &Request,
+                cmds: &mut FreqCommands,
+            ) {
+                cmds.set(core_id, 800);
+            }
+        }
+        let server = one_core_server();
+        let arrivals = vec![req(0, 0, MILLISECOND)];
+        let mut gov = PerRequest;
+        let res = server.run(&arrivals, &mut gov, RunOptions::default());
+        // Work ran at 800 MHz instead of the initial 2100.
+        let expected = MILLISECOND * 2100 / 800;
+        assert!(
+            res.records[0].latency.abs_diff(expected) <= 2,
+            "latency {}",
+            res.records[0].latency
+        );
+        assert_eq!(res.freq_transitions, 1);
+    }
+
+    #[test]
+    fn idle_run_terminates_immediately() {
+        let server = one_core_server();
+        let mut gov = FixedFrequency { mhz: 2100 };
+        let res = server.run(&[], &mut gov, RunOptions::default());
+        assert_eq!(res.stats.count, 0);
+        assert_eq!(res.duration_ns, 0);
+    }
+
+    #[test]
+    fn long_workload_completes_and_conserves_requests() {
+        let server = Server::new(ServerConfig::paper_default(8));
+        let arrivals: Vec<Request> = (0..2000)
+            .map(|i| req(i, i * 200_000, 500_000 + (i % 13) * 100_000))
+            .collect();
+        let mut gov = FixedFrequency { mhz: 2100 };
+        let res = server.run(&arrivals, &mut gov, RunOptions::default());
+        assert_eq!(res.stats.count, 2000);
+        assert!(res.duration_ns >= 2000 * 200_000);
+        assert!(res.energy_j > 0.0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = ServerConfig::paper_default(0);
+        cfg.n_cores = 0;
+        assert!(std::panic::catch_unwind(|| Server::new(cfg)).is_err());
+        let mut cfg = ServerConfig::paper_default(2);
+        cfg.initial_mhz = 12345;
+        assert!(std::panic::catch_unwind(|| Server::new(cfg)).is_err());
+    }
+
+    #[test]
+    fn draining_respects_late_arrivals() {
+        // A request arriving long after the first completes must still be
+        // served (the engine idles forward to it).
+        let server = one_core_server();
+        let arrivals = vec![req(0, 0, MILLISECOND), req(1, 2 * SECOND, MILLISECOND)];
+        let mut gov = FixedFrequency { mhz: 2100 };
+        let res = server.run(&arrivals, &mut gov, RunOptions::default());
+        assert_eq!(res.stats.count, 2);
+        let r1 = res.records.iter().find(|r| r.id == 1).unwrap();
+        assert!(r1.started >= 2 * SECOND);
+    }
+}

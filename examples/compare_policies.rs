@@ -1,0 +1,93 @@
+//! Head-to-head comparison of all four policies (max-frequency baseline,
+//! ReTail, Gemini, DeepPower) on one application under the same diurnal
+//! workload — a miniature of the paper's Fig. 7.
+//!
+//! ```sh
+//! cargo run --release --example compare_policies [xapian|masstree|moses|sphinx|img-dnn]
+//! ```
+
+use deeppower_suite::baselines::{
+    collect_profile, max_freq_governor, GeminiConfig, GeminiGovernor, RetailConfig, RetailGovernor,
+};
+use deeppower_suite::deeppower::{train, DeepPowerGovernor, Mode, TrainConfig};
+use deeppower_suite::sim::{
+    FreqPlan, Governor, RunOptions, Server, ServerConfig, MILLISECOND,
+};
+use deeppower_suite::workload::{trace_arrivals, App, AppSpec};
+
+fn parse_app(name: &str) -> App {
+    match name {
+        "masstree" => App::Masstree,
+        "moses" => App::Moses,
+        "sphinx" => App::Sphinx,
+        "img-dnn" | "imgdnn" => App::ImgDnn,
+        _ => App::Xapian,
+    }
+}
+
+fn main() {
+    let app = parse_app(&std::env::args().nth(1).unwrap_or_default());
+    let spec = AppSpec::get(app);
+    let server = Server::new(ServerConfig::paper_default(spec.n_threads));
+
+    // Shared test workload: one diurnal period at 0.9 peak load.
+    let mut train_cfg = TrainConfig::for_app(app);
+    train_cfg.episodes = 4;
+    train_cfg.episode_s = 60;
+    train_cfg.seed = 11;
+    let trace =
+        deeppower_suite::deeppower::train::trace_for(&spec, train_cfg.peak_load, 60, 999);
+    let arrivals = trace_arrivals(&spec, &trace, 4242);
+    println!("app = {} ({} requests over 60 s)", spec.name, arrivals.len());
+
+    let opts = RunOptions { tick_ns: train_cfg.deeppower.short_time, ..Default::default() };
+
+    // Baseline: unmanaged.
+    let mut maxf = max_freq_governor();
+    let base = server.run(&arrivals, &mut maxf, opts);
+
+    // ReTail and Gemini: profile at a fixed 50% load, then run.
+    let profile = collect_profile(&spec, 0.5, 3, 77);
+    let mut retail =
+        RetailGovernor::train(&profile, FreqPlan::xeon_gold_5218r(), RetailConfig::default());
+    let res_retail = server.run(&arrivals, &mut retail, opts);
+    let mut gemini = GeminiGovernor::train(
+        &profile,
+        FreqPlan::xeon_gold_5218r(),
+        spec.n_threads,
+        GeminiConfig::default(),
+        5,
+    );
+    let res_gemini = server.run(&arrivals, &mut gemini, opts);
+
+    // DeepPower: quick training then deterministic evaluation.
+    println!("training DeepPower ({} episodes)...", train_cfg.episodes);
+    let (policy, _) = train(&train_cfg);
+    let mut agent = policy.build_agent();
+    let mut dp = DeepPowerGovernor::new(&mut agent, policy.deeppower, Mode::Eval);
+    let res_dp = server.run(&arrivals, &mut dp, opts);
+
+    println!(
+        "\n{:<12} {:>10} {:>9} {:>10} {:>10} {:>9}",
+        "policy", "power (W)", "saving%", "p99 (ms)", "mean/tail", "timeout%"
+    );
+    let rows: Vec<(&str, &deeppower_suite::sim::SimResult)> = vec![
+        ("max-freq", &base),
+        ("retail", &res_retail),
+        ("gemini", &res_gemini),
+        ("deeppower", &res_dp),
+    ];
+    for (name, res) in rows {
+        println!(
+            "{:<12} {:>10.1} {:>8.1}% {:>10.2} {:>10.2} {:>8.2}%",
+            name,
+            res.avg_power_w,
+            100.0 * (1.0 - res.avg_power_w / base.avg_power_w),
+            res.stats.p99_ns as f64 / MILLISECOND as f64,
+            res.stats.mean_tail_ratio(),
+            res.stats.timeout_rate() * 100.0,
+        );
+    }
+    println!("\nSLA = {} ms", spec.sla / MILLISECOND);
+    let _ = Governor::name(&maxf); // keep the trait import exercised
+}

@@ -1,0 +1,51 @@
+//! Masstree (microsecond-scale KV store, 1 ms SLA, 8 worker threads)
+//! under a diurnal trace: prints a per-second timeline of load, power and
+//! the DRL agent's actions — the kind of view Fig. 8 plots for Xapian.
+//!
+//! ```sh
+//! cargo run --release --example diurnal_masstree
+//! ```
+
+use deeppower_suite::deeppower::{evaluate, train, TrainConfig};
+use deeppower_suite::sim::{TraceConfig, MILLISECOND};
+use deeppower_suite::workload::App;
+
+fn main() {
+    let mut cfg = TrainConfig::for_app(App::Masstree);
+    cfg.episodes = 6;
+    cfg.episode_s = 90;
+    cfg.peak_load = 0.8;
+    cfg.seed = 21;
+
+    println!("training DeepPower for masstree ({} episodes x {} s)...", cfg.episodes, cfg.episode_s);
+    let (policy, report) = train(&cfg);
+    println!(
+        "training done: {} updates, last-episode timeout rate {:.2}%",
+        report.updates,
+        report.episode_timeout_rate.last().unwrap() * 100.0
+    );
+
+    let eval = evaluate(&policy, cfg.peak_load, 60, 31337, TraceConfig::default());
+
+    println!("\n  t(s)   req/s   power(W)  BaseFreq  ScalingCoef  avgF(MHz)  queue  timeouts");
+    for l in eval.log.iter().skip(1).step_by(5) {
+        println!(
+            "{:>6.0} {:>7} {:>10.1} {:>9.2} {:>12.2} {:>10.0} {:>6} {:>9}",
+            l.t as f64 / 1e9,
+            l.num_req,
+            l.power_w,
+            l.base_freq,
+            l.scaling_coef,
+            l.avg_freq_mhz,
+            l.queue_len,
+            l.timeouts,
+        );
+    }
+    let s = &eval.sim.stats;
+    println!(
+        "\noverall: {:.1} W avg, p99 {:.3} ms (SLA 1 ms), timeout rate {:.2}%",
+        eval.sim.avg_power_w,
+        s.p99_ns as f64 / MILLISECOND as f64,
+        s.timeout_rate() * 100.0
+    );
+}

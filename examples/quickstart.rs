@@ -1,0 +1,51 @@
+//! Quickstart: simulate a latency-critical server under DeepPower's thread
+//! controller with fixed parameters, and compare it with an unmanaged
+//! (max-frequency) run.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use deeppower_suite::baselines::max_freq_governor;
+use deeppower_suite::deeppower::{ControllerParams, ThreadController};
+use deeppower_suite::sim::{RunOptions, Server, ServerConfig, MILLISECOND, SECOND};
+use deeppower_suite::workload::{constant_rate_arrivals, App, AppSpec};
+
+fn main() {
+    // 1. Pick an application: Xapian, the paper's lead example
+    //    (8 ms SLA, 20 worker threads).
+    let spec = AppSpec::get(App::Xapian);
+    println!("app = {}, SLA = {} ms, threads = {}", spec.name, spec.sla / MILLISECOND, spec.n_threads);
+
+    // 2. Build the simulated 20-core Xeon socket.
+    let server = Server::new(ServerConfig::paper_default(spec.n_threads));
+
+    // 3. Ten seconds of Poisson arrivals at 50 % of capacity.
+    let arrivals = constant_rate_arrivals(&spec, spec.rps_for_load(0.5), 10 * SECOND, 42);
+    println!("generated {} requests at 50% load", arrivals.len());
+
+    // 4. Unmanaged baseline: every core at max nominal frequency.
+    let mut unmanaged = max_freq_governor();
+    let base = server.run(&arrivals, &mut unmanaged, RunOptions::default());
+
+    // 5. DeepPower's thread controller (Algorithm 1) with fixed
+    //    parameters — in the full system the DRL agent retunes these every
+    //    second (see examples/train_xapian.rs).
+    let mut controller = ThreadController::new(ControllerParams::new(0.35, 0.9));
+    let managed = server.run(&arrivals, &mut controller, RunOptions::default());
+
+    println!("\n{:<14} {:>10} {:>12} {:>12} {:>10}", "policy", "power (W)", "p99 (ms)", "mean (ms)", "timeout%");
+    for (name, res) in [("max-freq", &base), ("controller", &managed)] {
+        println!(
+            "{:<14} {:>10.1} {:>12.3} {:>12.3} {:>9.2}%",
+            name,
+            res.avg_power_w,
+            res.stats.p99_ns as f64 / MILLISECOND as f64,
+            res.stats.mean_ns / MILLISECOND as f64,
+            res.stats.timeout_rate() * 100.0,
+        );
+    }
+    let saving = 100.0 * (1.0 - managed.avg_power_w / base.avg_power_w);
+    println!("\npower saving vs unmanaged baseline: {saving:.1}%");
+    assert!(managed.stats.p99_ns <= spec.sla, "controller must hold the SLA");
+}

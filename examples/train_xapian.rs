@@ -1,0 +1,74 @@
+//! Train a DeepPower DDPG agent for Xapian under diurnal load, save the
+//! policy, reload it, and evaluate against the unmanaged baseline.
+//!
+//! ```sh
+//! cargo run --release --example train_xapian
+//! ```
+//!
+//! Set `DEEPPOWER_FULL=1` for paper-scale training (more episodes, full
+//! 360 s trace period) — the default is scaled down to finish in seconds.
+
+use deeppower_suite::baselines::max_freq_governor;
+use deeppower_suite::deeppower::{evaluate, train, TrainConfig, TrainedPolicy};
+use deeppower_suite::sim::{RunOptions, Server, ServerConfig, TraceConfig, MILLISECOND};
+use deeppower_suite::workload::{trace_arrivals, App, AppSpec};
+
+fn main() {
+    let full = std::env::var("DEEPPOWER_FULL").is_ok();
+    let mut cfg = TrainConfig::for_app(App::Xapian);
+    if full {
+        cfg.episodes = 12;
+        cfg.episode_s = 360;
+    } else {
+        cfg.episodes = 4;
+        cfg.episode_s = 60;
+    }
+    cfg.seed = 7;
+
+    println!("training DeepPower for {:?}: {} episodes x {} s", cfg.app, cfg.episodes, cfg.episode_s);
+    let (policy, report) = train(&cfg);
+    for (i, ((r, p), to)) in report
+        .episode_rewards
+        .iter()
+        .zip(&report.episode_power_w)
+        .zip(&report.episode_timeout_rate)
+        .enumerate()
+    {
+        println!("  episode {i}: mean reward {r:>7.3}, power {p:>6.1} W, timeouts {:.2}%", to * 100.0);
+    }
+    println!("total DDPG updates: {}", report.updates);
+
+    // Checkpoint round-trip.
+    let path = std::env::temp_dir().join("deeppower-xapian-policy.json");
+    policy.save(&path).expect("save policy");
+    let policy = TrainedPolicy::load(&path).expect("load policy");
+    println!("policy checkpoint: {}", path.display());
+
+    // Evaluate on a fresh trace seed vs the unmanaged baseline.
+    let eval = evaluate(&policy, cfg.peak_load, cfg.episode_s, 1234, TraceConfig::default());
+    let spec = AppSpec::get(App::Xapian);
+    let server = Server::new(ServerConfig::paper_default(spec.n_threads));
+    let trace = deeppower_suite::deeppower::train::trace_for(&spec, cfg.peak_load, cfg.episode_s, 1234);
+    let arrivals = trace_arrivals(&spec, &trace, 1234u64.wrapping_mul(131).wrapping_add(17));
+    let mut maxf = max_freq_governor();
+    let base = server.run(&arrivals, &mut maxf, RunOptions::default());
+
+    println!("\n{:<12} {:>10} {:>10} {:>10}", "policy", "power (W)", "p99 (ms)", "timeout%");
+    for (name, power, p99, to) in [
+        ("max-freq", base.avg_power_w, base.stats.p99_ns, base.stats.timeout_rate()),
+        ("deeppower", eval.sim.avg_power_w, eval.sim.stats.p99_ns, eval.sim.stats.timeout_rate()),
+    ] {
+        println!(
+            "{:<12} {:>10.1} {:>10.3} {:>9.2}%",
+            name,
+            power,
+            p99 as f64 / MILLISECOND as f64,
+            to * 100.0
+        );
+    }
+    println!(
+        "\npower saving: {:.1}% (SLA = {} ms)",
+        100.0 * (1.0 - eval.sim.avg_power_w / base.avg_power_w),
+        spec.sla / MILLISECOND
+    );
+}

@@ -1,0 +1,108 @@
+//! Adaptivity scenarios — the paper's second claimed advantage (§5.3):
+//! "DeepPower is more adaptive to the dynamic workload … it will learn to
+//! adapt to changes in RPS with the interaction from the environment."
+//!
+//! These tests inject a flash-crowd load step and verify the trained
+//! hierarchical policy visibly reacts (frequency up under the burst, queue
+//! recovery afterwards), and that online mode keeps learning in
+//! deployment.
+
+use deeppower_suite::deeppower::{train, DeepPowerGovernor, Mode, TrainConfig};
+use deeppower_suite::sim::{RunOptions, Server, ServerConfig, SECOND};
+use deeppower_suite::workload::{trace_arrivals, App, AppSpec, DiurnalTrace};
+
+fn quick_policy(seed: u64) -> deeppower_suite::deeppower::TrainedPolicy {
+    let mut cfg = TrainConfig::for_app(App::Xapian);
+    cfg.episodes = 4;
+    cfg.episode_s = 40;
+    cfg.seed = seed;
+    cfg.deeppower.ddpg.warmup = 16;
+    cfg.deeppower.ddpg.batch_size = 32;
+    train(&cfg).0
+}
+
+/// Step workload: low → burst → low.
+fn step_trace(spec: &AppSpec) -> DiurnalTrace {
+    let low = spec.rps_for_load(0.35);
+    let high = spec.rps_for_load(0.80);
+    let mut samples = vec![low; 15];
+    samples.extend(vec![high; 15]);
+    samples.extend(vec![low; 15]);
+    DiurnalTrace::from_samples(SECOND, samples)
+}
+
+#[test]
+fn policy_reacts_to_flash_crowd() {
+    let spec = AppSpec::get(App::Xapian);
+    let policy = quick_policy(31);
+    let server = Server::new(ServerConfig::paper_default(spec.n_threads));
+    let trace = step_trace(&spec);
+    let arrivals = trace_arrivals(&spec, &trace, 77);
+
+    let mut agent = policy.build_agent();
+    let mut gov = DeepPowerGovernor::new(&mut agent, policy.deeppower, Mode::Eval);
+    let res = server.run(
+        &arrivals,
+        &mut gov,
+        RunOptions { tick_ns: policy.deeppower.short_time, ..Default::default() },
+    );
+
+    // Mean commanded frequency during the burst vs the initial low phase.
+    let phase_freq = |from_s: u64, to_s: u64| {
+        let logs: Vec<_> = gov
+            .log
+            .iter()
+            .filter(|l| l.t >= from_s * SECOND && l.t < to_s * SECOND)
+            .collect();
+        logs.iter().map(|l| l.avg_freq_mhz).sum::<f64>() / logs.len().max(1) as f64
+    };
+    let low_phase = phase_freq(2, 15);
+    let burst_phase = phase_freq(16, 30);
+    assert!(
+        burst_phase > low_phase + 50.0,
+        "policy did not raise frequency under the burst: {low_phase:.0} -> {burst_phase:.0} MHz"
+    );
+
+    // The queue built during the burst must drain by the end of the run.
+    let peak_queue = gov.log.iter().map(|l| l.queue_len).max().unwrap_or(0);
+    let final_queue = gov.log.last().map(|l| l.queue_len).unwrap_or(0);
+    assert!(
+        final_queue <= peak_queue / 2,
+        "queue failed to recover after the burst: peak {peak_queue}, final {final_queue}"
+    );
+    assert!(res.stats.count as usize == arrivals.len());
+}
+
+#[test]
+fn online_mode_keeps_learning_in_deployment() {
+    let spec = AppSpec::get(App::Xapian);
+    let policy = quick_policy(32);
+    let server = Server::new(ServerConfig::paper_default(spec.n_threads));
+    let trace = step_trace(&spec);
+    let arrivals = trace_arrivals(&spec, &trace, 78);
+
+    // Frozen deployment: no learning.
+    let mut frozen_agent = policy.build_agent();
+    let mut frozen = DeepPowerGovernor::new(&mut frozen_agent, policy.deeppower, Mode::Eval);
+    let _ = server.run(
+        &arrivals,
+        &mut frozen,
+        RunOptions { tick_ns: policy.deeppower.short_time, ..Default::default() },
+    );
+    assert_eq!(frozen.updates_done, 0);
+
+    // Online deployment: the replay keeps filling and updates continue —
+    // Algorithm 2 never has to stop.
+    let mut online_agent = policy.build_agent();
+    let before = online_agent.actor_snapshot();
+    let mut online = DeepPowerGovernor::new(&mut online_agent, policy.deeppower, Mode::Train);
+    let _ = server.run(
+        &arrivals,
+        &mut online,
+        RunOptions { tick_ns: policy.deeppower.short_time, ..Default::default() },
+    );
+    assert!(online.updates_done > 0, "online mode never trained");
+    drop(online);
+    assert!(online_agent.replay.len() > 10);
+    assert_ne!(online_agent.actor_snapshot(), before, "weights did not move online");
+}

@@ -1,0 +1,120 @@
+//! End-to-end integration: train a small DeepPower agent, evaluate it, and
+//! compare against the unmanaged baseline and the prior methods — the full
+//! pipeline every figure bench relies on, at a size that runs in CI.
+
+use deeppower_suite::baselines::{
+    collect_profile, max_freq_governor, GeminiConfig, GeminiGovernor, RetailConfig,
+    RetailGovernor,
+};
+use deeppower_suite::deeppower::train::trace_for;
+use deeppower_suite::deeppower::{evaluate, train, DeepPowerGovernor, Mode, TrainConfig};
+use deeppower_suite::sim::{FreqPlan, RunOptions, Server, ServerConfig, TraceConfig};
+use deeppower_suite::workload::{trace_arrivals, App, AppSpec};
+
+fn small_cfg(app: App) -> TrainConfig {
+    let mut cfg = TrainConfig::for_app(app);
+    cfg.episodes = 5;
+    cfg.episode_s = 30;
+    cfg.seed = 5;
+    // Keep CI runtime bounded: a gentler peak than the paper-scale runs.
+    cfg.peak_load = 0.6;
+    // Tiny episodes: shrink the replay warm-up and batch so learning
+    // actually starts within the 60-step budget.
+    cfg.deeppower.ddpg.warmup = 8;
+    cfg.deeppower.ddpg.batch_size = 16;
+    cfg
+}
+
+#[test]
+fn deeppower_saves_power_and_holds_sla_on_xapian() {
+    let app = App::Xapian;
+    let spec = AppSpec::get(app);
+    let (policy, report) = train(&small_cfg(app));
+    assert!(report.updates > 0);
+
+    let server = Server::new(ServerConfig::paper_default(spec.n_threads));
+    let trace = trace_for(&spec, 0.6, 20, 77);
+    let arrivals = trace_arrivals(&spec, &trace, 4242);
+
+    let mut maxf = max_freq_governor();
+    let base = server.run(&arrivals, &mut maxf, RunOptions::default());
+
+    let mut agent = policy.build_agent();
+    let mut gov = DeepPowerGovernor::new(&mut agent, policy.deeppower, Mode::Eval);
+    let managed = server.run(
+        &arrivals,
+        &mut gov,
+        RunOptions { tick_ns: policy.deeppower.short_time, ..Default::default() },
+    );
+
+    assert!(
+        managed.avg_power_w < base.avg_power_w * 0.92,
+        "DeepPower saved too little: {:.1} vs {:.1} W",
+        managed.avg_power_w,
+        base.avg_power_w
+    );
+    // Small training budget: allow slack over the paper's strict 1% bound
+    // (the benches exercise fully-trained policies).
+    assert!(
+        managed.stats.timeout_rate() < 0.10,
+        "timeout rate {:.3} too high",
+        managed.stats.timeout_rate()
+    );
+}
+
+#[test]
+fn all_policies_conserve_requests_on_shared_workload() {
+    let app = App::Masstree;
+    let spec = AppSpec::get(app);
+    let server = Server::new(ServerConfig::paper_default(spec.n_threads));
+    let trace = trace_for(&spec, 0.6, 10, 3);
+    let arrivals = trace_arrivals(&spec, &trace, 99);
+    let profile = collect_profile(&spec, 0.4, 2, 7);
+
+    let mut results = Vec::new();
+    let mut maxf = max_freq_governor();
+    results.push(server.run(&arrivals, &mut maxf, RunOptions::default()));
+    let mut retail =
+        RetailGovernor::train(&profile, FreqPlan::xeon_gold_5218r(), RetailConfig::default());
+    results.push(server.run(&arrivals, &mut retail, RunOptions::default()));
+    let mut gemini = GeminiGovernor::train(
+        &profile,
+        FreqPlan::xeon_gold_5218r(),
+        spec.n_threads,
+        GeminiConfig::default(),
+        1,
+    );
+    results.push(server.run(&arrivals, &mut gemini, RunOptions::default()));
+
+    for res in &results {
+        assert_eq!(res.stats.count as usize, arrivals.len(), "requests lost or duplicated");
+        assert!(res.energy_j > 0.0);
+        assert!(res.avg_power_w > 20.0, "power below the static floor");
+    }
+}
+
+#[test]
+fn evaluate_roundtrip_is_deterministic_and_logged() {
+    let app = App::ImgDnn;
+    let (policy, _) = train(&small_cfg(app));
+    let a = evaluate(&policy, 0.6, 10, 123, TraceConfig::default());
+    let b = evaluate(&policy, 0.6, 10, 123, TraceConfig::default());
+    assert_eq!(a.sim.energy_j, b.sim.energy_j);
+    assert_eq!(a.sim.stats.count, b.sim.stats.count);
+    assert!(a.log.len() >= 9, "expected ~one StepLog per second, got {}", a.log.len());
+    // Telemetry is internally consistent: per-step arrivals sum to the
+    // run's total.
+    let total: u64 = a.log.iter().map(|l| l.num_req).sum();
+    assert_eq!(total, a.sim.stats.count);
+}
+
+#[test]
+fn policy_checkpoint_survives_disk_roundtrip() {
+    let (policy, _) = train(&small_cfg(App::Masstree));
+    let path = std::env::temp_dir().join("deeppower-integration-ckpt.json");
+    policy.save(&path).unwrap();
+    let loaded = deeppower_suite::deeppower::TrainedPolicy::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let s = [0.3f32; 8];
+    assert_eq!(policy.build_agent().act(&s), loaded.build_agent().act(&s));
+}
