@@ -20,9 +20,7 @@
 
 use crate::profile::ProfileSample;
 use deeppower_nn::{mse_loss, ActivationKind, Adam, AdamConfig, Matrix, Optimizer, Sequential};
-use deeppower_simd_server::{
-    FreqCommands, FreqPlan, Governor, Nanos, Request, ServerView,
-};
+use deeppower_simd_server::{FreqCommands, FreqPlan, Governor, Nanos, Request, ServerView};
 use rand::{rngs::StdRng, SeedableRng};
 
 /// Small-MLP service-time predictor (Gemini's neural network).
@@ -35,7 +33,10 @@ pub struct NnPredictor {
 impl NnPredictor {
     /// Train on profiling samples: features → service time (ns).
     pub fn train(samples: &[ProfileSample], epochs: usize, seed: u64) -> Self {
-        assert!(!samples.is_empty(), "cannot train predictor on empty profile");
+        assert!(
+            !samples.is_empty(),
+            "cannot train predictor on empty profile"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let in_dim = samples[0].features.len();
         let mut net = Sequential::mlp(
@@ -45,7 +46,13 @@ impl NnPredictor {
             ActivationKind::Identity,
         );
         let y_scale = samples.iter().map(|s| s.service_ns).sum::<f64>() / samples.len() as f64;
-        let mut opt = Adam::new(AdamConfig { lr: 3e-3, ..Default::default() }, &net);
+        let mut opt = Adam::new(
+            AdamConfig {
+                lr: 3e-3,
+                ..Default::default()
+            },
+            &net,
+        );
 
         // Mini-batch SGD over shuffled windows.
         let batch = 64.min(samples.len());
@@ -58,10 +65,15 @@ impl NnPredictor {
                     .map(|i| &samples[(b * batch + i * 7 + epoch * 13) % samples.len()])
                     .collect();
                 let x = Matrix::from_rows(
-                    &rows.iter().map(|s| s.features.as_slice()).collect::<Vec<_>>(),
+                    &rows
+                        .iter()
+                        .map(|s| s.features.as_slice())
+                        .collect::<Vec<_>>(),
                 );
-                let t_rows: Vec<Vec<f32>> =
-                    rows.iter().map(|s| vec![(s.service_ns / y_scale) as f32]).collect();
+                let t_rows: Vec<Vec<f32>> = rows
+                    .iter()
+                    .map(|s| vec![(s.service_ns / y_scale) as f32])
+                    .collect();
                 let t = Matrix::from_rows(&t_rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>());
                 net.zero_grad();
                 let y = net.forward(&x);
@@ -95,7 +107,11 @@ pub struct GeminiConfig {
 
 impl Default for GeminiConfig {
     fn default() -> Self {
-        Self { base_budget_frac: 0.7, margin: 1.1, boost_slack_frac: 0.25 }
+        Self {
+            base_budget_frac: 0.7,
+            margin: 1.1,
+            boost_slack_frac: 0.25,
+        }
     }
 }
 

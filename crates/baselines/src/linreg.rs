@@ -89,13 +89,15 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, String> {
         a.swap(col, pivot);
         b.swap(col, pivot);
         // Eliminate below.
-        for row in col + 1..n {
-            let factor = a[row][col] / a[col][col];
+        let (upper, lower) = a.split_at_mut(col + 1);
+        let pivot_row = &upper[col];
+        for (off, row_v) in lower.iter_mut().enumerate() {
+            let factor = row_v[col] / pivot_row[col];
             if factor != 0.0 {
-                for k in col..n {
-                    a[row][k] -= factor * a[col][k];
+                for (rv, pv) in row_v[col..].iter_mut().zip(&pivot_row[col..]) {
+                    *rv -= factor * pv;
                 }
-                b[row] -= factor * b[col];
+                b[col + 1 + off] -= factor * b[col];
             }
         }
     }
@@ -119,7 +121,10 @@ mod tests {
     #[test]
     fn recovers_exact_linear_relationship() {
         let xs: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32, (i * i) as f32]).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x[0] as f64 - 0.5 * x[1] as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 3.0 + 2.0 * x[0] as f64 - 0.5 * x[1] as f64)
+            .collect();
         let model = LinReg::fit(&xs, &ys).unwrap();
         assert!((model.weights[0] - 3.0).abs() < 1e-6);
         assert!((model.weights[1] - 2.0).abs() < 1e-6);
@@ -130,7 +135,9 @@ mod tests {
     #[test]
     fn robust_to_noise() {
         let mut rng = StdRng::seed_from_u64(1);
-        let xs: Vec<Vec<f32>> = (0..2000).map(|_| vec![rng.random_range(0.0..10.0)]).collect();
+        let xs: Vec<Vec<f32>> = (0..2000)
+            .map(|_| vec![rng.random_range(0.0..10.0)])
+            .collect();
         let ys: Vec<f64> = xs
             .iter()
             .map(|x| 5.0 + 1.5 * x[0] as f64 + rng.random_range(-0.5..0.5))
@@ -170,7 +177,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "feature width mismatch")]
     fn predict_rejects_wrong_width() {
-        let model = LinReg { weights: vec![1.0, 2.0] };
+        let model = LinReg {
+            weights: vec![1.0, 2.0],
+        };
         let _ = model.predict(&[1.0, 2.0]);
     }
 }

@@ -11,12 +11,12 @@
 //! inflation, a model fitted at load *i* systematically mispredicts load
 //! *j* — the Fig. 2 effect the motivation section quantifies.
 
+use deeppower_simd_server::SECOND;
 use deeppower_simd_server::{
-    FixedFrequency, Governor, Nanos, Request, RunOptions, Server, ServerConfig, ServerView,
-    FreqCommands,
+    FixedFrequency, FreqCommands, Governor, Nanos, Request, RunOptions, Server, ServerConfig,
+    ServerView,
 };
 use deeppower_workload::{constant_rate_arrivals, AppSpec};
-use deeppower_simd_server::SECOND;
 
 /// One profiling observation.
 #[derive(Clone, Debug, PartialEq)]
@@ -75,8 +75,7 @@ pub fn collect_profile(
 ) -> Vec<ProfileSample> {
     let server = Server::new(ServerConfig::paper_default(spec.n_threads));
     let ref_mhz = server.config().freq_plan.reference_mhz;
-    let arrivals =
-        constant_rate_arrivals(spec, spec.rps_for_load(load), duration_s * SECOND, seed);
+    let arrivals = constant_rate_arrivals(spec, spec.rps_for_load(load), duration_s * SECOND, seed);
     let mut gov = RecordingGovernor {
         inner: FixedFrequency { mhz: ref_mhz },
         starts: vec![None; spec.n_threads],
@@ -118,8 +117,15 @@ mod tests {
         let mean: f64 = ys.iter().sum::<f64>() / ys.len() as f64;
         let var = ys.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / ys.len() as f64;
         let std = var.sqrt();
-        assert!(rmse < std * 0.85, "model no better than the mean: rmse {rmse} vs std {std}");
-        assert!(rmse / mean < 0.7, "relative RMSE implausibly high: {}", rmse / mean);
+        assert!(
+            rmse < std * 0.85,
+            "model no better than the mean: rmse {rmse} vs std {std}"
+        );
+        assert!(
+            rmse / mean < 0.7,
+            "relative RMSE implausibly high: {}",
+            rmse / mean
+        );
     }
 
     #[test]
@@ -129,9 +135,8 @@ mod tests {
         let spec = AppSpec::get(App::Xapian);
         let low = collect_profile(&spec, 0.2, 2, 3);
         let high = collect_profile(&spec, 0.8, 2, 3);
-        let mean = |s: &[ProfileSample]| {
-            s.iter().map(|x| x.service_ns).sum::<f64>() / s.len() as f64
-        };
+        let mean =
+            |s: &[ProfileSample]| s.iter().map(|x| x.service_ns).sum::<f64>() / s.len() as f64;
         assert!(
             mean(&high) > mean(&low) * 1.05,
             "no contention drift: {} vs {}",

@@ -20,9 +20,7 @@
 
 use crate::linreg::LinReg;
 use crate::profile::ProfileSample;
-use deeppower_simd_server::{
-    FreqCommands, FreqPlan, Governor, Request, ServerView,
-};
+use deeppower_simd_server::{FreqCommands, FreqPlan, Governor, Request, ServerView};
 
 /// ReTail tuning knobs.
 #[derive(Clone, Debug)]
@@ -37,7 +35,10 @@ pub struct RetailConfig {
 
 impl Default for RetailConfig {
     fn default() -> Self {
-        Self { margin: 1.25, queue_budget_frac: 0.2 }
+        Self {
+            margin: 1.25,
+            queue_budget_frac: 0.2,
+        }
     }
 }
 
@@ -58,12 +59,22 @@ impl RetailGovernor {
         let ys: Vec<f64> = samples.iter().map(|s| s.service_ns).collect();
         let model = LinReg::fit(&xs, &ys).expect("profile data degenerate");
         let mean_pred_ns = ys.iter().sum::<f64>() / ys.len() as f64;
-        Self { model, plan, cfg, mean_pred_ns }
+        Self {
+            model,
+            plan,
+            cfg,
+            mean_pred_ns,
+        }
     }
 
     /// Construct with an explicit model (tests).
     pub fn with_model(model: LinReg, mean_pred_ns: f64, plan: FreqPlan, cfg: RetailConfig) -> Self {
-        Self { model, plan, cfg, mean_pred_ns }
+        Self {
+            model,
+            plan,
+            cfg,
+            mean_pred_ns,
+        }
     }
 
     /// Predicted service time of a request at the reference frequency.
@@ -121,16 +132,20 @@ impl Governor for RetailGovernor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::profile::collect_profile;
+    use deeppower_simd_server::SECOND;
     use deeppower_simd_server::{
         ContentionModel, PowerModel, RunOptions, Server, ServerConfig, MILLISECOND,
     };
     use deeppower_workload::{constant_rate_arrivals, App, AppSpec};
-    use deeppower_simd_server::SECOND;
-    use crate::profile::collect_profile;
 
     fn trained(spec: &AppSpec) -> RetailGovernor {
         let samples = collect_profile(spec, 0.3, 2, 11);
-        RetailGovernor::train(&samples, FreqPlan::xeon_gold_5218r(), RetailConfig::default())
+        RetailGovernor::train(
+            &samples,
+            FreqPlan::xeon_gold_5218r(),
+            RetailConfig::default(),
+        )
     }
 
     #[test]
@@ -140,16 +155,13 @@ mod tests {
         // A tiny predicted request with full budget → minimum level.
         // Feature ≈ normalized size; size 0.2 → short, size 5 → long tail.
         let plan = FreqPlan::xeon_gold_5218r();
-        let mk = |feat: f32, budget_ms: u64| {
-            let req = Request {
-                id: 0,
-                arrival: 0,
-                work_ref_ns: 0,
-                freq_sensitivity: 1.0,
-                sla: budget_ms * MILLISECOND,
-                features: vec![feat],
-            };
-            req
+        let mk = |feat: f32, budget_ms: u64| Request {
+            id: 0,
+            arrival: 0,
+            work_ref_ns: 0,
+            freq_sensitivity: 1.0,
+            sla: budget_ms * MILLISECOND,
+            features: vec![feat],
         };
         let cores: Vec<deeppower_simd_server::CoreView<'_>> = Vec::new();
         let queue = std::collections::VecDeque::new();
@@ -238,7 +250,10 @@ mod tests {
         };
         let f_idle = gov.select_freq(&view_of(&empty), &req);
         let f_crowded = gov.select_freq(&view_of(&crowded), &req);
-        assert!(f_crowded > f_idle, "queue pressure ignored: {f_crowded} vs {f_idle}");
+        assert!(
+            f_crowded > f_idle,
+            "queue pressure ignored: {f_crowded} vs {f_idle}"
+        );
     }
 
     #[test]
@@ -265,6 +280,9 @@ mod tests {
             total_timeouts: 0,
             energy_uj: 0,
         };
-        assert_eq!(gov.select_freq(&view, &req), FreqPlan::xeon_gold_5218r().turbo_mhz);
+        assert_eq!(
+            gov.select_freq(&view, &req),
+            FreqPlan::xeon_gold_5218r().turbo_mhz
+        );
     }
 }

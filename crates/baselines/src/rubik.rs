@@ -32,7 +32,10 @@ pub struct RubikConfig {
 
 impl Default for RubikConfig {
     fn default() -> Self {
-        Self { quantile: 0.99, queue_budget_frac: 0.2 }
+        Self {
+            quantile: 0.99,
+            queue_budget_frac: 0.2,
+        }
     }
 }
 
@@ -49,15 +52,25 @@ pub struct RubikGovernor {
 impl RubikGovernor {
     /// Fit the empirical distribution from profiling samples.
     pub fn train(samples: &[ProfileSample], plan: FreqPlan, cfg: RubikConfig) -> Self {
-        assert!(!samples.is_empty(), "cannot train Rubik on an empty profile");
-        assert!((0.5..1.0).contains(&cfg.quantile), "quantile must be in [0.5, 1)");
+        assert!(
+            !samples.is_empty(),
+            "cannot train Rubik on an empty profile"
+        );
+        assert!(
+            (0.5..1.0).contains(&cfg.quantile),
+            "quantile must be in [0.5, 1)"
+        );
         let mut times: Vec<f64> = samples.iter().map(|s| s.service_ns).collect();
         times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let rank =
-            ((cfg.quantile * times.len() as f64).ceil() as usize).clamp(1, times.len());
+        let rank = ((cfg.quantile * times.len() as f64).ceil() as usize).clamp(1, times.len());
         let tail_pred_ns = times[rank - 1];
         let mean_ns = times.iter().sum::<f64>() / times.len() as f64;
-        Self { tail_pred_ns, mean_ns, plan, cfg }
+        Self {
+            tail_pred_ns,
+            mean_ns,
+            plan,
+            cfg,
+        }
     }
 
     /// The tail estimate used for every request.
@@ -119,7 +132,11 @@ mod tests {
     fn tail_prediction_exceeds_mean_substantially() {
         let spec = AppSpec::get(App::Xapian);
         let samples = profiled(&spec);
-        let gov = RubikGovernor::train(&samples, FreqPlan::xeon_gold_5218r(), RubikConfig::default());
+        let gov = RubikGovernor::train(
+            &samples,
+            FreqPlan::xeon_gold_5218r(),
+            RubikConfig::default(),
+        );
         let mean = samples.iter().map(|s| s.service_ns).sum::<f64>() / samples.len() as f64;
         // "the prediction is overestimated" — tail over mean by the
         // long-tail factor (~3x for Xapian).
@@ -199,7 +216,10 @@ mod tests {
     fn quantile_bounds_enforced() {
         let spec = AppSpec::get(App::Masstree);
         let samples = profiled(&spec);
-        let bad = RubikConfig { quantile: 1.5, ..Default::default() };
+        let bad = RubikConfig {
+            quantile: 1.5,
+            ..Default::default()
+        };
         let res = std::panic::catch_unwind(|| {
             RubikGovernor::train(&samples, FreqPlan::xeon_gold_5218r(), bad)
         });

@@ -8,12 +8,10 @@
 //! the controller reacts late, so long requests sit at low frequency past
 //! their budget and time out.
 
-use deeppower_core::{ControllerParams, ThreadController};
-use deeppower_simd_server::{
-    RunOptions, Server, ServerConfig, MILLISECOND,
-};
-use deeppower_core::train::{default_peak_load, trace_for};
 use deeppower_bench::Scale;
+use deeppower_core::train::{default_peak_load, trace_for};
+use deeppower_core::{ControllerParams, ThreadController};
+use deeppower_simd_server::{RunOptions, Server, ServerConfig, MILLISECOND};
 use deeppower_workload::{trace_arrivals, App, AppSpec};
 
 fn main() {
@@ -24,7 +22,10 @@ fn main() {
     let arrivals = trace_arrivals(&spec, &trace, 4242);
 
     println!("# Ablation — thread-controller granularity (Xapian, fixed params 0.2/1.0)\n");
-    println!("{:>12} {:>9} {:>10} {:>9}", "ShortTime", "power(W)", "p99(ms)", "timeout%");
+    println!(
+        "{:>12} {:>9} {:>10} {:>9}",
+        "ShortTime", "power(W)", "p99(ms)", "timeout%"
+    );
 
     let ticks = [1u64, 2, 5, 10, 25, 100];
     let mut timeout_rates = Vec::new();
@@ -33,7 +34,10 @@ fn main() {
         let res = server.run(
             &arrivals,
             &mut tc,
-            RunOptions { tick_ns: ms * MILLISECOND, ..Default::default() },
+            RunOptions {
+                tick_ns: ms * MILLISECOND,
+                ..Default::default()
+            },
         );
         println!(
             "{:>10}ms {:>9.1} {:>10.2} {:>8.2}%",

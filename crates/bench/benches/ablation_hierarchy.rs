@@ -12,7 +12,7 @@
 //!    requests. We train such a "flat" agent with identical state,
 //!    reward and budget, and compare.
 
-use deeppower_bench::{trained_policy, Scale};
+use deeppower_bench::{default_trained_policy, Scale};
 use deeppower_core::train::{default_peak_load, trace_for};
 use deeppower_core::{DeepPowerGovernor, FlatDrlGovernor, Mode, TrainConfig, STATE_DIM};
 use deeppower_drl::{Ddpg, DdpgConfig};
@@ -27,7 +27,11 @@ fn main() {
     let spec = AppSpec::get(app);
 
     // ---- part 1: the per-request-inference arithmetic ----
-    let probe = Ddpg::new(DdpgConfig { state_dim: STATE_DIM, action_dim: 2, ..Default::default() });
+    let probe = Ddpg::new(DdpgConfig {
+        state_dim: STATE_DIM,
+        action_dim: 2,
+        ..Default::default()
+    });
     let state = [0.4f32; STATE_DIM];
     let iters = 20_000u32;
     let t0 = Instant::now();
@@ -55,10 +59,17 @@ fn main() {
     // Train the flat agent with the same budget as the cached DeepPower
     // policy.
     let base_cfg = TrainConfig::for_app(app);
-    let mut flat_agent = Ddpg::new(DdpgConfig { seed: 11, ..base_cfg.deeppower.ddpg });
+    let mut flat_agent = Ddpg::new(DdpgConfig {
+        seed: 11,
+        ..base_cfg.deeppower.ddpg
+    });
     for ep in 0..scale.train_episodes {
-        let ep_trace =
-            trace_for(&spec, default_peak_load(app), scale.train_episode_s, 1 + ep as u64);
+        let ep_trace = trace_for(
+            &spec,
+            default_peak_load(app),
+            scale.train_episode_s,
+            1 + ep as u64,
+        );
         let ep_arrivals = trace_arrivals(&spec, &ep_trace, 31 * (1 + ep as u64) + 7);
         let mut gov = FlatDrlGovernor::new(
             &mut flat_agent,
@@ -69,7 +80,10 @@ fn main() {
         let _ = server.run(
             &ep_arrivals,
             &mut gov,
-            RunOptions { tick_ns: base_cfg.deeppower.short_time, ..Default::default() },
+            RunOptions {
+                tick_ns: base_cfg.deeppower.short_time,
+                ..Default::default()
+            },
         );
     }
     let mut flat_gov = FlatDrlGovernor::new(
@@ -81,20 +95,32 @@ fn main() {
     let r_flat = server.run(
         &arrivals,
         &mut flat_gov,
-        RunOptions { tick_ns: base_cfg.deeppower.short_time, ..Default::default() },
+        RunOptions {
+            tick_ns: base_cfg.deeppower.short_time,
+            ..Default::default()
+        },
     );
 
-    let policy = trained_policy(app, scale, 11);
+    let policy = default_trained_policy(app, scale);
     let mut agent = policy.build_agent();
     let mut dp = DeepPowerGovernor::new(&mut agent, policy.deeppower, Mode::Eval);
     let r_dp = server.run(
         &arrivals,
         &mut dp,
-        RunOptions { tick_ns: policy.deeppower.short_time, ..Default::default() },
+        RunOptions {
+            tick_ns: policy.deeppower.short_time,
+            ..Default::default()
+        },
     );
 
-    println!("{:<22} {:>9} {:>10} {:>9}", "policy", "power(W)", "p99(ms)", "timeout%");
-    for (name, r) in [("flat DRL (no bottom)", &r_flat), ("DeepPower (hier.)", &r_dp)] {
+    println!(
+        "{:<22} {:>9} {:>10} {:>9}",
+        "policy", "power(W)", "p99(ms)", "timeout%"
+    );
+    for (name, r) in [
+        ("flat DRL (no bottom)", &r_flat),
+        ("DeepPower (hier.)", &r_dp),
+    ] {
         println!(
             "{:<22} {:>9.1} {:>10.2} {:>8.2}%",
             name,
@@ -114,5 +140,7 @@ fn main() {
         flat_worse_qos || flat_worse_power,
         "flat DRL unexpectedly dominates hierarchical control"
     );
-    println!("\n[shape OK] hierarchical control beats interval-constant DRL on the power/QoS frontier");
+    println!(
+        "\n[shape OK] hierarchical control beats interval-constant DRL on the power/QoS frontier"
+    );
 }

@@ -36,7 +36,10 @@ fn train_and_eval(beta: f64, eta_factor: f64, scale: Scale) -> SimResult {
     server.run(
         &arrivals,
         &mut gov,
-        RunOptions { tick_ns: policy.deeppower.short_time, ..Default::default() },
+        RunOptions {
+            tick_ns: policy.deeppower.short_time,
+            ..Default::default()
+        },
     )
 }
 
@@ -45,7 +48,10 @@ fn main() {
     println!("# Ablation — reward weights (Xapian)\n");
 
     println!("## β sweep (timeout weight; α=1, γ=1, η=calibrated default)");
-    println!("{:>6} {:>9} {:>10} {:>9}", "beta", "power(W)", "p99(ms)", "timeout%");
+    println!(
+        "{:>6} {:>9} {:>10} {:>9}",
+        "beta", "power(W)", "p99(ms)", "timeout%"
+    );
     let betas = [0.5, 4.0, 16.0];
     let mut by_beta = Vec::new();
     for &beta in &betas {
@@ -61,7 +67,10 @@ fn main() {
     }
 
     println!("\n## η sweep (x the calibrated default; β=4)");
-    println!("{:>6} {:>9} {:>10} {:>9}", "eta x", "power(W)", "p99(ms)", "timeout%");
+    println!(
+        "{:>6} {:>9} {:>10} {:>9}",
+        "eta x", "power(W)", "p99(ms)", "timeout%"
+    );
     for &factor in &[0.01, 1.0, 10.0] {
         let r = train_and_eval(4.0, factor, scale);
         println!(

@@ -15,7 +15,7 @@
 //!   into the budget — the "risk of request timeouts" the paper warns
 //!   about.
 
-use deeppower_bench::{trained_policy, Scale};
+use deeppower_bench::{default_trained_policy, Scale};
 use deeppower_core::train::{default_peak_load, trace_for};
 use deeppower_core::{DeepPowerGovernor, Mode, SleepAware, SleepPolicy};
 use deeppower_simd_server::{RunOptions, Server, ServerConfig, MILLISECOND};
@@ -32,7 +32,7 @@ fn main() {
         // Light-ish load so idle periods exist for the sleep policy.
         let trace = trace_for(&spec, default_peak_load(app) * 0.6, scale.eval_s, 999);
         let arrivals = trace_arrivals(&spec, &trace, 4242);
-        let policy = trained_policy(app, scale, 11);
+        let policy = default_trained_policy(app, scale);
 
         let run = |sleep: bool| {
             let server = if sleep {
@@ -73,11 +73,8 @@ fn main() {
             );
         }
         let saving = plain.avg_power_w - slept.avg_power_w;
-        let lat_penalty_us =
-            (slept.stats.mean_ns - plain.stats.mean_ns) / 1_000.0;
-        println!(
-            "sleep states: {saving:+.2} W, mean latency {lat_penalty_us:+.1} us\n"
-        );
+        let lat_penalty_us = (slept.stats.mean_ns - plain.stats.mean_ns) / 1_000.0;
+        println!("sleep states: {saving:+.2} W, mean latency {lat_penalty_us:+.1} us\n");
         if app == App::Xapian {
             xapian_saving = saving;
             assert!(
@@ -91,7 +88,10 @@ fn main() {
 
     // Shape checks: real additional savings where the SLA is roomy; a
     // visible wake-latency cost where it is not.
-    assert!(xapian_saving > 0.3, "sleep states saved too little on Xapian: {xapian_saving:.2} W");
+    assert!(
+        xapian_saving > 0.3,
+        "sleep states saved too little on Xapian: {xapian_saving:.2} W"
+    );
     assert!(
         masstree_penalty > 5.0,
         "Masstree should visibly feel the wake latencies ({masstree_penalty:.1} us)"

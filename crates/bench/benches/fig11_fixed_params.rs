@@ -12,9 +12,7 @@
 
 use deeppower_bench::{downsample, sparkline};
 use deeppower_core::{ControllerParams, ThreadController};
-use deeppower_simd_server::{
-    RunOptions, Server, ServerConfig, TraceConfig, MILLISECOND, SECOND,
-};
+use deeppower_simd_server::{RunOptions, Server, ServerConfig, TraceConfig, MILLISECOND, SECOND};
 use deeppower_workload::{constant_rate_arrivals, App, AppSpec};
 
 /// Mean commanded frequency of busy-ish samples in a ms-bucket timeline,
@@ -34,7 +32,10 @@ fn run(base: f32, coef: f32) -> Summary {
     let res = server.run(
         &arrivals,
         &mut tc,
-        RunOptions { tick_ns: MILLISECOND, trace: TraceConfig::millisecond() },
+        RunOptions {
+            tick_ns: MILLISECOND,
+            trace: TraceConfig::millisecond(),
+        },
     );
 
     // Reconstruct per-request frequency ramps: for each request mark pair
@@ -75,7 +76,11 @@ fn run(base: f32, coef: f32) -> Summary {
         .filter(|&&(_, c, _)| c == 0)
         .map(|&(_, _, f)| f as f64)
         .collect();
-    Summary { initial_freq: initial, ramp_mhz_per_ms: slope, trace }
+    Summary {
+        initial_freq: initial,
+        ramp_mhz_per_ms: slope,
+        trace,
+    }
 }
 
 fn main() {

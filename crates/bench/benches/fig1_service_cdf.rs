@@ -16,12 +16,19 @@ use rand::{rngs::StdRng, SeedableRng};
 
 fn main() {
     let scale = Scale::from_env();
-    println!("# Fig. 1 — CDF of service time / mean ({} samples/app)\n", scale.dist_samples);
+    println!(
+        "# Fig. 1 — CDF of service time / mean ({} samples/app)\n",
+        scale.dist_samples
+    );
 
     let apps = [App::Xapian, App::Masstree, App::Moses, App::Sphinx];
     let grid: Vec<f64> = vec![0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0];
 
-    println!("{:<10} {}", "x=t/mean", grid.iter().map(|x| format!("{x:>6.2}")).collect::<String>());
+    println!(
+        "{:<10} {}",
+        "x=t/mean",
+        grid.iter().map(|x| format!("{x:>6.2}")).collect::<String>()
+    );
     let mut ratios = Vec::new();
     for app in apps {
         let spec = AppSpec::get(app);
@@ -37,7 +44,10 @@ fn main() {
             let idx = samples.partition_point(|&s| s <= t);
             idx as f64 / samples.len() as f64
         };
-        let row: String = grid.iter().map(|&x| format!("{:>6.3}", cdf_at(x))).collect();
+        let row: String = grid
+            .iter()
+            .map(|&x| format!("{:>6.3}", cdf_at(x)))
+            .collect();
         println!("{:<10} {row}", spec.name);
 
         let p99 = samples[(0.99 * samples.len() as f64) as usize];
@@ -51,8 +61,15 @@ fn main() {
 
     // Reproduction checks (shape, not absolute numbers).
     let moses = ratios.iter().find(|(n, _)| *n == "moses").unwrap().1;
-    assert!(moses > 5.0, "Moses tail should be ~8x the mean, got {moses:.2}");
-    let heaviest = ratios.iter().cloned().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+    assert!(
+        moses > 5.0,
+        "Moses tail should be ~8x the mean, got {moses:.2}"
+    );
+    let heaviest = ratios
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
     assert_eq!(heaviest.0, "moses", "Moses must have the heaviest tail");
     println!("\n[shape OK] long-tailed CDFs reproduced; Moses is the heaviest tail");
 }

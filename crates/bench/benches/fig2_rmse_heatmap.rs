@@ -55,9 +55,9 @@ fn main() {
         let mut heat = vec![vec![0.0; loads.len()]; loads.len()];
         for i in 0..loads.len() {
             print!("{:>7.0}%", loads[i] * 100.0);
-            for j in 0..loads.len() {
+            for (j, cell) in heat[i].iter_mut().enumerate() {
                 let rel = err(i, j) / err(j, j);
-                heat[i][j] = rel;
+                *cell = rel;
                 if i != j {
                     max_off_diag = max_off_diag.max(rel);
                 }

@@ -10,8 +10,8 @@
 use deeppower_bench::{downsample, sparkline};
 use deeppower_core::{ControllerParams, ThreadController};
 use deeppower_simd_server::{
-    FreqCommands, Governor, RunOptions, Server, ServerConfig, ServerView, TraceConfig,
-    MILLISECOND, SECOND,
+    FreqCommands, Governor, RunOptions, Server, ServerConfig, ServerView, TraceConfig, MILLISECOND,
+    SECOND,
 };
 use deeppower_workload::{constant_rate_arrivals, App, AppSpec};
 
@@ -47,7 +47,10 @@ fn main() {
     let res = server.run(
         &arrivals,
         &mut gov,
-        RunOptions { tick_ns: MILLISECOND, trace: TraceConfig::millisecond() },
+        RunOptions {
+            tick_ns: MILLISECOND,
+            trace: TraceConfig::millisecond(),
+        },
     );
 
     println!("# Fig. 4 — per-ms frequency of core 0 over 2 s (Xapian)");
@@ -64,8 +67,18 @@ fn main() {
         println!("{:>5} ms |{}|", i * 250, sparkline(&downsample(chunk, 100)));
     }
 
-    let starts = res.traces.marks.iter().filter(|m| m.3 && m.0 < 2 * SECOND).count();
-    let ends = res.traces.marks.iter().filter(|m| !m.3 && m.0 < 2 * SECOND).count();
+    let starts = res
+        .traces
+        .marks
+        .iter()
+        .filter(|m| m.3 && m.0 < 2 * SECOND)
+        .count();
+    let ends = res
+        .traces
+        .marks
+        .iter()
+        .filter(|m| !m.3 && m.0 < 2 * SECOND)
+        .count();
     println!("\nrequest marks in window: {starts} starts (green), {ends} ends (blue)");
 
     // Shape checks.
@@ -74,9 +87,15 @@ fn main() {
     let min1 = first_half.iter().cloned().fold(f64::INFINITY, f64::min);
     let min2 = second_half.iter().cloned().fold(f64::INFINITY, f64::min);
     // Idle level follows BaseFreq: 0.25 → ~1100 MHz, 0.45 → ~1400 MHz.
-    assert!(min1 < min2, "idle frequency must rise after the BaseFreq increase ({min1} vs {min2})");
+    assert!(
+        min1 < min2,
+        "idle frequency must rise after the BaseFreq increase ({min1} vs {min2})"
+    );
     let max1 = first_half.iter().cloned().fold(0.0, f64::max);
-    assert!(max1 > min1 + 200.0, "frequency must ramp during request processing");
+    assert!(
+        max1 > min1 + 200.0,
+        "frequency must ramp during request processing"
+    );
     assert!(starts > 50, "window should contain many request marks");
     println!("[shape OK] idle level tracks BaseFreq; ramps during processing; marks present");
 }

@@ -17,16 +17,25 @@ fn main() {
 
     println!("{:>6}  {:>8}", "x", "scaleFunc");
     for (x, y) in xs.iter().zip(&ys).step_by(4) {
-        let marker = if (*x - eta).abs() < 1e-9 { "  <- change point (x = eta)" } else { "" };
+        let marker = if (*x - eta).abs() < 1e-9 {
+            "  <- change point (x = eta)"
+        } else {
+            ""
+        };
         println!("{x:>6.0}  {y:>8.4}{marker}");
     }
     println!("\n0..400: |{}|", sparkline(&ys));
 
     // Shape checks straight from the paper's description.
     assert!(scale_func(10.0, eta) < 0.02, "≈0 well below eta");
-    assert!((scale_func(eta, eta) - 0.5).abs() < 1e-6, "crosses 1/2 at x = eta");
+    assert!(
+        (scale_func(eta, eta) - 0.5).abs() < 1e-6,
+        "crosses 1/2 at x = eta"
+    );
     assert!(scale_func(1e6, eta) > 0.999, "→1 as x → ∞");
-    let mono = xs.windows(2).all(|w| scale_func(w[1], eta) >= scale_func(w[0], eta));
+    let mono = xs
+        .windows(2)
+        .all(|w| scale_func(w[1], eta) >= scale_func(w[0], eta));
     assert!(mono, "monotone increasing");
     println!("\n[shape OK] sigmoid-like gate: ~0 below eta, 1/2 at eta, ->1 beyond");
 }

@@ -12,19 +12,32 @@ use deeppower_workload::{DiurnalConfig, DiurnalTrace};
 
 fn main() {
     let scale = Scale::from_env();
-    let cfg = DiurnalConfig { period_s: if scale.full { 360 } else { 120 }, ..Default::default() };
+    let cfg = DiurnalConfig {
+        period_s: if scale.full { 360 } else { 120 },
+        ..Default::default()
+    };
     let trace = DiurnalTrace::generate(&cfg, 2023);
 
-    println!("# Fig. 6 — RPS over one (downsampled) period of {} s\n", cfg.period_s);
+    println!(
+        "# Fig. 6 — RPS over one (downsampled) period of {} s\n",
+        cfg.period_s
+    );
     let series: Vec<f64> = trace.samples().to_vec();
     println!("|{}|", sparkline(&downsample(&series, 100)));
 
     let min = series.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = trace.max_rps();
     let mean = trace.mean_rps();
-    println!("\nmin {min:.0} rps, mean {mean:.0} rps, max {max:.0} rps (swing {:.2}x)", max / min);
+    println!(
+        "\nmin {min:.0} rps, mean {mean:.0} rps, max {max:.0} rps (swing {:.2}x)",
+        max / min
+    );
     for i in (0..series.len()).step_by(series.len() / 12) {
-        println!("  t={:>4}s  rps={:>7.0}", i * cfg.slot_s as usize, series[i]);
+        println!(
+            "  t={:>4}s  rps={:>7.0}",
+            i * cfg.slot_s as usize,
+            series[i]
+        );
     }
 
     // Shape checks.

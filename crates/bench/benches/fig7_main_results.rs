@@ -14,104 +14,86 @@
 //! 4. Masstree's saving is the least remarkable (8 threads; machine
 //!    baseline power dominates).
 //!
+//! DDPG training runs up front (cached under `target/deeppower-policies`);
+//! the 20 evaluation rollouts (5 apps × 4 governors) then fan out across
+//! the harness thread pool.
+//!
 //! Set `DEEPPOWER_FULL=1` for paper-scale training and 360 s evaluations.
 
-use deeppower_baselines::{
-    collect_profile, max_freq_governor, GeminiConfig, GeminiGovernor, RetailConfig, RetailGovernor,
-};
-use deeppower_bench::{trained_policy, Scale};
-use deeppower_core::train::{default_peak_load, trace_for};
-use deeppower_core::{DeepPowerGovernor, Mode};
-use deeppower_simd_server::{FreqPlan, RunOptions, Server, ServerConfig, SimResult, MILLISECOND};
-use deeppower_workload::{trace_arrivals, App, AppSpec};
-
-struct Row {
-    name: &'static str,
-    res: SimResult,
-}
+use deeppower_bench::{default_trained_policy, Scale};
+use deeppower_core::train::default_peak_load;
+use deeppower_harness::{grid, run_grid, GovernorSpec, JobResult, WorkloadKind};
+use deeppower_simd_server::MILLISECOND;
+use deeppower_workload::{App, AppSpec};
 
 fn main() {
     let scale = Scale::from_env();
     println!(
         "# Fig. 7 — main results ({} s test trace per app{})\n",
         scale.eval_s,
-        if scale.full { ", full scale" } else { ", reduced scale; DEEPPOWER_FULL=1 for paper scale" }
+        if scale.full {
+            ", full scale"
+        } else {
+            ", reduced scale; DEEPPOWER_FULL=1 for paper scale"
+        }
     );
 
-    let mut all_ok = true;
+    // Training is the only serial part (policies are cached across runs).
+    let mut jobs = Vec::new();
     for app in App::ALL {
-        let spec = AppSpec::get(app);
-        let server = Server::new(ServerConfig::paper_default(spec.n_threads));
-        let trace = trace_for(&spec, default_peak_load(app), scale.eval_s, 999);
-        let arrivals = trace_arrivals(&spec, &trace, 4242);
-        let profile = collect_profile(&spec, 0.5, if scale.full { 10 } else { 3 }, 77);
-        let opts = RunOptions::default();
+        let policy = default_trained_policy(app, scale);
+        jobs.extend(grid(
+            &[app],
+            &[
+                GovernorSpec::MaxFreq,
+                GovernorSpec::Retail,
+                GovernorSpec::Gemini,
+                GovernorSpec::DeepPower(policy),
+            ],
+            &[999],
+            default_peak_load(app),
+            scale.eval_s,
+            WorkloadKind::Diurnal,
+        ));
+    }
+    let results = run_grid(&jobs, 0);
 
-        let mut maxf = max_freq_governor();
-        let base = server.run(&arrivals, &mut maxf, opts);
-
-        let mut retail = RetailGovernor::train(
-            &profile,
-            FreqPlan::xeon_gold_5218r(),
-            RetailConfig::default(),
-        );
-        let r_retail = server.run(&arrivals, &mut retail, opts);
-
-        let mut gemini = GeminiGovernor::train(
-            &profile,
-            FreqPlan::xeon_gold_5218r(),
-            spec.n_threads,
-            GeminiConfig::default(),
-            5,
-        );
-        let r_gemini = server.run(&arrivals, &mut gemini, opts);
-
-        let policy = trained_policy(app, scale, 11);
-        let mut agent = policy.build_agent();
-        let mut dp = DeepPowerGovernor::new(&mut agent, policy.deeppower, Mode::Eval);
-        let r_dp = server.run(
-            &arrivals,
-            &mut dp,
-            RunOptions { tick_ns: policy.deeppower.short_time, ..Default::default() },
-        );
-
-        let rows = [
-            Row { name: "baseline", res: base },
-            Row { name: "retail", res: r_retail },
-            Row { name: "gemini", res: r_gemini },
-            Row { name: "deeppower", res: r_dp },
-        ];
-        let base_p = rows[0].res.avg_power_w;
+    let mut all_ok = true;
+    for (row, app) in App::ALL.iter().enumerate() {
+        let spec = AppSpec::get(*app);
+        let rows: &[JobResult] = &results[row * 4..row * 4 + 4];
+        let base_p = rows[0].avg_power_w;
 
         println!(
             "## {} (SLA {} ms, {} threads, {} requests)",
             spec.name,
             spec.sla / MILLISECOND,
             spec.n_threads,
-            arrivals.len()
+            rows[0].requests
         );
         println!(
             "{:<11} {:>9} {:>8} | {:>10} {:>10} | {:>10} {:>9}",
             "policy", "power(W)", "saving%", "mean(ms)", "p99(ms)", "mean/tail", "timeout%"
         );
-        for row in &rows {
-            let s = &row.res.stats;
+        for r in rows {
             println!(
                 "{:<11} {:>9.1} {:>7.1}% | {:>10.3} {:>10.2} | {:>10.2} {:>8.2}%",
-                row.name,
-                row.res.avg_power_w,
-                100.0 * (1.0 - row.res.avg_power_w / base_p),
-                s.mean_ns / MILLISECOND as f64,
-                s.p99_ns as f64 / MILLISECOND as f64,
-                s.mean_tail_ratio(),
-                s.timeout_rate() * 100.0,
+                r.governor,
+                r.avg_power_w,
+                100.0 * (1.0 - r.avg_power_w / base_p),
+                r.mean_ms,
+                r.p99_ms,
+                if r.p99_ms == 0.0 {
+                    0.0
+                } else {
+                    r.mean_ms / r.p99_ms
+                },
+                r.timeout_rate * 100.0,
             );
         }
 
         // ---- shape checks ----
-        let dp = &rows[3].res;
-        let retail = &rows[1].res;
-        let gemini = &rows[2].res;
+        let (retail, gemini, dp) = (&rows[1], &rows[2], &rows[3]);
         let mut notes = Vec::new();
         if dp.avg_power_w >= base_p {
             notes.push("DeepPower saved no power vs baseline".to_string());
@@ -122,26 +104,20 @@ fn main() {
         // constant-frequency control is close to energy-optimal, so
         // DeepPower matches rather than beats Gemini on power; it must
         // still win on QoS (lowest timeout rate).
-        let tol = if app == App::ImgDnn { 1.10 } else { 1.03 };
+        let tol = if *app == App::ImgDnn { 1.10 } else { 1.03 };
         if dp.avg_power_w > best_prior * tol {
             notes.push(format!(
                 "DeepPower ({:.1} W) notably above best prior ({best_prior:.1} W)",
                 dp.avg_power_w
             ));
         }
-        if app == App::ImgDnn
-            && dp.stats.timeout_rate()
-                > retail.stats.timeout_rate().min(gemini.stats.timeout_rate())
-        {
+        if *app == App::ImgDnn && dp.timeout_rate > retail.timeout_rate.min(gemini.timeout_rate) {
             notes.push("DeepPower should at least win on QoS for Img-dnn".into());
         }
-        if dp.stats.p99_ns as f64 > spec.sla as f64 * 1.05 {
-            notes.push(format!(
-                "DeepPower p99 {:.2} ms violates SLA",
-                dp.stats.p99_ns as f64 / MILLISECOND as f64
-            ));
+        if dp.p99_ms > dp.sla_ms * 1.05 {
+            notes.push(format!("DeepPower p99 {:.2} ms violates SLA", dp.p99_ms));
         }
-        if app == App::Masstree && gemini.stats.p99_ns <= spec.sla {
+        if *app == App::Masstree && gemini.p99_ms <= gemini.sla_ms {
             notes.push("expected Gemini SLA violation on Masstree did not occur".into());
         }
         if notes.is_empty() {
@@ -154,6 +130,9 @@ fn main() {
             println!();
         }
     }
-    assert!(all_ok, "one or more Fig. 7 shape checks failed — see warnings above");
+    assert!(
+        all_ok,
+        "one or more Fig. 7 shape checks failed — see warnings above"
+    );
     println!("[shape OK] Fig. 7 reproduced: DeepPower saves the most power while holding the SLA");
 }

@@ -9,7 +9,7 @@
 //!   BaseFreq at a moderate level";
 //! * the mean frequency rises and falls with load.
 
-use deeppower_bench::{downsample, sparkline, trained_policy, Scale};
+use deeppower_bench::{default_trained_policy, downsample, sparkline, Scale};
 use deeppower_core::evaluate;
 use deeppower_simd_server::TraceConfig;
 use deeppower_workload::App;
@@ -26,7 +26,7 @@ fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 
 fn main() {
     let scale = Scale::from_env();
-    let policy = trained_policy(App::Xapian, scale, 11);
+    let policy = default_trained_policy(App::Xapian, scale);
     let eval = evaluate(
         &policy,
         deeppower_core::train::default_peak_load(App::Xapian),
@@ -43,7 +43,10 @@ fn main() {
     let coef: Vec<f64> = log.iter().map(|l| l.scaling_coef as f64).collect();
     let freq: Vec<f64> = log.iter().map(|l| l.avg_freq_mhz).collect();
 
-    println!("# Fig. 8 — DeepPower running Xapian for {} s (per-second samples)\n", scale.eval_s);
+    println!(
+        "# Fig. 8 — DeepPower running Xapian for {} s (per-second samples)\n",
+        scale.eval_s
+    );
     let w = 90;
     println!("RPS         |{}|", sparkline(&downsample(&rps, w)));
     println!("power (W)   |{}|", sparkline(&downsample(&power, w)));
@@ -54,7 +57,9 @@ fn main() {
     let c_power = pearson(&rps, &power);
     let c_freq = pearson(&rps, &freq);
     let c_coef = pearson(&rps, &coef);
-    println!("\ncorrelation with RPS: power {c_power:.2}, avg-freq {c_freq:.2}, ScalingCoef {c_coef:.2}");
+    println!(
+        "\ncorrelation with RPS: power {c_power:.2}, avg-freq {c_freq:.2}, ScalingCoef {c_coef:.2}"
+    );
     println!(
         "action ranges: BaseFreq [{:.2}, {:.2}], ScalingCoef [{:.2}, {:.2}]",
         base.iter().cloned().fold(f64::INFINITY, f64::min),
@@ -71,6 +76,9 @@ fn main() {
 
     // Shape checks.
     assert!(c_power > 0.5, "power should track RPS (corr {c_power:.2})");
-    assert!(c_freq > 0.3, "mean frequency should track RPS (corr {c_freq:.2})");
+    assert!(
+        c_freq > 0.3,
+        "mean frequency should track RPS (corr {c_freq:.2})"
+    );
     println!("\n[shape OK] power and frequency track the diurnal load; actions adapt per second");
 }

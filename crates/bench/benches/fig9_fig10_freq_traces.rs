@@ -16,12 +16,10 @@
 use deeppower_baselines::{
     collect_profile, GeminiConfig, GeminiGovernor, RetailConfig, RetailGovernor,
 };
-use deeppower_bench::{downsample, sparkline, trained_policy, Scale};
+use deeppower_bench::{default_trained_policy, downsample, sparkline, Scale};
 use deeppower_core::train::{default_peak_load, trace_for};
 use deeppower_core::{DeepPowerGovernor, Mode};
-use deeppower_simd_server::{
-    FreqPlan, RunOptions, Server, ServerConfig, SimResult, TraceConfig,
-};
+use deeppower_simd_server::{FreqPlan, RunOptions, Server, ServerConfig, SimResult, TraceConfig};
 use deeppower_workload::{trace_arrivals, App, AppSpec};
 
 struct PolicyTrace {
@@ -66,9 +64,12 @@ fn run_app(app: App, window_s: u64, scale: Scale) -> Vec<PolicyTrace> {
     let trace = trace_for(&spec, default_peak_load(app), window_s, 999);
     let arrivals = trace_arrivals(&spec, &trace, 4242);
     let profile = collect_profile(&spec, 0.5, 3, 77);
-    let opts = RunOptions { trace: TraceConfig::millisecond(), ..Default::default() };
+    let opts = RunOptions {
+        trace: TraceConfig::millisecond(),
+        ..Default::default()
+    };
 
-    let policy = trained_policy(app, scale, 11);
+    let policy = default_trained_policy(app, scale);
     let mut agent = policy.build_agent();
     let mut dp = DeepPowerGovernor::new(&mut agent, policy.deeppower, Mode::Eval);
     let r_dp = server.run(
@@ -80,8 +81,11 @@ fn run_app(app: App, window_s: u64, scale: Scale) -> Vec<PolicyTrace> {
         },
     );
 
-    let mut retail =
-        RetailGovernor::train(&profile, FreqPlan::xeon_gold_5218r(), RetailConfig::default());
+    let mut retail = RetailGovernor::train(
+        &profile,
+        FreqPlan::xeon_gold_5218r(),
+        RetailConfig::default(),
+    );
     let r_retail = server.run(&arrivals, &mut retail, opts);
 
     let mut gemini = GeminiGovernor::train(
@@ -104,7 +108,10 @@ fn main() {
     let scale = Scale::from_env();
     for (fig, app, window_s) in [("Fig. 9", App::Xapian, 10), ("Fig. 10", App::Sphinx, 20)] {
         let spec = AppSpec::get(app);
-        println!("# {fig} — frequency traces, {} ({window_s} s window)\n", spec.name);
+        println!(
+            "# {fig} — frequency traces, {} ({window_s} s window)\n",
+            spec.name
+        );
         let rows = run_app(app, window_s, scale);
         println!(
             "{:<11} {:>8} {:>12} {:>10} {:>11}",

@@ -72,9 +72,19 @@ fn main() {
     // 4. Per-core frequency command: one full thread-controller pass over
     //    20 cores, and the per-core share.
     let plan = FreqPlan::xeon_gold_5218r();
-    let running = RunningView { arrival: 0, started: 0, features: &[], sla: 8_000_000 };
-    let cores: Vec<CoreView<'_>> =
-        (0..20).map(|_| CoreView { freq_mhz: 1500, running: Some(running), sleeping: None }).collect();
+    let running = RunningView {
+        arrival: 0,
+        started: 0,
+        features: &[],
+        sla: 8_000_000,
+    };
+    let cores: Vec<CoreView<'_>> = (0..20)
+        .map(|_| CoreView {
+            freq_mhz: 1500,
+            running: Some(running),
+            sleeping: None,
+        })
+        .collect();
     let queue = VecDeque::new();
     let view = ServerView {
         now: 4_000_000,
@@ -92,8 +102,18 @@ fn main() {
     });
 
     println!("{:<38} {:>14} {:>14}", "metric", "paper", "this repo");
-    println!("{:<38} {:>14} {:>13.3}ms", "DDPG update, batch 64", "13 ms", t_update / 1e6);
-    println!("{:<38} {:>14} {:>13.3}us", "action generation", "< 1 ms", t_act / 1e3);
+    println!(
+        "{:<38} {:>14} {:>13.3}ms",
+        "DDPG update, batch 64",
+        "13 ms",
+        t_update / 1e6
+    );
+    println!(
+        "{:<38} {:>14} {:>13.3}us",
+        "action generation",
+        "< 1 ms",
+        t_act / 1e3
+    );
     println!("{:<38} {:>14} {:>14}", "actor parameters", "2096", params);
     println!(
         "{:<38} {:>14} {:>13.3}us",
@@ -109,9 +129,15 @@ fn main() {
     );
 
     // Envelope checks (the paper's numbers are upper bounds we must beat).
-    assert!(t_update / 1e6 < 13.0, "DDPG update slower than the paper's 13 ms");
+    assert!(
+        t_update / 1e6 < 13.0,
+        "DDPG update slower than the paper's 13 ms"
+    );
     assert!(t_act / 1e3 < 1_000.0, "action generation above 1 ms");
-    assert!(t_scale_all / 20.0 < 10_000.0, "per-core frequency scaling above 10 us");
+    assert!(
+        t_scale_all / 20.0 < 10_000.0,
+        "per-core frequency scaling above 10 us"
+    );
     assert!(
         (1_000..4_000).contains(&params),
         "actor should be a ~2k-parameter network, got {params}"

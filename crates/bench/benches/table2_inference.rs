@@ -30,10 +30,27 @@ fn time_ns(mut f: impl FnMut()) -> f64 {
 fn main() {
     let state = [0.3f32, 0.1, 0.7, 0.2, 0.0, 0.4, 0.9, 0.5];
 
-    let dqn = Dqn::new(DqnConfig { state_dim: 8, n_actions: 16, ..Default::default() });
-    let ddqn = Ddqn::new(DqnConfig { state_dim: 8, n_actions: 16, ..Default::default() });
-    let ddpg = Ddpg::new(DdpgConfig { state_dim: 8, action_dim: 2, ..Default::default() });
-    let mut sac = Sac::new(SacConfig { state_dim: 8, action_dim: 2, warmup: 0, ..Default::default() });
+    let dqn = Dqn::new(DqnConfig {
+        state_dim: 8,
+        n_actions: 16,
+        ..Default::default()
+    });
+    let ddqn = Ddqn::new(DqnConfig {
+        state_dim: 8,
+        n_actions: 16,
+        ..Default::default()
+    });
+    let ddpg = Ddpg::new(DdpgConfig {
+        state_dim: 8,
+        action_dim: 2,
+        ..Default::default()
+    });
+    let mut sac = Sac::new(SacConfig {
+        state_dim: 8,
+        action_dim: 2,
+        warmup: 0,
+        ..Default::default()
+    });
 
     let t_dqn = time_ns(|| {
         black_box(dqn.act(black_box(&state)));
@@ -51,7 +68,10 @@ fn main() {
     });
 
     println!("# Table 2 — inference time of each DRL algorithm\n");
-    println!("{:<22} {:>10} {:>10} {:>10} {:>10}", "", "DQN", "DDQN", "DDPG", "SAC");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "", "DQN", "DDQN", "DDPG", "SAC"
+    );
     println!(
         "{:<22} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
         "paper (us, PyTorch)", 125.0, 140.0, 231.0, 472.0

@@ -11,11 +11,15 @@
 //!
 //! The reproduction claim: p99 grows with load for every app, and the
 //! 20 %-load column matches the calibrated service-time models.
+//!
+//! All 15 (app × load) cells are independent `JobSpec`s executed in
+//! parallel by the harness; each cell's arrival stream depends only on
+//! its own seed, so the table is identical at any thread count.
 
 use deeppower_bench::Scale;
-use deeppower_simd_server::{RunOptions, Server, ServerConfig, MILLISECOND};
-use deeppower_simd_server::SECOND;
-use deeppower_workload::{constant_rate_arrivals, App, AppSpec};
+use deeppower_harness::{run_grid, GovernorSpec, JobSpec, WorkloadKind};
+use deeppower_simd_server::MILLISECOND;
+use deeppower_workload::{App, AppSpec};
 
 fn main() {
     let scale = Scale::from_env();
@@ -29,6 +33,21 @@ fn main() {
         ("img-dnn", [2.302, 2.295, 2.476]),
     ];
 
+    let jobs: Vec<JobSpec> = App::ALL
+        .iter()
+        .flat_map(|&app| {
+            loads.iter().enumerate().map(move |(i, &load)| JobSpec {
+                app,
+                governor: GovernorSpec::MaxFreq,
+                seed: 7 + i as u64,
+                peak_load: load,
+                duration_s: secs,
+                workload: WorkloadKind::Constant,
+            })
+        })
+        .collect();
+    let results = run_grid(&jobs, 0);
+
     println!("# Table 3 — p99 latency (ms) at 20/50/70 % load, max frequency\n");
     println!(
         "{:<10} {:>9} {:>22} {:>22} {:>22}",
@@ -36,18 +55,12 @@ fn main() {
     );
 
     for (row, (name, paper_p99)) in paper.iter().enumerate() {
-        let app = App::ALL[row];
-        let spec = AppSpec::get(app);
+        let spec = AppSpec::get(App::ALL[row]);
         assert_eq!(spec.name, *name);
-        let server = Server::new(ServerConfig::paper_default(spec.n_threads));
-        let mut measured = [0.0f64; 3];
-        for (i, &load) in loads.iter().enumerate() {
-            let arrivals =
-                constant_rate_arrivals(&spec, spec.rps_for_load(load), secs * SECOND, 7 + i as u64);
-            let mut gov = deeppower_baselines::max_freq_governor();
-            let res = server.run(&arrivals, &mut gov, RunOptions::default());
-            measured[i] = res.stats.p99_ns as f64 / MILLISECOND as f64;
-        }
+        let measured: Vec<f64> = results[row * loads.len()..(row + 1) * loads.len()]
+            .iter()
+            .map(|r| r.p99_ms)
+            .collect();
         println!(
             "{:<10} {:>9} {:>10.2}/{:<11.2} {:>10.2}/{:<11.2} {:>10.2}/{:<11.2}",
             spec.name,

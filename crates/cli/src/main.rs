@@ -3,26 +3,31 @@
 //! ```text
 //! deeppower train   --app xapian [--episodes N] [--episode-s S] [--seed K] -o policy.json
 //! deeppower eval    --policy policy.json [--duration-s S] [--peak-load F] [--seed K]
-//! deeppower compare --app xapian [--duration-s S] [--seed K]
+//! deeppower compare --app xapian [--duration-s S] [--seed K] [--threads N]
+//! deeppower grid    --apps a,b --governors g1,g2 --seeds 1,2 [--threads N] [-o report.json]
 //! deeppower trace   --period-s S --base-rps R [--seed K] -o trace.csv
 //! ```
 //!
 //! Argument parsing is hand-rolled (no CLI dependency is in the
 //! sanctioned offline set); every flag has a sane default.
+//!
+//! `compare` and `grid` run on the `deeppower-harness` engine: every
+//! (app, governor, seed) cell is an independent job executed by a
+//! work-stealing thread pool, with results deterministic in the job
+//! specs regardless of `--threads`.
 
-use deeppower_baselines::{
-    collect_profile, max_freq_governor, GeminiConfig, GeminiGovernor, RetailConfig,
-    RetailGovernor,
+use deeppower_core::train::default_peak_load;
+use deeppower_core::{train, TrainConfig, TrainedPolicy};
+use deeppower_harness::{
+    calibrated_train_seed, grid, run_grid, summarize, GovernorSpec, WorkloadKind,
 };
-use deeppower_core::train::{default_peak_load, trace_for};
-use deeppower_core::{evaluate, train, DeepPowerGovernor, Mode, TrainConfig, TrainedPolicy};
-use deeppower_simd_server::{
-    FreqPlan, RunOptions, Server, ServerConfig, TraceConfig, MILLISECOND,
-};
-use deeppower_workload::{save_trace_csv, trace_arrivals, App, AppSpec, DiurnalConfig, DiurnalTrace};
+use deeppower_simd_server::{TraceConfig, MILLISECOND};
+use deeppower_workload::{save_trace_csv, App, AppSpec, DiurnalConfig, DiurnalTrace};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+use deeppower_core::evaluate;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +46,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&flags),
         "eval" => cmd_eval(&flags),
         "compare" => cmd_compare(&flags),
+        "grid" => cmd_grid(&flags),
         "trace" => cmd_trace(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -63,10 +69,14 @@ deeppower — DRL power management for latency-critical applications (ICPP'23 re
 USAGE:
   deeppower train   --app <name> [--episodes N] [--episode-s S] [--peak-load F] [--seed K] [-o FILE]
   deeppower eval    --policy FILE [--duration-s S] [--peak-load F] [--seed K]
-  deeppower compare --app <name> [--duration-s S] [--seed K]
+  deeppower compare --app <name> [--duration-s S] [--seed K] [--train-seed K] [--threads N]
+  deeppower grid    --apps a,b [--governors LIST] [--seeds LIST] [--duration-s S]
+                    [--peak-load F] [--workload diurnal|constant] [--threads N] [-o FILE]
   deeppower trace   [--period-s S] [--base-rps R] [--seed K] -o FILE
 
-APPS: xapian | masstree | moses | sphinx | img-dnn";
+APPS:      xapian | masstree | moses | sphinx | img-dnn
+GOVERNORS: baseline | fixed-<mhz> | thread-controller | retail | gemini | deeppower
+           (`deeppower` trains an agent per (app, seed) cell; --threads 0 = all cores)";
 
 type Flags = HashMap<String, String>;
 
@@ -79,7 +89,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             s if s.starts_with("--") => s.trim_start_matches("--").to_string(),
             other => return Err(format!("unexpected argument `{other}`")),
         };
-        let val = it.next().ok_or_else(|| format!("flag `{a}` needs a value"))?;
+        let val = it
+            .next()
+            .ok_or_else(|| format!("flag `{a}` needs a value"))?;
         out.insert(key, val.clone());
     }
     Ok(out)
@@ -92,9 +104,8 @@ fn get<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> Result<T, 
     }
 }
 
-fn parse_app(flags: &Flags) -> Result<App, String> {
-    let name = flags.get("app").ok_or("missing --app")?;
-    match name.as_str() {
+fn app_by_name(name: &str) -> Result<App, String> {
+    match name {
         "xapian" => Ok(App::Xapian),
         "masstree" => Ok(App::Masstree),
         "moses" => Ok(App::Moses),
@@ -102,6 +113,43 @@ fn parse_app(flags: &Flags) -> Result<App, String> {
         "img-dnn" | "imgdnn" => Ok(App::ImgDnn),
         other => Err(format!("unknown app `{other}`")),
     }
+}
+
+fn parse_app(flags: &Flags) -> Result<App, String> {
+    app_by_name(flags.get("app").ok_or("missing --app")?)
+}
+
+/// Resolve a governor name to a [`GovernorSpec`]. `deeppower` expands to
+/// `DeepPowerTrain`, so each grid cell trains its own agent from the
+/// cell's seed — self-contained and deterministic, no policy file needed.
+fn governor_by_name(name: &str, train_cfg: &TrainConfig) -> Result<GovernorSpec, String> {
+    match name {
+        "baseline" | "max-freq" => Ok(GovernorSpec::MaxFreq),
+        "thread-controller" => Ok(GovernorSpec::ThreadController(0.3, 1.0)),
+        "retail" => Ok(GovernorSpec::Retail),
+        "gemini" => Ok(GovernorSpec::Gemini),
+        "deeppower" => Ok(GovernorSpec::DeepPowerTrain(*train_cfg)),
+        other => match other.strip_prefix("fixed-").and_then(|m| m.parse().ok()) {
+            Some(mhz) => Ok(GovernorSpec::FixedMhz(mhz)),
+            None => Err(format!("unknown governor `{other}`")),
+        },
+    }
+}
+
+fn parse_list<T>(
+    flags: &Flags,
+    key: &str,
+    default: &str,
+    parse: impl Fn(&str) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .unwrap_or(default)
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(parse)
+        .collect()
 }
 
 fn cmd_train(flags: &Flags) -> Result<(), String> {
@@ -149,7 +197,10 @@ fn cmd_eval(flags: &Flags) -> Result<(), String> {
     let seed = get(flags, "seed", 999u64)?;
 
     let spec = AppSpec::get(policy.app);
-    println!("evaluating {:?} policy: {duration_s} s at peak load {peak:.2}", policy.app);
+    println!(
+        "evaluating {:?} policy: {duration_s} s at peak load {peak:.2}",
+        policy.app
+    );
     let out = evaluate(&policy, peak, duration_s, seed, TraceConfig::default());
     let s = &out.sim.stats;
     println!(
@@ -168,60 +219,125 @@ fn cmd_compare(flags: &Flags) -> Result<(), String> {
     let app = parse_app(flags)?;
     let duration_s = get(flags, "duration-s", 60u64)?;
     let seed = get(flags, "seed", 999u64)?;
-    let spec = AppSpec::get(app);
-    let server = Server::new(ServerConfig::paper_default(spec.n_threads));
-    let trace = trace_for(&spec, default_peak_load(app), duration_s, seed);
-    let arrivals = trace_arrivals(&spec, &trace, seed.wrapping_mul(41) + 3);
-    let profile = collect_profile(&spec, 0.5, 3, 77);
-    let opts = RunOptions::default();
+    let threads = get(flags, "threads", 0usize)?;
+    let train_seed = get(flags, "train-seed", calibrated_train_seed(app))?;
 
-    println!("comparing policies on {:?} ({} requests over {duration_s} s)", app, arrivals.len());
-    let mut maxf = max_freq_governor();
-    let base = server.run(&arrivals, &mut maxf, opts);
-    let mut retail =
-        RetailGovernor::train(&profile, FreqPlan::xeon_gold_5218r(), RetailConfig::default());
-    let r_retail = server.run(&arrivals, &mut retail, opts);
-    let mut gemini = GeminiGovernor::train(
-        &profile,
-        FreqPlan::xeon_gold_5218r(),
-        spec.n_threads,
-        GeminiConfig::default(),
-        5,
-    );
-    let r_gemini = server.run(&arrivals, &mut gemini, opts);
-
-    println!("training DeepPower (8 episodes x 120 s)...");
+    println!("training DeepPower (8 episodes x 120 s, seed {train_seed})...");
     let mut cfg = TrainConfig::for_app(app);
     cfg.episodes = 8;
     cfg.episode_s = 120;
-    cfg.seed = 11;
+    cfg.seed = train_seed;
     let (policy, _) = train(&cfg);
-    let mut agent = policy.build_agent();
-    let mut dp = DeepPowerGovernor::new(&mut agent, policy.deeppower, Mode::Eval);
-    let r_dp = server.run(
-        &arrivals,
-        &mut dp,
-        RunOptions { tick_ns: policy.deeppower.short_time, ..Default::default() },
-    );
 
+    // All four rollouts are independent jobs on the same workload seed —
+    // the harness fans them out across the thread pool.
+    let governors = [
+        GovernorSpec::MaxFreq,
+        GovernorSpec::Retail,
+        GovernorSpec::Gemini,
+        GovernorSpec::DeepPower(policy),
+    ];
+    let jobs = grid(
+        &[app],
+        &governors,
+        &[seed],
+        default_peak_load(app),
+        duration_s,
+        WorkloadKind::Diurnal,
+    );
+    println!(
+        "comparing {} policies on {app:?} over {duration_s} s",
+        jobs.len()
+    );
+    let results = run_grid(&jobs, threads);
+
+    let base_power = results[0].avg_power_w;
     println!(
         "\n{:<11} {:>9} {:>8} {:>10} {:>9}",
         "policy", "power(W)", "saving%", "p99(ms)", "timeout%"
     );
-    for (name, r) in [
-        ("baseline", &base),
-        ("retail", &r_retail),
-        ("gemini", &r_gemini),
-        ("deeppower", &r_dp),
-    ] {
+    for r in &results {
         println!(
             "{:<11} {:>9.1} {:>7.1}% {:>10.2} {:>8.2}%",
-            name,
+            r.governor,
             r.avg_power_w,
-            100.0 * (1.0 - r.avg_power_w / base.avg_power_w),
-            r.stats.p99_ns as f64 / MILLISECOND as f64,
-            r.stats.timeout_rate() * 100.0,
+            100.0 * (1.0 - r.avg_power_w / base_power),
+            r.p99_ms,
+            r.timeout_rate * 100.0,
         );
+    }
+    Ok(())
+}
+
+fn cmd_grid(flags: &Flags) -> Result<(), String> {
+    let apps = parse_list(flags, "apps", "xapian,masstree", app_by_name)?;
+    let seeds = parse_list(flags, "seeds", "1,2,3", |s| {
+        s.parse().map_err(|_| format!("bad seed `{s}`"))
+    })?;
+    let duration_s = get(flags, "duration-s", 60u64)?;
+    let peak_load = get(flags, "peak-load", 0.7f64)?;
+    let threads = get(flags, "threads", 0usize)?;
+    let workload = match flags
+        .get("workload")
+        .map(String::as_str)
+        .unwrap_or("diurnal")
+    {
+        "diurnal" => WorkloadKind::Diurnal,
+        "constant" => WorkloadKind::Constant,
+        other => return Err(format!("unknown workload `{other}`")),
+    };
+    if apps.is_empty() {
+        return Err("--apps needs at least one app".into());
+    }
+    if seeds.is_empty() {
+        return Err("--seeds needs at least one seed".into());
+    }
+    // One shared training recipe; each DeepPower cell re-seeds it from its
+    // own JobSpec, so cells stay independent.
+    let train_cfg = TrainConfig::for_app(apps[0]);
+    let governors = parse_list(flags, "governors", "baseline,retail,gemini", |s| {
+        governor_by_name(s, &train_cfg)
+    })?;
+    if governors.is_empty() {
+        return Err("--governors needs at least one governor".into());
+    }
+
+    let jobs = grid(&apps, &governors, &seeds, peak_load, duration_s, workload);
+    println!(
+        "running {} jobs ({} apps x {} governors x {} seeds), {} threads",
+        jobs.len(),
+        apps.len(),
+        governors.len(),
+        seeds.len(),
+        if threads == 0 {
+            "all".to_string()
+        } else {
+            threads.to_string()
+        }
+    );
+    let t0 = std::time::Instant::now();
+    let report = summarize(run_grid(&jobs, threads));
+    println!("finished in {:.1} s", t0.elapsed().as_secs_f64());
+
+    println!(
+        "\n{:<10} {:<17} {:>5} {:>9} {:>10} {:>10} {:>9}",
+        "app", "governor", "runs", "power(W)", "mean(ms)", "p99(ms)", "timeout%"
+    );
+    for g in &report.groups {
+        println!(
+            "{:<10} {:<17} {:>5} {:>9.1} {:>10.3} {:>10.2} {:>8.2}%",
+            g.app,
+            g.governor,
+            g.runs,
+            g.avg_power_w,
+            g.mean_ms,
+            g.p99_ms,
+            g.timeout_rate * 100.0,
+        );
+    }
+    if let Some(out) = flags.get("out") {
+        std::fs::write(out, report.to_json()).map_err(|e| e.to_string())?;
+        println!("\nreport written to {out}");
     }
     Ok(())
 }
@@ -231,7 +347,11 @@ fn cmd_trace(flags: &Flags) -> Result<(), String> {
     let base_rps = get(flags, "base-rps", 1000.0f64)?;
     let seed = get(flags, "seed", 0u64)?;
     let out: PathBuf = get(flags, "out", PathBuf::from("trace.csv"))?;
-    let cfg = DiurnalConfig { period_s, base_rps, ..Default::default() };
+    let cfg = DiurnalConfig {
+        period_s,
+        base_rps,
+        ..Default::default()
+    };
     let trace = DiurnalTrace::generate(&cfg, seed);
     save_trace_csv(&trace, Path::new(&out)).map_err(|e| e.to_string())?;
     println!(

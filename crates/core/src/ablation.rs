@@ -14,7 +14,7 @@ use crate::governor::Mode;
 use crate::reward::RewardCalculator;
 use crate::state::{StateObserver, STATE_DIM};
 use deeppower_drl::{Ddpg, Transition};
-use deeppower_simd_server::{FreqCommands, FreqPlan, Governor, ServerView};
+use deeppower_simd_server::{FreqCommands, FreqPlan, Governor, Nanos, ServerView};
 
 /// DRL-only control: one frequency per DRL interval, no bottom layer.
 pub struct FlatDrlGovernor<'a> {
@@ -27,6 +27,9 @@ pub struct FlatDrlGovernor<'a> {
     ticks_per_long: u64,
     tick_count: u64,
     pending: Option<([f32; STATE_DIM], Vec<f32>)>,
+    /// Start of the open DRL window (`None` before the first step) — same
+    /// elapsed-interval accounting as [`crate::DeepPowerGovernor`].
+    last_step_t: Option<Nanos>,
     current_mhz: u32,
     pub updates_done: u64,
 }
@@ -43,6 +46,7 @@ impl<'a> FlatDrlGovernor<'a> {
             ticks_per_long: cfg.ticks_per_long(),
             tick_count: 0,
             pending: None,
+            last_step_t: None,
             current_mhz,
             updates_done: 0,
             plan,
@@ -53,28 +57,7 @@ impl<'a> FlatDrlGovernor<'a> {
 
     fn drl_step(&mut self, view: &ServerView<'_>) {
         let next_state = self.observer.observe(view);
-        let (r, _) = self.reward.step(
-            view.energy_uj,
-            view.total_timeouts,
-            view.total_arrived,
-            view.queue.len(),
-            self.cfg.long_time,
-        );
-        if let Some((state, action)) = self.pending.take() {
-            self.agent.observe(Transition {
-                state: state.to_vec(),
-                action,
-                reward: r as f32,
-                next_state: next_state.to_vec(),
-                done: false,
-            });
-            if self.mode == Mode::Train && self.agent.ready() {
-                for _ in 0..self.cfg.updates_per_step.max(1) {
-                    self.agent.update();
-                    self.updates_done += 1;
-                }
-            }
-        }
+        self.close_window(view, &next_state, false);
         let action = match self.mode {
             Mode::Train => self.agent.act_explore(&next_state),
             Mode::Eval => self.agent.act(&next_state),
@@ -83,16 +66,64 @@ impl<'a> FlatDrlGovernor<'a> {
         // so the same 2-output actor architecture is reused.
         self.current_mhz = self.plan.interpolate(action[0]);
         self.pending = Some((next_state, action));
+        self.last_step_t = Some(view.now);
+    }
+
+    /// Same window accounting as `DeepPowerGovernor::close_window`: the
+    /// first step only latches counters; later steps reward over the
+    /// actually-elapsed interval and emit the pending transition.
+    fn close_window(&mut self, view: &ServerView<'_>, next_state: &[f32; STATE_DIM], done: bool) {
+        let Some(t0) = self.last_step_t else {
+            self.reward.latch(
+                view.energy_uj,
+                view.total_timeouts,
+                view.total_arrived,
+                view.queue.len(),
+            );
+            return;
+        };
+        let elapsed = view.now.saturating_sub(t0).max(1);
+        let (r, _) = self.reward.step(
+            view.energy_uj,
+            view.total_timeouts,
+            view.total_arrived,
+            view.queue.len(),
+            elapsed,
+        );
+        if let Some((state, action)) = self.pending.take() {
+            self.agent.observe(Transition {
+                state: state.to_vec(),
+                action,
+                reward: r as f32,
+                next_state: next_state.to_vec(),
+                done,
+            });
+            if self.mode == Mode::Train && self.agent.ready() {
+                for _ in 0..self.cfg.updates_per_step.max(1) {
+                    self.agent.update();
+                    self.updates_done += 1;
+                }
+            }
+        }
     }
 }
 
 impl Governor for FlatDrlGovernor<'_> {
     fn on_tick(&mut self, view: &ServerView<'_>, cmds: &mut FreqCommands) {
-        if self.tick_count % self.ticks_per_long == 0 {
+        if self.tick_count.is_multiple_of(self.ticks_per_long) {
             self.drl_step(view);
         }
         self.tick_count += 1;
         cmds.set_all(self.current_mhz);
+    }
+
+    fn on_run_end(&mut self, view: &ServerView<'_>) {
+        if self.pending.is_none() {
+            return;
+        }
+        let next_state = self.observer.observe(view);
+        self.close_window(view, &next_state, true);
+        self.last_step_t = Some(view.now);
     }
 
     fn name(&self) -> &str {
@@ -116,8 +147,10 @@ mod tests {
             seed: 2,
             ..Default::default()
         });
-        let mut cfg = DeepPowerConfig::default();
-        cfg.long_time = 50 * MILLISECOND;
+        let cfg = DeepPowerConfig {
+            long_time: 50 * MILLISECOND,
+            ..Default::default()
+        };
         let mut gov =
             FlatDrlGovernor::new(&mut agent, cfg, FreqPlan::xeon_gold_5218r(), Mode::Eval);
         let spec = AppSpec::get(App::Xapian);
@@ -154,8 +187,10 @@ mod tests {
             seed: 3,
             ..Default::default()
         });
-        let mut cfg = DeepPowerConfig::default();
-        cfg.long_time = 100 * MILLISECOND;
+        let cfg = DeepPowerConfig {
+            long_time: 100 * MILLISECOND,
+            ..Default::default()
+        };
         let mut gov =
             FlatDrlGovernor::new(&mut agent, cfg, FreqPlan::xeon_gold_5218r(), Mode::Train);
         let spec = AppSpec::get(App::Xapian);

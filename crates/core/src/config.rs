@@ -19,7 +19,11 @@ pub struct StateNorm {
 
 impl Default for StateNorm {
     fn default() -> Self {
-        Self { num_req_cap: 1000.0, queue_cap: 200.0, core_cap: 20.0 }
+        Self {
+            num_req_cap: 1000.0,
+            queue_cap: 200.0,
+            core_cap: 20.0,
+        }
     }
 }
 
@@ -67,15 +71,10 @@ impl DeepPowerConfig {
     /// service time of different applications" (§4.6). Long-service apps
     /// (Sphinx) use a coarser controller tick; caps follow the app's
     /// capacity.
-    pub fn for_app(
-        n_threads: usize,
-        capacity_rps: f64,
-        mean_service_ns: f64,
-    ) -> Self {
+    pub fn for_app(n_threads: usize, capacity_rps: f64, mean_service_ns: f64) -> Self {
         let mut cfg = Self::default();
         cfg.state_norm.core_cap = n_threads as f32;
-        cfg.state_norm.num_req_cap =
-            (capacity_rps * cfg.long_time as f64 / SECOND as f64) as f32;
+        cfg.state_norm.num_req_cap = (capacity_rps * cfg.long_time as f64 / SECOND as f64) as f32;
         cfg.state_norm.queue_cap = (cfg.state_norm.num_req_cap * 0.2).max(50.0);
         // Controller period ≈ service time / 5, clamped to [1 ms, 100 ms].
         let st = (mean_service_ns / 5.0) as Nanos;
@@ -135,14 +134,15 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let mut c = DeepPowerConfig::default();
-        c.long_time = c.short_time / 2;
+        let d = DeepPowerConfig::default();
+        let c = DeepPowerConfig {
+            long_time: d.short_time / 2,
+            ..d
+        };
         assert!(c.validate().is_err());
-        let mut c = DeepPowerConfig::default();
-        c.eta = 0.0;
+        let c = DeepPowerConfig { eta: 0.0, ..d };
         assert!(c.validate().is_err());
-        let mut c = DeepPowerConfig::default();
-        c.beta = -1.0;
+        let c = DeepPowerConfig { beta: -1.0, ..d };
         assert!(c.validate().is_err());
     }
 }

@@ -62,6 +62,11 @@ pub struct DeepPowerGovernor<'a> {
     tick_count: u64,
     /// `(state, action)` awaiting its outcome (next state + reward).
     pending: Option<([f32; STATE_DIM], Vec<f32>)>,
+    /// When the currently-open DRL window started (`None` before the
+    /// first step). Rewards and power telemetry are computed over the
+    /// *actually elapsed* interval, not the nominal `long_time` — the
+    /// two differ at the first step and at episode end.
+    last_step_t: Option<Nanos>,
     /// Per-step telemetry (Fig. 8).
     pub log: Vec<StepLog>,
     // Counters for the log's per-step deltas.
@@ -89,6 +94,7 @@ impl<'a> DeepPowerGovernor<'a> {
             ticks_per_long: cfg.ticks_per_long(),
             tick_count: 0,
             pending: None,
+            last_step_t: None,
             log: Vec::new(),
             prev_arrived: 0,
             prev_timeouts: 0,
@@ -106,12 +112,53 @@ impl<'a> DeepPowerGovernor<'a> {
 
     fn drl_step(&mut self, view: &ServerView<'_>) {
         let next_state = self.observer.observe(view);
+        let closed = self.close_window(view, &next_state, false);
+
+        let action = match self.mode {
+            Mode::Train => self.agent.act_explore(&next_state),
+            Mode::Eval => self.agent.act(&next_state),
+        };
+        self.controller.params = ControllerParams::from_action(&action);
+
+        if let Some((r, terms, elapsed)) = closed {
+            self.push_log(view, r, terms, elapsed);
+        }
+
+        self.pending = Some((next_state, self.action_vec()));
+        self.last_step_t = Some(view.now);
+    }
+
+    /// Close the currently open DRL window at `view.now`: compute the
+    /// reward over the *elapsed* interval, emit the pending transition
+    /// (terminal iff `done`), and run training updates. Returns `None` at
+    /// the very first step, where no window has elapsed yet — there the
+    /// monotone counters are merely latched so the next window measures a
+    /// real delta instead of averaging over a `long_time` that never ran.
+    fn close_window(
+        &mut self,
+        view: &ServerView<'_>,
+        next_state: &[f32; STATE_DIM],
+        done: bool,
+    ) -> Option<(f64, RewardTerms, Nanos)> {
+        let Some(t0) = self.last_step_t else {
+            self.reward.latch(
+                view.energy_uj,
+                view.total_timeouts,
+                view.total_arrived,
+                view.queue.len(),
+            );
+            self.prev_arrived = view.total_arrived;
+            self.prev_timeouts = view.total_timeouts;
+            self.prev_energy_uj = view.energy_uj;
+            return None;
+        };
+        let elapsed = view.now.saturating_sub(t0);
         let (r, terms) = self.reward.step(
             view.energy_uj,
             view.total_timeouts,
             view.total_arrived,
             view.queue.len(),
-            self.cfg.long_time,
+            elapsed.max(1),
         );
 
         if let Some((state, action)) = self.pending.take() {
@@ -120,7 +167,7 @@ impl<'a> DeepPowerGovernor<'a> {
                 action,
                 reward: r as f32,
                 next_state: next_state.to_vec(),
-                done: false,
+                done,
             });
             if self.mode == Mode::Train && self.agent.ready() {
                 for _ in 0..self.cfg.updates_per_step.max(1) {
@@ -129,18 +176,14 @@ impl<'a> DeepPowerGovernor<'a> {
                 }
             }
         }
+        Some((r, terms, elapsed))
+    }
 
-        let action = match self.mode {
-            Mode::Train => self.agent.act_explore(&next_state),
-            Mode::Eval => self.agent.act(&next_state),
-        };
-        self.controller.params = ControllerParams::from_action(&action);
-
-        // Telemetry.
+    fn push_log(&mut self, view: &ServerView<'_>, r: f64, terms: RewardTerms, elapsed: Nanos) {
         let num_req = view.total_arrived - self.prev_arrived;
         let timeouts = view.total_timeouts - self.prev_timeouts;
         let d_energy_j = (view.energy_uj - self.prev_energy_uj) as f64 * 1e-6;
-        let power_w = d_energy_j / (self.cfg.long_time as f64 * 1e-9);
+        let power_w = d_energy_j / (elapsed as f64 * 1e-9).max(1e-12);
         self.prev_arrived = view.total_arrived;
         self.prev_timeouts = view.total_timeouts;
         self.prev_energy_uj = view.energy_uj;
@@ -161,22 +204,40 @@ impl<'a> DeepPowerGovernor<'a> {
             reward: r,
             terms,
         });
-
-        self.pending = Some((next_state, self.action_vec()));
     }
 
     fn action_vec(&self) -> Vec<f32> {
-        vec![self.controller.params.base_freq, self.controller.params.scaling_coef]
+        vec![
+            self.controller.params.base_freq,
+            self.controller.params.scaling_coef,
+        ]
     }
 }
 
 impl Governor for DeepPowerGovernor<'_> {
     fn on_tick(&mut self, view: &ServerView<'_>, cmds: &mut FreqCommands) {
-        if self.tick_count % self.ticks_per_long == 0 {
+        if self.tick_count.is_multiple_of(self.ticks_per_long) {
             self.drl_step(view);
         }
         self.tick_count += 1;
         self.controller.scale_all(view, cmds);
+    }
+
+    /// Episode-end flush: the last `(state, action)` pair would otherwise
+    /// be dropped and no transition would ever carry `done: true`. Close
+    /// the open window over its partial elapsed interval, push the
+    /// terminal transition, and log the partial step.
+    fn on_run_end(&mut self, view: &ServerView<'_>) {
+        if self.pending.is_none() {
+            return;
+        }
+        let next_state = self.observer.observe(view);
+        if let Some((r, terms, elapsed)) = self.close_window(view, &next_state, true) {
+            if elapsed > 0 {
+                self.push_log(view, r, terms, elapsed);
+            }
+        }
+        self.last_step_t = Some(view.now);
     }
 
     fn name(&self) -> &str {
@@ -191,9 +252,7 @@ impl Governor for DeepPowerGovernor<'_> {
 mod tests {
     use super::*;
     use deeppower_drl::DdpgConfig;
-    use deeppower_simd_server::{
-        RunOptions, Server, ServerConfig, MILLISECOND, SECOND,
-    };
+    use deeppower_simd_server::{RunOptions, Server, ServerConfig, MILLISECOND, SECOND};
     use deeppower_workload::{constant_rate_arrivals, App, AppSpec};
 
     fn agent(warmup: usize) -> Ddpg {
@@ -208,10 +267,11 @@ mod tests {
     }
 
     fn small_cfg() -> DeepPowerConfig {
-        let mut cfg = DeepPowerConfig::default();
-        cfg.short_time = MILLISECOND;
-        cfg.long_time = 100 * MILLISECOND; // fast DRL cadence for tests
-        cfg
+        DeepPowerConfig {
+            short_time: MILLISECOND,
+            long_time: 100 * MILLISECOND, // fast DRL cadence for tests
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -241,8 +301,21 @@ mod tests {
         let _ = server.run(&arrivals, &mut gov, RunOptions::default());
         let steps = gov.log.len();
         drop(gov);
-        // One pending transition lags behind the step count.
-        assert_eq!(ag.replay.len(), steps - 1);
+        // Every logged step produced a transition: each interior step
+        // closes the previous window, and the episode-end flush emits the
+        // final (terminal) one instead of dropping it.
+        assert_eq!(ag.replay.len(), steps);
+        let done_flags: Vec<bool> = ag.replay.iter().map(|t| t.done).collect();
+        assert_eq!(
+            done_flags.iter().filter(|&&d| d).count(),
+            1,
+            "exactly one terminal"
+        );
+        assert_eq!(
+            done_flags.last(),
+            Some(&true),
+            "the last transition is terminal"
+        );
     }
 
     #[test]
@@ -272,8 +345,11 @@ mod tests {
             let mut gov = DeepPowerGovernor::new(&mut ag, small_cfg(), Mode::Eval);
             let res = server.run(&arrivals, &mut gov, RunOptions::default());
             let updates = gov.updates_done;
-            let actions: Vec<(f32, f32)> =
-                gov.log.iter().map(|l| (l.base_freq, l.scaling_coef)).collect();
+            let actions: Vec<(f32, f32)> = gov
+                .log
+                .iter()
+                .map(|l| (l.base_freq, l.scaling_coef))
+                .collect();
             (res.energy_j, updates, actions)
         };
         let (e1, u1, a1) = run(7);
@@ -306,8 +382,10 @@ mod tests {
         let server = Server::new(ServerConfig::paper_default(8));
         let res = server.run(&arrivals, &mut gov, RunOptions::default());
         // Mean of per-step powers ≈ overall average power (same socket).
-        let mean_step: f64 =
-            gov.log.iter().skip(1).map(|l| l.power_w).sum::<f64>() / (gov.log.len() - 1) as f64;
+        // Every step — including the first and the partial final one — is
+        // now averaged over its actually-elapsed window, so no entry needs
+        // to be skipped.
+        let mean_step: f64 = gov.log.iter().map(|l| l.power_w).sum::<f64>() / gov.log.len() as f64;
         assert!(
             (mean_step - res.avg_power_w).abs() / res.avg_power_w < 0.25,
             "per-step power {mean_step} vs run average {}",
@@ -318,7 +396,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "state dim mismatch")]
     fn rejects_mismatched_agent() {
-        let mut ag = Ddpg::new(DdpgConfig { state_dim: 4, ..Default::default() });
+        let mut ag = Ddpg::new(DdpgConfig {
+            state_dim: 4,
+            ..Default::default()
+        });
         let _ = DeepPowerGovernor::new(&mut ag, small_cfg(), Mode::Eval);
     }
 }

@@ -88,6 +88,21 @@ impl RewardCalculator {
         self.prev_queue_len = 0;
     }
 
+    /// Latch the internal counters to the given cumulative values without
+    /// computing a reward.
+    ///
+    /// `reset()` zeroes the latches, which is only correct when the
+    /// underlying counters also start from zero. When (re)starting the
+    /// calculator mid-run — the monotone RAPL/request counters keep
+    /// counting across episodes — latch to the *current* counters so the
+    /// next `step` measures a real delta instead of the entire history.
+    pub fn latch(&mut self, energy_uj: u64, timeouts: u64, arrived: u64, queue_len: usize) {
+        self.prev_energy_uj = energy_uj;
+        self.prev_timeouts = timeouts;
+        self.prev_arrived = arrived;
+        self.prev_queue_len = queue_len;
+    }
+
     /// Compute the step reward from the current cumulative counters.
     ///
     /// * `energy_uj` — RAPL counter (monotone),
@@ -113,13 +128,20 @@ impl RewardCalculator {
         self.prev_queue_len = queue_len;
 
         let power_w = d_energy_j / (step_ns as f64 * 1e-9).max(1e-12);
-        let energy_term = ((power_w - self.idle_power_w)
-            / (self.max_power_w - self.idle_power_w))
+        let energy_term = ((power_w - self.idle_power_w) / (self.max_power_w - self.idle_power_w))
             .clamp(0.0, 2.0);
-        let timeout_term = if d_arrived > 0.0 { (d_timeouts / d_arrived).min(1.0) } else { 0.0 };
+        let timeout_term = if d_arrived > 0.0 {
+            (d_timeouts / d_arrived).min(1.0)
+        } else {
+            0.0
+        };
         let queue_term = scale_func(queue_len as f64, self.eta) * queue_growth / self.eta;
 
-        let terms = RewardTerms { energy: energy_term, timeout: timeout_term, queue: queue_term };
+        let terms = RewardTerms {
+            energy: energy_term,
+            timeout: timeout_term,
+            queue: queue_term,
+        };
         (terms.total(self.alpha, self.beta, self.gamma_q), terms)
     }
 }
@@ -181,10 +203,18 @@ mod tests {
         let mut rc = RewardCalculator::new(0.0, 0.0, 1.0, 100.0);
         // Queue grows 0 → 20 (well below η): tiny penalty.
         let (_, t) = rc.step(0, 0, 0, 20, 1_000_000_000);
-        assert!(t.queue < 0.01, "small queue growth over-punished: {}", t.queue);
+        assert!(
+            t.queue < 0.01,
+            "small queue growth over-punished: {}",
+            t.queue
+        );
         // Queue grows 20 → 400 (above η): large penalty.
         let (_, t) = rc.step(0, 0, 0, 400, 1_000_000_000);
-        assert!(t.queue > 1.0, "large queue growth under-punished: {}", t.queue);
+        assert!(
+            t.queue > 1.0,
+            "large queue growth under-punished: {}",
+            t.queue
+        );
     }
 
     #[test]
@@ -207,8 +237,49 @@ mod tests {
     }
 
     #[test]
+    fn latch_rebases_on_live_counters_where_reset_does_not() {
+        // An episode boundary in the middle of a run: the monotone
+        // counters are already large. `reset()` would zero the latches
+        // and the next step would bill the governor for the whole
+        // history; `latch(...)` rebases so only post-boundary deltas
+        // count.
+        let mut rc = RewardCalculator::new(1.0, 1.0, 0.0, 100.0);
+        let _ = rc.step(500_000_000, 40, 1_000, 0, 1_000_000_000);
+
+        let mut via_reset = rc;
+        via_reset.reset();
+        let (_, t_reset) = via_reset.step(501_000_000, 40, 1_010, 0, 1_000_000_000);
+        // 501 J "consumed in one second" — a spurious, clamped-out blowup.
+        assert!(
+            t_reset.energy >= 2.0 - 1e-12,
+            "reset should show the bug: {t_reset:?}"
+        );
+        assert!(
+            t_reset.timeout > 0.0,
+            "reset re-bills old timeouts: {t_reset:?}"
+        );
+
+        let mut via_latch = rc;
+        via_latch.latch(500_000_000, 40, 1_000, 0);
+        let (_, t_latch) = via_latch.step(501_000_000, 40, 1_010, 0, 1_000_000_000);
+        // Real delta: 1 J over 1 s = 1 W, far below the idle band → 0.
+        assert_eq!(
+            t_latch.energy, 0.0,
+            "latch must see only the real delta: {t_latch:?}"
+        );
+        assert_eq!(
+            t_latch.timeout, 0.0,
+            "no new timeouts after the latch: {t_latch:?}"
+        );
+    }
+
+    #[test]
     fn weights_trade_off_terms_and_normalize() {
-        let terms = RewardTerms { energy: 1.0, timeout: 0.5, queue: 0.2 };
+        let terms = RewardTerms {
+            energy: 1.0,
+            timeout: 0.5,
+            queue: 0.2,
+        };
         // Single-term weights: total = -term value.
         assert!((terms.total(1.0, 0.0, 0.0) + 1.0).abs() < 1e-12);
         assert!((terms.total(0.0, 2.0, 0.0) + 0.5).abs() < 1e-12);

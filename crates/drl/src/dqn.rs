@@ -80,7 +80,13 @@ impl Dqn {
             ActivationKind::Identity,
         );
         let target = net.clone();
-        let opt = Adam::new(AdamConfig { lr: cfg.lr, ..Default::default() }, &net);
+        let opt = Adam::new(
+            AdamConfig {
+                lr: cfg.lr,
+                ..Default::default()
+            },
+            &net,
+        );
         Self {
             replay: ReplayBuffer::new(cfg.replay_capacity),
             net,
@@ -96,8 +102,7 @@ impl Dqn {
 
     /// Current exploration rate under the linear decay schedule.
     pub fn epsilon(&self) -> f32 {
-        let frac =
-            (self.actions_taken as f32 / self.cfg.eps_decay_steps as f32).clamp(0.0, 1.0);
+        let frac = (self.actions_taken as f32 / self.cfg.eps_decay_steps as f32).clamp(0.0, 1.0);
         self.cfg.eps_start + (self.cfg.eps_end - self.cfg.eps_start) * frac
     }
 
@@ -118,7 +123,14 @@ impl Dqn {
     }
 
     /// Store a transition; `action` must index into the discrete grid.
-    pub fn observe(&mut self, state: Vec<f32>, action: usize, reward: f32, next: Vec<f32>, done: bool) {
+    pub fn observe(
+        &mut self,
+        state: Vec<f32>,
+        action: usize,
+        reward: f32,
+        next: Vec<f32>,
+        done: bool,
+    ) {
         assert!(action < self.cfg.n_actions, "action index out of range");
         self.replay.push(Transition {
             state,
@@ -137,13 +149,21 @@ impl Dqn {
     pub fn update(&mut self) -> f32 {
         assert!(self.ready(), "update called before warm-up");
         let n = self.cfg.batch_size;
-        let batch: Vec<Transition> =
-            self.replay.sample(&mut self.rng, n).into_iter().cloned().collect();
+        let batch: Vec<Transition> = self
+            .replay
+            .sample(&mut self.rng, n)
+            .into_iter()
+            .cloned()
+            .collect();
 
         let states =
             Matrix::from_rows(&batch.iter().map(|t| t.state.as_slice()).collect::<Vec<_>>());
-        let next_states =
-            Matrix::from_rows(&batch.iter().map(|t| t.next_state.as_slice()).collect::<Vec<_>>());
+        let next_states = Matrix::from_rows(
+            &batch
+                .iter()
+                .map(|t| t.next_state.as_slice())
+                .collect::<Vec<_>>(),
+        );
 
         let q_next_target = self.target.forward_inference(&next_states);
         let q_next_online = if self.double {
@@ -192,7 +212,7 @@ impl Dqn {
         self.opt.step(&mut self.net);
 
         self.updates += 1;
-        if self.updates % self.cfg.target_sync == 0 {
+        if self.updates.is_multiple_of(self.cfg.target_sync) {
             let snap = self.net.snapshot();
             self.target.load_snapshot(&snap);
         }
@@ -212,7 +232,9 @@ pub struct Ddqn {
 
 impl Ddqn {
     pub fn new(cfg: DqnConfig) -> Self {
-        Self { inner: Dqn::with_double(cfg, true) }
+        Self {
+            inner: Dqn::with_double(cfg, true),
+        }
     }
 
     pub fn act(&self, state: &[f32]) -> usize {
@@ -280,7 +302,11 @@ mod tests {
                 agent.update();
             }
         }
-        assert_eq!(agent.act(&s), 3, "greedy action should be the bandit optimum");
+        assert_eq!(
+            agent.act(&s),
+            3,
+            "greedy action should be the bandit optimum"
+        );
     }
 
     #[test]
@@ -334,7 +360,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "action index out of range")]
     fn observe_rejects_out_of_range_action() {
-        let mut agent = Dqn::new(DqnConfig { n_actions: 4, ..Default::default() });
+        let mut agent = Dqn::new(DqnConfig {
+            n_actions: 4,
+            ..Default::default()
+        });
         agent.observe(vec![0.0; 8], 4, 0.0, vec![0.0; 8], false);
     }
 }

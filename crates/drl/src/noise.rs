@@ -66,7 +66,13 @@ pub struct OrnsteinUhlenbeck {
 
 impl OrnsteinUhlenbeck {
     pub fn new(dim: usize, theta: f32, mu: f32, sigma: f32, dt: f32) -> Self {
-        Self { theta, mu, sigma, dt, state: vec![mu; dim] }
+        Self {
+            theta,
+            mu,
+            sigma,
+            dt,
+            state: vec![mu; dim],
+        }
     }
 
     /// Reset the internal state to the mean (call at episode boundaries).

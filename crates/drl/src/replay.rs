@@ -33,7 +33,12 @@ impl ReplayBuffer {
     /// Create a buffer holding at most `capacity` transitions.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "replay capacity must be positive");
-        Self { capacity, data: Vec::with_capacity(capacity.min(1 << 20)), head: 0, pushed: 0 }
+        Self {
+            capacity,
+            data: Vec::with_capacity(capacity.min(1 << 20)),
+            head: 0,
+            pushed: 0,
+        }
     }
 
     pub fn capacity(&self) -> usize {

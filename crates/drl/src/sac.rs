@@ -14,7 +14,9 @@
 use crate::critic::Critic;
 use crate::noise::sample_standard_normal;
 use crate::replay::{ReplayBuffer, Transition};
-use deeppower_nn::{mse_loss, ActivationKind, Adam, AdamConfig, Matrix, Optimizer, Params, Sequential};
+use deeppower_nn::{
+    mse_loss, ActivationKind, Adam, AdamConfig, Matrix, Optimizer, Params, Sequential,
+};
 use rand::{rngs::StdRng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
@@ -102,10 +104,27 @@ impl Sac {
         let q2 = Critic::paper_default(&mut rng, cfg.state_dim, cfg.action_dim);
         let q1_target = q1.clone();
         let q2_target = q2.clone();
-        let policy_opt =
-            Adam::new(AdamConfig { lr: cfg.actor_lr, ..Default::default() }, &policy);
-        let q1_opt = Adam::new(AdamConfig { lr: cfg.critic_lr, ..Default::default() }, &q1);
-        let q2_opt = Adam::new(AdamConfig { lr: cfg.critic_lr, ..Default::default() }, &q2);
+        let policy_opt = Adam::new(
+            AdamConfig {
+                lr: cfg.actor_lr,
+                ..Default::default()
+            },
+            &policy,
+        );
+        let q1_opt = Adam::new(
+            AdamConfig {
+                lr: cfg.critic_lr,
+                ..Default::default()
+            },
+            &q1,
+        );
+        let q2_opt = Adam::new(
+            AdamConfig {
+                lr: cfg.critic_lr,
+                ..Default::default()
+            },
+            &q2,
+        );
         Self {
             replay: ReplayBuffer::new(cfg.replay_capacity),
             policy,
@@ -126,7 +145,9 @@ impl Sac {
     /// path Table 2 times.
     pub fn act(&self, state: &[f32]) -> Vec<f32> {
         let out = self.policy.forward_inference(&Matrix::from_row(state));
-        (0..self.cfg.action_dim).map(|j| out.get(0, j).tanh()).collect()
+        (0..self.cfg.action_dim)
+            .map(|j| out.get(0, j).tanh())
+            .collect()
     }
 
     /// Stochastic training action.
@@ -178,11 +199,16 @@ impl Sac {
                 a.set(i, j, act);
                 eps.set(i, j, e);
                 sigma.set(i, j, s);
-                log_prob[i] +=
-                    -0.5 * e * e - ls - half_ln_2pi - (1.0 - act * act + TANH_EPS).ln();
+                log_prob[i] += -0.5 * e * e - ls - half_ln_2pi - (1.0 - act * act + TANH_EPS).ln();
             }
         }
-        SampledAction { a, eps, sigma, clamped, log_prob }
+        SampledAction {
+            a,
+            eps,
+            sigma,
+            clamped,
+            log_prob,
+        }
     }
 
     /// One SAC gradient step: twin-critic regression to the entropy-
@@ -192,27 +218,43 @@ impl Sac {
         assert!(self.ready(), "update called before warm-up");
         let n = self.cfg.batch_size;
         let ad = self.cfg.action_dim;
-        let batch: Vec<Transition> =
-            self.replay.sample(&mut self.rng, n).into_iter().cloned().collect();
+        let batch: Vec<Transition> = self
+            .replay
+            .sample(&mut self.rng, n)
+            .into_iter()
+            .cloned()
+            .collect();
 
         let states =
             Matrix::from_rows(&batch.iter().map(|t| t.state.as_slice()).collect::<Vec<_>>());
-        let actions =
-            Matrix::from_rows(&batch.iter().map(|t| t.action.as_slice()).collect::<Vec<_>>());
-        let next_states =
-            Matrix::from_rows(&batch.iter().map(|t| t.next_state.as_slice()).collect::<Vec<_>>());
+        let actions = Matrix::from_rows(
+            &batch
+                .iter()
+                .map(|t| t.action.as_slice())
+                .collect::<Vec<_>>(),
+        );
+        let next_states = Matrix::from_rows(
+            &batch
+                .iter()
+                .map(|t| t.next_state.as_slice())
+                .collect::<Vec<_>>(),
+        );
 
         // Entropy-regularized target:
         // y = r + γ (1-d) [ min(Q1', Q2')(s', a') − α log π(a'|s') ].
         let next_out = self.policy.forward_inference(&next_states);
         let next_sample = self.sample_from_outputs(&next_out);
-        let q1n = self.q1_target.forward_inference(&next_states, &next_sample.a);
-        let q2n = self.q2_target.forward_inference(&next_states, &next_sample.a);
+        let q1n = self
+            .q1_target
+            .forward_inference(&next_states, &next_sample.a);
+        let q2n = self
+            .q2_target
+            .forward_inference(&next_states, &next_sample.a);
         let mut targets = Matrix::zeros(n, 1);
         for (i, t) in batch.iter().enumerate() {
             let cont = if t.done { 0.0 } else { 1.0 };
-            let soft_q = q1n.get(i, 0).min(q2n.get(i, 0))
-                - self.cfg.alpha * next_sample.log_prob[i];
+            let soft_q =
+                q1n.get(i, 0).min(q2n.get(i, 0)) - self.cfg.alpha * next_sample.log_prob[i];
             targets.set(i, 0, t.reward + self.cfg.gamma * cont * soft_q);
         }
 
@@ -268,7 +310,7 @@ impl Sac {
                 let dlogpi_du = 2.0 * a * one_m_a2 / (one_m_a2 + TANH_EPS);
                 // da/du = 1 - a².
                 let dq_term = d_a_from_q.get(i, j); // already includes -1/n · dQ/da
-                // ∂L/∂mu: entropy term (scaled by 1/n) + Q term via a.
+                                                    // ∂L/∂mu: entropy term (scaled by 1/n) + Q term via a.
                 let g_mu = alpha * dlogpi_du / n as f32 + dq_term * one_m_a2;
                 // ∂L/∂log σ: direct -α/n (from -log σ) + chain via u (du/dlogσ = σ ε).
                 let mut g_ls = alpha * (-1.0 / n as f32)
@@ -300,7 +342,10 @@ mod tests {
 
     #[test]
     fn action_bounded_in_unit_ball() {
-        let agent = Sac::new(SacConfig { seed: 1, ..Default::default() });
+        let agent = Sac::new(SacConfig {
+            seed: 1,
+            ..Default::default()
+        });
         let a = agent.act(&[0.5; 8]);
         assert_eq!(a.len(), 2);
         assert!(a.iter().all(|&x| (-1.0..=1.0).contains(&x)));
@@ -342,7 +387,11 @@ mod tests {
     #[test]
     fn log_prob_decreases_with_wider_policy() {
         // For a fixed sampled epsilon near 0, increasing sigma lowers density.
-        let mut agent = Sac::new(SacConfig { action_dim: 1, seed: 3, ..Default::default() });
+        let mut agent = Sac::new(SacConfig {
+            action_dim: 1,
+            seed: 3,
+            ..Default::default()
+        });
         let narrow = Matrix::from_row(&[0.0, -2.0]); // mu=0, log_std=-2
         let wide = Matrix::from_row(&[0.0, 0.5]);
         // Use same RNG position for both by reseeding.
@@ -355,7 +404,11 @@ mod tests {
 
     #[test]
     fn warmup_actions_uniform() {
-        let mut agent = Sac::new(SacConfig { warmup: 10, seed: 5, ..Default::default() });
+        let mut agent = Sac::new(SacConfig {
+            warmup: 10,
+            seed: 5,
+            ..Default::default()
+        });
         let a = agent.act_explore(&[0.0; 8]);
         let b = agent.act_explore(&[0.0; 8]);
         assert_ne!(a, b);

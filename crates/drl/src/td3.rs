@@ -92,9 +92,27 @@ impl Td3 {
             actor_target: actor.clone(),
             q1_target: q1.clone(),
             q2_target: q2.clone(),
-            actor_opt: Adam::new(AdamConfig { lr: cfg.actor_lr, ..Default::default() }, &actor),
-            q1_opt: Adam::new(AdamConfig { lr: cfg.critic_lr, ..Default::default() }, &q1),
-            q2_opt: Adam::new(AdamConfig { lr: cfg.critic_lr, ..Default::default() }, &q2),
+            actor_opt: Adam::new(
+                AdamConfig {
+                    lr: cfg.actor_lr,
+                    ..Default::default()
+                },
+                &actor,
+            ),
+            q1_opt: Adam::new(
+                AdamConfig {
+                    lr: cfg.critic_lr,
+                    ..Default::default()
+                },
+                &q1,
+            ),
+            q2_opt: Adam::new(
+                AdamConfig {
+                    lr: cfg.critic_lr,
+                    ..Default::default()
+                },
+                &q2,
+            ),
             replay: ReplayBuffer::new(cfg.replay_capacity),
             noise: GaussianNoise::new(0.0, cfg.explore_sigma),
             actor,
@@ -143,14 +161,26 @@ impl Td3 {
     pub fn update(&mut self) -> f32 {
         assert!(self.ready(), "update called before warm-up");
         let n = self.cfg.batch_size;
-        let batch: Vec<Transition> =
-            self.replay.sample(&mut self.rng, n).into_iter().cloned().collect();
+        let batch: Vec<Transition> = self
+            .replay
+            .sample(&mut self.rng, n)
+            .into_iter()
+            .cloned()
+            .collect();
         let states =
             Matrix::from_rows(&batch.iter().map(|t| t.state.as_slice()).collect::<Vec<_>>());
-        let actions =
-            Matrix::from_rows(&batch.iter().map(|t| t.action.as_slice()).collect::<Vec<_>>());
-        let next_states =
-            Matrix::from_rows(&batch.iter().map(|t| t.next_state.as_slice()).collect::<Vec<_>>());
+        let actions = Matrix::from_rows(
+            &batch
+                .iter()
+                .map(|t| t.action.as_slice())
+                .collect::<Vec<_>>(),
+        );
+        let next_states = Matrix::from_rows(
+            &batch
+                .iter()
+                .map(|t| t.next_state.as_slice())
+                .collect::<Vec<_>>(),
+        );
 
         // Smoothed target actions: clamp(π'(s') + clip(ε), [0, 1]).
         let mut next_actions = self.actor_target.forward_inference(&next_states);
@@ -159,8 +189,12 @@ impl Td3 {
                 .clamp(-self.cfg.smooth_clip, self.cfg.smooth_clip);
             *v = (*v + eps).clamp(0.0, 1.0);
         }
-        let q1n = self.q1_target.forward_inference(&next_states, &next_actions);
-        let q2n = self.q2_target.forward_inference(&next_states, &next_actions);
+        let q1n = self
+            .q1_target
+            .forward_inference(&next_states, &next_actions);
+        let q2n = self
+            .q2_target
+            .forward_inference(&next_states, &next_actions);
         let mut targets = Matrix::zeros(n, 1);
         for (i, t) in batch.iter().enumerate() {
             let cont = if t.done { 0.0 } else { 1.0 };
@@ -188,7 +222,10 @@ impl Td3 {
         self.critic_updates += 1;
 
         // Delayed actor + target updates.
-        if self.critic_updates % self.cfg.policy_delay as u64 == 0 {
+        if self
+            .critic_updates
+            .is_multiple_of(self.cfg.policy_delay as u64)
+        {
             self.actor.zero_grad();
             self.q1.zero_grad();
             let pred_actions = self.actor.forward(&states);
@@ -271,7 +308,11 @@ mod tests {
         }
         let before = agent.actor.snapshot();
         agent.update(); // 1st critic update: no actor step
-        assert_eq!(agent.actor.snapshot(), before, "actor moved before the delay elapsed");
+        assert_eq!(
+            agent.actor.snapshot(),
+            before,
+            "actor moved before the delay elapsed"
+        );
         agent.update(); // 2nd
         assert_eq!(agent.actor.snapshot(), before);
         agent.update(); // 3rd: actor steps
@@ -280,7 +321,10 @@ mod tests {
 
     #[test]
     fn actions_bounded_in_unit_box() {
-        let mut agent = Td3::new(Td3Config { warmup: 0, ..Default::default() });
+        let mut agent = Td3::new(Td3Config {
+            warmup: 0,
+            ..Default::default()
+        });
         for _ in 0..20 {
             let a = agent.act_explore(&[0.5; 8]);
             assert!(a.iter().all(|&x| (0.0..=1.0).contains(&x)), "{a:?}");

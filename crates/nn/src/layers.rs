@@ -69,17 +69,25 @@ impl Linear {
     /// Forward pass; caches the input for the backward pass.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
         assert_eq!(x.cols(), self.in_dim(), "Linear input width mismatch");
-        let mut y = x.matmul(&self.w);
-        y.add_row_broadcast(&self.b);
+        let mut y = Matrix::zeros(0, 0);
+        x.matmul_bias_into(&self.w, &self.b, &mut y);
         self.cached_input = Some(x.clone());
         y
     }
 
     /// Inference-only forward: does not cache, usable through `&self`.
     pub fn forward_inference(&self, x: &Matrix) -> Matrix {
-        let mut y = x.matmul(&self.w);
-        y.add_row_broadcast(&self.b);
+        let mut y = Matrix::zeros(0, 0);
+        x.matmul_bias_into(&self.w, &self.b, &mut y);
         y
+    }
+
+    /// Fused inference of this layer followed by an element-wise
+    /// activation, into a caller-provided scratch matrix: one kernel, no
+    /// intermediate pre-activation matrix.
+    pub fn forward_inference_act_into(&self, x: &Matrix, act: ActivationKind, out: &mut Matrix) {
+        assert_eq!(x.cols(), self.in_dim(), "Linear input width mismatch");
+        x.matmul_bias_act_into(&self.w, &self.b, out, |v| act.apply(v));
     }
 
     /// Backward pass: accumulates `gw += xᵀ·d_out`, `gb += Σrows d_out`,
@@ -90,7 +98,7 @@ impl Linear {
             .as_ref()
             .expect("Linear::backward called before forward");
         assert_eq!(d_out.cols(), self.out_dim(), "Linear grad width mismatch");
-        self.gw.axpy(1.0, &x.t_matmul(d_out));
+        x.t_matmul_acc(d_out, &mut self.gw);
         for (g, s) in self.gb.iter_mut().zip(d_out.col_sums()) {
             *g += s;
         }
@@ -167,7 +175,10 @@ pub struct Activation {
 
 impl Activation {
     pub fn new(kind: ActivationKind) -> Self {
-        Self { kind, cached_output: None }
+        Self {
+            kind,
+            cached_output: None,
+        }
     }
 
     pub fn relu() -> Self {

@@ -63,9 +63,7 @@ where
     net.visit_params(&mut |_, g: &[f32]| analytic.extend_from_slice(g));
 
     let mut max_rel = 0.0f32;
-    let mut idx = 0usize;
-    let n_params = analytic.len();
-    for p in 0..n_params {
+    for (p, &a) in analytic.iter().enumerate() {
         // Perturb parameter p upward.
         perturb_param(net, p, eps);
         let up = loss_fn(net);
@@ -73,13 +71,11 @@ where
         let down = loss_fn(net);
         perturb_param(net, p, eps); // restore
         let numeric = (up - down) / (2.0 * eps);
-        let a = analytic[idx];
         let denom = numeric.abs().max(a.abs()).max(1e-4);
         let rel = (numeric - a).abs() / denom;
         if rel > max_rel {
             max_rel = rel;
         }
-        idx += 1;
     }
     max_rel
 }

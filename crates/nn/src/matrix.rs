@@ -22,12 +22,20 @@ pub struct Matrix {
 impl Matrix {
     /// All-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Build from a flat row-major vector. Panics if the length does not
@@ -40,7 +48,11 @@ impl Matrix {
     /// Build a single-row matrix from a slice (the common "one state vector"
     /// case on the inference path).
     pub fn from_row(row: &[f32]) -> Self {
-        Self { rows: 1, cols: row.len(), data: row.to_vec() }
+        Self {
+            rows: 1,
+            cols: row.len(),
+            data: row.to_vec(),
+        }
     }
 
     /// Build from nested slices; all rows must share a length.
@@ -52,7 +64,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "ragged rows in Matrix::from_rows");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -96,33 +112,118 @@ impl Matrix {
         self.data[r * self.cols + c] = v;
     }
 
+    /// Reshape in place to `rows × cols`, reusing the backing `Vec`
+    /// (contents are unspecified afterwards). The workhorse behind the
+    /// `*_into` kernels: a long-lived scratch `Matrix` never reallocates
+    /// once it has seen its largest shape.
+    pub fn reshape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Rows-of-B panel size for the blocked matmul kernels. Each panel
+    /// (`K_BLOCK × m` floats of the RHS) stays resident in L1/L2 while it
+    /// is streamed against every row of the LHS.
+    const K_BLOCK: usize = 64;
+
     /// `self (n×k) · other (k×m) → n×m`.
     ///
     /// ikj loop order so the innermost loop walks both output row and RHS row
     /// contiguously — lets LLVM vectorize without an explicit transpose.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] into a caller-provided output (reshaped as
+    /// needed). Blocked over K: the kernel walks the RHS in panels of
+    /// [`Matrix::K_BLOCK`] rows so each panel is reused across all LHS
+    /// rows. Per output element the accumulation still runs in ascending
+    /// K order, so the result is bit-identical to the naive ikj loop.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        out.reshape(self.rows, other.cols);
+        out.data.fill(0.0);
+        self.matmul_acc(other, out);
+    }
+
+    /// `out += self · other` (blocked; `out` must already be `n×m`).
+    pub fn matmul_acc(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul output shape"
+        );
         let (n, k, m) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(n, m);
-        for i in 0..n {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out.data[i * m..(i + 1) * m];
-            for (kk, &a) in a_row.iter().enumerate() {
-                let b_row = &other.data[kk * m..(kk + 1) * m];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        for kb in (0..k).step_by(Self::K_BLOCK) {
+            let kend = (kb + Self::K_BLOCK).min(k);
+            for i in 0..n {
+                let a_row = &self.data[i * k + kb..i * k + kend];
+                let out_row = &mut out.data[i * m..(i + 1) * m];
+                for (kk, &a) in a_row.iter().enumerate() {
+                    let b_row = &other.data[(kb + kk) * m..(kb + kk + 1) * m];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
         }
-        out
+    }
+
+    /// Fused `self · other + bias` (bias broadcast over rows) into `out`.
+    ///
+    /// Each output row is *initialized* with the bias and then accumulated
+    /// in the same blocked ikj order — one pass instead of a matmul
+    /// followed by a separate broadcast sweep.
+    pub fn matmul_bias_into(&self, other: &Matrix, bias: &[f32], out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        assert_eq!(bias.len(), other.cols, "bias width mismatch");
+        let (n, m) = (self.rows, other.cols);
+        out.reshape(n, m);
+        for i in 0..n {
+            out.data[i * m..(i + 1) * m].copy_from_slice(bias);
+        }
+        self.matmul_acc(other, out);
+    }
+
+    /// Fused `f(self · other + bias)` into `out` — the whole inference
+    /// path of a `Linear → Activation` pair in one kernel, with no
+    /// intermediate allocation or extra pass for the element-wise map.
+    pub fn matmul_bias_act_into(
+        &self,
+        other: &Matrix,
+        bias: &[f32],
+        out: &mut Matrix,
+        f: impl Fn(f32) -> f32,
+    ) {
+        self.matmul_bias_into(other, bias, out);
+        for x in &mut out.data {
+            *x = f(*x);
+        }
     }
 
     /// `selfᵀ (k×n)ᵀ · other (n×m) → k×m` without materializing the
     /// transpose. Used for weight gradients (`xᵀ · dy`).
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.t_matmul_acc(other, &mut out);
+        out
+    }
+
+    /// `out += selfᵀ · other` (`out` must already be `k×m`). Lets gradient
+    /// accumulators take `gw += xᵀ·dy` directly instead of materializing
+    /// the product and `axpy`-ing it in.
+    pub fn t_matmul_acc(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "t_matmul dimension mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, other.cols),
+            "t_matmul output shape"
+        );
         let (n, k, m) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(k, m);
         for i in 0..n {
             let a_row = &self.data[i * k..(i + 1) * k];
             let b_row = &other.data[i * m..(i + 1) * m];
@@ -133,15 +234,23 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// `self (n×k) · otherᵀ (m×k)ᵀ → n×m` without materializing the
     /// transpose. Used for input gradients (`dy · Wᵀ`).
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_t_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_t`] into a caller-provided output. The RHS is
+    /// already walked row-wise (it *is* the transposed-B layout), so each
+    /// output element is a contiguous dot product.
+    pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_t dimension mismatch");
         let (n, k, m) = (self.rows, self.cols, other.rows);
-        let mut out = Matrix::zeros(n, m);
+        out.reshape(n, m);
         for i in 0..n {
             let a_row = &self.data[i * k..(i + 1) * k];
             let out_row = &mut out.data[i * m..(i + 1) * m];
@@ -154,7 +263,6 @@ impl Matrix {
                 *o = acc;
             }
         }
-        out
     }
 
     /// Add a row vector (broadcast over rows), e.g. bias addition.
@@ -197,7 +305,11 @@ impl Matrix {
             .zip(&other.data)
             .map(|(&a, &b)| a * b)
             .collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Apply `f` to every element in place.
@@ -227,7 +339,11 @@ impl Matrix {
             data.extend_from_slice(self.row(r));
             data.extend_from_slice(other.row(r));
         }
-        Matrix { rows: self.rows, cols, data }
+        Matrix {
+            rows: self.rows,
+            cols,
+            data,
+        }
     }
 
     /// Split a matrix column-wise at `at`: inverse of [`Matrix::hconcat`].
@@ -321,6 +437,57 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_beyond_one_k_block() {
+        // 2 × 150 · 150 × 3 spans three K-panels; the blocked kernel must
+        // agree bit-for-bit with a scalar reference loop (same ascending-K
+        // accumulation order per output element).
+        let (n, k, m) = (2, 150, 3);
+        let a = Matrix::from_vec(n, k, (0..n * k).map(|i| (i as f32).sin()).collect());
+        let b = Matrix::from_vec(k, m, (0..k * m).map(|i| (i as f32).cos()).collect());
+        let mut reference = Matrix::zeros(n, m);
+        for i in 0..n {
+            for j in 0..m {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.get(i, kk) * b.get(kk, j);
+                }
+                reference.set(i, j, acc);
+            }
+        }
+        assert_eq!(a.matmul(&b), reference);
+    }
+
+    #[test]
+    fn into_kernels_reuse_and_reshape_scratch() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let mut out = Matrix::zeros(5, 7); // wrong shape + stale contents
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        // Reuse the same scratch for a fused bias and bias+activation pass.
+        a.matmul_bias_into(&b, &[0.5, -0.5], &mut out);
+        let mut expected = a.matmul(&b);
+        expected.add_row_broadcast(&[0.5, -0.5]);
+        assert_eq!(out, expected);
+        a.matmul_bias_act_into(&b, &[0.5, -0.5], &mut out, |x| x.max(0.0));
+        assert_eq!(out, expected.map(|x| x.max(0.0)));
+    }
+
+    #[test]
+    fn acc_kernels_accumulate_on_top() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let mut out = Matrix::full(2, 2, 10.0);
+        a.matmul_acc(&b, &mut out);
+        assert_eq!(out.as_slice(), &[11.0, 12.0, 13.0, 14.0]);
+        let mut gt = Matrix::full(2, 2, 1.0);
+        a.t_matmul_acc(&b, &mut gt);
+        let mut expected = a.t_matmul(&b);
+        expected.axpy(1.0, &Matrix::full(2, 2, 1.0));
+        assert_eq!(gt, expected);
     }
 
     #[test]

@@ -23,7 +23,11 @@ pub struct Sgd {
 
 impl Sgd {
     pub fn new(lr: f32, momentum: f32, net: &impl Params) -> Self {
-        Self { lr, momentum, velocity: vec![0.0; net.num_params()] }
+        Self {
+            lr,
+            momentum,
+            velocity: vec![0.0; net.num_params()],
+        }
     }
 }
 
@@ -58,7 +62,13 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        Self { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+        Self {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -74,7 +84,12 @@ pub struct Adam {
 impl Adam {
     pub fn new(cfg: AdamConfig, net: &impl Params) -> Self {
         let n = net.num_params();
-        Self { cfg, m: vec![0.0; n], v: vec![0.0; n], t: 0 }
+        Self {
+            cfg,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
     }
 
     /// Steps taken so far (bias-correction counter).
@@ -94,8 +109,11 @@ impl Optimizer for Adam {
         net.visit_params_mut(&mut |w, g| {
             let ms = &mut m[offset..offset + w.len()];
             let vs = &mut v[offset..offset + w.len()];
-            for (((wi, &gi), mi), vi) in
-                w.iter_mut().zip(g.iter()).zip(ms.iter_mut()).zip(vs.iter_mut())
+            for (((wi, &gi), mi), vi) in w
+                .iter_mut()
+                .zip(g.iter())
+                .zip(ms.iter_mut())
+                .zip(vs.iter_mut())
             {
                 let gi = gi + cfg.weight_decay * *wi;
                 *mi = cfg.beta1 * *mi + (1.0 - cfg.beta1) * gi;
@@ -163,7 +181,13 @@ mod tests {
     #[test]
     fn adam_converges_on_quadratic() {
         let mut l = quadratic_layer();
-        let mut opt = Adam::new(AdamConfig { lr: 0.3, ..Default::default() }, &l);
+        let mut opt = Adam::new(
+            AdamConfig {
+                lr: 0.3,
+                ..Default::default()
+            },
+            &l,
+        );
         for _ in 0..300 {
             set_quadratic_grad(&mut l);
             opt.step(&mut l);
@@ -178,7 +202,13 @@ mod tests {
         // regardless of gradient scale.
         let mut l = quadratic_layer();
         let before = l.w.as_slice()[0];
-        let mut opt = Adam::new(AdamConfig { lr: 0.05, ..Default::default() }, &l);
+        let mut opt = Adam::new(
+            AdamConfig {
+                lr: 0.05,
+                ..Default::default()
+            },
+            &l,
+        );
         set_quadratic_grad(&mut l);
         opt.step(&mut l);
         let delta = (before - l.w.as_slice()[0]).abs();
@@ -192,7 +222,11 @@ mod tests {
         l.gb = vec![0.0];
         let before = l.w.as_slice()[0];
         let mut opt = Adam::new(
-            AdamConfig { lr: 0.1, weight_decay: 0.1, ..Default::default() },
+            AdamConfig {
+                lr: 0.1,
+                weight_decay: 0.1,
+                ..Default::default()
+            },
             &l,
         );
         opt.step(&mut l);

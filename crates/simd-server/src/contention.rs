@@ -30,14 +30,20 @@ pub struct ContentionModel {
 
 impl Default for ContentionModel {
     fn default() -> Self {
-        Self { coeff: 0.35, exponent: 2.0 }
+        Self {
+            coeff: 0.35,
+            exponent: 2.0,
+        }
     }
 }
 
 impl ContentionModel {
     /// No contention at all (useful for analytic unit tests).
     pub fn none() -> Self {
-        Self { coeff: 0.0, exponent: 1.0 }
+        Self {
+            coeff: 0.0,
+            exponent: 1.0,
+        }
     }
 
     /// Inflation factor (≥ 1) given busy and total core counts.
@@ -75,13 +81,19 @@ mod tests {
 
     #[test]
     fn full_occupancy_matches_coeff() {
-        let m = ContentionModel { coeff: 0.4, exponent: 2.0 };
+        let m = ContentionModel {
+            coeff: 0.4,
+            exponent: 2.0,
+        };
         assert!((m.inflation(20, 20) - 1.4).abs() < 1e-12);
     }
 
     #[test]
     fn convex_shape_bites_near_saturation() {
-        let m = ContentionModel { coeff: 0.4, exponent: 2.0 };
+        let m = ContentionModel {
+            coeff: 0.4,
+            exponent: 2.0,
+        };
         let half = m.inflation(10, 20) - 1.0;
         let full = m.inflation(20, 20) - 1.0;
         assert!(half < full / 2.0, "convexity: {half} vs {full}");

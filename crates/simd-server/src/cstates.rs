@@ -45,8 +45,16 @@ impl CStatePlan {
                 // Residual powers sit below clocked idle at any frequency
                 // (clocked idle at 800 MHz ≈ 0.13 W in the default model):
                 // C1 halts the pipeline, C6 power-gates the core.
-                CState { name: "C1", power_w: 0.08, wake_ns: 2_000 },
-                CState { name: "C6", power_w: 0.01, wake_ns: 100_000 },
+                CState {
+                    name: "C1",
+                    power_w: 0.08,
+                    wake_ns: 2_000,
+                },
+                CState {
+                    name: "C6",
+                    power_w: 0.01,
+                    wake_ns: 100_000,
+                },
             ],
         }
     }
@@ -111,8 +119,16 @@ mod tests {
         assert!(p.validate().is_err());
         let p = CStatePlan {
             states: vec![
-                CState { name: "a", power_w: 1.0, wake_ns: 10 },
-                CState { name: "b", power_w: 0.5, wake_ns: 5 },
+                CState {
+                    name: "a",
+                    power_w: 1.0,
+                    wake_ns: 10,
+                },
+                CState {
+                    name: "b",
+                    power_w: 0.5,
+                    wake_ns: 5,
+                },
             ],
         };
         assert!(p.validate().is_err());

@@ -34,7 +34,12 @@ impl FreqPlan {
     /// a 3.0 GHz turbo level.
     pub fn xeon_gold_5218r() -> Self {
         let levels_mhz: Vec<u32> = (8..=21).map(|x| x * 100).collect();
-        Self { levels_mhz, turbo_mhz: 3000, reference_mhz: 2100, transition_ns: 5_000 }
+        Self {
+            levels_mhz,
+            turbo_mhz: 3000,
+            reference_mhz: 2100,
+            transition_ns: 5_000,
+        }
     }
 
     /// A tiny three-level plan for unit tests.

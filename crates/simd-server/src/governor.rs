@@ -86,6 +86,8 @@ pub struct FreqCommands {
     targets: Vec<Option<u32>>,
     sleep_targets: Vec<Option<usize>>,
     turbo_mhz: u32,
+    min_mhz: u32,
+    max_mhz: u32,
 }
 
 impl FreqCommands {
@@ -97,7 +99,25 @@ impl FreqCommands {
             targets: vec![None; n_cores],
             sleep_targets: vec![None; n_cores],
             turbo_mhz: plan.turbo_mhz,
+            min_mhz: plan.min_mhz(),
+            max_mhz: plan.max_mhz(),
         }
+    }
+
+    /// The plan's nominal (non-turbo) frequency band, in MHz.
+    pub fn freq_band_mhz(&self) -> (u32, u32) {
+        (self.min_mhz, self.max_mhz)
+    }
+
+    /// Algorithm 1 line 9 against the *actual* plan band:
+    /// `f_min + (f_max − f_min) · score` in MHz (the engine snaps the
+    /// result to the nearest legal level). Governors must use this
+    /// instead of hardcoding a frequency range so any [`FreqPlan`] gets
+    /// correct commands.
+    pub fn interpolate(&self, score: f32) -> u32 {
+        let score = score.clamp(0.0, 1.0) as f64;
+        let f = self.min_mhz as f64 + (self.max_mhz - self.min_mhz) as f64 * score;
+        f.round() as u32
     }
 
     #[allow(dead_code)]
@@ -171,6 +191,12 @@ pub trait Governor {
     ) {
     }
 
+    /// Called exactly once when the run terminates (all arrivals served,
+    /// queue drained). The view reflects the final server state; no
+    /// commands can be issued. Learning governors use this to flush
+    /// their last pending transition as terminal.
+    fn on_run_end(&mut self, _view: &ServerView<'_>) {}
+
     /// Human-readable policy name (reporting).
     fn name(&self) -> &str {
         "unnamed"
@@ -224,10 +250,23 @@ mod tests {
 
     #[test]
     fn view_helpers_count_busy_cores() {
-        let running = RunningView { arrival: 0, started: 0, features: &[], sla: 0 };
+        let running = RunningView {
+            arrival: 0,
+            started: 0,
+            features: &[],
+            sla: 0,
+        };
         let cores = [
-            CoreView { freq_mhz: 800, running: Some(running), sleeping: None },
-            CoreView { freq_mhz: 800, running: None, sleeping: Some(1) },
+            CoreView {
+                freq_mhz: 800,
+                running: Some(running),
+                sleeping: None,
+            },
+            CoreView {
+                freq_mhz: 800,
+                running: None,
+                sleeping: Some(1),
+            },
         ];
         let empty_queue = VecDeque::new();
         let view = ServerView {

@@ -97,7 +97,11 @@ pub struct TraceConfig {
 impl TraceConfig {
     /// Millisecond-resolution everything — what Figs. 4, 9, 10, 11 need.
     pub fn millisecond() -> Self {
-        Self { freq_sample_ns: MILLISECOND, power_sample_ns: MILLISECOND, request_marks: true }
+        Self {
+            freq_sample_ns: MILLISECOND,
+            power_sample_ns: MILLISECOND,
+            request_marks: true,
+        }
     }
 }
 
@@ -155,7 +159,14 @@ mod tests {
     use super::*;
 
     fn rec(latency: Nanos, timed_out: bool) -> RequestRecord {
-        RequestRecord { id: 0, arrival: 0, started: 0, completed: latency, latency, timed_out }
+        RequestRecord {
+            id: 0,
+            arrival: 0,
+            started: 0,
+            completed: latency,
+            latency,
+            timed_out,
+        }
     }
 
     #[test]
@@ -174,8 +185,7 @@ mod tests {
 
     #[test]
     fn stats_from_records() {
-        let records: Vec<RequestRecord> =
-            (1..=100).map(|i| rec(i * 1000, i > 99)).collect();
+        let records: Vec<RequestRecord> = (1..=100).map(|i| rec(i * 1000, i > 99)).collect();
         let s = LatencyStats::from_records(&records);
         assert_eq!(s.count, 100);
         assert_eq!(s.p50_ns, 50_000);

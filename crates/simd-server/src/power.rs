@@ -45,7 +45,12 @@ impl PowerModel {
     /// Calibrated to the paper's socket: 20 cores × 4.5 W at 2.1 GHz busy
     /// + 25 W static/uncore ≈ 115 W, inside the 125 W TDP.
     pub fn xeon_gold_5218r() -> Self {
-        Self { static_w: 25.0, dyn_coef: 0.35, lin_coef: 0.60, idle_activity: 0.20 }
+        Self {
+            static_w: 25.0,
+            dyn_coef: 0.35,
+            lin_coef: 0.60,
+            idle_activity: 0.20,
+        }
     }
 
     /// Power draw of one core at `freq_mhz`, busy or idle.

@@ -66,7 +66,10 @@ impl ServerConfig {
     /// Paper testbed plus Xeon-like C1/C6 idle states — the substrate for
     /// the sleep-states extension (the paper's future work, §6).
     pub fn paper_with_cstates(n_cores: usize) -> Self {
-        Self { cstates: CStatePlan::xeon(), ..Self::paper_default(n_cores) }
+        Self {
+            cstates: CStatePlan::xeon(),
+            ..Self::paper_default(n_cores)
+        }
     }
 }
 
@@ -81,7 +84,10 @@ pub struct RunOptions {
 
 impl Default for RunOptions {
     fn default() -> Self {
-        Self { tick_ns: crate::clock::MILLISECOND, trace: TraceConfig::default() }
+        Self {
+            tick_ns: crate::clock::MILLISECOND,
+            trace: TraceConfig::default(),
+        }
     }
 }
 
@@ -155,7 +161,11 @@ impl Server {
         let n = self.cfg.n_cores;
         let plan = &self.cfg.freq_plan;
         let mut cores: Vec<CoreState> = (0..n)
-            .map(|_| CoreState { freq_mhz: self.cfg.initial_mhz, running: None, sleep: None })
+            .map(|_| CoreState {
+                freq_mhz: self.cfg.initial_mhz,
+                running: None,
+                sleep: None,
+            })
             .collect();
         let mut queue: VecDeque<Request> = VecDeque::new();
         let mut metrics = MetricsCollector::new();
@@ -166,18 +176,24 @@ impl Server {
         let mut now: Nanos = 0;
         let mut arr_idx = 0usize;
         let mut next_tick: Nanos = 0;
-        let mut next_freq_sample: Nanos =
-            if opts.trace.freq_sample_ns > 0 { 0 } else { Nanos::MAX };
-        let mut next_power_sample: Nanos =
-            if opts.trace.power_sample_ns > 0 { 0 } else { Nanos::MAX };
+        let mut next_freq_sample: Nanos = if opts.trace.freq_sample_ns > 0 {
+            0
+        } else {
+            Nanos::MAX
+        };
+        let mut next_power_sample: Nanos = if opts.trace.power_sample_ns > 0 {
+            0
+        } else {
+            Nanos::MAX
+        };
 
         loop {
             // ---- 1. Completions at `now` ----
-            for core_id in 0..n {
-                let done = matches!(&cores[core_id].running,
+            for (core_id, core) in cores.iter_mut().enumerate() {
+                let done = matches!(&core.running,
                     Some(r) if r.remaining_ref_ns <= WORK_EPS && r.wake_remaining_ns <= WORK_EPS);
                 if done {
-                    let running = cores[core_id].running.take().unwrap();
+                    let running = core.running.take().unwrap();
                     let latency = now - running.req.arrival;
                     let rec = RequestRecord {
                         id: running.req.id,
@@ -265,6 +281,9 @@ impl Server {
             // ---- 6. Termination ----
             let all_idle = cores.iter().all(|c| c.running.is_none());
             if arr_idx == arrivals.len() && queue.is_empty() && all_idle {
+                let views = build_core_views(&cores, now);
+                let view = make_view(now, &queue, &views, &metrics, &energy);
+                governor.on_run_end(&view);
                 break;
             }
 
@@ -356,9 +375,7 @@ fn socket_power(cfg: &ServerConfig, cores: &[CoreState]) -> f64 {
             .iter()
             .map(|c| match (&c.running, c.sleep) {
                 (Some(_), _) => cfg.power.core_power_w(c.freq_mhz, true),
-                (None, Some(i)) => {
-                    cfg.cstates.get(i).map(|s| s.power_w).unwrap_or(0.0)
-                }
+                (None, Some(i)) => cfg.cstates.get(i).map(|s| s.power_w).unwrap_or(0.0),
                 (None, None) => cfg.power.core_power_w(c.freq_mhz, false),
             })
             .sum::<f64>()
@@ -391,7 +408,11 @@ fn apply_commands(
 ) {
     for (i, core) in cores.iter_mut().enumerate() {
         if let Some(mhz) = cmds.take(i) {
-            let snapped = if mhz == plan.turbo_mhz { mhz } else { plan.snap(mhz) };
+            let snapped = if mhz == plan.turbo_mhz {
+                mhz
+            } else {
+                plan.snap(mhz)
+            };
             if snapped != core.freq_mhz {
                 core.freq_mhz = snapped;
                 metrics.freq_transitions += 1;
@@ -486,7 +507,11 @@ mod tests {
         let mut gov = FixedFrequency { mhz: 2100 };
         let res = server.run(&arrivals, &mut gov, RunOptions::default());
         for r in &res.records {
-            assert!(r.latency.abs_diff(MILLISECOND) <= 1, "latency {}", r.latency);
+            assert!(
+                r.latency.abs_diff(MILLISECOND) <= 1,
+                "latency {}",
+                r.latency
+            );
         }
     }
 
@@ -512,8 +537,11 @@ mod tests {
         let arrivals = vec![req(0, 0, MILLISECOND), req(1, 0, MILLISECOND)];
         let mut gov = FixedFrequency { mhz: 2100 };
         let clean = make(ContentionModel::none()).run(&arrivals, &mut gov, RunOptions::default());
-        let contended = make(ContentionModel { coeff: 0.5, exponent: 1.0 })
-            .run(&arrivals, &mut gov, RunOptions::default());
+        let contended = make(ContentionModel {
+            coeff: 0.5,
+            exponent: 1.0,
+        })
+        .run(&arrivals, &mut gov, RunOptions::default());
         assert!(
             contended.stats.mean_ns > clean.stats.mean_ns * 1.3,
             "contention had no effect: {} vs {}",
@@ -538,8 +566,9 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let server = Server::new(ServerConfig::paper_default(4));
-        let arrivals: Vec<Request> =
-            (0..50).map(|i| req(i, i * 100_000, 300_000 + (i % 7) * 50_000)).collect();
+        let arrivals: Vec<Request> = (0..50)
+            .map(|i| req(i, i * 100_000, 300_000 + (i % 7) * 50_000))
+            .collect();
         let mut g1 = FixedFrequency { mhz: 1500 };
         let mut g2 = FixedFrequency { mhz: 1500 };
         let a = server.run(&arrivals, &mut g1, RunOptions::default());
@@ -564,7 +593,10 @@ mod tests {
         let _ = server.run(
             &arrivals,
             &mut gov,
-            RunOptions { tick_ns: MILLISECOND, ..Default::default() },
+            RunOptions {
+                tick_ns: MILLISECOND,
+                ..Default::default()
+            },
         );
         // ~10 ms of simulated time at a 1 ms tick → 10-11 ticks.
         assert!((10..=12).contains(&gov.ticks), "ticks {}", gov.ticks);
@@ -578,7 +610,10 @@ mod tests {
         let res = server.run(
             &arrivals,
             &mut gov,
-            RunOptions { trace: TraceConfig::millisecond(), ..Default::default() },
+            RunOptions {
+                trace: TraceConfig::millisecond(),
+                ..Default::default()
+            },
         );
         assert!(!res.traces.freq.is_empty());
         let core_ids: std::collections::HashSet<usize> =

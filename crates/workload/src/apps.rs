@@ -44,7 +44,13 @@ pub enum App {
 }
 
 impl App {
-    pub const ALL: [App; 5] = [App::Xapian, App::Masstree, App::Moses, App::Sphinx, App::ImgDnn];
+    pub const ALL: [App; 5] = [
+        App::Xapian,
+        App::Masstree,
+        App::Moses,
+        App::Sphinx,
+        App::ImgDnn,
+    ];
 }
 
 /// Everything the simulator needs to generate one application's requests.
@@ -289,15 +295,20 @@ mod tests {
     fn feature_correlates_with_work() {
         let mut rng = StdRng::seed_from_u64(6);
         let spec = AppSpec::get(App::Xapian);
-        let reqs: Vec<Request> =
-            (0..5000).map(|i| spec.sample_request(&mut rng, i, 0)).collect();
+        let reqs: Vec<Request> = (0..5000)
+            .map(|i| spec.sample_request(&mut rng, i, 0))
+            .collect();
         // Pearson correlation between feature and true work should be high.
         let xs: Vec<f64> = reqs.iter().map(|r| r.features[0] as f64).collect();
         let ys: Vec<f64> = reqs.iter().map(|r| r.work_ref_ns as f64).collect();
         let n = xs.len() as f64;
         let mx = xs.iter().sum::<f64>() / n;
         let my = ys.iter().sum::<f64>() / n;
-        let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>();
+        let cov: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum::<f64>();
         let vx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum::<f64>();
         let vy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum::<f64>();
         let r = cov / (vx.sqrt() * vy.sqrt());
@@ -320,7 +331,10 @@ mod tests {
         let mut a = StdRng::seed_from_u64(42);
         let mut b = StdRng::seed_from_u64(42);
         for i in 0..20 {
-            assert_eq!(spec.sample_request(&mut a, i, 0), spec.sample_request(&mut b, i, 0));
+            assert_eq!(
+                spec.sample_request(&mut a, i, 0),
+                spec.sample_request(&mut b, i, 0)
+            );
         }
     }
 }

@@ -29,7 +29,10 @@ impl LogNormal {
     pub fn from_mean(mean: f64, sigma: f64) -> Self {
         assert!(mean > 0.0, "log-normal mean must be positive");
         assert!(sigma >= 0.0, "sigma must be non-negative");
-        Self { mu: mean.ln() - sigma * sigma / 2.0, sigma }
+        Self {
+            mu: mean.ln() - sigma * sigma / 2.0,
+            sigma,
+        }
     }
 
     pub fn mean(&self) -> f64 {
@@ -61,7 +64,10 @@ pub struct Pareto {
 
 impl Pareto {
     pub fn new(x_min: f64, alpha: f64) -> Self {
-        assert!(x_min > 0.0 && alpha > 0.0, "Pareto parameters must be positive");
+        assert!(
+            x_min > 0.0 && alpha > 0.0,
+            "Pareto parameters must be positive"
+        );
         Self { x_min, alpha }
     }
 
@@ -98,12 +104,15 @@ impl Exponential {
 /// Inverse standard-normal CDF (Acklam's rational approximation,
 /// |ε| < 1.15e-9 — far below anything the calibration tests need).
 pub fn probit(q: f64) -> f64 {
-    assert!((0.0..1.0).contains(&q) && q > 0.0, "quantile must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&q) && q > 0.0,
+        "quantile must be in (0,1)"
+    );
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.38357751867269e+02,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -165,7 +174,10 @@ mod tests {
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let emp_p99 = samples[(0.99 * samples.len() as f64) as usize];
         let ana_p99 = d.quantile(0.99);
-        assert!((emp_p99 - ana_p99).abs() / ana_p99 < 0.05, "{emp_p99} vs {ana_p99}");
+        assert!(
+            (emp_p99 - ana_p99).abs() / ana_p99 < 0.05,
+            "{emp_p99} vs {ana_p99}"
+        );
     }
 
     #[test]
@@ -187,7 +199,10 @@ mod tests {
         assert!(samples.iter().all(|&x| x >= 1.0));
         let mean: f64 = samples.iter().sum::<f64>() / n as f64;
         let expected = d.mean().unwrap();
-        assert!((mean - expected).abs() / expected < 0.05, "{mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "{mean} vs {expected}"
+        );
         assert!(Pareto::new(1.0, 0.9).mean().is_none());
     }
 

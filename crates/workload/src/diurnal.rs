@@ -68,7 +68,10 @@ pub struct DiurnalTrace {
 impl DiurnalTrace {
     /// Generate a trace from config and seed (fully deterministic).
     pub fn generate(cfg: &DiurnalConfig, seed: u64) -> Self {
-        assert!(cfg.period_s > 0 && cfg.slot_s > 0, "period and slot must be positive");
+        assert!(
+            cfg.period_s > 0 && cfg.slot_s > 0,
+            "period and slot must be positive"
+        );
         assert!(cfg.base_rps > 0.0, "base rps must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
         let n_slots = (cfg.period_s / cfg.slot_s).max(1) as usize;
@@ -82,7 +85,9 @@ impl DiurnalTrace {
             let daily = cfg.daily_amplitude * (phase - std::f64::consts::FRAC_PI_2).sin();
             let half_day = cfg.half_day_amplitude * (2.0 * phase).sin();
             jitter = cfg.jitter_rho * jitter
-                + cfg.jitter_scale * standard_normal(&mut rng) * (1.0 - cfg.jitter_rho.powi(2)).sqrt();
+                + cfg.jitter_scale
+                    * standard_normal(&mut rng)
+                    * (1.0 - cfg.jitter_rho.powi(2)).sqrt();
             if burst_left == 0 && rng.random::<f64>() < cfg.burst_prob {
                 burst_left = cfg.burst_slots;
             }
@@ -95,7 +100,10 @@ impl DiurnalTrace {
             let v = cfg.base_rps * (1.0 + daily + half_day + jitter + burst);
             rps.push(v.max(cfg.base_rps * 0.05));
         }
-        Self { slot_ns: cfg.slot_s * SECOND, rps }
+        Self {
+            slot_ns: cfg.slot_s * SECOND,
+            rps,
+        }
     }
 
     /// Build directly from samples (e.g. replaying a recorded trace).
@@ -180,7 +188,11 @@ mod tests {
     fn trace_has_meaningful_diurnal_swing() {
         let trace = DiurnalTrace::generate(&DiurnalConfig::default(), 1);
         let max = trace.max_rps();
-        let min = trace.samples().iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = trace
+            .samples()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         assert!(max / min > 1.8, "swing too small: {min}..{max}");
         assert!(min > 0.0);
     }
@@ -190,7 +202,11 @@ mod tests {
         // "requests in the afternoon are generally more than in the early
         // morning" — peak should fall in the middle half of the period.
         let trace = DiurnalTrace::generate(
-            &DiurnalConfig { burst_prob: 0.0, jitter_scale: 0.0, ..Default::default() },
+            &DiurnalConfig {
+                burst_prob: 0.0,
+                jitter_scale: 0.0,
+                ..Default::default()
+            },
             3,
         );
         let n = trace.n_slots();
@@ -200,7 +216,10 @@ mod tests {
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap();
-        assert!(peak_idx > n / 4 && peak_idx < 3 * n / 4, "peak at {peak_idx}/{n}");
+        assert!(
+            peak_idx > n / 4 && peak_idx < 3 * n / 4,
+            "peak at {peak_idx}/{n}"
+        );
     }
 
     #[test]
@@ -225,7 +244,11 @@ mod tests {
 
     #[test]
     fn duration_and_mean() {
-        let cfg = DiurnalConfig { period_s: 360, slot_s: 1, ..Default::default() };
+        let cfg = DiurnalConfig {
+            period_s: 360,
+            slot_s: 1,
+            ..Default::default()
+        };
         let trace = DiurnalTrace::generate(&cfg, 2);
         assert_eq!(trace.duration_ns(), 360 * SECOND);
         assert_eq!(trace.n_slots(), 360);
@@ -236,7 +259,11 @@ mod tests {
     #[test]
     fn bursts_create_local_spikes() {
         let no_burst = DiurnalTrace::generate(
-            &DiurnalConfig { burst_prob: 0.0, jitter_scale: 0.0, ..Default::default() },
+            &DiurnalConfig {
+                burst_prob: 0.0,
+                jitter_scale: 0.0,
+                ..Default::default()
+            },
             11,
         );
         let bursty = DiurnalTrace::generate(

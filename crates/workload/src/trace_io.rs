@@ -122,7 +122,10 @@ mod tests {
         std::fs::write(&path, "time_s,rps\n").unwrap();
         assert!(load_trace_csv(&path).is_err());
         std::fs::write(&path, "time_s,rps\n0,100\n1,200\n5,300\n").unwrap();
-        assert!(load_trace_csv(&path).is_err(), "non-uniform spacing must fail");
+        assert!(
+            load_trace_csv(&path).is_err(),
+            "non-uniform spacing must fail"
+        );
         std::fs::write(&path, "time_s,rps\n0,100\n1,-5\n").unwrap();
         assert!(load_trace_csv(&path).is_err(), "negative rps must fail");
         std::fs::remove_file(&path).ok();

@@ -10,9 +10,7 @@ use deeppower_suite::baselines::{
     collect_profile, max_freq_governor, GeminiConfig, GeminiGovernor, RetailConfig, RetailGovernor,
 };
 use deeppower_suite::deeppower::{train, DeepPowerGovernor, Mode, TrainConfig};
-use deeppower_suite::sim::{
-    FreqPlan, Governor, RunOptions, Server, ServerConfig, MILLISECOND,
-};
+use deeppower_suite::sim::{FreqPlan, Governor, RunOptions, Server, ServerConfig, MILLISECOND};
 use deeppower_suite::workload::{trace_arrivals, App, AppSpec};
 
 fn parse_app(name: &str) -> App {
@@ -35,12 +33,18 @@ fn main() {
     train_cfg.episodes = 4;
     train_cfg.episode_s = 60;
     train_cfg.seed = 11;
-    let trace =
-        deeppower_suite::deeppower::train::trace_for(&spec, train_cfg.peak_load, 60, 999);
+    let trace = deeppower_suite::deeppower::train::trace_for(&spec, train_cfg.peak_load, 60, 999);
     let arrivals = trace_arrivals(&spec, &trace, 4242);
-    println!("app = {} ({} requests over 60 s)", spec.name, arrivals.len());
+    println!(
+        "app = {} ({} requests over 60 s)",
+        spec.name,
+        arrivals.len()
+    );
 
-    let opts = RunOptions { tick_ns: train_cfg.deeppower.short_time, ..Default::default() };
+    let opts = RunOptions {
+        tick_ns: train_cfg.deeppower.short_time,
+        ..Default::default()
+    };
 
     // Baseline: unmanaged.
     let mut maxf = max_freq_governor();
@@ -48,8 +52,11 @@ fn main() {
 
     // ReTail and Gemini: profile at a fixed 50% load, then run.
     let profile = collect_profile(&spec, 0.5, 3, 77);
-    let mut retail =
-        RetailGovernor::train(&profile, FreqPlan::xeon_gold_5218r(), RetailConfig::default());
+    let mut retail = RetailGovernor::train(
+        &profile,
+        FreqPlan::xeon_gold_5218r(),
+        RetailConfig::default(),
+    );
     let res_retail = server.run(&arrivals, &mut retail, opts);
     let mut gemini = GeminiGovernor::train(
         &profile,

@@ -17,7 +17,10 @@ fn main() {
     cfg.peak_load = 0.8;
     cfg.seed = 21;
 
-    println!("training DeepPower for masstree ({} episodes x {} s)...", cfg.episodes, cfg.episode_s);
+    println!(
+        "training DeepPower for masstree ({} episodes x {} s)...",
+        cfg.episodes, cfg.episode_s
+    );
     let (policy, report) = train(&cfg);
     println!(
         "training done: {} updates, last-episode timeout rate {:.2}%",

@@ -15,7 +15,12 @@ fn main() {
     // 1. Pick an application: Xapian, the paper's lead example
     //    (8 ms SLA, 20 worker threads).
     let spec = AppSpec::get(App::Xapian);
-    println!("app = {}, SLA = {} ms, threads = {}", spec.name, spec.sla / MILLISECOND, spec.n_threads);
+    println!(
+        "app = {}, SLA = {} ms, threads = {}",
+        spec.name,
+        spec.sla / MILLISECOND,
+        spec.n_threads
+    );
 
     // 2. Build the simulated 20-core Xeon socket.
     let server = Server::new(ServerConfig::paper_default(spec.n_threads));
@@ -34,7 +39,10 @@ fn main() {
     let mut controller = ThreadController::new(ControllerParams::new(0.35, 0.9));
     let managed = server.run(&arrivals, &mut controller, RunOptions::default());
 
-    println!("\n{:<14} {:>10} {:>12} {:>12} {:>10}", "policy", "power (W)", "p99 (ms)", "mean (ms)", "timeout%");
+    println!(
+        "\n{:<14} {:>10} {:>12} {:>12} {:>10}",
+        "policy", "power (W)", "p99 (ms)", "mean (ms)", "timeout%"
+    );
     for (name, res) in [("max-freq", &base), ("controller", &managed)] {
         println!(
             "{:<14} {:>10.1} {:>12.3} {:>12.3} {:>9.2}%",
@@ -47,5 +55,8 @@ fn main() {
     }
     let saving = 100.0 * (1.0 - managed.avg_power_w / base.avg_power_w);
     println!("\npower saving vs unmanaged baseline: {saving:.1}%");
-    assert!(managed.stats.p99_ns <= spec.sla, "controller must hold the SLA");
+    assert!(
+        managed.stats.p99_ns <= spec.sla,
+        "controller must hold the SLA"
+    );
 }

@@ -36,8 +36,11 @@ fn main() {
 
     // Rubik, for a third point in the design space.
     let profile = collect_profile(&spec, 0.25, 3, 11);
-    let mut rubik =
-        RubikGovernor::train(&profile, FreqPlan::xeon_gold_5218r(), RubikConfig::default());
+    let mut rubik = RubikGovernor::train(
+        &profile,
+        FreqPlan::xeon_gold_5218r(),
+        RubikConfig::default(),
+    );
     let r_rubik = plain_server.run(&arrivals, &mut rubik, RunOptions::default());
 
     println!(

@@ -25,7 +25,10 @@ fn main() {
     }
     cfg.seed = 7;
 
-    println!("training DeepPower for {:?}: {} episodes x {} s", cfg.app, cfg.episodes, cfg.episode_s);
+    println!(
+        "training DeepPower for {:?}: {} episodes x {} s",
+        cfg.app, cfg.episodes, cfg.episode_s
+    );
     let (policy, report) = train(&cfg);
     for (i, ((r, p), to)) in report
         .episode_rewards
@@ -34,7 +37,10 @@ fn main() {
         .zip(&report.episode_timeout_rate)
         .enumerate()
     {
-        println!("  episode {i}: mean reward {r:>7.3}, power {p:>6.1} W, timeouts {:.2}%", to * 100.0);
+        println!(
+            "  episode {i}: mean reward {r:>7.3}, power {p:>6.1} W, timeouts {:.2}%",
+            to * 100.0
+        );
     }
     println!("total DDPG updates: {}", report.updates);
 
@@ -45,18 +51,38 @@ fn main() {
     println!("policy checkpoint: {}", path.display());
 
     // Evaluate on a fresh trace seed vs the unmanaged baseline.
-    let eval = evaluate(&policy, cfg.peak_load, cfg.episode_s, 1234, TraceConfig::default());
+    let eval = evaluate(
+        &policy,
+        cfg.peak_load,
+        cfg.episode_s,
+        1234,
+        TraceConfig::default(),
+    );
     let spec = AppSpec::get(App::Xapian);
     let server = Server::new(ServerConfig::paper_default(spec.n_threads));
-    let trace = deeppower_suite::deeppower::train::trace_for(&spec, cfg.peak_load, cfg.episode_s, 1234);
+    let trace =
+        deeppower_suite::deeppower::train::trace_for(&spec, cfg.peak_load, cfg.episode_s, 1234);
     let arrivals = trace_arrivals(&spec, &trace, 1234u64.wrapping_mul(131).wrapping_add(17));
     let mut maxf = max_freq_governor();
     let base = server.run(&arrivals, &mut maxf, RunOptions::default());
 
-    println!("\n{:<12} {:>10} {:>10} {:>10}", "policy", "power (W)", "p99 (ms)", "timeout%");
+    println!(
+        "\n{:<12} {:>10} {:>10} {:>10}",
+        "policy", "power (W)", "p99 (ms)", "timeout%"
+    );
     for (name, power, p99, to) in [
-        ("max-freq", base.avg_power_w, base.stats.p99_ns, base.stats.timeout_rate()),
-        ("deeppower", eval.sim.avg_power_w, eval.sim.stats.p99_ns, eval.sim.stats.timeout_rate()),
+        (
+            "max-freq",
+            base.avg_power_w,
+            base.stats.p99_ns,
+            base.stats.timeout_rate(),
+        ),
+        (
+            "deeppower",
+            eval.sim.avg_power_w,
+            eval.sim.stats.p99_ns,
+            eval.sim.stats.timeout_rate(),
+        ),
     ] {
         println!(
             "{:<12} {:>10.1} {:>10.3} {:>9.2}%",

@@ -44,7 +44,10 @@ fn policy_reacts_to_flash_crowd() {
     let res = server.run(
         &arrivals,
         &mut gov,
-        RunOptions { tick_ns: policy.deeppower.short_time, ..Default::default() },
+        RunOptions {
+            tick_ns: policy.deeppower.short_time,
+            ..Default::default()
+        },
     );
 
     // Mean commanded frequency during the burst vs the initial low phase.
@@ -87,7 +90,10 @@ fn online_mode_keeps_learning_in_deployment() {
     let _ = server.run(
         &arrivals,
         &mut frozen,
-        RunOptions { tick_ns: policy.deeppower.short_time, ..Default::default() },
+        RunOptions {
+            tick_ns: policy.deeppower.short_time,
+            ..Default::default()
+        },
     );
     assert_eq!(frozen.updates_done, 0);
 
@@ -99,10 +105,17 @@ fn online_mode_keeps_learning_in_deployment() {
     let _ = server.run(
         &arrivals,
         &mut online,
-        RunOptions { tick_ns: policy.deeppower.short_time, ..Default::default() },
+        RunOptions {
+            tick_ns: policy.deeppower.short_time,
+            ..Default::default()
+        },
     );
     assert!(online.updates_done > 0, "online mode never trained");
     drop(online);
     assert!(online_agent.replay.len() > 10);
-    assert_ne!(online_agent.actor_snapshot(), before, "weights did not move online");
+    assert_ne!(
+        online_agent.actor_snapshot(),
+        before,
+        "weights did not move online"
+    );
 }

@@ -3,8 +3,7 @@
 //! pipeline every figure bench relies on, at a size that runs in CI.
 
 use deeppower_suite::baselines::{
-    collect_profile, max_freq_governor, GeminiConfig, GeminiGovernor, RetailConfig,
-    RetailGovernor,
+    collect_profile, max_freq_governor, GeminiConfig, GeminiGovernor, RetailConfig, RetailGovernor,
 };
 use deeppower_suite::deeppower::train::trace_for;
 use deeppower_suite::deeppower::{evaluate, train, DeepPowerGovernor, Mode, TrainConfig};
@@ -44,7 +43,10 @@ fn deeppower_saves_power_and_holds_sla_on_xapian() {
     let managed = server.run(
         &arrivals,
         &mut gov,
-        RunOptions { tick_ns: policy.deeppower.short_time, ..Default::default() },
+        RunOptions {
+            tick_ns: policy.deeppower.short_time,
+            ..Default::default()
+        },
     );
 
     assert!(
@@ -74,8 +76,11 @@ fn all_policies_conserve_requests_on_shared_workload() {
     let mut results = Vec::new();
     let mut maxf = max_freq_governor();
     results.push(server.run(&arrivals, &mut maxf, RunOptions::default()));
-    let mut retail =
-        RetailGovernor::train(&profile, FreqPlan::xeon_gold_5218r(), RetailConfig::default());
+    let mut retail = RetailGovernor::train(
+        &profile,
+        FreqPlan::xeon_gold_5218r(),
+        RetailConfig::default(),
+    );
     results.push(server.run(&arrivals, &mut retail, RunOptions::default()));
     let mut gemini = GeminiGovernor::train(
         &profile,
@@ -87,7 +92,11 @@ fn all_policies_conserve_requests_on_shared_workload() {
     results.push(server.run(&arrivals, &mut gemini, RunOptions::default()));
 
     for res in &results {
-        assert_eq!(res.stats.count as usize, arrivals.len(), "requests lost or duplicated");
+        assert_eq!(
+            res.stats.count as usize,
+            arrivals.len(),
+            "requests lost or duplicated"
+        );
         assert!(res.energy_j > 0.0);
         assert!(res.avg_power_w > 20.0, "power below the static floor");
     }
@@ -101,7 +110,11 @@ fn evaluate_roundtrip_is_deterministic_and_logged() {
     let b = evaluate(&policy, 0.6, 10, 123, TraceConfig::default());
     assert_eq!(a.sim.energy_j, b.sim.energy_j);
     assert_eq!(a.sim.stats.count, b.sim.stats.count);
-    assert!(a.log.len() >= 9, "expected ~one StepLog per second, got {}", a.log.len());
+    assert!(
+        a.log.len() >= 9,
+        "expected ~one StepLog per second, got {}",
+        a.log.len()
+    );
     // Telemetry is internally consistent: per-step arrivals sum to the
     // run's total.
     let total: u64 = a.log.iter().map(|l| l.num_req).sum();

@@ -1,0 +1,406 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! A hand-rolled `#[derive(Serialize, Deserialize)]` implementation
+//! built directly on `proc_macro::TokenStream` (no `syn`/`quote` —
+//! those can't be fetched in this offline build environment). It
+//! supports exactly the shapes used in this workspace:
+//!
+//! * structs with named fields;
+//! * enums with unit variants and tuple variants;
+//! * the `#[serde(skip)]` field attribute (field omitted on
+//!   serialize, `Default::default()` on deserialize);
+//! * no generic parameters (none of the workspace's serde types have
+//!   any — the macro panics with a clear message if one appears).
+//!
+//! Generated code targets the sibling `serde` stub's `Value`-tree
+//! API: `Serialize::serialize_value(&self) -> Value` and
+//! `Deserialize::deserialize_value(&Value) -> Result<Self, Error>`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.kind {
+        ItemKind::Struct(fields) => gen_struct_serialize(&item.name, fields),
+        ItemKind::Enum(variants) => gen_enum_serialize(&item.name, variants),
+    };
+    code.parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.kind {
+        ItemKind::Struct(fields) => gen_struct_deserialize(&item.name, fields),
+        ItemKind::Enum(variants) => gen_enum_deserialize(&item.name, variants),
+    };
+    code.parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---- parsed shapes ---------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    /// Number of tuple payload elements; 0 = unit variant.
+    arity: usize,
+}
+
+// ---- parsing ---------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs(&mut toks);
+    skip_visibility(&mut toks);
+
+    let keyword = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic parameters are not supported (type `{name}`)");
+    }
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive: `{name}` must have a braced body (tuple/unit structs unsupported), got {other:?}"
+        ),
+    };
+
+    let kind = match keyword.as_str() {
+        "struct" => ItemKind::Struct(parse_fields(body)),
+        "enum" => ItemKind::Enum(parse_variants(body)),
+        other => panic!("serde_derive: expected `struct` or `enum`, got `{other}`"),
+    };
+    Item { name, kind }
+}
+
+type Toks = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consume leading `#[...]` attributes (including doc comments) and
+/// report whether any of them is `#[serde(skip)]`.
+fn skip_attrs(toks: &mut Toks) -> bool {
+    let mut skip = false;
+    while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        toks.next();
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                skip |= attr_is_serde_skip(g.stream());
+            }
+            other => panic!("serde_derive: malformed attribute, got {other:?}"),
+        }
+    }
+    skip
+}
+
+/// True iff the attribute body is `serde(... skip ...)`.
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let mut toks = stream.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn skip_visibility(toks: &mut Toks) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        toks.next();
+        if matches!(
+            toks.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            toks.next(); // pub(crate) / pub(super)
+        }
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let mut toks = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        if toks.peek().is_none() {
+            break;
+        }
+        let skip = skip_attrs(&mut toks);
+        skip_visibility(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        consume_type_until_comma(&mut toks);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Consume type tokens up to (and including) the next top-level comma.
+/// Commas inside `<...>` belong to the type; commas inside `(...)` /
+/// `[...]` are invisible here because those arrive as single `Group`
+/// tokens.
+fn consume_type_until_comma(toks: &mut Toks) {
+    let mut angle_depth: u32 = 0;
+    for tok in toks.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut toks = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        if toks.peek().is_none() {
+            break;
+        }
+        skip_attrs(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let mut arity = 0usize;
+        match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                arity = tuple_arity(g.stream());
+                toks.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde_derive: struct enum variants unsupported (variant `{name}`)")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde_derive: explicit discriminants unsupported (variant `{name}`)")
+            }
+            _ => {}
+        }
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+        variants.push(Variant { name, arity });
+    }
+    variants
+}
+
+/// Count top-level comma-separated elements of a tuple payload.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut angle_depth: u32 = 0;
+    let mut commas = 0usize;
+    let mut trailing_tokens = false;
+    for tok in stream {
+        trailing_tokens = true;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    commas += 1;
+                    trailing_tokens = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    commas + usize::from(trailing_tokens)
+}
+
+// ---- codegen ---------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &[Field]) -> String {
+    let mut pushes = String::new();
+    for f in fields.iter().filter(|f| !f.skip) {
+        pushes.push_str(&format!(
+            "__fields.push((::std::string::String::from(\"{0}\"), \
+             ::serde::Serialize::serialize_value(&self.{0})));\n",
+            f.name
+        ));
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n\
+                 let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(__fields)\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{0}: match __obj.iter().find(|(__k, _)| __k.as_str() == \"{0}\") {{\n\
+                     ::std::option::Option::Some((_, __v)) => \
+                         ::serde::Deserialize::deserialize_value(__v)?,\n\
+                     ::std::option::Option::None => return ::std::result::Result::Err(\
+                         ::serde::Error::custom(\"{name}: missing field `{0}`\")),\n\
+                 }},\n",
+                f.name
+            ));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(__value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let __obj = match __value {{\n\
+                     ::serde::Value::Object(__m) => __m,\n\
+                     _ => return ::std::result::Result::Err(\
+                         ::serde::Error::custom(\"{name}: expected object\")),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{\n\
+                     {inits}\
+                 }})\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        if v.arity == 0 {
+            arms.push_str(&format!(
+                "{name}::{0} => ::serde::Value::String(::std::string::String::from(\"{0}\")),\n",
+                v.name
+            ));
+        } else {
+            let binders: Vec<String> = (0..v.arity).map(|i| format!("__f{i}")).collect();
+            let payload = if v.arity == 1 {
+                "::serde::Serialize::serialize_value(__f0)".to_string()
+            } else {
+                let items: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            };
+            arms.push_str(&format!(
+                "{name}::{0}({binds}) => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{0}\"), {payload})]),\n",
+                v.name,
+                binds = binders.join(", "),
+            ));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n\
+                     {arms}\
+                 }}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| v.arity == 0)
+        .map(|v| {
+            format!(
+                "\"{0}\" => ::std::result::Result::Ok({name}::{0}),\n",
+                v.name
+            )
+        })
+        .collect();
+    let mut payload_arms = String::new();
+    for v in variants.iter().filter(|v| v.arity > 0) {
+        if v.arity == 1 {
+            payload_arms.push_str(&format!(
+                "\"{0}\" => ::std::result::Result::Ok({name}::{0}(\
+                     ::serde::Deserialize::deserialize_value(__v)?)),\n",
+                v.name
+            ));
+        } else {
+            let elems: Vec<String> = (0..v.arity)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&__items[{i}])?"))
+                .collect();
+            payload_arms.push_str(&format!(
+                "\"{0}\" => match __v {{\n\
+                     ::serde::Value::Array(__items) if __items.len() == {arity} => \
+                         ::std::result::Result::Ok({name}::{0}({elems})),\n\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\
+                         \"{name}::{0}: expected array of {arity}\")),\n\
+                 }},\n",
+                v.name,
+                arity = v.arity,
+                elems = elems.join(", "),
+            ));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(__value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match __value {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                         let (__k, __v) = &__pairs[0];\n\
+                         match __k.as_str() {{\n\
+                             {payload_arms}\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\
+                         \"{name}: expected string or single-key object\")),\n\
+                 }}\n\
+             }}\n\
+         }}\n"
+    )
+}
