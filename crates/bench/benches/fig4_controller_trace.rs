@@ -6,6 +6,11 @@
 //! sits at the BaseFreq level while idle, ramps up during request
 //! processing (slope set by ScalingCoef), and resets when a request
 //! completes.
+//!
+//! The series is reconstructed from the telemetry event stream
+//! (`FreqTransition` + `RequestDispatch`/`RequestComplete`) rather than
+//! the legacy sampled trace, so the bench exercises the same artifact
+//! pipeline as `deeppower trace`.
 
 use deeppower_bench::{downsample, sparkline};
 use deeppower_core::{ControllerParams, ThreadController};
@@ -13,6 +18,7 @@ use deeppower_simd_server::{
     FreqCommands, Governor, RunOptions, Server, ServerConfig, ServerView, TraceConfig, MILLISECOND,
     SECOND,
 };
+use deeppower_telemetry::{freq_series, Event, Recorder};
 use deeppower_workload::{constant_rate_arrivals, App, AppSpec};
 
 /// Thread controller whose parameters switch at a fixed time — the red
@@ -44,40 +50,45 @@ fn main() {
         switch_at: SECOND, // parameter update at t = 1 s
         after: ControllerParams::new(0.45, 0.5),
     };
-    let res = server.run(
+    // One core x 1 ms ticks x 2 s => at most ~2k transitions, plus two
+    // marks per request; 1 << 14 leaves ample headroom.
+    let rec = Recorder::ring(1 << 14);
+    let _res = server.run_recorded(
         &arrivals,
         &mut gov,
         RunOptions {
             tick_ns: MILLISECOND,
             trace: TraceConfig::millisecond(),
         },
+        &rec,
     );
+    let events = rec.drain_events();
+    assert_eq!(rec.dropped_events(), 0, "event ring must not overflow");
 
     println!("# Fig. 4 — per-ms frequency of core 0 over 2 s (Xapian)");
     println!("# params: (BaseFreq 0.25, ScalingCoef 0.9) -> (0.45, 0.5) at t=1s\n");
 
-    let freqs: Vec<f64> = res
-        .traces
-        .freq
-        .iter()
-        .filter(|&&(t, c, _)| c == 0 && t < 2 * SECOND)
-        .map(|&(_, _, f)| f as f64)
-        .collect();
+    let freqs: Vec<f64> = freq_series(
+        &events,
+        0,
+        server.config().initial_mhz,
+        2 * SECOND - MILLISECOND,
+        MILLISECOND,
+    )
+    .iter()
+    .map(|&(_, f)| f as f64)
+    .collect();
     for (i, chunk) in freqs.chunks(250).enumerate() {
         println!("{:>5} ms |{}|", i * 250, sparkline(&downsample(chunk, 100)));
     }
 
-    let starts = res
-        .traces
-        .marks
+    let starts = events
         .iter()
-        .filter(|m| m.3 && m.0 < 2 * SECOND)
+        .filter(|ev| matches!(ev, Event::RequestDispatch(d) if d.t < 2 * SECOND))
         .count();
-    let ends = res
-        .traces
-        .marks
+    let ends = events
         .iter()
-        .filter(|m| !m.3 && m.0 < 2 * SECOND)
+        .filter(|ev| matches!(ev, Event::RequestComplete(c) if c.t < 2 * SECOND))
         .count();
     println!("\nrequest marks in window: {starts} starts (green), {ends} ends (blue)");
 

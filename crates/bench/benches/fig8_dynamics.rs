@@ -8,10 +8,16 @@
 //! * "DeepPower raises the ScalingCoef … in high loads … and maintains
 //!   BaseFreq at a moderate level";
 //! * the mean frequency rises and falls with load.
+//!
+//! The per-second series comes from the governor's `DrlStep` telemetry
+//! events — the same stream `deeppower trace` serializes — instead of
+//! the in-memory `StepLog` vector, so the figure and the artifact can
+//! never drift apart.
 
 use deeppower_bench::{default_trained_policy, downsample, sparkline, Scale};
-use deeppower_core::evaluate;
+use deeppower_core::evaluate_recorded;
 use deeppower_simd_server::TraceConfig;
+use deeppower_telemetry::{Event, Recorder};
 use deeppower_workload::App;
 
 fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
@@ -27,20 +33,35 @@ fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 fn main() {
     let scale = Scale::from_env();
     let policy = default_trained_policy(App::Xapian, scale);
-    let eval = evaluate(
+    let rec = Recorder::ring(1 << 16);
+    let eval = evaluate_recorded(
         &policy,
         deeppower_core::train::default_peak_load(App::Xapian),
         scale.eval_s,
         999,
         TraceConfig::default(),
+        &rec,
+    );
+    let steps: Vec<_> = rec
+        .drain_events()
+        .into_iter()
+        .filter_map(|ev| match ev {
+            Event::DrlStep(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        steps.len(),
+        eval.log.len(),
+        "one DrlStep event per StepLog entry"
     );
 
     // Skip the first step (partial counters).
-    let log: Vec<_> = eval.log.iter().skip(1).collect();
+    let log: Vec<_> = steps.iter().skip(1).collect();
     let rps: Vec<f64> = log.iter().map(|l| l.num_req as f64).collect();
     let power: Vec<f64> = log.iter().map(|l| l.power_w).collect();
-    let base: Vec<f64> = log.iter().map(|l| l.base_freq as f64).collect();
-    let coef: Vec<f64> = log.iter().map(|l| l.scaling_coef as f64).collect();
+    let base: Vec<f64> = log.iter().map(|l| l.base_freq).collect();
+    let coef: Vec<f64> = log.iter().map(|l| l.scaling_coef).collect();
     let freq: Vec<f64> = log.iter().map(|l| l.avg_freq_mhz).collect();
 
     println!(

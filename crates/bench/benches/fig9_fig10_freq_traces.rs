@@ -11,7 +11,10 @@
 //!
 //! This bench quantifies that: per policy it reports the number of
 //! distinct frequency levels exercised, the frequency-transition count,
-//! and the fraction of busy samples at max-or-turbo.
+//! and the (time-weighted) fraction of core-time at max-or-turbo. All
+//! series derive from the telemetry event stream — `CoreResidency` for
+//! the dwell-time aggregates, `FreqTransition` for core 0's sparkline —
+//! the same artifact `deeppower trace` writes.
 
 use deeppower_baselines::{
     collect_profile, GeminiConfig, GeminiGovernor, RetailConfig, RetailGovernor,
@@ -19,7 +22,10 @@ use deeppower_baselines::{
 use deeppower_bench::{default_trained_policy, downsample, sparkline, Scale};
 use deeppower_core::train::{default_peak_load, trace_for};
 use deeppower_core::{DeepPowerGovernor, Mode};
-use deeppower_simd_server::{FreqPlan, RunOptions, Server, ServerConfig, SimResult, TraceConfig};
+use deeppower_simd_server::{
+    FreqPlan, Governor, Request, RunOptions, Server, ServerConfig, TraceConfig, MILLISECOND, SECOND,
+};
+use deeppower_telemetry::{freq_series, Event, Recorder};
 use deeppower_workload::{trace_arrivals, App, AppSpec};
 
 struct PolicyTrace {
@@ -31,29 +37,52 @@ struct PolicyTrace {
     core0: Vec<f64>,
 }
 
-fn summarize(name: &'static str, res: &SimResult) -> PolicyTrace {
+/// Run `gov` with a recorder and reduce the event stream to the
+/// figure's aggregates. Time-weighted stats come from `CoreResidency`
+/// (exact dwell times, not ms samples).
+fn run_traced(
+    name: &'static str,
+    server: &Server,
+    arrivals: &[Request],
+    gov: &mut dyn Governor,
+    opts: RunOptions,
+    window_s: u64,
+) -> PolicyTrace {
+    let rec = Recorder::ring(1 << 20);
+    let res = server.run_recorded(arrivals, gov, opts, &rec);
+    let events = rec.drain_events();
+    assert_eq!(rec.dropped_events(), 0, "event ring must not overflow");
+
     let mut levels = std::collections::HashSet::new();
-    let mut at_max = 0usize;
-    let mut total = 0usize;
-    let mut sum = 0.0;
-    let mut core0 = Vec::new();
-    for &(_, core, f) in &res.traces.freq {
-        levels.insert(f);
-        if f >= 2100 {
-            at_max += 1;
-        }
-        total += 1;
-        sum += f as f64;
-        if core == 0 {
-            core0.push(f as f64);
+    let mut ns_at_max = 0u64;
+    let mut ns_total = 0u64;
+    let mut mhz_ns = 0.0f64;
+    for ev in &events {
+        if let Event::CoreResidency(r) = ev {
+            levels.insert(r.mhz);
+            if r.mhz >= 2100 {
+                ns_at_max += r.ns;
+            }
+            ns_total += r.ns;
+            mhz_ns += r.mhz as f64 * r.ns as f64;
         }
     }
+    let core0 = freq_series(
+        &events,
+        0,
+        server.config().initial_mhz,
+        window_s * SECOND,
+        MILLISECOND,
+    )
+    .iter()
+    .map(|&(_, f)| f as f64)
+    .collect();
     PolicyTrace {
         name,
         distinct_levels: levels.len(),
         transitions: res.freq_transitions,
-        frac_at_max: at_max as f64 / total.max(1) as f64,
-        mean_freq: sum / total.max(1) as f64,
+        frac_at_max: ns_at_max as f64 / ns_total.max(1) as f64,
+        mean_freq: mhz_ns / ns_total.max(1) as f64,
         core0,
     }
 }
@@ -72,13 +101,16 @@ fn run_app(app: App, window_s: u64, scale: Scale) -> Vec<PolicyTrace> {
     let policy = default_trained_policy(app, scale);
     let mut agent = policy.build_agent();
     let mut dp = DeepPowerGovernor::new(&mut agent, policy.deeppower, Mode::Eval);
-    let r_dp = server.run(
+    let r_dp = run_traced(
+        "deeppower",
+        &server,
         &arrivals,
         &mut dp,
         RunOptions {
             tick_ns: policy.deeppower.short_time,
             trace: TraceConfig::millisecond(),
         },
+        window_s,
     );
 
     let mut retail = RetailGovernor::train(
@@ -86,7 +118,7 @@ fn run_app(app: App, window_s: u64, scale: Scale) -> Vec<PolicyTrace> {
         FreqPlan::xeon_gold_5218r(),
         RetailConfig::default(),
     );
-    let r_retail = server.run(&arrivals, &mut retail, opts);
+    let r_retail = run_traced("retail", &server, &arrivals, &mut retail, opts, window_s);
 
     let mut gemini = GeminiGovernor::train(
         &profile,
@@ -95,13 +127,9 @@ fn run_app(app: App, window_s: u64, scale: Scale) -> Vec<PolicyTrace> {
         GeminiConfig::default(),
         5,
     );
-    let r_gemini = server.run(&arrivals, &mut gemini, opts);
+    let r_gemini = run_traced("gemini", &server, &arrivals, &mut gemini, opts, window_s);
 
-    vec![
-        summarize("deeppower", &r_dp),
-        summarize("retail", &r_retail),
-        summarize("gemini", &r_gemini),
-    ]
+    vec![r_dp, r_retail, r_gemini]
 }
 
 fn main() {

@@ -1,0 +1,125 @@
+//! Telemetry overhead — cost of the recorder on the hot simulation loop.
+//!
+//! The acceptance bar for the telemetry layer: running the server
+//! through `run_recorded` with a *disabled* recorder, or with one backed
+//! by the no-op sink, must cost within 2% of the plain `run` path. A
+//! disabled recorder is a single `Option` branch per emission site;
+//! `NoopSink` additionally constructs each event payload before
+//! discarding it. The ring-buffered full-capture cost is reported for
+//! reference (no assertion — it pays for payload construction *and*
+//! buffering).
+//!
+//! Workload: a compare-style rollout — Xapian under the thread
+//! controller at moderate load, default (non-tracing) `TraceConfig`, so
+//! the event volume matches what `grid`/`compare` jobs see.
+//!
+//! Timing uses min-of-N: the minimum over repeated identical runs is
+//! the standard noise-robust estimator for a deterministic workload.
+//! Set `DEEPPOWER_SMOKE=1` for a quick CI-sized run (shorter sim,
+//! fewer repeats, assertion relaxed to 10% to tolerate shared runners).
+
+use deeppower_core::{ControllerParams, ThreadController};
+use deeppower_simd_server::{RunOptions, Server, ServerConfig, SimResult};
+use deeppower_telemetry::{NoopSink, Recorder};
+use deeppower_workload::{constant_rate_arrivals, App, AppSpec};
+use std::time::Instant;
+
+fn min_wall_s(repeats: usize, mut run: impl FnMut() -> SimResult) -> (f64, SimResult) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let res = run();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(res);
+    }
+    (best, last.expect("repeats > 0"))
+}
+
+fn main() {
+    let smoke = std::env::var("DEEPPOWER_SMOKE")
+        .map(|v| v != "0")
+        .unwrap_or(false);
+    let (duration_s, repeats, tolerance) = if smoke { (5, 3, 0.10) } else { (20, 7, 0.02) };
+
+    let spec = AppSpec::get(App::Xapian);
+    let server = Server::new(ServerConfig::paper_default(spec.n_threads));
+    let arrivals = constant_rate_arrivals(
+        &spec,
+        spec.rps_for_load(0.6),
+        duration_s * deeppower_simd_server::SECOND,
+        7,
+    );
+    let opts = RunOptions::default();
+    let gov = || ThreadController::new(ControllerParams::new(0.3, 1.0));
+
+    println!(
+        "# Telemetry overhead — {duration_s} s Xapian rollout x {} cores, min of {repeats}\n",
+        spec.n_threads
+    );
+
+    // Warm-up run (page in the binary, stabilize allocator).
+    server.run(&arrivals, &mut gov(), opts);
+
+    let (t_plain, r_plain) = min_wall_s(repeats, || server.run(&arrivals, &mut gov(), opts));
+    let (t_disabled, r_disabled) = min_wall_s(repeats, || {
+        server.run_recorded(&arrivals, &mut gov(), opts, &Recorder::disabled())
+    });
+    let (t_noop, r_noop) = min_wall_s(repeats, || {
+        server.run_recorded(
+            &arrivals,
+            &mut gov(),
+            opts,
+            &Recorder::with_sink(Box::new(NoopSink)),
+        )
+    });
+    let (t_ring, r_ring) = min_wall_s(repeats, || {
+        server.run_recorded(&arrivals, &mut gov(), opts, &Recorder::ring(1 << 16))
+    });
+
+    // Telemetry must never perturb the simulation.
+    for (name, r) in [
+        ("disabled", &r_disabled),
+        ("noop-sink", &r_noop),
+        ("ring", &r_ring),
+    ] {
+        assert_eq!(
+            r.stats.count, r_plain.stats.count,
+            "{name}: request count must match plain run"
+        );
+        assert_eq!(
+            r.energy_j.to_bits(),
+            r_plain.energy_j.to_bits(),
+            "{name}: energy must be bit-identical to plain run"
+        );
+    }
+
+    let pct = |t: f64| 100.0 * (t / t_plain - 1.0);
+    println!("{:<22} {:>9} {:>9}", "configuration", "wall(s)", "vs plain");
+    println!("{:<22} {:>9.4} {:>9}", "plain run", t_plain, "-");
+    println!(
+        "{:<22} {:>9.4} {:>+8.2}%",
+        "recorder disabled",
+        t_disabled,
+        pct(t_disabled)
+    );
+    println!("{:<22} {:>9.4} {:>+8.2}%", "noop sink", t_noop, pct(t_noop));
+    println!(
+        "{:<22} {:>9.4} {:>+8.2}%",
+        "ring (full capture)",
+        t_ring,
+        pct(t_ring)
+    );
+
+    let worst = (t_disabled / t_plain - 1.0).max(t_noop / t_plain - 1.0);
+    assert!(
+        worst < tolerance,
+        "disabled/noop recorder overhead {:.2}% exceeds {:.0}% budget",
+        worst * 100.0,
+        tolerance * 100.0
+    );
+    println!(
+        "\n[overhead OK] disabled/noop recorder within {:.0}% of the plain path",
+        tolerance * 100.0
+    );
+}

@@ -3,31 +3,37 @@
 //! ```text
 //! deeppower train   --app xapian [--episodes N] [--episode-s S] [--seed K] -o policy.json
 //! deeppower eval    --policy policy.json [--duration-s S] [--peak-load F] [--seed K]
-//! deeppower compare --app xapian [--duration-s S] [--seed K] [--threads N]
-//! deeppower grid    --apps a,b --governors g1,g2 --seeds 1,2 [--threads N] [-o report.json]
-//! deeppower trace   --period-s S --base-rps R [--seed K] -o trace.csv
+//! deeppower compare --app xapian [--duration-s S] [--seed K] [--threads N] [--telemetry DIR]
+//! deeppower grid    --apps a,b --governors g1,g2 --seeds 1,2 [--threads N] [--telemetry DIR]
+//! deeppower trace   --policy policy.json [--duration-s S] -o trace.jsonl [--csv steps.csv]
+//! deeppower workload-trace [--period-s S] [--base-rps R] [--seed K] -o trace.csv
 //! ```
 //!
 //! Argument parsing is hand-rolled (no CLI dependency is in the
-//! sanctioned offline set); every flag has a sane default.
+//! sanctioned offline set); every flag has a sane default. `-v` and
+//! `--quiet` select the stderr log level; everything written to stdout
+//! is data (tables, CSV, JSON), everything human-facing goes through
+//! the leveled [`Logger`] on stderr.
 //!
 //! `compare` and `grid` run on the `deeppower-harness` engine: every
 //! (app, governor, seed) cell is an independent job executed by a
 //! work-stealing thread pool, with results deterministic in the job
-//! specs regardless of `--threads`.
+//! specs regardless of `--threads`. With `--telemetry DIR` each job
+//! additionally writes its full event stream as one JSONL artifact,
+//! byte-identical at any thread count.
 
 use deeppower_core::train::default_peak_load;
-use deeppower_core::{train, TrainConfig, TrainedPolicy};
+use deeppower_core::{evaluate, evaluate_recorded, train, TrainConfig, TrainedPolicy};
 use deeppower_harness::{
-    calibrated_train_seed, grid, run_grid, summarize, GovernorSpec, WorkloadKind,
+    calibrated_train_seed, grid, run_grid, run_grid_telemetry, summarize, GovernorSpec, JobResult,
+    WorkloadKind,
 };
 use deeppower_simd_server::{TraceConfig, MILLISECOND};
+use deeppower_telemetry::{steps_to_csv, to_jsonl, Event, Logger, Recorder};
 use deeppower_workload::{save_trace_csv, App, AppSpec, DiurnalConfig, DiurnalTrace};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-use deeppower_core::evaluate;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,12 +48,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let log = Logger::from_flags(
+        flags.contains_key("quiet"),
+        flags.contains_key("verbose"),
+        Recorder::ring(64),
+    );
     let result = match cmd.as_str() {
-        "train" => cmd_train(&flags),
-        "eval" => cmd_eval(&flags),
-        "compare" => cmd_compare(&flags),
-        "grid" => cmd_grid(&flags),
-        "trace" => cmd_trace(&flags),
+        "train" => cmd_train(&flags, &log),
+        "eval" => cmd_eval(&flags, &log),
+        "compare" => cmd_compare(&flags, &log),
+        "grid" => cmd_grid(&flags, &log),
+        "trace" => cmd_trace(&flags, &log),
+        "workload-trace" => cmd_workload_trace(&flags, &log),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -57,7 +69,8 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
+            log.error(&e);
+            eprintln!("\n{USAGE}");
             ExitCode::FAILURE
         }
     }
@@ -70,15 +83,30 @@ USAGE:
   deeppower train   --app <name> [--episodes N] [--episode-s S] [--peak-load F] [--seed K] [-o FILE]
   deeppower eval    --policy FILE [--duration-s S] [--peak-load F] [--seed K]
   deeppower compare --app <name> [--duration-s S] [--seed K] [--train-seed K] [--threads N]
+                    [--telemetry DIR]
   deeppower grid    --apps a,b [--governors LIST] [--seeds LIST] [--duration-s S]
                     [--peak-load F] [--workload diurnal|constant] [--threads N] [-o FILE]
-  deeppower trace   [--period-s S] [--base-rps R] [--seed K] -o FILE
+                    [--telemetry DIR]
+  deeppower trace   --policy FILE | --app <name> [--duration-s S] [--peak-load F] [--seed K]
+                    [-o FILE.jsonl] [--csv FILE.csv]
+  deeppower workload-trace [--period-s S] [--base-rps R] [--seed K] -o FILE
+
+Global: -v (debug logging) | --quiet (errors only); logs go to stderr, data to stdout.
 
 APPS:      xapian | masstree | moses | sphinx | img-dnn
 GOVERNORS: baseline | fixed-<mhz> | thread-controller | retail | gemini | deeppower
-           (`deeppower` trains an agent per (app, seed) cell; --threads 0 = all cores)";
+           (`deeppower` trains an agent per (app, seed) cell; --threads 0 = all cores)
+
+`trace` replays a trained policy with full instrumentation and writes the
+decision trace (DrlStep, FreqTransition, RequestDispatch/Complete, ...) as
+JSONL; --csv additionally writes the per-second DrlStep table.
+`--telemetry DIR` on compare/grid writes one JSONL artifact per job,
+named job-NNN-<app>-<governor>-seed<K>.jsonl.";
 
 type Flags = HashMap<String, String>;
+
+/// Flags that take no value; their presence maps to `"true"`.
+const BOOL_FLAGS: &[&str] = &["quiet", "verbose"];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut out = HashMap::new();
@@ -86,9 +114,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     while let Some(a) = it.next() {
         let key = match a.as_str() {
             "-o" => "out".to_string(),
+            "-v" => "verbose".to_string(),
             s if s.starts_with("--") => s.trim_start_matches("--").to_string(),
             other => return Err(format!("unexpected argument `{other}`")),
         };
+        if BOOL_FLAGS.contains(&key.as_str()) {
+            out.insert(key, "true".to_string());
+            continue;
+        }
         let val = it
             .next()
             .ok_or_else(|| format!("flag `{a}` needs a value"))?;
@@ -152,7 +185,33 @@ fn parse_list<T>(
         .collect()
 }
 
-fn cmd_train(flags: &Flags) -> Result<(), String> {
+/// Write one JSONL artifact per job into `dir`:
+/// `job-NNN-<app>-<governor>-seed<K>.jsonl`. Job index, app, governor
+/// and seed come from the (deterministically ordered) results, so the
+/// file set — names and bytes — is a pure function of the job specs.
+fn write_telemetry_artifacts(
+    dir: &str,
+    results: &[JobResult],
+    events: &[Vec<Event>],
+    log: &Logger,
+) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    for (i, (r, ev)) in results.iter().zip(events).enumerate() {
+        let path = Path::new(dir).join(format!(
+            "job-{i:03}-{}-{}-seed{}.jsonl",
+            r.app, r.governor, r.seed
+        ));
+        std::fs::write(&path, to_jsonl(ev)).map_err(|e| e.to_string())?;
+        log.debug(&format!("{} events -> {}", ev.len(), path.display()));
+    }
+    log.info(&format!(
+        "{} telemetry artifacts written to {dir}/",
+        results.len()
+    ));
+    Ok(())
+}
+
+fn cmd_train(flags: &Flags, log: &Logger) -> Result<(), String> {
     let app = parse_app(flags)?;
     let mut cfg = TrainConfig::for_app(app);
     cfg.episodes = get(flags, "episodes", 8usize)?;
@@ -161,10 +220,10 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     cfg.seed = get(flags, "seed", 0u64)?;
     let out: PathBuf = get(flags, "out", PathBuf::from("policy.json"))?;
 
-    println!(
+    log.info(&format!(
         "training DeepPower for {:?}: {} episodes x {} s (peak load {:.2})",
         app, cfg.episodes, cfg.episode_s, cfg.peak_load
-    );
+    ));
     let t0 = std::time::Instant::now();
     let (policy, report) = train(&cfg);
     for (i, ((r, p), to)) in report
@@ -174,22 +233,22 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         .zip(&report.episode_timeout_rate)
         .enumerate()
     {
-        println!(
+        log.info(&format!(
             "  episode {i:>2}: mean reward {r:>7.3}  power {p:>6.1} W  timeouts {:>5.2}%",
             to * 100.0
-        );
+        ));
     }
     policy.save(&out).map_err(|e| e.to_string())?;
-    println!(
+    log.info(&format!(
         "{} DDPG updates in {:.1} s; policy written to {}",
         report.updates,
         t0.elapsed().as_secs_f64(),
         out.display()
-    );
+    ));
     Ok(())
 }
 
-fn cmd_eval(flags: &Flags) -> Result<(), String> {
+fn cmd_eval(flags: &Flags, log: &Logger) -> Result<(), String> {
     let path: PathBuf = get(flags, "policy", PathBuf::from("policy.json"))?;
     let policy = TrainedPolicy::load(Path::new(&path)).map_err(|e| e.to_string())?;
     let duration_s = get(flags, "duration-s", 60u64)?;
@@ -197,10 +256,10 @@ fn cmd_eval(flags: &Flags) -> Result<(), String> {
     let seed = get(flags, "seed", 999u64)?;
 
     let spec = AppSpec::get(policy.app);
-    println!(
+    log.info(&format!(
         "evaluating {:?} policy: {duration_s} s at peak load {peak:.2}",
         policy.app
-    );
+    ));
     let out = evaluate(&policy, peak, duration_s, seed, TraceConfig::default());
     let s = &out.sim.stats;
     println!(
@@ -215,14 +274,16 @@ fn cmd_eval(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_compare(flags: &Flags) -> Result<(), String> {
+fn cmd_compare(flags: &Flags, log: &Logger) -> Result<(), String> {
     let app = parse_app(flags)?;
     let duration_s = get(flags, "duration-s", 60u64)?;
     let seed = get(flags, "seed", 999u64)?;
     let threads = get(flags, "threads", 0usize)?;
     let train_seed = get(flags, "train-seed", calibrated_train_seed(app))?;
 
-    println!("training DeepPower (8 episodes x 120 s, seed {train_seed})...");
+    log.info(&format!(
+        "training DeepPower (8 episodes x 120 s, seed {train_seed})..."
+    ));
     let mut cfg = TrainConfig::for_app(app);
     cfg.episodes = 8;
     cfg.episode_s = 120;
@@ -245,11 +306,18 @@ fn cmd_compare(flags: &Flags) -> Result<(), String> {
         duration_s,
         WorkloadKind::Diurnal,
     );
-    println!(
+    log.info(&format!(
         "comparing {} policies on {app:?} over {duration_s} s",
         jobs.len()
-    );
-    let results = run_grid(&jobs, threads);
+    ));
+    let results = match flags.get("telemetry") {
+        Some(dir) => {
+            let (results, events) = run_grid_telemetry(&jobs, threads);
+            write_telemetry_artifacts(dir, &results, &events, log)?;
+            results
+        }
+        None => run_grid(&jobs, threads),
+    };
 
     let base_power = results[0].avg_power_w;
     println!(
@@ -269,7 +337,7 @@ fn cmd_compare(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_grid(flags: &Flags) -> Result<(), String> {
+fn cmd_grid(flags: &Flags, log: &Logger) -> Result<(), String> {
     let apps = parse_list(flags, "apps", "xapian,masstree", app_by_name)?;
     let seeds = parse_list(flags, "seeds", "1,2,3", |s| {
         s.parse().map_err(|_| format!("bad seed `{s}`"))
@@ -303,7 +371,7 @@ fn cmd_grid(flags: &Flags) -> Result<(), String> {
     }
 
     let jobs = grid(&apps, &governors, &seeds, peak_load, duration_s, workload);
-    println!(
+    log.info(&format!(
         "running {} jobs ({} apps x {} governors x {} seeds), {} threads",
         jobs.len(),
         apps.len(),
@@ -314,10 +382,18 @@ fn cmd_grid(flags: &Flags) -> Result<(), String> {
         } else {
             threads.to_string()
         }
-    );
+    ));
     let t0 = std::time::Instant::now();
-    let report = summarize(run_grid(&jobs, threads));
-    println!("finished in {:.1} s", t0.elapsed().as_secs_f64());
+    let results = match flags.get("telemetry") {
+        Some(dir) => {
+            let (results, events) = run_grid_telemetry(&jobs, threads);
+            write_telemetry_artifacts(dir, &results, &events, log)?;
+            results
+        }
+        None => run_grid(&jobs, threads),
+    };
+    let report = summarize(results);
+    log.info(&format!("finished in {:.1} s", t0.elapsed().as_secs_f64()));
 
     println!(
         "\n{:<10} {:<17} {:>5} {:>9} {:>10} {:>10} {:>9}",
@@ -337,12 +413,87 @@ fn cmd_grid(flags: &Flags) -> Result<(), String> {
     }
     if let Some(out) = flags.get("out") {
         std::fs::write(out, report.to_json()).map_err(|e| e.to_string())?;
-        println!("\nreport written to {out}");
+        log.info(&format!("report written to {out}"));
     }
     Ok(())
 }
 
-fn cmd_trace(flags: &Flags) -> Result<(), String> {
+/// Replay a policy with full instrumentation and dump the decision
+/// trace. The recorder ring is sized for the worst case — one
+/// `FreqTransition` per core per 1 ms tick plus two request marks per
+/// request — so nothing is evicted on sane durations.
+fn cmd_trace(flags: &Flags, log: &Logger) -> Result<(), String> {
+    let policy = match flags.get("policy") {
+        Some(p) => TrainedPolicy::load(Path::new(p)).map_err(|e| e.to_string())?,
+        None => {
+            // No policy file: train one in-process, like `compare` does.
+            let app = app_by_name(
+                flags
+                    .get("app")
+                    .ok_or("trace needs --policy FILE or --app <name>")?,
+            )?;
+            let train_seed = get(flags, "train-seed", calibrated_train_seed(app))?;
+            log.info(&format!(
+                "no --policy given; training DeepPower for {app:?} (8 episodes x 120 s, seed {train_seed})..."
+            ));
+            let mut cfg = TrainConfig::for_app(app);
+            cfg.episodes = 8;
+            cfg.episode_s = 120;
+            cfg.seed = train_seed;
+            train(&cfg).0
+        }
+    };
+    let duration_s = get(flags, "duration-s", 10u64)?;
+    let peak = get(flags, "peak-load", default_peak_load(policy.app))?;
+    let seed = get(flags, "seed", 999u64)?;
+    let out: PathBuf = get(flags, "out", PathBuf::from("trace.jsonl"))?;
+
+    let spec = AppSpec::get(policy.app);
+    let capacity = duration_s as usize * 1000 * spec.n_threads * 2 + (1 << 16);
+    let rec = Recorder::ring(capacity);
+    log.info(&format!(
+        "tracing {:?} policy: {duration_s} s at peak load {peak:.2} (event capacity {capacity})",
+        policy.app
+    ));
+    let outcome = evaluate_recorded(
+        &policy,
+        peak,
+        duration_s,
+        seed,
+        TraceConfig::millisecond(),
+        &rec,
+    );
+    let events = rec.drain_events();
+    if rec.dropped_events() > 0 {
+        log.warn(&format!(
+            "{} events dropped (ring overflow) — trace is incomplete",
+            rec.dropped_events()
+        ));
+    }
+    std::fs::write(&out, to_jsonl(&events)).map_err(|e| e.to_string())?;
+    log.info(&format!(
+        "{} events ({} DRL steps) -> {}",
+        events.len(),
+        outcome.log.len(),
+        out.display()
+    ));
+    if let Some(csv) = flags.get("csv") {
+        std::fs::write(csv, steps_to_csv(&events)).map_err(|e| e.to_string())?;
+        log.info(&format!("DrlStep table -> {csv}"));
+    }
+    let s = &outcome.sim.stats;
+    println!(
+        "power {:.1} W | p99 {:.3} ms | timeouts {:.2}% | {} requests | {} events",
+        outcome.sim.avg_power_w,
+        s.p99_ns as f64 / MILLISECOND as f64,
+        s.timeout_rate() * 100.0,
+        s.count,
+        events.len()
+    );
+    Ok(())
+}
+
+fn cmd_workload_trace(flags: &Flags, log: &Logger) -> Result<(), String> {
     let period_s = get(flags, "period-s", 360u64)?;
     let base_rps = get(flags, "base-rps", 1000.0f64)?;
     let seed = get(flags, "seed", 0u64)?;
@@ -354,13 +505,13 @@ fn cmd_trace(flags: &Flags) -> Result<(), String> {
     };
     let trace = DiurnalTrace::generate(&cfg, seed);
     save_trace_csv(&trace, Path::new(&out)).map_err(|e| e.to_string())?;
-    println!(
+    log.info(&format!(
         "wrote {} slots ({} s) to {} — mean {:.0} rps, peak {:.0} rps",
         trace.n_slots(),
         period_s,
         out.display(),
         trace.mean_rps(),
         trace.max_rps()
-    );
+    ));
     Ok(())
 }

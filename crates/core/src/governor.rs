@@ -16,8 +16,9 @@ use crate::config::DeepPowerConfig;
 use crate::reward::{RewardCalculator, RewardTerms};
 use crate::state::{StateObserver, STATE_DIM};
 use crate::thread_controller::{ControllerParams, ThreadController};
-use deeppower_drl::{Ddpg, Transition};
+use deeppower_drl::{Ddpg, Transition, UpdateStats};
 use deeppower_simd_server::{FreqCommands, Governor, Nanos, ServerView};
+use deeppower_telemetry::{event, Event, Recorder};
 use serde::{Deserialize, Serialize};
 
 /// Whether the agent explores and learns, or just executes its policy.
@@ -75,6 +76,9 @@ pub struct DeepPowerGovernor<'a> {
     prev_energy_uj: u64,
     /// DDPG updates performed through this governor.
     pub updates_done: u64,
+    /// Telemetry handle (disabled by default; see
+    /// [`with_recorder`](Self::with_recorder)).
+    recorder: Recorder,
 }
 
 impl<'a> DeepPowerGovernor<'a> {
@@ -100,9 +104,20 @@ impl<'a> DeepPowerGovernor<'a> {
             prev_timeouts: 0,
             prev_energy_uj: 0,
             updates_done: 0,
+            recorder: Recorder::disabled(),
             agent,
             cfg,
         }
+    }
+
+    /// Attach a telemetry recorder: every DRL step then emits an
+    /// [`event::DrlStep`] mirroring the [`StepLog`] entry, and (in
+    /// training mode) an [`event::TrainUpdate`] with the DDPG internals
+    /// of the step's last gradient update — one event per step, not per
+    /// update, so event volume is bounded by the step count.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Current thread-controller parameters (the last action).
@@ -170,10 +185,23 @@ impl<'a> DeepPowerGovernor<'a> {
                 done,
             });
             if self.mode == Mode::Train && self.agent.ready() {
+                let mut last = UpdateStats::default();
                 for _ in 0..self.cfg.updates_per_step.max(1) {
-                    self.agent.update();
+                    last = self.agent.update();
                     self.updates_done += 1;
                 }
+                self.recorder.emit(|| {
+                    Event::TrainUpdate(event::TrainUpdate {
+                        t: view.now,
+                        updates: self.updates_done,
+                        critic_loss: last.critic_loss as f64,
+                        actor_q: last.actor_q as f64,
+                        actor_grad_norm: last.actor_grad_norm as f64,
+                        critic_grad_norm: last.critic_grad_norm as f64,
+                        replay_len: self.agent.replay.len() as u64,
+                        replay_capacity: self.agent.replay.capacity() as u64,
+                    })
+                });
             }
         }
         Some((r, terms, elapsed))
@@ -203,6 +231,22 @@ impl<'a> DeepPowerGovernor<'a> {
             timeouts,
             reward: r,
             terms,
+        });
+        self.recorder.emit(|| {
+            Event::DrlStep(event::DrlStep {
+                t: view.now,
+                num_req,
+                power_w,
+                base_freq: self.controller.params.base_freq as f64,
+                scaling_coef: self.controller.params.scaling_coef as f64,
+                avg_freq_mhz: avg_freq,
+                queue_len: view.queue.len() as u64,
+                timeouts,
+                reward: r,
+                r_energy: terms.energy,
+                r_timeout: terms.timeout,
+                r_queue: terms.queue,
+            })
         });
     }
 

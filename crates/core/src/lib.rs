@@ -51,4 +51,7 @@ pub use reward::{scale_func, RewardCalculator, RewardTerms};
 pub use sleep::{SleepAware, SleepPolicy};
 pub use state::{StateObserver, STATE_DIM};
 pub use thread_controller::{ControllerParams, ThreadController};
-pub use train::{evaluate, train, EvalOutcome, TrainConfig, TrainReport, TrainedPolicy};
+pub use train::{
+    evaluate, evaluate_recorded, train, train_recorded, EvalOutcome, TrainConfig, TrainReport,
+    TrainedPolicy,
+};

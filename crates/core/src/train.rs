@@ -13,6 +13,7 @@ use crate::governor::{DeepPowerGovernor, Mode, StepLog};
 use crate::state::STATE_DIM;
 use deeppower_drl::{Ddpg, DdpgConfig};
 use deeppower_simd_server::{RunOptions, Server, ServerConfig, SimResult, TraceConfig};
+use deeppower_telemetry::{event, Event, Recorder};
 use deeppower_workload::{trace_arrivals, App, AppSpec, DiurnalConfig, DiurnalTrace};
 use serde::{Deserialize, Serialize};
 
@@ -149,6 +150,13 @@ pub fn trace_for(spec: &AppSpec, peak_load: f64, episode_s: u64, seed: u64) -> D
 
 /// Algorithm 2: train a DDPG agent for `cfg.app` and return the policy.
 pub fn train(cfg: &TrainConfig) -> (TrainedPolicy, TrainReport) {
+    train_recorded(cfg, &Recorder::disabled())
+}
+
+/// [`train`] with a telemetry [`Recorder`]: per-step
+/// [`event::DrlStep`]/[`event::TrainUpdate`] events from the governor
+/// plus one [`event::EpisodeEnd`] per episode.
+pub fn train_recorded(cfg: &TrainConfig, rec: &Recorder) -> (TrainedPolicy, TrainReport) {
     let spec = AppSpec::get(cfg.app);
     let server = server_for(&spec);
     let mut agent = Ddpg::new(DdpgConfig {
@@ -161,22 +169,35 @@ pub fn train(cfg: &TrainConfig) -> (TrainedPolicy, TrainReport) {
         let ep_seed = cfg.seed.wrapping_add(1 + ep as u64);
         let trace = trace_for(&spec, cfg.peak_load, cfg.episode_s, ep_seed);
         let arrivals = trace_arrivals(&spec, &trace, ep_seed.wrapping_mul(31).wrapping_add(7));
-        let mut gov = DeepPowerGovernor::new(&mut agent, cfg.deeppower, Mode::Train);
-        let res = server.run(
+        let mut gov = DeepPowerGovernor::new(&mut agent, cfg.deeppower, Mode::Train)
+            .with_recorder(rec.clone());
+        let res = server.run_recorded(
             &arrivals,
             &mut gov,
             RunOptions {
                 tick_ns: cfg.deeppower.short_time,
                 trace: TraceConfig::default(),
             },
+            rec,
         );
         let steps = gov.log.len().max(1) as f64;
-        report
-            .episode_rewards
-            .push(gov.log.iter().map(|l| l.reward).sum::<f64>() / steps);
+        let mean_reward = gov.log.iter().map(|l| l.reward).sum::<f64>() / steps;
+        report.episode_rewards.push(mean_reward);
         report.episode_power_w.push(res.avg_power_w);
         report.episode_timeout_rate.push(res.stats.timeout_rate());
         report.updates += gov.updates_done;
+        let log_len = gov.log.len() as u64;
+        drop(gov);
+        rec.emit(|| {
+            Event::EpisodeEnd(event::EpisodeEnd {
+                episode: ep as u64,
+                steps: log_len,
+                mean_reward,
+                avg_power_w: res.avg_power_w,
+                timeout_rate: res.stats.timeout_rate(),
+                updates: report.updates,
+            })
+        });
     }
 
     let policy = TrainedPolicy {
@@ -203,19 +224,43 @@ pub fn evaluate(
     seed: u64,
     trace_cfg: TraceConfig,
 ) -> EvalOutcome {
+    evaluate_recorded(
+        policy,
+        peak_load,
+        duration_s,
+        seed,
+        trace_cfg,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`evaluate`] with a telemetry [`Recorder`] receiving the full
+/// decision trace: per-step [`event::DrlStep`]s from the governor plus
+/// the engine's frequency-transition/residency/latency-snapshot events
+/// (and request marks when `trace_cfg.request_marks` is set).
+pub fn evaluate_recorded(
+    policy: &TrainedPolicy,
+    peak_load: f64,
+    duration_s: u64,
+    seed: u64,
+    trace_cfg: TraceConfig,
+    rec: &Recorder,
+) -> EvalOutcome {
     let spec = AppSpec::get(policy.app);
     let server = server_for(&spec);
     let trace = trace_for(&spec, peak_load, duration_s, seed);
     let arrivals = trace_arrivals(&spec, &trace, seed.wrapping_mul(131).wrapping_add(17));
     let mut agent = policy.build_agent();
-    let mut gov = DeepPowerGovernor::new(&mut agent, policy.deeppower, Mode::Eval);
-    let sim = server.run(
+    let mut gov =
+        DeepPowerGovernor::new(&mut agent, policy.deeppower, Mode::Eval).with_recorder(rec.clone());
+    let sim = server.run_recorded(
         &arrivals,
         &mut gov,
         RunOptions {
             tick_ns: policy.deeppower.short_time,
             trace: trace_cfg,
         },
+        rec,
     );
     EvalOutcome {
         sim,
@@ -277,6 +322,37 @@ mod tests {
             "workload too small to be meaningful"
         );
         assert!(!e1.log.is_empty());
+    }
+
+    #[test]
+    fn recorded_runs_emit_events_without_perturbing_results() {
+        let cfg = tiny_train_cfg();
+        let (plain_policy, plain_report) = train(&cfg);
+        let rec = Recorder::ring(1 << 16);
+        let (rec_policy, rec_report) = train_recorded(&cfg, &rec);
+        // Telemetry must not change training.
+        assert_eq!(plain_policy.actor_weights, rec_policy.actor_weights);
+        assert_eq!(plain_report.episode_rewards, rec_report.episode_rewards);
+        let events = rec.drain_events();
+        let count = |k: &str| events.iter().filter(|e| e.kind() == k).count();
+        assert_eq!(count("EpisodeEnd"), cfg.episodes);
+        assert!(count("DrlStep") > 0, "no DRL step events");
+        assert!(count("TrainUpdate") > 0, "no training update events");
+
+        // The thread controller can transition frequencies every tick on
+        // every core (~80 k events over this 10 s / 8-core eval), so the
+        // ring must be sized for tick_count × cores to keep everything.
+        let rec2 = Recorder::ring(1 << 18);
+        let plain_eval = evaluate(&rec_policy, 0.6, 10, 99, TraceConfig::default());
+        let rec_eval = evaluate_recorded(&rec_policy, 0.6, 10, 99, TraceConfig::default(), &rec2);
+        assert_eq!(plain_eval.sim.energy_j, rec_eval.sim.energy_j);
+        let eval_events = rec2.drain_events();
+        let steps = eval_events.iter().filter(|e| e.kind() == "DrlStep").count();
+        assert_eq!(steps, rec_eval.log.len(), "one DrlStep event per StepLog");
+        assert!(
+            eval_events.iter().any(|e| e.kind() == "CoreResidency"),
+            "residency missing from eval trace"
+        );
     }
 
     #[test]

@@ -73,6 +73,11 @@ pub struct UpdateStats {
     pub critic_loss: f32,
     /// Mean `Q(s, π(s))` over the batch — the quantity the actor maximizes.
     pub actor_q: f32,
+    /// Global L2 gradient norms *before* clipping: a norm persistently at
+    /// `grad_clip` means the clip is active; an exploding norm is the
+    /// classic DDPG divergence signal.
+    pub actor_grad_norm: f32,
+    pub critic_grad_norm: f32,
 }
 
 /// Reusable mini-batch buffers for [`Ddpg::update`]. Allocated empty and
@@ -236,6 +241,7 @@ impl Ddpg {
             .forward(&self.scratch.states, &self.scratch.actions);
         let (critic_loss, d_q) = mse_loss(&q, &self.scratch.targets);
         let _ = self.critic.backward(&d_q);
+        let critic_grad_norm = self.critic.grad_norm();
         if self.cfg.grad_clip > 0.0 {
             self.critic.clip_grad_norm(self.cfg.grad_clip);
         }
@@ -254,6 +260,7 @@ impl Ddpg {
         self.scratch.d_q_actor.as_mut_slice().fill(-1.0 / n as f32);
         let (_, d_actions) = self.critic.backward(&self.scratch.d_q_actor);
         let _ = self.actor.backward(&d_actions);
+        let actor_grad_norm = self.actor.grad_norm();
         if self.cfg.grad_clip > 0.0 {
             self.actor.clip_grad_norm(self.cfg.grad_clip);
         }
@@ -272,6 +279,8 @@ impl Ddpg {
         UpdateStats {
             critic_loss,
             actor_q,
+            actor_grad_norm,
+            critic_grad_norm,
         }
     }
 
@@ -404,6 +413,36 @@ mod tests {
         }
         let last: f32 = (0..5).map(|_| agent.update().critic_loss).sum::<f32>() / 5.0;
         assert!(last < first, "critic loss did not fall: {first} -> {last}");
+    }
+
+    #[test]
+    fn update_stats_expose_finite_grad_norms() {
+        let mut agent = Ddpg::new(DdpgConfig {
+            state_dim: 2,
+            action_dim: 2,
+            warmup: 0,
+            batch_size: 16,
+            seed: 11,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..64 {
+            let a = vec![
+                rand::Rng::random_range(&mut rng, 0.0..1.0),
+                rand::Rng::random_range(&mut rng, 0.0..1.0),
+            ];
+            agent.observe(Transition {
+                state: vec![0.1, 0.9],
+                action: a.clone(),
+                reward: a[0],
+                next_state: vec![0.1, 0.9],
+                done: true,
+            });
+        }
+        let stats = agent.update();
+        assert!(stats.critic_grad_norm.is_finite() && stats.critic_grad_norm > 0.0);
+        assert!(stats.actor_grad_norm.is_finite() && stats.actor_grad_norm > 0.0);
+        assert!(stats.critic_loss.is_finite());
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod td3;
 
 pub use actor::TwoHeadActor;
 pub use critic::Critic;
-pub use ddpg::{Ddpg, DdpgConfig};
+pub use ddpg::{Ddpg, DdpgConfig, UpdateStats};
 pub use dqn::{Ddqn, Dqn, DqnConfig};
 pub use noise::{sample_standard_normal, GaussianNoise, OrnsteinUhlenbeck};
 pub use replay::{ReplayBuffer, Transition};

@@ -33,6 +33,7 @@ use deeppower_simd_server::{
     FixedFrequency, FreqPlan, Request, RunOptions, Server, ServerConfig, SimResult, MILLISECOND,
     SECOND,
 };
+use deeppower_telemetry::{event, Event, Recorder};
 use deeppower_workload::{constant_rate_arrivals, trace_arrivals, App, AppSpec};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -44,6 +45,14 @@ use std::sync::OnceLock;
 const PROFILE_LOAD: f64 = 0.5;
 const PROFILE_EPISODES: u64 = 3;
 const PROFILE_SEED: u64 = 77;
+
+/// Ring capacity of the per-job recorder used by [`run_grid_telemetry`].
+/// Grid jobs run without request marks or frequency tracing, so their
+/// event volume is bounded by DRL steps + training updates + latency
+/// snapshots (≈ 3 events per simulated second) plus the bounded
+/// residency/lifecycle records — 64 Ki events covers hours of simulated
+/// time per job.
+pub const GRID_EVENT_CAPACITY: usize = 1 << 16;
 
 /// Which workload drives a job.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -241,29 +250,56 @@ fn arrivals_for(spec: &JobSpec, app_spec: &AppSpec) -> Vec<Request> {
 /// spec, so calling this from any thread at any time gives the same
 /// result.
 pub fn run_job(spec: &JobSpec) -> JobResult {
+    run_job_recorded(spec, 0, &Recorder::disabled())
+}
+
+/// [`run_job`] with a telemetry [`Recorder`]. The event stream is
+/// bracketed by [`event::JobStart`]/[`event::JobEnd`] carrying `job`
+/// (the job's grid index); in between come the engine's and governor's
+/// events — for [`GovernorSpec::DeepPowerTrain`] cells that includes the
+/// full training history (per-step `DrlStep`/`TrainUpdate`, per-episode
+/// `EpisodeEnd`) before the evaluation rollout.
+///
+/// Every event is a pure function of `(spec, job)` — no wall-clock data
+/// — which is what lets [`run_grid_telemetry`] promise byte-identical
+/// artifacts at any thread count.
+pub fn run_job_recorded(spec: &JobSpec, job: u64, rec: &Recorder) -> JobResult {
     let app_spec = AppSpec::get(spec.app);
     let server = Server::new(ServerConfig::paper_default(app_spec.n_threads));
     let arrivals = arrivals_for(spec, &app_spec);
     let opts = RunOptions::default();
     let plan = FreqPlan::xeon_gold_5218r;
 
-    match &spec.governor {
+    rec.emit(|| {
+        Event::JobStart(event::JobStart {
+            job,
+            app: app_spec.name.to_string(),
+            governor: spec.governor.label(),
+            seed: spec.seed,
+        })
+    });
+
+    let (result, sim_ns) = match &spec.governor {
         GovernorSpec::MaxFreq => {
             let mut gov = max_freq_governor();
-            JobResult::from_sim(spec, &server.run(&arrivals, &mut gov, opts), &[])
+            let sim = server.run_recorded(&arrivals, &mut gov, opts, rec);
+            (JobResult::from_sim(spec, &sim, &[]), sim.duration_ns)
         }
         GovernorSpec::FixedMhz(mhz) => {
             let mut gov = FixedFrequency { mhz: *mhz };
-            JobResult::from_sim(spec, &server.run(&arrivals, &mut gov, opts), &[])
+            let sim = server.run_recorded(&arrivals, &mut gov, opts, rec);
+            (JobResult::from_sim(spec, &sim, &[]), sim.duration_ns)
         }
         GovernorSpec::ThreadController(base_freq, scaling_coef) => {
             let mut gov = ThreadController::new(ControllerParams::new(*base_freq, *scaling_coef));
-            JobResult::from_sim(spec, &server.run(&arrivals, &mut gov, opts), &[])
+            let sim = server.run_recorded(&arrivals, &mut gov, opts, rec);
+            (JobResult::from_sim(spec, &sim, &[]), sim.duration_ns)
         }
         GovernorSpec::Retail => {
             let profile = collect_profile(&app_spec, PROFILE_LOAD, PROFILE_EPISODES, PROFILE_SEED);
             let mut gov = RetailGovernor::train(&profile, plan(), RetailConfig::default());
-            JobResult::from_sim(spec, &server.run(&arrivals, &mut gov, opts), &[])
+            let sim = server.run_recorded(&arrivals, &mut gov, opts, rec);
+            (JobResult::from_sim(spec, &sim, &[]), sim.duration_ns)
         }
         GovernorSpec::Gemini => {
             let profile = collect_profile(&app_spec, PROFILE_LOAD, PROFILE_EPISODES, PROFILE_SEED);
@@ -274,17 +310,29 @@ pub fn run_job(spec: &JobSpec) -> JobResult {
                 GeminiConfig::default(),
                 5,
             );
-            JobResult::from_sim(spec, &server.run(&arrivals, &mut gov, opts), &[])
+            let sim = server.run_recorded(&arrivals, &mut gov, opts, rec);
+            (JobResult::from_sim(spec, &sim, &[]), sim.duration_ns)
         }
-        GovernorSpec::DeepPower(policy) => run_policy(spec, &server, &arrivals, policy),
+        GovernorSpec::DeepPower(policy) => run_policy(spec, &server, &arrivals, policy, rec),
         GovernorSpec::DeepPowerTrain(train_cfg) => {
             let mut cfg = *train_cfg;
             cfg.app = spec.app;
             cfg.seed = spec.seed;
-            let (policy, _) = train(&cfg);
-            run_policy(spec, &server, &arrivals, &policy)
+            let (policy, _) = train::train_recorded(&cfg, rec);
+            run_policy(spec, &server, &arrivals, &policy, rec)
         }
-    }
+    };
+
+    rec.emit(|| {
+        Event::JobEnd(event::JobEnd {
+            job,
+            sim_ns,
+            requests: result.requests,
+            energy_j: result.energy_j,
+            drl_steps: result.drl_steps,
+        })
+    });
+    result
 }
 
 fn run_policy(
@@ -292,18 +340,22 @@ fn run_policy(
     server: &Server,
     arrivals: &[Request],
     policy: &TrainedPolicy,
-) -> JobResult {
+    rec: &Recorder,
+) -> (JobResult, u64) {
     let mut agent = policy.build_agent();
-    let mut gov = DeepPowerGovernor::new(&mut agent, policy.deeppower, Mode::Eval);
-    let sim = server.run(
+    let mut gov =
+        DeepPowerGovernor::new(&mut agent, policy.deeppower, Mode::Eval).with_recorder(rec.clone());
+    let sim = server.run_recorded(
         arrivals,
         &mut gov,
         RunOptions {
             tick_ns: policy.deeppower.short_time,
             ..Default::default()
         },
+        rec,
     );
-    JobResult::from_sim(spec, &sim, &gov.log)
+    let duration = sim.duration_ns;
+    (JobResult::from_sim(spec, &sim, &gov.log), duration)
 }
 
 /// Execute all jobs on `threads` worker threads with work stealing.
@@ -315,6 +367,29 @@ fn run_policy(
 /// identical for every thread count. `threads = 0` uses the machine's
 /// available parallelism.
 pub fn run_grid(jobs: &[JobSpec], threads: usize) -> Vec<JobResult> {
+    run_grid_inner(jobs, threads, false).0
+}
+
+/// [`run_grid`] plus one telemetry event stream per job, index-aligned
+/// with the results.
+///
+/// Each worker gives the job it claimed a fresh ring recorder
+/// ([`GRID_EVENT_CAPACITY`]) on its own thread and drains the events
+/// into the job's dedicated slot, so — like the results themselves —
+/// the event streams depend only on the job specs and their indices:
+/// serializing stream `i` (e.g. via `deeppower_telemetry::to_jsonl`)
+/// yields byte-identical output at `--threads 1` and `--threads 8`.
+pub fn run_grid_telemetry(jobs: &[JobSpec], threads: usize) -> (Vec<JobResult>, Vec<Vec<Event>>) {
+    let (results, events) = run_grid_inner(jobs, threads, true);
+    (results, events.expect("telemetry slots requested"))
+}
+
+#[allow(clippy::type_complexity)]
+fn run_grid_inner(
+    jobs: &[JobSpec],
+    threads: usize,
+    telemetry: bool,
+) -> (Vec<JobResult>, Option<Vec<Vec<Event>>>) {
     let threads = if threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -325,26 +400,44 @@ pub fn run_grid(jobs: &[JobSpec], threads: usize) -> Vec<JobResult> {
     let threads = threads.min(jobs.len()).max(1);
 
     let next = AtomicUsize::new(0);
-    let slots: Vec<OnceLock<JobResult>> = jobs.iter().map(|_| OnceLock::new()).collect();
+    let slots: Vec<OnceLock<(JobResult, Vec<Event>)>> =
+        jobs.iter().map(|_| OnceLock::new()).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(idx) else { break };
-                let result = run_job(job);
-                assert!(slots[idx].set(result).is_ok(), "job slot written twice");
+                // Recorders are thread-local by construction (`!Send`):
+                // each job builds its own on the worker running it and
+                // the events leave through the per-index slot.
+                let rec = if telemetry {
+                    Recorder::ring(GRID_EVENT_CAPACITY)
+                } else {
+                    Recorder::disabled()
+                };
+                let result = run_job_recorded(job, idx as u64, &rec);
+                let events = rec.drain_events();
+                assert!(
+                    slots[idx].set((result, events)).is_ok(),
+                    "job slot written twice"
+                );
             });
         }
     });
 
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("worker panicked before finishing job")
-        })
-        .collect()
+    let mut results = Vec::with_capacity(jobs.len());
+    let mut events = telemetry.then(|| Vec::with_capacity(jobs.len()));
+    for slot in slots {
+        let (result, ev) = slot
+            .into_inner()
+            .expect("worker panicked before finishing job");
+        results.push(result);
+        if let Some(events) = &mut events {
+            events.push(ev);
+        }
+    }
+    (results, events)
 }
 
 /// Mean metrics of one (app, governor) group across its seeds.
@@ -472,6 +565,23 @@ mod tests {
         // And the report actually contains everything.
         assert!(serial.contains("\"groups\""));
         assert_eq!(serial.matches("\"seed\":").count(), 12);
+    }
+
+    #[test]
+    fn telemetry_artifacts_are_byte_identical_across_thread_counts() {
+        let jobs = small_grid();
+        let (res1, ev1) = run_grid_telemetry(&jobs, 1);
+        let (res4, ev4) = run_grid_telemetry(&jobs, 4);
+        assert_eq!(summarize(res1).to_json(), summarize(res4).to_json());
+        assert_eq!(ev1.len(), jobs.len());
+        for (i, (a, b)) in ev1.iter().zip(&ev4).enumerate() {
+            let ja = deeppower_telemetry::to_jsonl(a);
+            let jb = deeppower_telemetry::to_jsonl(b);
+            assert_eq!(ja, jb, "job {i} artifact differs across thread counts");
+            // Every artifact is bracketed by its lifecycle events.
+            assert!(matches!(a.first(), Some(Event::JobStart(s)) if s.job == i as u64));
+            assert!(matches!(a.last(), Some(Event::JobEnd(e)) if e.job == i as u64));
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! figures.
 
 use crate::clock::{Nanos, MILLISECOND};
+use deeppower_telemetry::LatencyRecorder;
 use serde::{Deserialize, Serialize};
 
 /// Completion record for one request.
@@ -130,6 +131,10 @@ pub struct MetricsCollector {
     /// Count of actual frequency transitions applied (a commanded value
     /// equal to the current one is not a transition).
     pub freq_transitions: u64,
+    /// Incremental latency aggregator: O(1) insert, O(buckets)
+    /// percentile reads, feeding run-so-far snapshots without
+    /// re-sorting `records` (see [`quick_stats`](Self::quick_stats)).
+    pub latency: LatencyRecorder,
 }
 
 impl MetricsCollector {
@@ -146,11 +151,29 @@ impl MetricsCollector {
         if rec.timed_out {
             self.timeouts += 1;
         }
+        self.latency.record(rec.latency, rec.timed_out);
         self.records.push(rec);
     }
 
     pub fn stats(&self) -> LatencyStats {
         LatencyStats::from_records(&self.records)
+    }
+
+    /// Run-so-far stats from the incremental recorder. Count, mean, max
+    /// and timeouts are exact; percentiles are histogram bucket bounds
+    /// (within one log-bucket, ≤ 6.25 % relative error). This is the
+    /// periodic-snapshot path: unlike [`stats`](Self::stats) it never
+    /// clones or re-sorts the record vector.
+    pub fn quick_stats(&self) -> LatencyStats {
+        LatencyStats {
+            count: self.latency.count(),
+            mean_ns: self.latency.mean_ns(),
+            p50_ns: self.latency.percentile_ns(0.50),
+            p95_ns: self.latency.percentile_ns(0.95),
+            p99_ns: self.latency.percentile_ns(0.99),
+            max_ns: self.latency.max_ns(),
+            timeouts: self.latency.timeouts(),
+        }
     }
 }
 
@@ -225,5 +248,85 @@ mod tests {
         assert_eq!(c.completed, 2);
         assert_eq!(c.timeouts, 1);
         assert_eq!(c.stats().count, 2);
+    }
+
+    #[test]
+    fn percentile_empty_slice_panics() {
+        assert!(std::panic::catch_unwind(|| percentile_sorted(&[], 0.5)).is_err());
+    }
+
+    #[test]
+    fn percentile_out_of_range_quantile_panics() {
+        assert!(std::panic::catch_unwind(|| percentile_sorted(&[1], 1.5)).is_err());
+        assert!(std::panic::catch_unwind(|| percentile_sorted(&[1], -0.1)).is_err());
+    }
+
+    #[test]
+    fn quick_stats_tracks_exact_stats() {
+        let mut c = MetricsCollector::new();
+        for i in 1..=500u64 {
+            c.on_completion(rec(i * 10_000, i % 100 == 0));
+        }
+        let exact = c.stats();
+        let quick = c.quick_stats();
+        assert_eq!(quick.count, exact.count);
+        assert_eq!(quick.timeouts, exact.timeouts);
+        assert_eq!(quick.max_ns, exact.max_ns);
+        assert!((quick.mean_ns - exact.mean_ns).abs() < 1e-6);
+        for (q, e) in [
+            (quick.p50_ns, exact.p50_ns),
+            (quick.p95_ns, exact.p95_ns),
+            (quick.p99_ns, exact.p99_ns),
+        ] {
+            let err = (q as f64 - e as f64).abs() / e as f64;
+            assert!(err < 0.07, "quick {q} vs exact {e} (err {err})");
+        }
+    }
+
+    mod percentile_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// p=0 is the minimum, p=1 the maximum, any p within range.
+            #[test]
+            fn boundaries_hit_extremes(
+                values in proptest::collection::vec(0u64..1_000_000, 1..100),
+                q in 0.0f64..1.0,
+            ) {
+                let mut sorted = values;
+                sorted.sort_unstable();
+                prop_assert_eq!(percentile_sorted(&sorted, 0.0), sorted[0]);
+                prop_assert_eq!(percentile_sorted(&sorted, 1.0), *sorted.last().unwrap());
+                let p = percentile_sorted(&sorted, q);
+                prop_assert!(p >= sorted[0] && p <= *sorted.last().unwrap());
+            }
+
+            /// Monotone in the quantile.
+            #[test]
+            fn monotone_in_q(
+                values in proptest::collection::vec(0u64..1_000_000, 1..100),
+                q1 in 0.0f64..1.0,
+                q2 in 0.0f64..1.0,
+            ) {
+                let mut sorted = values;
+                sorted.sort_unstable();
+                let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+                prop_assert!(percentile_sorted(&sorted, lo) <= percentile_sorted(&sorted, hi));
+            }
+
+            /// A single element is every percentile.
+            #[test]
+            fn single_element_is_every_percentile(v in 0u64..1_000_000, q in 0.0f64..1.0) {
+                prop_assert_eq!(percentile_sorted(&[v], q), v);
+            }
+
+            /// All-ties: every percentile is the tied value.
+            #[test]
+            fn ties_collapse(v in 0u64..1_000_000, n in 1usize..50, q in 0.0f64..1.0) {
+                let sorted = vec![v; n];
+                prop_assert_eq!(percentile_sorted(&sorted, q), v);
+            }
+        }
     }
 }

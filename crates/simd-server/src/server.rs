@@ -26,7 +26,8 @@ use crate::governor::{CoreView, FreqCommands, Governor, RunningView, ServerView}
 use crate::metrics::{LatencyStats, MetricsCollector, RequestRecord, TraceConfig, Traces};
 use crate::power::{EnergyMeter, PowerModel};
 use crate::request::Request;
-use std::collections::VecDeque;
+use deeppower_telemetry::{event, Event, Recorder};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Work remaining below this many reference-nanoseconds counts as done
 /// (guards floating-point residue after an exact-advance step).
@@ -152,6 +153,29 @@ impl Server {
         governor: &mut dyn Governor,
         opts: RunOptions,
     ) -> SimResult {
+        self.run_recorded(arrivals, governor, opts, &Recorder::disabled())
+    }
+
+    /// [`run`](Self::run) with a telemetry [`Recorder`]. An enabled
+    /// recorder receives per-core [`event::CoreResidency`] at run end,
+    /// once-per-simulated-second [`event::LatencySnapshot`]s (read at
+    /// governor-tick boundaries from the incremental latency recorder),
+    /// and, gated on the [`TraceConfig`] knobs that bound their volume:
+    /// [`event::FreqTransition`] on every applied frequency change (when
+    /// `freq_sample_ns > 0`) and
+    /// [`event::RequestDispatch`]/[`event::RequestComplete`] marks (when
+    /// `request_marks` is set).
+    ///
+    /// Telemetry never adds event times to the simulation (all emission
+    /// happens at boundaries the engine visits anyway), so results are
+    /// bit-identical whether the recorder is enabled or not.
+    pub fn run_recorded(
+        &self,
+        arrivals: &[Request],
+        governor: &mut dyn Governor,
+        opts: RunOptions,
+        rec: &Recorder,
+    ) -> SimResult {
         assert!(opts.tick_ns > 0, "tick period must be positive");
         debug_assert!(
             arrivals.windows(2).all(|w| w[0].arrival <= w[1].arrival),
@@ -172,10 +196,14 @@ impl Server {
         let mut energy = EnergyMeter::new();
         let mut traces = Traces::default();
         let mut cmds = FreqCommands::new(n, plan);
+        let mut freq_telem = FreqTelemetry::new(n, rec.enabled(), opts.trace.freq_sample_ns > 0);
 
         let mut now: Nanos = 0;
         let mut arr_idx = 0usize;
         let mut next_tick: Nanos = 0;
+        // Latency snapshots piggyback on governor ticks (existing event
+        // times), at most one per simulated second.
+        let mut next_snapshot: Nanos = crate::clock::SECOND;
         let mut next_freq_sample: Nanos = if opts.trace.freq_sample_ns > 0 {
             0
         } else {
@@ -195,7 +223,7 @@ impl Server {
                 if done {
                     let running = core.running.take().unwrap();
                     let latency = now - running.req.arrival;
-                    let rec = RequestRecord {
+                    let record = RequestRecord {
                         id: running.req.id,
                         arrival: running.req.arrival,
                         started: running.started,
@@ -203,9 +231,18 @@ impl Server {
                         latency,
                         timed_out: latency > running.req.sla,
                     };
-                    metrics.on_completion(rec);
+                    metrics.on_completion(record);
                     if opts.trace.request_marks {
                         traces.marks.push((now, core_id, running.req.id, false));
+                        rec.emit(|| {
+                            Event::RequestComplete(event::RequestComplete {
+                                t: now,
+                                core: core_id as u64,
+                                id: running.req.id,
+                                latency_ns: latency,
+                                timed_out: record.timed_out,
+                            })
+                        });
                     }
                     governor.on_request_complete(now, core_id, &running.req, latency);
                 }
@@ -234,9 +271,25 @@ impl Server {
                     let view = make_view(now, &queue, &views, &metrics, &energy);
                     governor.on_request_start(&view, core_id, &req, &mut cmds);
                 }
-                apply_commands(&mut cores, &mut cmds, plan, &self.cfg.cstates, &mut metrics);
+                apply_commands(
+                    now,
+                    &mut cores,
+                    &mut cmds,
+                    plan,
+                    &self.cfg.cstates,
+                    &mut metrics,
+                    rec,
+                    &mut freq_telem,
+                );
                 if opts.trace.request_marks {
                     traces.marks.push((now, core_id, req.id, true));
+                    rec.emit(|| {
+                        Event::RequestDispatch(event::RequestDispatch {
+                            t: now,
+                            core: core_id as u64,
+                            id: req.id,
+                        })
+                    });
                 }
                 let wake_ns = cores[core_id]
                     .sleep
@@ -260,8 +313,31 @@ impl Server {
                     let view = make_view(now, &queue, &views, &metrics, &energy);
                     governor.on_tick(&view, &mut cmds);
                 }
-                apply_commands(&mut cores, &mut cmds, plan, &self.cfg.cstates, &mut metrics);
+                apply_commands(
+                    now,
+                    &mut cores,
+                    &mut cmds,
+                    plan,
+                    &self.cfg.cstates,
+                    &mut metrics,
+                    rec,
+                    &mut freq_telem,
+                );
                 next_tick = now + opts.tick_ns;
+                if rec.enabled() && now >= next_snapshot {
+                    let s = metrics.quick_stats();
+                    rec.emit(|| {
+                        Event::LatencySnapshot(event::LatencySnapshot {
+                            t: now,
+                            count: s.count,
+                            p50_ns: s.p50_ns,
+                            p95_ns: s.p95_ns,
+                            p99_ns: s.p99_ns,
+                            timeouts: s.timeouts,
+                        })
+                    });
+                    next_snapshot = now + crate::clock::SECOND;
+                }
             }
 
             // ---- 5. Trace samples ----
@@ -338,6 +414,7 @@ impl Server {
             now = t_next;
         }
 
+        freq_telem.finish(now, &cores, rec);
         SimResult {
             stats: metrics.stats(),
             energy_j: energy.joules(),
@@ -399,12 +476,98 @@ fn make_view<'a>(
     }
 }
 
+/// Per-core frequency residency and transition telemetry. Inert (no
+/// allocation beyond two empty vecs, no per-event work) when built
+/// disabled; when enabled it accumulates residency only at transition
+/// boundaries, so tracking cost is O(transitions), not O(events).
+struct FreqTelemetry {
+    enabled: bool,
+    /// Per-transition events can reach ticks × cores over a run
+    /// (millions for a long DeepPower rollout), so they are emitted only
+    /// when the caller opted into frequency tracing
+    /// (`TraceConfig::freq_sample_ns > 0`). Residency aggregates are
+    /// bounded by cores × levels and always accompany an enabled
+    /// recorder.
+    emit_transitions: bool,
+    /// When each core entered its current frequency.
+    since: Vec<Nanos>,
+    /// Core → frequency level → nanoseconds spent there.
+    residency: Vec<BTreeMap<u32, Nanos>>,
+}
+
+impl FreqTelemetry {
+    fn new(n_cores: usize, enabled: bool, emit_transitions: bool) -> Self {
+        Self {
+            enabled,
+            emit_transitions: enabled && emit_transitions,
+            since: if enabled {
+                vec![0; n_cores]
+            } else {
+                Vec::new()
+            },
+            residency: if enabled {
+                vec![BTreeMap::new(); n_cores]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    #[inline]
+    fn on_transition(&mut self, now: Nanos, core: usize, from: u32, to: u32, rec: &Recorder) {
+        if !self.enabled {
+            return;
+        }
+        *self.residency[core].entry(from).or_insert(0) += now - self.since[core];
+        self.since[core] = now;
+        if self.emit_transitions {
+            rec.emit(|| {
+                Event::FreqTransition(event::FreqTransition {
+                    t: now,
+                    core: core as u64,
+                    from_mhz: from,
+                    to_mhz: to,
+                })
+            });
+        }
+    }
+
+    /// Close every core's final residency interval and emit one
+    /// [`event::CoreResidency`] per visited `(core, level)` pair with
+    /// nonzero residency, cores then levels ascending.
+    fn finish(&mut self, now: Nanos, cores: &[CoreState], rec: &Recorder) {
+        if !self.enabled {
+            return;
+        }
+        for (i, core) in cores.iter().enumerate() {
+            *self.residency[i].entry(core.freq_mhz).or_insert(0) += now - self.since[i];
+        }
+        for (i, levels) in self.residency.iter().enumerate() {
+            for (&mhz, &ns) in levels {
+                if ns > 0 {
+                    rec.emit(|| {
+                        Event::CoreResidency(event::CoreResidency {
+                            core: i as u64,
+                            mhz,
+                            ns,
+                        })
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn apply_commands(
+    now: Nanos,
     cores: &mut [CoreState],
     cmds: &mut FreqCommands,
     plan: &FreqPlan,
     cstates: &CStatePlan,
     metrics: &mut MetricsCollector,
+    rec: &Recorder,
+    freq_telem: &mut FreqTelemetry,
 ) {
     for (i, core) in cores.iter_mut().enumerate() {
         if let Some(mhz) = cmds.take(i) {
@@ -414,6 +577,7 @@ fn apply_commands(
                 plan.snap(mhz)
             };
             if snapped != core.freq_mhz {
+                freq_telem.on_transition(now, i, core.freq_mhz, snapped, rec);
                 core.freq_mhz = snapped;
                 metrics.freq_transitions += 1;
             }
@@ -684,6 +848,57 @@ mod tests {
         let mut cfg = ServerConfig::paper_default(2);
         cfg.initial_mhz = 12345;
         assert!(std::panic::catch_unwind(|| Server::new(cfg)).is_err());
+    }
+
+    #[test]
+    fn recorded_run_matches_plain_run_and_captures_events() {
+        let server = Server::new(ServerConfig::paper_default(2));
+        let arrivals: Vec<Request> = (0..200)
+            .map(|i| req(i, i * 10_000_000, 400_000 + (i % 5) * 100_000))
+            .collect();
+        let opts = RunOptions {
+            trace: TraceConfig::millisecond(),
+            ..Default::default()
+        };
+        struct Stepper;
+        impl Governor for Stepper {
+            fn on_tick(&mut self, v: &ServerView<'_>, cmds: &mut FreqCommands) {
+                // Alternate frequencies so transitions actually happen.
+                let mhz = if (v.now / MILLISECOND).is_multiple_of(2) {
+                    800
+                } else {
+                    2100
+                };
+                for i in 0..v.cores.len() {
+                    cmds.set(i, mhz);
+                }
+            }
+        }
+        let plain = server.run(&arrivals, &mut Stepper, opts);
+        let recorder = deeppower_telemetry::Recorder::ring(1 << 16);
+        let recorded = server.run_recorded(&arrivals, &mut Stepper, opts, &recorder);
+
+        // Telemetry must not perturb the simulation.
+        assert_eq!(plain.records, recorded.records);
+        assert_eq!(plain.energy_j, recorded.energy_j);
+        assert_eq!(plain.freq_transitions, recorded.freq_transitions);
+
+        let events = recorder.drain_events();
+        let count = |kind: &str| events.iter().filter(|e| e.kind() == kind).count() as u64;
+        assert_eq!(count("FreqTransition"), recorded.freq_transitions);
+        assert_eq!(count("RequestDispatch"), 200);
+        assert_eq!(count("RequestComplete"), 200);
+        assert!(count("LatencySnapshot") >= 1, "run spans ~2 s");
+        // Residency across levels sums to cores × duration.
+        let total_residency: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::CoreResidency(r) => Some(r.ns),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(total_residency, 2 * recorded.duration_ns);
+        assert_eq!(recorder.dropped_events(), 0);
     }
 
     #[test]

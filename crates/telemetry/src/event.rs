@@ -1,0 +1,239 @@
+//! The typed event stream.
+//!
+//! Each variant wraps a named payload struct (the vendored serde derive
+//! supports unit and tuple enum variants, so payloads live in their own
+//! structs), serializing externally tagged:
+//! `{"DrlStep":{"t":1000000000,...}}` — one JSON object per line in the
+//! JSONL artifacts. Field names and meanings are documented in
+//! EXPERIMENTS.md ("Telemetry artifacts"); changing them is a schema
+//! change and must update that section (CI uploads an artifact so drift
+//! is visible in review).
+//!
+//! All timestamps are **simulated** nanoseconds since run start. Events
+//! deliberately carry no wall-clock data so an event stream is a pure
+//! function of the job spec (the harness's byte-identical-across-
+//! threads guarantee extends to telemetry artifacts).
+
+use serde::{Deserialize, Serialize};
+
+/// One DRL step of the hierarchical governor: the action taken for the
+/// next `LongTime` window plus the reward decomposition of the window
+/// that just closed. The raw material for Fig. 8's time series.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DrlStep {
+    /// Step end time (simulated ns).
+    pub t: u64,
+    /// Arrivals during the step (the RPS curve).
+    pub num_req: u64,
+    /// Average socket power over the step, watts.
+    pub power_w: f64,
+    /// Action applied for the *next* window.
+    pub base_freq: f64,
+    pub scaling_coef: f64,
+    /// Mean commanded core frequency at the step boundary, MHz.
+    pub avg_freq_mhz: f64,
+    pub queue_len: u64,
+    /// Timeouts during the step.
+    pub timeouts: u64,
+    /// Total reward granted for the elapsed step.
+    pub reward: f64,
+    /// Reward decomposition (pre-weighting, all >= 0).
+    pub r_energy: f64,
+    pub r_timeout: f64,
+    pub r_queue: f64,
+}
+
+/// A core's commanded frequency actually changed (a command equal to
+/// the current frequency is not a transition).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FreqTransition {
+    pub t: u64,
+    pub core: u64,
+    pub from_mhz: u32,
+    pub to_mhz: u32,
+}
+
+/// Time one core spent at one frequency level over the whole run
+/// (emitted once per visited `(core, mhz)` pair at run end, cores then
+/// levels ascending). The Figs. 9/10 residency data.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CoreResidency {
+    pub core: u64,
+    pub mhz: u32,
+    pub ns: u64,
+}
+
+/// A core dequeued a request and started processing it (Fig. 4's green
+/// marks). Gated on `TraceConfig::request_marks`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RequestDispatch {
+    pub t: u64,
+    pub core: u64,
+    pub id: u64,
+}
+
+/// A request completed (Fig. 4's blue marks). Gated on
+/// `TraceConfig::request_marks`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RequestComplete {
+    pub t: u64,
+    pub core: u64,
+    pub id: u64,
+    pub latency_ns: u64,
+    pub timed_out: bool,
+}
+
+/// Periodic snapshot of the run-so-far latency distribution, read from
+/// the server's incremental [`crate::LatencyRecorder`] (percentiles are
+/// histogram upper bounds, within one log-bucket of exact).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LatencySnapshot {
+    pub t: u64,
+    pub count: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    pub timeouts: u64,
+}
+
+/// DDPG training internals after the updates of one DRL step (one event
+/// per step, not per gradient step — `updates` is cumulative, so update
+/// throughput is its slope over `t`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrainUpdate {
+    pub t: u64,
+    /// Cumulative DDPG updates performed so far.
+    pub updates: u64,
+    /// Diagnostics of the last update of the step.
+    pub critic_loss: f64,
+    /// Mean `Q(s, pi(s))` over the batch — what the actor ascends.
+    pub actor_q: f64,
+    /// Global L2 gradient norms before clipping.
+    pub actor_grad_norm: f64,
+    pub critic_grad_norm: f64,
+    /// Replay-pool occupancy.
+    pub replay_len: u64,
+    pub replay_capacity: u64,
+}
+
+/// One training episode finished.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeEnd {
+    pub episode: u64,
+    /// DRL steps logged during the episode.
+    pub steps: u64,
+    pub mean_reward: f64,
+    pub avg_power_w: f64,
+    pub timeout_rate: f64,
+    /// Cumulative DDPG updates after the episode.
+    pub updates: u64,
+}
+
+/// A harness job began (first event of a per-job artifact).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobStart {
+    pub job: u64,
+    pub app: String,
+    pub governor: String,
+    pub seed: u64,
+}
+
+/// A harness job finished (last event of a per-job artifact). Carries
+/// simulated-time lifecycle data only; wall-clock timings go through
+/// the logger, never into artifacts.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobEnd {
+    pub job: u64,
+    /// Simulated run length (t=0 to last completion).
+    pub sim_ns: u64,
+    pub requests: u64,
+    pub energy_j: f64,
+    pub drl_steps: u64,
+}
+
+/// The unified telemetry event.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    DrlStep(DrlStep),
+    FreqTransition(FreqTransition),
+    CoreResidency(CoreResidency),
+    RequestDispatch(RequestDispatch),
+    RequestComplete(RequestComplete),
+    LatencySnapshot(LatencySnapshot),
+    TrainUpdate(TrainUpdate),
+    EpisodeEnd(EpisodeEnd),
+    JobStart(JobStart),
+    JobEnd(JobEnd),
+}
+
+impl Event {
+    /// Stable kind tag (matches the JSONL object key).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::DrlStep(_) => "DrlStep",
+            Event::FreqTransition(_) => "FreqTransition",
+            Event::CoreResidency(_) => "CoreResidency",
+            Event::RequestDispatch(_) => "RequestDispatch",
+            Event::RequestComplete(_) => "RequestComplete",
+            Event::LatencySnapshot(_) => "LatencySnapshot",
+            Event::TrainUpdate(_) => "TrainUpdate",
+            Event::EpisodeEnd(_) => "EpisodeEnd",
+            Event::JobStart(_) => "JobStart",
+            Event::JobEnd(_) => "JobEnd",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        let events = vec![
+            Event::DrlStep(DrlStep {
+                t: 1_000_000_000,
+                num_req: 1200,
+                power_w: 87.5,
+                base_freq: 0.3,
+                scaling_coef: 0.9,
+                avg_freq_mhz: 1450.0,
+                queue_len: 4,
+                timeouts: 0,
+                reward: -0.25,
+                r_energy: 0.4,
+                r_timeout: 0.0,
+                r_queue: 0.1,
+            }),
+            Event::FreqTransition(FreqTransition {
+                t: 5,
+                core: 3,
+                from_mhz: 800,
+                to_mhz: 2100,
+            }),
+            Event::JobStart(JobStart {
+                job: 7,
+                app: "xapian".into(),
+                governor: "deeppower".into(),
+                seed: 42,
+            }),
+        ];
+        for ev in &events {
+            let json = serde_json::to_string(ev).unwrap();
+            assert!(json.contains(ev.kind()), "{json}");
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, ev);
+        }
+    }
+
+    #[test]
+    fn kind_matches_serialized_tag() {
+        let ev = Event::CoreResidency(CoreResidency {
+            core: 0,
+            mhz: 800,
+            ns: 10,
+        });
+        let json = serde_json::to_string(&ev).unwrap();
+        assert!(json.starts_with(&format!("{{\"{}\"", ev.kind())));
+    }
+}

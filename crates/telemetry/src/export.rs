@@ -1,0 +1,219 @@
+//! Artifact exporters: JSONL (the canonical per-job artifact format),
+//! a CSV projection of the DRL step series, and series reconstruction
+//! helpers for the figure benches.
+
+use crate::event::{DrlStep, Event};
+
+/// Serialize events to JSON Lines: one externally-tagged event object
+/// per line, in stream order, `\n`-terminated. Field order is the
+/// struct declaration order (the vendored serde_json preserves
+/// insertion order), so equal event streams produce byte-identical
+/// output.
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for ev in events {
+        out.push_str(&serde_json::to_string(ev).expect("telemetry events always serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a JSONL artifact back into events. Blank lines are skipped;
+/// a malformed line yields an error naming its 1-based line number.
+pub fn from_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev: Event = serde_json::from_str(line).map_err(|e| format!("line {}: {e:?}", i + 1))?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+/// Column order of [`steps_to_csv`] (documented in EXPERIMENTS.md).
+pub const STEP_CSV_HEADER: &str =
+    "t_ns,num_req,power_w,base_freq,scaling_coef,avg_freq_mhz,queue_len,timeouts,reward,r_energy,r_timeout,r_queue";
+
+/// Project the `DrlStep` events out of a stream as a CSV table, one
+/// row per step in stream order.
+pub fn steps_to_csv(events: &[Event]) -> String {
+    let mut out = String::from(STEP_CSV_HEADER);
+    out.push('\n');
+    for ev in events {
+        if let Event::DrlStep(s) = ev {
+            let DrlStep {
+                t,
+                num_req,
+                power_w,
+                base_freq,
+                scaling_coef,
+                avg_freq_mhz,
+                queue_len,
+                timeouts,
+                reward,
+                r_energy,
+                r_timeout,
+                r_queue,
+            } = s;
+            out.push_str(&format!(
+                "{t},{num_req},{power_w},{base_freq},{scaling_coef},{avg_freq_mhz},{queue_len},{timeouts},{reward},{r_energy},{r_timeout},{r_queue}\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Reconstruct one core's commanded-frequency time series from its
+/// `FreqTransition` events: samples at `0, step_ns, 2*step_ns, ...`
+/// up to and including the last point `<= t_end`. The core holds
+/// `initial_mhz` until its first transition. Transition events must be
+/// in time order (they are, in any recorder-produced stream).
+pub fn freq_series(
+    events: &[Event],
+    core: u64,
+    initial_mhz: u32,
+    t_end: u64,
+    step_ns: u64,
+) -> Vec<(u64, u32)> {
+    assert!(step_ns > 0, "step_ns must be positive");
+    let mut transitions = events.iter().filter_map(|ev| match ev {
+        Event::FreqTransition(f) if f.core == core => Some((f.t, f.to_mhz)),
+        _ => None,
+    });
+    let mut next = transitions.next();
+    let mut mhz = initial_mhz;
+    let mut out = Vec::with_capacity((t_end / step_ns + 1) as usize);
+    let mut t = 0u64;
+    loop {
+        while let Some((tt, to)) = next {
+            if tt <= t {
+                mhz = to;
+                next = transitions.next();
+            } else {
+                break;
+            }
+        }
+        out.push((t, mhz));
+        t += step_ns;
+        if t > t_end {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FreqTransition, JobEnd, JobStart};
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::JobStart(JobStart {
+                job: 0,
+                app: "xapian".into(),
+                governor: "deeppower".into(),
+                seed: 42,
+            }),
+            Event::DrlStep(DrlStep {
+                t: 1_000_000_000,
+                num_req: 900,
+                power_w: 80.0,
+                base_freq: 0.25,
+                scaling_coef: 1.0,
+                avg_freq_mhz: 1300.0,
+                queue_len: 2,
+                timeouts: 1,
+                reward: -0.5,
+                r_energy: 0.4,
+                r_timeout: 0.1,
+                r_queue: 0.0,
+            }),
+            Event::FreqTransition(FreqTransition {
+                t: 500,
+                core: 1,
+                from_mhz: 800,
+                to_mhz: 1600,
+            }),
+            Event::JobEnd(JobEnd {
+                job: 0,
+                sim_ns: 2_000_000_000,
+                requests: 1800,
+                energy_j: 160.0,
+                drl_steps: 2,
+            }),
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrips() {
+        let events = sample_events();
+        let text = to_jsonl(&events);
+        assert_eq!(text.lines().count(), events.len());
+        let back = from_jsonl(&text).unwrap();
+        assert_eq!(back, events);
+        // Byte-identical re-serialization (determinism contract).
+        assert_eq!(to_jsonl(&back), text);
+    }
+
+    #[test]
+    fn from_jsonl_reports_bad_line() {
+        let err = from_jsonl("{\"nope\"").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn csv_projects_steps_only() {
+        let csv = steps_to_csv(&sample_events());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(STEP_CSV_HEADER));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("1000000000,900,80,"), "{row}");
+        assert_eq!(lines.next(), None);
+        assert_eq!(STEP_CSV_HEADER.split(',').count(), row.split(',').count());
+    }
+
+    #[test]
+    fn freq_series_steps_through_transitions() {
+        let events = vec![
+            Event::FreqTransition(FreqTransition {
+                t: 150,
+                core: 0,
+                from_mhz: 800,
+                to_mhz: 1600,
+            }),
+            Event::FreqTransition(FreqTransition {
+                t: 300,
+                core: 1, // other core: ignored
+                from_mhz: 800,
+                to_mhz: 2100,
+            }),
+            Event::FreqTransition(FreqTransition {
+                t: 400,
+                core: 0,
+                from_mhz: 1600,
+                to_mhz: 2100,
+            }),
+        ];
+        let series = freq_series(&events, 0, 800, 500, 100);
+        assert_eq!(
+            series,
+            vec![
+                (0, 800),
+                (100, 800),
+                (200, 1600),
+                (300, 1600),
+                (400, 2100),
+                (500, 2100),
+            ]
+        );
+    }
+
+    #[test]
+    fn freq_series_no_transitions_holds_initial() {
+        let series = freq_series(&[], 0, 1234, 200, 100);
+        assert_eq!(series, vec![(0, 1234), (100, 1234), (200, 1234)]);
+    }
+}

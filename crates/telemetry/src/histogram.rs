@@ -1,0 +1,297 @@
+//! Log-bucketed histograms and the incremental latency recorder.
+//!
+//! The bucket scheme is HdrHistogram-style: each power-of-two range is
+//! split into `2^SUB_BITS` linear sub-buckets, so the relative
+//! quantization error of any recorded value is bounded by
+//! `2^-SUB_BITS` (6.25 % at the default 4 sub-bucket bits) while the
+//! whole `u64` range fits in under a thousand buckets. Inserts are
+//! O(1) (a couple of shifts), percentile reads are O(buckets) — the
+//! property that lets the server keep run-so-far latency percentiles
+//! without re-sorting a clone of every record on each read.
+
+/// Linear sub-bucket bits per power-of-two range.
+const SUB_BITS: u32 = 4;
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count: the exact region `[0, 2^SUB_BITS)` plus one
+/// group of `SUB` sub-buckets per remaining power of two.
+const N_BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) << SUB_BITS;
+
+/// Bucket index of `v` (monotone non-decreasing in `v`).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        let sub = ((v >> shift) & (SUB - 1)) as usize;
+        ((((msb - SUB_BITS) + 1) as usize) << SUB_BITS) + sub
+    }
+}
+
+/// Largest value mapping into bucket `i` (monotone increasing in `i`,
+/// and `bucket_upper_bound(bucket_index(v)) >= v` for all `v`).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    let group = i >> SUB_BITS;
+    let sub = (i & (SUB as usize - 1)) as u64;
+    if group == 0 {
+        sub
+    } else {
+        let shift = (group - 1) as u32;
+        // Bucket covers [ (SUB + sub) << shift, ((SUB + sub + 1) << shift) - 1 ].
+        // The very last bucket's bound is 2^64, so compute wide and
+        // saturate to u64::MAX.
+        let ub = ((SUB as u128 + sub as u128 + 1) << shift) - 1;
+        ub.min(u64::MAX as u128) as u64
+    }
+}
+
+/// A fixed-size log-bucketed histogram over `u64` values.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact mean of the recorded values (the sum is kept exactly).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Exact maximum of the recorded values (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum of the recorded values (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Nearest-rank percentile, reported as the bucket upper bound
+    /// (within one sub-bucket of the exact value, i.e. a relative error
+    /// bounded by `2^-SUB_BITS`). Returns 0 when empty. `q` is clamped
+    /// to `[0, 1]`; `q = 0` reports the exact minimum.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Never report beyond the true extremes.
+                return bucket_upper_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper_bound(i), c))
+            .collect()
+    }
+}
+
+/// Incremental latency aggregator: O(1) insert, O(buckets) reads.
+///
+/// This is the replacement for calling `LatencyStats::from_records`
+/// (which clones and re-sorts every record) on periodic paths: the
+/// server's `MetricsCollector` feeds every completion into one of
+/// these, and run-so-far snapshots read percentiles straight from the
+/// histogram.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyRecorder {
+    hist: Histogram,
+    timeouts: u64,
+}
+
+impl LatencyRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn record(&mut self, latency_ns: u64, timed_out: bool) {
+        self.hist.record(latency_ns);
+        if timed_out {
+            self.timeouts += 1;
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.hist.count()
+    }
+
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// Exact mean latency in ns.
+    pub fn mean_ns(&self) -> f64 {
+        self.hist.mean()
+    }
+
+    /// Exact max latency in ns.
+    pub fn max_ns(&self) -> u64 {
+        self.hist.max()
+    }
+
+    /// Histogram-quantized percentile (see [`Histogram::percentile`]).
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        self.hist.percentile(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(1.0), SUB - 1);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB - 1);
+    }
+
+    #[test]
+    fn percentiles_track_known_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 1000); // 1..10 ms in us steps
+        }
+        for (q, exact) in [(0.5, 5_000_000u64), (0.95, 9_500_000), (0.99, 9_900_000)] {
+            let got = h.percentile(q);
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(err < 0.07, "p{q}: got {got}, exact {exact}, err {err}");
+        }
+    }
+
+    #[test]
+    fn latency_recorder_counts_timeouts() {
+        let mut r = LatencyRecorder::new();
+        r.record(1000, false);
+        r.record(9000, true);
+        assert_eq!(r.count(), 2);
+        assert_eq!(r.timeouts(), 1);
+        assert_eq!(r.max_ns(), 9000);
+        assert!((r.mean_ns() - 5000.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// Satellite property: bucket mapping is monotone in the value.
+        #[test]
+        fn bucket_index_monotone(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(bucket_index(lo) <= bucket_index(hi));
+        }
+
+        /// Bucket upper bounds are strictly increasing across indices.
+        #[test]
+        fn bucket_bounds_monotone(i in 0usize..N_BUCKETS - 1) {
+            prop_assert!(bucket_upper_bound(i) < bucket_upper_bound(i + 1));
+        }
+
+        /// Every value is covered by its bucket's bound, within the
+        /// scheme's relative-error envelope.
+        #[test]
+        fn bucket_bound_covers_value(v in 0u64..u64::MAX / 2) {
+            let ub = bucket_upper_bound(bucket_index(v));
+            prop_assert!(ub >= v, "bound {ub} below value {v}");
+            // Relative quantization error bounded by 2^-SUB_BITS.
+            let slack = (v >> SUB_BITS) + 1;
+            prop_assert!(ub - v <= slack, "bound {ub} too far above {v}");
+        }
+
+        /// Percentiles never leave the recorded range and are monotone
+        /// in q.
+        #[test]
+        fn percentile_bounded_and_monotone(
+            values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+            q1 in 0.0f64..1.0,
+            q2 in 0.0f64..1.0,
+        ) {
+            let mut h = Histogram::new();
+            for &v in &values { h.record(v); }
+            let lo = *values.iter().min().unwrap();
+            let hi = *values.iter().max().unwrap();
+            for q in [q1, q2, 0.0, 1.0] {
+                let p = h.percentile(q);
+                prop_assert!(p >= lo && p <= hi, "p{q} = {p} outside [{lo}, {hi}]");
+            }
+            let (ql, qh) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(h.percentile(ql) <= h.percentile(qh));
+        }
+    }
+}

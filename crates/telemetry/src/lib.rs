@@ -1,0 +1,47 @@
+//! # deeppower-telemetry
+//!
+//! The unified telemetry layer for the DeepPower reproduction. Every
+//! other crate in the workspace observes through this one:
+//!
+//! * [`Event`] — a typed event stream covering the whole stack:
+//!   governor decisions ([`DrlStep`]: state-derived step telemetry,
+//!   `BaseFreq`/`ScalingCoef`, reward decomposition), thread-controller
+//!   frequency transitions and per-core residency, DDPG training
+//!   internals (losses, gradient norms, replay occupancy), harness job
+//!   lifecycle, and periodic latency snapshots.
+//! * [`Recorder`] — the cheap, cloneable handle call sites hold. A
+//!   disabled recorder is a `None` and every emission guards on one
+//!   branch, so instrumented hot paths cost nothing when telemetry is
+//!   off (asserted by the `telemetry_overhead` bench). Enabled
+//!   recorders share a [`TelemetrySink`] (by default a preallocated
+//!   [`RingSink`]) plus counters, gauges and log-bucketed
+//!   [`Histogram`]s.
+//! * [`export`] — JSONL (the artifact format written by
+//!   `deeppower grid --telemetry` and `deeppower trace`) and CSV
+//!   exporters, plus series reconstruction from transition events.
+//! * [`Logger`] — the leveled logger behind the CLI's `-v`/`--quiet`
+//!   flags; log volume is counted through the recorder.
+//! * [`LatencyRecorder`] — an incremental, histogram-backed latency
+//!   aggregator: O(1) insert and O(buckets) percentile reads, replacing
+//!   sort-a-fresh-clone percentile computation on periodic paths.
+//!
+//! Determinism contract: events carry only simulation-derived data
+//! (simulated timestamps, counters, model outputs) — never wall-clock
+//! readings — so a job's event stream is a pure function of its spec
+//! and the harness can promise byte-identical artifacts at any
+//! `--threads` value. Wall-clock timings belong to the [`Logger`].
+
+pub mod event;
+pub mod export;
+pub mod histogram;
+pub mod logger;
+pub mod recorder;
+
+pub use event::{
+    CoreResidency, DrlStep, EpisodeEnd, Event, FreqTransition, JobEnd, JobStart, LatencySnapshot,
+    RequestComplete, RequestDispatch, TrainUpdate,
+};
+pub use export::{freq_series, from_jsonl, steps_to_csv, to_jsonl, STEP_CSV_HEADER};
+pub use histogram::{Histogram, LatencyRecorder};
+pub use logger::{LogLevel, Logger};
+pub use recorder::{NoopSink, Recorder, RingSink, TelemetrySink};

@@ -1,0 +1,135 @@
+//! Leveled logging for the CLI, counted through the telemetry sink.
+//!
+//! Logs are human-facing wall-clock-side output and go to stderr; they
+//! are never part of a run artifact (artifacts must stay a pure
+//! function of the job spec). The logger counts emissions per level
+//! into the recorder (`log.error`, `log.warn`, ...) so a run artifact
+//! records *how much* was logged without capturing the text.
+
+use crate::recorder::Recorder;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    Error,
+    Warn,
+    Info,
+    Debug,
+}
+
+impl LogLevel {
+    pub fn label(self) -> &'static str {
+        match self {
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+        }
+    }
+
+    fn counter(self) -> &'static str {
+        match self {
+            LogLevel::Error => "log.error",
+            LogLevel::Warn => "log.warn",
+            LogLevel::Info => "log.info",
+            LogLevel::Debug => "log.debug",
+        }
+    }
+}
+
+/// A leveled stderr logger. `--quiet` maps to `Error`, the default to
+/// `Info`, `-v` to `Debug`.
+#[derive(Clone, Debug)]
+pub struct Logger {
+    level: LogLevel,
+    recorder: Recorder,
+}
+
+impl Logger {
+    pub fn new(level: LogLevel, recorder: Recorder) -> Self {
+        Self { level, recorder }
+    }
+
+    /// Logger from CLI flags: `--quiet` wins over `-v`.
+    pub fn from_flags(quiet: bool, verbose: bool, recorder: Recorder) -> Self {
+        let level = if quiet {
+            LogLevel::Error
+        } else if verbose {
+            LogLevel::Debug
+        } else {
+            LogLevel::Info
+        };
+        Self::new(level, recorder)
+    }
+
+    pub fn level(&self) -> LogLevel {
+        self.level
+    }
+
+    pub fn enabled(&self, level: LogLevel) -> bool {
+        level <= self.level
+    }
+
+    pub fn log(&self, level: LogLevel, msg: &str) {
+        self.recorder.add(level.counter(), 1);
+        if self.enabled(level) {
+            eprintln!("[{}] {msg}", level.label());
+        }
+    }
+
+    pub fn error(&self, msg: &str) {
+        self.log(LogLevel::Error, msg);
+    }
+
+    pub fn warn(&self, msg: &str) {
+        self.log(LogLevel::Warn, msg);
+    }
+
+    pub fn info(&self, msg: &str) {
+        self.log(LogLevel::Info, msg);
+    }
+
+    pub fn debug(&self, msg: &str) {
+        self.log(LogLevel::Debug, msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_matches_verbosity() {
+        assert!(LogLevel::Error < LogLevel::Warn);
+        assert!(LogLevel::Warn < LogLevel::Info);
+        assert!(LogLevel::Info < LogLevel::Debug);
+    }
+
+    #[test]
+    fn from_flags_maps_levels() {
+        let r = Recorder::disabled();
+        assert_eq!(
+            Logger::from_flags(true, false, r.clone()).level(),
+            LogLevel::Error
+        );
+        assert_eq!(
+            Logger::from_flags(false, true, r.clone()).level(),
+            LogLevel::Debug
+        );
+        assert_eq!(
+            Logger::from_flags(false, false, r.clone()).level(),
+            LogLevel::Info
+        );
+        // --quiet wins over -v.
+        assert_eq!(Logger::from_flags(true, true, r).level(), LogLevel::Error);
+    }
+
+    #[test]
+    fn suppressed_levels_still_count() {
+        let r = Recorder::ring(4);
+        let log = Logger::from_flags(true, false, r.clone());
+        log.info("not printed");
+        log.error("printed");
+        assert_eq!(r.counter("log.info"), 1);
+        assert_eq!(r.counter("log.error"), 1);
+    }
+}
