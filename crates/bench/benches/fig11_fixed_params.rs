@@ -35,6 +35,7 @@ fn run(base: f32, coef: f32) -> Summary {
         RunOptions {
             tick_ns: MILLISECOND,
             trace: TraceConfig::millisecond(),
+            ..Default::default()
         },
     );
 

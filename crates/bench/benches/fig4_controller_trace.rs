@@ -59,6 +59,7 @@ fn main() {
         RunOptions {
             tick_ns: MILLISECOND,
             trace: TraceConfig::millisecond(),
+            ..Default::default()
         },
         &rec,
     );

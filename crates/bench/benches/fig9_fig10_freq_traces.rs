@@ -109,6 +109,7 @@ fn run_app(app: App, window_s: u64, scale: Scale) -> Vec<PolicyTrace> {
         RunOptions {
             tick_ns: policy.deeppower.short_time,
             trace: TraceConfig::millisecond(),
+            ..Default::default()
         },
         window_s,
     );

@@ -43,6 +43,8 @@ fn main() {
                 peak_load: load,
                 duration_s: secs,
                 workload: WorkloadKind::Constant,
+                faults: deeppower_simd_server::FaultPlan::none(),
+                safety: false,
             })
         })
         .collect();

@@ -25,11 +25,11 @@
 use deeppower_core::train::default_peak_load;
 use deeppower_core::{evaluate, evaluate_recorded, train, TrainConfig, TrainedPolicy};
 use deeppower_harness::{
-    calibrated_train_seed, grid, run_grid, run_grid_telemetry, summarize, GovernorSpec, JobResult,
-    WorkloadKind,
+    calibrated_train_seed, grid, robustness_matrix, run_grid, run_grid_telemetry, summarize,
+    GovernorSpec, JobResult, WorkloadKind,
 };
 use deeppower_simd_server::{TraceConfig, MILLISECOND};
-use deeppower_telemetry::{steps_to_csv, to_jsonl, Event, Logger, Recorder};
+use deeppower_telemetry::{atomic_write, steps_to_csv, to_jsonl, Event, Logger, Recorder};
 use deeppower_workload::{save_trace_csv, App, AppSpec, DiurnalConfig, DiurnalTrace};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -58,6 +58,7 @@ fn main() -> ExitCode {
         "eval" => cmd_eval(&flags, &log),
         "compare" => cmd_compare(&flags, &log),
         "grid" => cmd_grid(&flags, &log),
+        "robustness" => cmd_robustness(&flags, &log),
         "trace" => cmd_trace(&flags, &log),
         "workload-trace" => cmd_workload_trace(&flags, &log),
         "help" | "--help" | "-h" => {
@@ -87,6 +88,8 @@ USAGE:
   deeppower grid    --apps a,b [--governors LIST] [--seeds LIST] [--duration-s S]
                     [--peak-load F] [--workload diurnal|constant] [--threads N] [-o FILE]
                     [--telemetry DIR]
+  deeppower robustness --app <name> [--governors LIST] [--duration-s S] [--peak-load F]
+                    [--seed K] [--threads N] [-o FILE]
   deeppower trace   --policy FILE | --app <name> [--duration-s S] [--peak-load F] [--seed K]
                     [-o FILE.jsonl] [--csv FILE.csv]
   deeppower workload-trace [--period-s S] [--base-rps R] [--seed K] -o FILE
@@ -101,7 +104,11 @@ GOVERNORS: baseline | fixed-<mhz> | thread-controller | retail | gemini | deeppo
 decision trace (DrlStep, FreqTransition, RequestDispatch/Complete, ...) as
 JSONL; --csv additionally writes the per-second DrlStep table.
 `--telemetry DIR` on compare/grid writes one JSONL artifact per job,
-named job-NNN-<app>-<governor>-seed<K>.jsonl.";
+named job-NNN-<app>-<governor>-seed<K>.jsonl.
+`robustness` sweeps every governor (plain and wrapped in the safety
+layer, shown as `<governor>+safe`) across the seeded fault scenarios
+(none | dvfs | sensor | stall | all) and prints the degradation table;
+-o writes the full matrix as JSON.";
 
 type Flags = HashMap<String, String>;
 
@@ -201,7 +208,7 @@ fn write_telemetry_artifacts(
             "job-{i:03}-{}-{}-seed{}.jsonl",
             r.app, r.governor, r.seed
         ));
-        std::fs::write(&path, to_jsonl(ev)).map_err(|e| e.to_string())?;
+        atomic_write(&path, to_jsonl(ev)).map_err(|e| e.to_string())?;
         log.debug(&format!("{} events -> {}", ev.len(), path.display()));
     }
     log.info(&format!(
@@ -412,8 +419,42 @@ fn cmd_grid(flags: &Flags, log: &Logger) -> Result<(), String> {
         );
     }
     if let Some(out) = flags.get("out") {
-        std::fs::write(out, report.to_json()).map_err(|e| e.to_string())?;
+        atomic_write(Path::new(out), report.to_json()).map_err(|e| e.to_string())?;
         log.info(&format!("report written to {out}"));
+    }
+    Ok(())
+}
+
+/// Governors × fault-scenarios degradation sweep. Every requested
+/// governor runs plain *and* wrapped in the [`SafetyGovernor`] layer
+/// (`<governor>+safe` rows), across the five seeded fault scenarios;
+/// deltas in the table are against the same row-group's fault-free run.
+fn cmd_robustness(flags: &Flags, log: &Logger) -> Result<(), String> {
+    let app = parse_app(flags)?;
+    let duration_s = get(flags, "duration-s", 20u64)?;
+    let peak_load = get(flags, "peak-load", 0.7f64)?;
+    let seed = get(flags, "seed", 1u64)?;
+    let threads = get(flags, "threads", 0usize)?;
+    let train_cfg = TrainConfig::for_app(app);
+    let governors = parse_list(flags, "governors", "baseline,thread-controller", |s| {
+        governor_by_name(s, &train_cfg)
+    })?;
+    if governors.is_empty() {
+        return Err("--governors needs at least one governor".into());
+    }
+
+    log.info(&format!(
+        "robustness matrix on {app:?}: {} governors x 2 (plain, +safe) x 5 fault scenarios, {duration_s} s each",
+        governors.len()
+    ));
+    let t0 = std::time::Instant::now();
+    let report = robustness_matrix(app, &governors, true, seed, peak_load, duration_s, threads);
+    log.info(&format!("finished in {:.1} s", t0.elapsed().as_secs_f64()));
+
+    println!("\n{}", report.render_table());
+    if let Some(out) = flags.get("out") {
+        atomic_write(Path::new(out), report.to_json()).map_err(|e| e.to_string())?;
+        log.info(&format!("robustness report written to {out}"));
     }
     Ok(())
 }
@@ -470,7 +511,7 @@ fn cmd_trace(flags: &Flags, log: &Logger) -> Result<(), String> {
             rec.dropped_events()
         ));
     }
-    std::fs::write(&out, to_jsonl(&events)).map_err(|e| e.to_string())?;
+    atomic_write(&out, to_jsonl(&events)).map_err(|e| e.to_string())?;
     log.info(&format!(
         "{} events ({} DRL steps) -> {}",
         events.len(),
@@ -478,7 +519,7 @@ fn cmd_trace(flags: &Flags, log: &Logger) -> Result<(), String> {
         out.display()
     ));
     if let Some(csv) = flags.get("csv") {
-        std::fs::write(csv, steps_to_csv(&events)).map_err(|e| e.to_string())?;
+        atomic_write(Path::new(csv), steps_to_csv(&events)).map_err(|e| e.to_string())?;
         log.info(&format!("DrlStep table -> {csv}"));
     }
     let s = &outcome.sim.stats;

@@ -1,0 +1,123 @@
+//! CLI error handling: every bad-input path must exit non-zero with a
+//! one-line diagnostic on stderr — never a panic, never a zero exit
+//! with garbage on stdout. Exercised against the real binary via
+//! `std::process::Command`, so the whole arg-parse → dispatch → error
+//! reporting chain is covered.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn deeppower(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_deeppower"))
+        .args(args)
+        .output()
+        .expect("spawn deeppower binary")
+}
+
+/// The failure contract: non-zero exit, a diagnostic on stderr, no panic.
+fn assert_clean_failure(out: &Output, expect_in_stderr: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "expected non-zero exit, got {:?}; stderr: {stderr}",
+        out.status
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "CLI panicked instead of reporting an error: {stderr}"
+    );
+    assert!(
+        stderr.contains(expect_in_stderr),
+        "stderr missing `{expect_in_stderr}`:\n{stderr}"
+    );
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = deeppower(&[]);
+    assert_clean_failure(&out, "USAGE");
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = deeppower(&["frobnicate"]);
+    assert_clean_failure(&out, "unknown command `frobnicate`");
+}
+
+#[test]
+fn missing_policy_file_fails() {
+    let out = deeppower(&["eval", "--policy", "/nonexistent/policy.json"]);
+    assert_clean_failure(&out, "");
+    // The message should mention the underlying I/O failure, not panic.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("No such file") || stderr.contains("not found"),
+        "stderr should explain the missing file:\n{stderr}"
+    );
+}
+
+#[test]
+fn malformed_policy_file_fails() {
+    let dir = std::env::temp_dir().join("deeppower-cli-errors");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("garbage-policy.json");
+    std::fs::write(&path, "{ this is not a policy").unwrap();
+    let out = deeppower(&["eval", "--policy", path.to_str().unwrap()]);
+    assert_clean_failure(&out, "");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bad_flag_value_fails() {
+    let out = deeppower(&["grid", "--apps", "xapian", "--duration-s", "soon"]);
+    assert_clean_failure(&out, "bad value for --duration-s");
+}
+
+#[test]
+fn unknown_app_fails() {
+    let out = deeppower(&["robustness", "--app", "doom"]);
+    assert_clean_failure(&out, "unknown app `doom`");
+}
+
+#[test]
+fn unknown_governor_fails() {
+    let out = deeppower(&["robustness", "--app", "xapian", "--governors", "psychic"]);
+    assert_clean_failure(&out, "unknown governor `psychic`");
+}
+
+#[test]
+fn flag_missing_value_fails() {
+    let out = deeppower(&["grid", "--apps"]);
+    assert_clean_failure(&out, "needs a value");
+}
+
+#[test]
+fn positional_argument_is_rejected() {
+    let out = deeppower(&["grid", "xapian"]);
+    assert_clean_failure(&out, "unexpected argument `xapian`");
+}
+
+/// A report path whose parent directory does not exist must surface the
+/// I/O error (from the atomic temp-file create) instead of panicking —
+/// and fast, so use the cheapest possible grid cell.
+#[test]
+fn unwritable_report_path_fails() {
+    let out = deeppower(&[
+        "grid",
+        "--apps",
+        "masstree",
+        "--governors",
+        "baseline",
+        "--seeds",
+        "1",
+        "--duration-s",
+        "1",
+        "-o",
+        "/nonexistent-dir/report.json",
+    ]);
+    assert_clean_failure(&out, "");
+    assert!(
+        !Path::new("/nonexistent-dir/report.json").exists(),
+        "no partial report may appear at the target path"
+    );
+}

@@ -162,6 +162,7 @@ mod tests {
             RunOptions {
                 tick_ns: MILLISECOND,
                 trace: deeppower_simd_server::TraceConfig::millisecond(),
+                ..Default::default()
             },
         );
         // All cores share one frequency at every sample instant.

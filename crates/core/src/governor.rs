@@ -76,6 +76,11 @@ pub struct DeepPowerGovernor<'a> {
     prev_energy_uj: u64,
     /// DDPG updates performed through this governor.
     pub updates_done: u64,
+    /// `false` after the actor emitted a non-finite action; the
+    /// [`crate::SafetyGovernor`] polls this through
+    /// [`Governor::healthy`] and pins max frequency while it is down.
+    /// Recovers as soon as the actor produces a finite action again.
+    policy_healthy: bool,
     /// Telemetry handle (disabled by default; see
     /// [`with_recorder`](Self::with_recorder)).
     recorder: Recorder,
@@ -104,6 +109,7 @@ impl<'a> DeepPowerGovernor<'a> {
             prev_timeouts: 0,
             prev_energy_uj: 0,
             updates_done: 0,
+            policy_healthy: true,
             recorder: Recorder::disabled(),
             agent,
             cfg,
@@ -133,6 +139,21 @@ impl<'a> DeepPowerGovernor<'a> {
             Mode::Train => self.agent.act_explore(&next_state),
             Mode::Eval => self.agent.act(&next_state),
         };
+        self.policy_healthy = action.iter().all(|a| a.is_finite());
+        if !self.policy_healthy {
+            self.recorder.emit(|| {
+                Event::FaultInjected(event::FaultInjected {
+                    t: view.now,
+                    kind: "action-nan".to_string(),
+                    core: -1,
+                    magnitude: 0.0,
+                })
+            });
+            self.recorder.add("faults.action_nan", 1);
+        }
+        // `ControllerParams::new` maps non-finite components to 0.0, so
+        // the controller keeps a well-defined (minimum-frequency) policy
+        // even while unhealthy.
         self.controller.params = ControllerParams::from_action(&action);
 
         if let Some((r, terms, elapsed)) = closed {
@@ -177,18 +198,40 @@ impl<'a> DeepPowerGovernor<'a> {
         );
 
         if let Some((state, action)) = self.pending.take() {
-            self.agent.observe(Transition {
+            let accepted = self.agent.observe(Transition {
                 state: state.to_vec(),
                 action,
                 reward: r as f32,
                 next_state: next_state.to_vec(),
                 done,
             });
+            if !accepted {
+                self.recorder.emit(|| {
+                    Event::FaultInjected(event::FaultInjected {
+                        t: view.now,
+                        kind: "replay-reject".to_string(),
+                        core: -1,
+                        magnitude: 0.0,
+                    })
+                });
+                self.recorder.add("faults.replay_reject", 1);
+            }
             if self.mode == Mode::Train && self.agent.ready() {
                 let mut last = UpdateStats::default();
                 for _ in 0..self.cfg.updates_per_step.max(1) {
                     last = self.agent.update();
                     self.updates_done += 1;
+                    if last.diverged {
+                        self.recorder.emit(|| {
+                            Event::FaultInjected(event::FaultInjected {
+                                t: view.now,
+                                kind: "train-diverged".to_string(),
+                                core: -1,
+                                magnitude: self.agent.rollbacks() as f64,
+                            })
+                        });
+                        self.recorder.add("faults.train_diverged", 1);
+                    }
                 }
                 self.recorder.emit(|| {
                     Event::TrainUpdate(event::TrainUpdate {
@@ -265,6 +308,10 @@ impl Governor for DeepPowerGovernor<'_> {
         }
         self.tick_count += 1;
         self.controller.scale_all(view, cmds);
+    }
+
+    fn healthy(&self) -> bool {
+        self.policy_healthy
     }
 
     /// Episode-end flush: the last `(state, action)` pair would otherwise

@@ -39,6 +39,7 @@ pub mod ablation;
 pub mod config;
 pub mod governor;
 pub mod reward;
+pub mod safety;
 pub mod sleep;
 pub mod state;
 pub mod thread_controller;
@@ -48,6 +49,7 @@ pub use ablation::FlatDrlGovernor;
 pub use config::{DeepPowerConfig, StateNorm};
 pub use governor::{DeepPowerGovernor, Mode, StepLog};
 pub use reward::{scale_func, RewardCalculator, RewardTerms};
+pub use safety::{SafetyConfig, SafetyGovernor};
 pub use sleep::{SleepAware, SleepPolicy};
 pub use state::{StateObserver, STATE_DIM};
 pub use thread_controller::{ControllerParams, ThreadController};

@@ -112,6 +112,10 @@ impl<G: Governor> Governor for SleepAware<G> {
     fn name(&self) -> &str {
         "sleep-aware"
     }
+
+    fn healthy(&self) -> bool {
+        self.inner.healthy()
+    }
 }
 
 #[cfg(test)]

@@ -32,6 +32,21 @@ pub struct ControllerParams {
 
 impl ControllerParams {
     pub fn new(base_freq: f32, scaling_coef: f32) -> Self {
+        // `clamp`/`max` pass NaN through, and a NaN `base_freq` would
+        // interpolate to the *minimum* frequency level — the worst
+        // possible response to a broken actor. Sanitize to 0.0 so a
+        // non-finite action degrades to a well-defined (if conservative)
+        // controller; the safety layer handles the recovery.
+        let base_freq = if base_freq.is_finite() {
+            base_freq
+        } else {
+            0.0
+        };
+        let scaling_coef = if scaling_coef.is_finite() {
+            scaling_coef
+        } else {
+            0.0
+        };
         Self {
             base_freq: base_freq.clamp(0.0, 1.0),
             scaling_coef: scaling_coef.max(0.0),
@@ -173,6 +188,7 @@ mod tests {
             RunOptions {
                 tick_ns: MILLISECOND,
                 trace: TraceConfig::millisecond(),
+                ..Default::default()
             },
         );
         let freqs: Vec<u32> = res.traces.freq.iter().map(|&(_, _, f)| f).collect();
@@ -201,6 +217,7 @@ mod tests {
             RunOptions {
                 tick_ns: MILLISECOND,
                 trace: TraceConfig::millisecond(),
+                ..Default::default()
             },
         );
         let max_freq = res.traces.freq.iter().map(|&(_, _, f)| f).max().unwrap();
@@ -223,6 +240,7 @@ mod tests {
             RunOptions {
                 tick_ns: MILLISECOND,
                 trace: TraceConfig::millisecond(),
+                ..Default::default()
             },
         );
         let idle_freqs: Vec<u32> = res
@@ -263,6 +281,7 @@ mod tests {
             RunOptions {
                 tick_ns: MILLISECOND,
                 trace: TraceConfig::millisecond(),
+                ..Default::default()
             },
         );
         let freqs: Vec<u32> = res.traces.freq.iter().map(|&(_, _, f)| f).collect();
@@ -291,6 +310,7 @@ mod tests {
             RunOptions {
                 tick_ns: MILLISECOND,
                 trace: TraceConfig::millisecond(),
+                ..Default::default()
             },
         );
         assert!(res.traces.freq.iter().all(|&(_, _, f)| f == 3000));
@@ -313,6 +333,7 @@ mod tests {
             RunOptions {
                 tick_ns: MILLISECOND,
                 trace: TraceConfig::millisecond(),
+                ..Default::default()
             },
         );
         let r0 = res.records.iter().find(|r| r.id == 0).unwrap();

@@ -120,8 +120,13 @@ impl TrainedPolicy {
         agent
     }
 
+    /// Checkpoint to `path` atomically (temp file + rename): a crash
+    /// mid-save can never leave a torn checkpoint behind.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, serde_json::to_string(self).expect("serialize policy"))
+        deeppower_telemetry::atomic_write(
+            path,
+            serde_json::to_string(self).expect("serialize policy"),
+        )
     }
 
     pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
@@ -177,6 +182,7 @@ pub fn train_recorded(cfg: &TrainConfig, rec: &Recorder) -> (TrainedPolicy, Trai
             RunOptions {
                 tick_ns: cfg.deeppower.short_time,
                 trace: TraceConfig::default(),
+                ..Default::default()
             },
             rec,
         );
@@ -259,6 +265,7 @@ pub fn evaluate_recorded(
         RunOptions {
             tick_ns: policy.deeppower.short_time,
             trace: trace_cfg,
+            ..Default::default()
         },
         rec,
     );
@@ -353,6 +360,60 @@ mod tests {
             eval_events.iter().any(|e| e.kind() == "CoreResidency"),
             "residency missing from eval trace"
         );
+    }
+
+    #[test]
+    fn injected_training_nan_rolls_back_and_completes() {
+        // Corrupt the bootstrap targets of one mid-run gradient update:
+        // the agent must detect the divergence, roll back to the last
+        // finite weights, and finish training with finite metrics.
+        let mut cfg = tiny_train_cfg();
+        cfg.deeppower.ddpg.inject_nan_update = 10;
+        let rec = Recorder::ring(1 << 16);
+        let (policy, report) = train_recorded(&cfg, &rec);
+        assert!(
+            rec.counter("faults.train_diverged") >= 1,
+            "divergence was never detected"
+        );
+        assert!(policy.actor_weights.iter().all(|w| w.is_finite()));
+        assert!(report.episode_rewards.iter().all(|r| r.is_finite()));
+        assert!(report
+            .episode_power_w
+            .iter()
+            .all(|p| p.is_finite() && *p > 0.0));
+        let events = rec.drain_events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::FaultInjected(f) if f.kind == "train-diverged")),
+            "no train-diverged fault event emitted"
+        );
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_rejected() {
+        let cfg = tiny_train_cfg();
+        let agent = Ddpg::new(cfg.deeppower.ddpg);
+        let policy = TrainedPolicy {
+            app: cfg.app,
+            actor_weights: agent.actor_snapshot(),
+            ddpg: cfg.deeppower.ddpg,
+            deeppower: cfg.deeppower,
+        };
+        let dir = std::env::temp_dir().join(format!("deeppower-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("policy.json");
+        policy.save(&path).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        // Simulate the torn write atomic_write prevents: half a file.
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = TrainedPolicy::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // A fresh save over the torn file recovers it.
+        policy.save(&path).unwrap();
+        let loaded = TrainedPolicy::load(&path).unwrap();
+        assert_eq!(loaded.actor_weights, policy.actor_weights);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

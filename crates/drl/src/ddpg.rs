@@ -43,6 +43,12 @@ pub struct DdpgConfig {
     /// Floor under the decayed sigma — exploration never fully dies.
     pub noise_sigma_min: f32,
     pub seed: u64,
+    /// Fault-injection knob: corrupt the bootstrap targets of update
+    /// number `inject_nan_update` (1-based) with NaN to exercise the
+    /// divergence-rollback path. `0` disables. Test-only; excluded from
+    /// serialized checkpoints.
+    #[serde(skip)]
+    pub inject_nan_update: u64,
 }
 
 impl Default for DdpgConfig {
@@ -63,6 +69,7 @@ impl Default for DdpgConfig {
             noise_decay: 1.0,
             noise_sigma_min: 0.05,
             seed: 0,
+            inject_nan_update: 0,
         }
     }
 }
@@ -78,6 +85,9 @@ pub struct UpdateStats {
     /// classic DDPG divergence signal.
     pub actor_grad_norm: f32,
     pub critic_grad_norm: f32,
+    /// The update produced a non-finite loss, Q-value, gradient norm or
+    /// weight and was rolled back to the last-good network snapshot.
+    pub diverged: bool,
 }
 
 /// Reusable mini-batch buffers for [`Ddpg::update`]. Allocated empty and
@@ -118,6 +128,10 @@ pub struct Ddpg {
     rng: StdRng,
     updates: u64,
     scratch: UpdateScratch,
+    /// Last known-finite `(actor, critic)` weights, refreshed after every
+    /// finite update; the rollback target when an update diverges.
+    last_good: (Vec<f32>, Vec<f32>),
+    rollbacks: u64,
 }
 
 impl Ddpg {
@@ -141,6 +155,7 @@ impl Ddpg {
             },
             &critic,
         );
+        let last_good = (actor.snapshot(), critic.snapshot());
         Self {
             noise: GaussianNoise::new(cfg.noise_mu, cfg.noise_sigma),
             replay: ReplayBuffer::new(cfg.replay_capacity),
@@ -153,6 +168,8 @@ impl Ddpg {
             rng,
             updates: 0,
             scratch: UpdateScratch::new(),
+            last_good,
+            rollbacks: 0,
             cfg,
         }
     }
@@ -179,11 +196,12 @@ impl Ddpg {
         a
     }
 
-    /// Store a transition in the replay pool.
-    pub fn observe(&mut self, t: Transition) {
+    /// Store a transition in the replay pool. Returns `false` when the
+    /// pool rejected it as non-finite (see [`ReplayBuffer::push`]).
+    pub fn observe(&mut self, t: Transition) -> bool {
         debug_assert_eq!(t.state.len(), self.cfg.state_dim);
         debug_assert_eq!(t.action.len(), self.cfg.action_dim);
-        self.replay.push(t);
+        self.replay.push(t)
     }
 
     /// Whether enough experience has accumulated to train.
@@ -194,6 +212,16 @@ impl Ddpg {
 
     pub fn updates(&self) -> u64 {
         self.updates
+    }
+
+    /// Diverged updates rolled back to the last-good snapshot.
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks
+    }
+
+    /// Non-finite transitions rejected by the replay pool.
+    pub fn rejected_transitions(&self) -> u64 {
+        self.replay.total_rejected()
     }
 
     /// One gradient step on a sampled mini-batch (Algorithm 2 lines 14–18):
@@ -233,6 +261,9 @@ impl Ddpg {
                 .set(i, 0, t.reward + self.cfg.gamma * cont * q_next.get(i, 0));
         }
         drop(sampled);
+        if self.cfg.inject_nan_update != 0 && self.updates + 1 == self.cfg.inject_nan_update {
+            self.scratch.targets.as_mut_slice().fill(f32::NAN);
+        }
 
         // Critic step.
         self.critic.zero_grad();
@@ -266,21 +297,65 @@ impl Ddpg {
         }
         self.actor_opt.step(&mut self.actor);
 
-        // Soft target updates.
+        // Divergence check *before* the target networks absorb the new
+        // weights: a non-finite loss, Q-value, gradient norm or weight
+        // means this update poisoned the networks. Roll everything back
+        // to the last-good snapshot (the optimizers' moment estimates
+        // are poisoned too, so they are rebuilt from scratch) rather
+        // than letting NaNs propagate into the targets and the policy.
         let actor_snap = self.actor.snapshot();
+        let critic_snap = self.critic.snapshot();
+        let finite = critic_loss.is_finite()
+            && actor_q.is_finite()
+            && actor_grad_norm.is_finite()
+            && critic_grad_norm.is_finite()
+            && actor_snap.iter().all(|w| w.is_finite())
+            && critic_snap.iter().all(|w| w.is_finite());
+        self.updates += 1;
+        if !finite {
+            let (good_actor, good_critic) = (self.last_good.0.clone(), self.last_good.1.clone());
+            self.actor.load_snapshot(&good_actor);
+            self.actor_target.load_snapshot(&good_actor);
+            self.critic.load_snapshot(&good_critic);
+            self.critic_target.load_snapshot(&good_critic);
+            self.actor_opt = Adam::new(
+                AdamConfig {
+                    lr: self.cfg.actor_lr,
+                    ..Default::default()
+                },
+                &self.actor,
+            );
+            self.critic_opt = Adam::new(
+                AdamConfig {
+                    lr: self.cfg.critic_lr,
+                    ..Default::default()
+                },
+                &self.critic,
+            );
+            self.rollbacks += 1;
+            return UpdateStats {
+                critic_loss,
+                actor_q,
+                actor_grad_norm,
+                critic_grad_norm,
+                diverged: true,
+            };
+        }
+
+        // Soft target updates.
         self.actor_target
             .soft_update_from(&actor_snap, self.cfg.tau);
-        let critic_snap = self.critic.snapshot();
         self.critic_target
             .soft_update_from(&critic_snap, self.cfg.tau);
+        self.last_good = (actor_snap, critic_snap);
 
-        self.updates += 1;
         self.noise.sigma = (self.noise.sigma * self.cfg.noise_decay).max(self.cfg.noise_sigma_min);
         UpdateStats {
             critic_loss,
             actor_q,
             actor_grad_norm,
             critic_grad_norm,
+            diverged: false,
         }
     }
 
@@ -443,6 +518,68 @@ mod tests {
         assert!(stats.critic_grad_norm.is_finite() && stats.critic_grad_norm > 0.0);
         assert!(stats.actor_grad_norm.is_finite() && stats.actor_grad_norm > 0.0);
         assert!(stats.critic_loss.is_finite());
+    }
+
+    #[test]
+    fn injected_nan_update_rolls_back_to_last_good_weights() {
+        let mut agent = Ddpg::new(DdpgConfig {
+            state_dim: 2,
+            action_dim: 2,
+            warmup: 0,
+            batch_size: 16,
+            seed: 13,
+            inject_nan_update: 3,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..64 {
+            let a = vec![
+                rand::Rng::random_range(&mut rng, 0.0..1.0),
+                rand::Rng::random_range(&mut rng, 0.0..1.0),
+            ];
+            agent.observe(Transition {
+                state: vec![0.3, 0.7],
+                action: a.clone(),
+                reward: a[0] - a[1],
+                next_state: vec![0.3, 0.7],
+                done: true,
+            });
+        }
+        agent.update();
+        agent.update();
+        let before = agent.actor_snapshot();
+        let stats = agent.update(); // the corrupted one
+        assert!(stats.diverged, "injected NaN batch not flagged");
+        assert_eq!(agent.rollbacks(), 1);
+        // Rolled back to the weights of update 2, all finite.
+        let after = agent.actor_snapshot();
+        assert_eq!(before, after, "rollback did not restore last-good actor");
+        // Training continues normally past the fault.
+        for _ in 0..5 {
+            let s = agent.update();
+            assert!(!s.diverged);
+            assert!(s.critic_loss.is_finite());
+        }
+        assert!(agent.act(&[0.3, 0.7]).iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn observe_rejects_non_finite_transition() {
+        let mut agent = Ddpg::new(DdpgConfig {
+            state_dim: 2,
+            action_dim: 2,
+            ..Default::default()
+        });
+        let ok = agent.observe(Transition {
+            state: vec![0.0, 1.0],
+            action: vec![0.5, 0.5],
+            reward: f32::NAN,
+            next_state: vec![0.0, 1.0],
+            done: false,
+        });
+        assert!(!ok);
+        assert_eq!(agent.rejected_transitions(), 1);
+        assert_eq!(agent.replay.len(), 0);
     }
 
     #[test]

@@ -18,6 +18,19 @@ pub struct Transition {
     pub done: bool,
 }
 
+impl Transition {
+    /// Whether every numeric component is finite. A single NaN stored in
+    /// the pool would eventually be sampled into a mini-batch and poison
+    /// the networks, so [`ReplayBuffer::push`] rejects non-finite
+    /// transitions outright.
+    pub fn is_finite(&self) -> bool {
+        self.reward.is_finite()
+            && self.state.iter().all(|x| x.is_finite())
+            && self.action.iter().all(|x| x.is_finite())
+            && self.next_state.iter().all(|x| x.is_finite())
+    }
+}
+
 /// Fixed-capacity ring buffer of [`Transition`]s.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ReplayBuffer {
@@ -27,6 +40,9 @@ pub struct ReplayBuffer {
     head: usize,
     /// Total number of pushes ever (for diagnostics).
     pushed: u64,
+    /// Non-finite transitions rejected by [`ReplayBuffer::push`].
+    #[serde(skip)]
+    rejected: u64,
 }
 
 impl ReplayBuffer {
@@ -38,6 +54,7 @@ impl ReplayBuffer {
             data: Vec::with_capacity(capacity.min(1 << 20)),
             head: 0,
             pushed: 0,
+            rejected: 0,
         }
     }
 
@@ -58,8 +75,20 @@ impl ReplayBuffer {
         self.pushed
     }
 
+    /// Non-finite transitions rejected over the buffer's lifetime.
+    pub fn total_rejected(&self) -> u64 {
+        self.rejected
+    }
+
     /// Insert a transition, evicting the oldest once at capacity.
-    pub fn push(&mut self, t: Transition) {
+    /// Non-finite transitions (any NaN/∞ in state, action, reward or
+    /// next state) are rejected and counted instead of stored; returns
+    /// whether the transition was accepted.
+    pub fn push(&mut self, t: Transition) -> bool {
+        if !t.is_finite() {
+            self.rejected += 1;
+            return false;
+        }
         if self.data.len() < self.capacity {
             self.data.push(t);
         } else {
@@ -67,6 +96,7 @@ impl ReplayBuffer {
             self.head = (self.head + 1) % self.capacity;
         }
         self.pushed += 1;
+        true
     }
 
     /// Sample `batch` transitions uniformly with replacement. Panics when
@@ -139,6 +169,36 @@ mod tests {
             seen.insert(s.reward as i64);
         }
         assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn non_finite_transitions_are_rejected_and_counted() {
+        let mut b = ReplayBuffer::new(8);
+        assert!(b.push(t(1.0)));
+        for bad in [
+            Transition {
+                state: vec![f32::NAN],
+                ..t(2.0)
+            },
+            Transition {
+                action: vec![f32::INFINITY],
+                ..t(3.0)
+            },
+            Transition {
+                reward: f32::NAN,
+                ..t(4.0)
+            },
+            Transition {
+                next_state: vec![f32::NEG_INFINITY],
+                ..t(5.0)
+            },
+        ] {
+            assert!(!b.push(bad));
+        }
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.total_pushed(), 1);
+        assert_eq!(b.total_rejected(), 4);
+        assert!(b.iter().all(|x| x.is_finite()));
     }
 
     #[test]

@@ -26,12 +26,12 @@ use deeppower_baselines::{
 };
 use deeppower_core::train::trace_for;
 use deeppower_core::{
-    train, ControllerParams, DeepPowerGovernor, Mode, StepLog, ThreadController, TrainConfig,
-    TrainedPolicy,
+    train, ControllerParams, DeepPowerGovernor, Mode, SafetyConfig, SafetyGovernor, StepLog,
+    ThreadController, TrainConfig, TrainedPolicy,
 };
 use deeppower_simd_server::{
-    FixedFrequency, FreqPlan, Request, RunOptions, Server, ServerConfig, SimResult, MILLISECOND,
-    SECOND,
+    FaultPlan, FixedFrequency, FreqPlan, Governor, Request, RunOptions, Server, ServerConfig,
+    SimResult, MILLISECOND, SECOND,
 };
 use deeppower_telemetry::{event, Event, Recorder};
 use deeppower_workload::{constant_rate_arrivals, trace_arrivals, App, AppSpec};
@@ -117,6 +117,24 @@ pub struct JobSpec {
     /// Workload duration in (simulated) seconds.
     pub duration_s: u64,
     pub workload: WorkloadKind,
+    /// Deterministic platform-fault injection for this cell
+    /// ([`FaultPlan::none`] = the classic fault-free rollout).
+    pub faults: FaultPlan,
+    /// Wrap the governor in a [`SafetyGovernor`] (default thresholds).
+    /// Reported labels gain a `+safe` suffix.
+    pub safety: bool,
+}
+
+impl JobSpec {
+    /// Reporting label: the governor's own label, `+safe`-suffixed when
+    /// the job wraps it in the safety layer.
+    pub fn governor_label(&self) -> String {
+        let mut label = self.governor.label();
+        if self.safety {
+            label.push_str("+safe");
+        }
+        label
+    }
 }
 
 /// Telemetry of one finished job: the simulator metrics plus a summary of
@@ -143,6 +161,9 @@ pub struct JobResult {
     pub drl_steps: u64,
     /// Mean per-step reward over the run (0 for non-DRL governors).
     pub mean_reward: f64,
+    /// Faults the simulator injected during the run (0 when the job's
+    /// [`FaultPlan`] is inactive).
+    pub faults_injected: u64,
 }
 
 impl JobResult {
@@ -158,7 +179,7 @@ impl JobResult {
         };
         Self {
             app: app_spec.name.to_string(),
-            governor: spec.governor.label(),
+            governor: spec.governor_label(),
             seed: spec.seed,
             peak_load: spec.peak_load,
             duration_s: spec.duration_s,
@@ -175,6 +196,7 @@ impl JobResult {
             freq_transitions: sim.freq_transitions,
             drl_steps,
             mean_reward,
+            faults_injected: sim.faults_injected,
         }
     }
 }
@@ -216,6 +238,8 @@ pub fn grid(
                     peak_load,
                     duration_s,
                     workload,
+                    faults: FaultPlan::none(),
+                    safety: false,
                 });
             }
         }
@@ -267,14 +291,17 @@ pub fn run_job_recorded(spec: &JobSpec, job: u64, rec: &Recorder) -> JobResult {
     let app_spec = AppSpec::get(spec.app);
     let server = Server::new(ServerConfig::paper_default(app_spec.n_threads));
     let arrivals = arrivals_for(spec, &app_spec);
-    let opts = RunOptions::default();
+    let opts = RunOptions {
+        faults: spec.faults,
+        ..Default::default()
+    };
     let plan = FreqPlan::xeon_gold_5218r;
 
     rec.emit(|| {
         Event::JobStart(event::JobStart {
             job,
             app: app_spec.name.to_string(),
-            governor: spec.governor.label(),
+            governor: spec.governor_label(),
             seed: spec.seed,
         })
     });
@@ -282,23 +309,23 @@ pub fn run_job_recorded(spec: &JobSpec, job: u64, rec: &Recorder) -> JobResult {
     let (result, sim_ns) = match &spec.governor {
         GovernorSpec::MaxFreq => {
             let mut gov = max_freq_governor();
-            let sim = server.run_recorded(&arrivals, &mut gov, opts, rec);
+            let sim = run_sim(&server, &arrivals, &mut gov, opts, rec, spec.safety);
             (JobResult::from_sim(spec, &sim, &[]), sim.duration_ns)
         }
         GovernorSpec::FixedMhz(mhz) => {
             let mut gov = FixedFrequency { mhz: *mhz };
-            let sim = server.run_recorded(&arrivals, &mut gov, opts, rec);
+            let sim = run_sim(&server, &arrivals, &mut gov, opts, rec, spec.safety);
             (JobResult::from_sim(spec, &sim, &[]), sim.duration_ns)
         }
         GovernorSpec::ThreadController(base_freq, scaling_coef) => {
             let mut gov = ThreadController::new(ControllerParams::new(*base_freq, *scaling_coef));
-            let sim = server.run_recorded(&arrivals, &mut gov, opts, rec);
+            let sim = run_sim(&server, &arrivals, &mut gov, opts, rec, spec.safety);
             (JobResult::from_sim(spec, &sim, &[]), sim.duration_ns)
         }
         GovernorSpec::Retail => {
             let profile = collect_profile(&app_spec, PROFILE_LOAD, PROFILE_EPISODES, PROFILE_SEED);
             let mut gov = RetailGovernor::train(&profile, plan(), RetailConfig::default());
-            let sim = server.run_recorded(&arrivals, &mut gov, opts, rec);
+            let sim = run_sim(&server, &arrivals, &mut gov, opts, rec, spec.safety);
             (JobResult::from_sim(spec, &sim, &[]), sim.duration_ns)
         }
         GovernorSpec::Gemini => {
@@ -310,7 +337,7 @@ pub fn run_job_recorded(spec: &JobSpec, job: u64, rec: &Recorder) -> JobResult {
                 GeminiConfig::default(),
                 5,
             );
-            let sim = server.run_recorded(&arrivals, &mut gov, opts, rec);
+            let sim = run_sim(&server, &arrivals, &mut gov, opts, rec, spec.safety);
             (JobResult::from_sim(spec, &sim, &[]), sim.duration_ns)
         }
         GovernorSpec::DeepPower(policy) => run_policy(spec, &server, &arrivals, policy, rec),
@@ -335,6 +362,29 @@ pub fn run_job_recorded(spec: &JobSpec, job: u64, rec: &Recorder) -> JobResult {
     result
 }
 
+/// Run the simulation, wrapping `gov` in a [`SafetyGovernor`] (default
+/// thresholds, events into `rec`) when `safety` is set. The wrapper
+/// borrows the governor through the engine's `&mut dyn Governor`
+/// forwarding impl, so heterogeneous policies need no boxing.
+fn run_sim(
+    server: &Server,
+    arrivals: &[Request],
+    gov: &mut dyn Governor,
+    opts: RunOptions,
+    rec: &Recorder,
+    safety: bool,
+) -> SimResult {
+    if safety {
+        let n_cores = server.config().n_cores;
+        let mut safe =
+            SafetyGovernor::new(gov, n_cores, SafetyConfig::default()).with_recorder(rec.clone());
+        server.run_recorded(arrivals, &mut safe, opts, rec)
+    } else {
+        let mut gov = gov;
+        server.run_recorded(arrivals, &mut gov, opts, rec)
+    }
+}
+
 fn run_policy(
     spec: &JobSpec,
     server: &Server,
@@ -345,15 +395,12 @@ fn run_policy(
     let mut agent = policy.build_agent();
     let mut gov =
         DeepPowerGovernor::new(&mut agent, policy.deeppower, Mode::Eval).with_recorder(rec.clone());
-    let sim = server.run_recorded(
-        arrivals,
-        &mut gov,
-        RunOptions {
-            tick_ns: policy.deeppower.short_time,
-            ..Default::default()
-        },
-        rec,
-    );
+    let opts = RunOptions {
+        tick_ns: policy.deeppower.short_time,
+        faults: spec.faults,
+        ..Default::default()
+    };
+    let sim = run_sim(server, arrivals, &mut gov, opts, rec, spec.safety);
     let duration = sim.duration_ns;
     (JobResult::from_sim(spec, &sim, &gov.log), duration)
 }
@@ -520,6 +567,199 @@ pub fn summarize(results: Vec<JobResult>) -> GridReport {
     }
 }
 
+/// The canonical fault scenarios of the robustness evaluation, seeded so
+/// the whole matrix is replayable. `none` is the fault-free reference the
+/// degradation deltas are computed against.
+pub fn fault_scenarios(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    let base = FaultPlan {
+        seed,
+        ..FaultPlan::none()
+    };
+    vec![
+        ("none", FaultPlan::none()),
+        (
+            "dvfs",
+            FaultPlan {
+                dvfs_fail_prob: 0.8,
+                dvfs_spike_prob: 0.1,
+                dvfs_spike_min_ns: 50_000,
+                dvfs_spike_max_ns: 500_000,
+                ..base
+            },
+        ),
+        (
+            "sensor",
+            FaultPlan {
+                sensor_drop_prob: 0.3,
+                power_noise_frac: 0.2,
+                ..base
+            },
+        ),
+        (
+            "stall",
+            FaultPlan {
+                stall_period_ns: 500 * MILLISECOND,
+                stall_duration_ns: 20 * MILLISECOND,
+                ..base
+            },
+        ),
+        (
+            "all",
+            FaultPlan {
+                dvfs_fail_prob: 0.8,
+                dvfs_spike_prob: 0.1,
+                dvfs_spike_min_ns: 50_000,
+                dvfs_spike_max_ns: 500_000,
+                sensor_drop_prob: 0.3,
+                power_noise_frac: 0.2,
+                stall_period_ns: 500 * MILLISECOND,
+                stall_duration_ns: 20 * MILLISECOND,
+                ..base
+            },
+        ),
+    ]
+}
+
+/// One cell of the robustness matrix: a governor under a fault scenario,
+/// with degradation deltas against the same governor's fault-free run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RobustnessRow {
+    pub governor: String,
+    pub scenario: String,
+    pub avg_power_w: f64,
+    pub p99_ms: f64,
+    pub timeout_rate: f64,
+    pub faults_injected: u64,
+    /// Deltas vs the same governor's `none` scenario.
+    pub d_power_w: f64,
+    pub d_p99_ms: f64,
+    pub d_timeout_rate: f64,
+}
+
+/// The governors × fault-scenarios degradation matrix for one app.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RobustnessReport {
+    pub app: String,
+    pub peak_load: f64,
+    pub duration_s: u64,
+    pub seed: u64,
+    pub rows: Vec<RobustnessRow>,
+}
+
+impl RobustnessReport {
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("RobustnessReport serialization cannot fail")
+    }
+
+    /// Plain-text degradation table (one row per governor × scenario).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:<8} {:>9} {:>9} {:>9} {:>8} {:>9} {:>9} {:>9}\n",
+            "governor",
+            "scenario",
+            "power_w",
+            "p99_ms",
+            "timeout",
+            "faults",
+            "d_power",
+            "d_p99",
+            "d_timeout"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<24} {:<8} {:>9.2} {:>9.2} {:>9.4} {:>8} {:>+9.2} {:>+9.2} {:>+9.4}\n",
+                r.governor,
+                r.scenario,
+                r.avg_power_w,
+                r.p99_ms,
+                r.timeout_rate,
+                r.faults_injected,
+                r.d_power_w,
+                r.d_p99_ms,
+                r.d_timeout_rate
+            ));
+        }
+        out
+    }
+}
+
+/// Build the robustness job list: every governor (plain and, when
+/// `include_safety`, safety-wrapped) under every fault scenario.
+/// Row-major: scenarios vary fastest, then the safety axis, then
+/// governors — matching [`robustness_matrix`]'s row order.
+pub fn robustness_jobs(
+    app: App,
+    governors: &[GovernorSpec],
+    include_safety: bool,
+    seed: u64,
+    peak_load: f64,
+    duration_s: u64,
+) -> Vec<JobSpec> {
+    let scenarios = fault_scenarios(seed);
+    let mut jobs = Vec::new();
+    for gov in governors {
+        for &safety in &[false, true][..if include_safety { 2 } else { 1 }] {
+            for (_, faults) in &scenarios {
+                jobs.push(JobSpec {
+                    app,
+                    governor: gov.clone(),
+                    seed,
+                    peak_load,
+                    duration_s,
+                    workload: WorkloadKind::Constant,
+                    faults: *faults,
+                    safety,
+                });
+            }
+        }
+    }
+    jobs
+}
+
+/// Run the governors × fault-scenarios matrix and compute each cell's
+/// degradation relative to the same governor's fault-free run.
+pub fn robustness_matrix(
+    app: App,
+    governors: &[GovernorSpec],
+    include_safety: bool,
+    seed: u64,
+    peak_load: f64,
+    duration_s: u64,
+    threads: usize,
+) -> RobustnessReport {
+    let jobs = robustness_jobs(app, governors, include_safety, seed, peak_load, duration_s);
+    let results = run_grid(&jobs, threads);
+    let scenarios = fault_scenarios(seed);
+    let n_scenarios = scenarios.len();
+    let mut rows = Vec::with_capacity(results.len());
+    for (chunk_jobs, chunk) in jobs.chunks(n_scenarios).zip(results.chunks(n_scenarios)) {
+        // First job of every chunk is the governor's `none` baseline.
+        debug_assert!(!chunk_jobs[0].faults.is_active());
+        let base = &chunk[0];
+        for ((name, _), r) in scenarios.iter().zip(chunk) {
+            rows.push(RobustnessRow {
+                governor: r.governor.clone(),
+                scenario: name.to_string(),
+                avg_power_w: r.avg_power_w,
+                p99_ms: r.p99_ms,
+                timeout_rate: r.timeout_rate,
+                faults_injected: r.faults_injected,
+                d_power_w: r.avg_power_w - base.avg_power_w,
+                d_p99_ms: r.p99_ms - base.p99_ms,
+                d_timeout_rate: r.timeout_rate - base.timeout_rate,
+            });
+        }
+    }
+    RobustnessReport {
+        app: AppSpec::get(app).name.to_string(),
+        peak_load,
+        duration_s,
+        seed,
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -624,11 +864,129 @@ mod tests {
             peak_load: 0.2,
             duration_s: 2,
             workload: WorkloadKind::Constant,
+            faults: FaultPlan::none(),
+            safety: false,
         }];
         let res = run_grid(&jobs, 1);
         assert_eq!(res.len(), 1);
         assert!(res[0].requests > 100);
         assert_eq!(res[0].drl_steps, 0);
+    }
+
+    #[test]
+    fn faulted_grid_is_byte_identical_across_thread_counts() {
+        // The acceptance bar: same (seed, config, FaultPlan) ⇒
+        // byte-identical reports and telemetry at any thread count.
+        let jobs = robustness_jobs(
+            App::Masstree,
+            &[
+                GovernorSpec::MaxFreq,
+                GovernorSpec::ThreadController(0.2, 0.8),
+            ],
+            true,
+            3,
+            0.5,
+            2,
+        );
+        let (res1, ev1) = run_grid_telemetry(&jobs, 1);
+        let (res4, ev4) = run_grid_telemetry(&jobs, 4);
+        assert_eq!(summarize(res1.clone()).to_json(), summarize(res4).to_json());
+        for (i, (a, b)) in ev1.iter().zip(&ev4).enumerate() {
+            assert_eq!(
+                deeppower_telemetry::to_jsonl(a),
+                deeppower_telemetry::to_jsonl(b),
+                "job {i} telemetry differs across thread counts"
+            );
+        }
+        // Fault-free cells inject nothing; stall scenarios always fire
+        // (DVFS faults only trigger on transition attempts, which the
+        // max-frequency baseline never makes).
+        for (job, r) in jobs.iter().zip(&res1) {
+            if !job.faults.is_active() {
+                assert_eq!(r.faults_injected, 0);
+            } else if job.faults.stall_period_ns > 0 {
+                assert!(r.faults_injected > 0, "no faults injected: {r:?}");
+            }
+        }
+        assert!(
+            res1.iter().map(|r| r.faults_injected).sum::<u64>() > 0,
+            "matrix injected no faults at all"
+        );
+    }
+
+    #[test]
+    fn safety_wrapped_jobs_report_suffixed_labels() {
+        let mut job = JobSpec {
+            app: App::Xapian,
+            governor: GovernorSpec::ThreadController(0.3, 1.0),
+            seed: 1,
+            peak_load: 0.3,
+            duration_s: 1,
+            workload: WorkloadKind::Constant,
+            faults: FaultPlan::none(),
+            safety: true,
+        };
+        assert_eq!(job.governor_label(), "thread-controller+safe");
+        let res = run_job(&job);
+        assert_eq!(res.governor, "thread-controller+safe");
+        job.safety = false;
+        assert_eq!(job.governor_label(), "thread-controller");
+    }
+
+    #[test]
+    fn robustness_matrix_has_zero_deltas_on_fault_free_rows() {
+        let report = robustness_matrix(App::Masstree, &[GovernorSpec::MaxFreq], true, 5, 0.4, 2, 0);
+        // 1 governor × {plain, safe} × 5 scenarios.
+        assert_eq!(report.rows.len(), 10);
+        for row in report.rows.iter().filter(|r| r.scenario == "none") {
+            assert_eq!(row.d_power_w, 0.0);
+            assert_eq!(row.d_p99_ms, 0.0);
+            assert_eq!(row.d_timeout_rate, 0.0);
+            assert_eq!(row.faults_injected, 0);
+        }
+        let table = report.render_table();
+        assert!(table.contains("baseline+safe"));
+        assert!(table.contains("scenario"));
+    }
+
+    /// Acceptance: with faults off, `SafetyGovernor(DeepPower)` matches
+    /// plain DeepPower bit-for-bit. The policy trains in-cell from the
+    /// job seed, so both runs derive the exact same agent; any safety
+    /// intervention would show up in the serialized result.
+    #[test]
+    fn safety_wrapper_is_transparent_over_deeppower_without_faults() {
+        let mut cfg = TrainConfig::for_app(App::Xapian);
+        cfg.episodes = 1;
+        cfg.episode_s = 10;
+        cfg.peak_load = 0.6;
+        cfg.deeppower.ddpg.warmup = 4;
+        cfg.deeppower.ddpg.batch_size = 8;
+        let mut job = JobSpec {
+            app: App::Xapian,
+            governor: GovernorSpec::DeepPowerTrain(cfg),
+            seed: 7,
+            peak_load: 0.6,
+            duration_s: 2,
+            workload: WorkloadKind::Constant,
+            faults: FaultPlan::none(),
+            safety: false,
+        };
+        let plain = run_job(&job);
+        job.safety = true;
+        let safe = run_job(&job);
+        assert_eq!(safe.governor, "deeppower-train+safe");
+        let strip = |r: &JobResult| {
+            let mut v = serde_json::to_value(r).expect("serialize JobResult");
+            if let serde_json::Value::Object(fields) = &mut v {
+                fields.retain(|(k, _)| k != "governor");
+            }
+            v
+        };
+        assert_eq!(
+            strip(&plain),
+            strip(&safe),
+            "safety wrapper must not perturb a fault-free DeepPower run"
+        );
     }
 
     #[test]
@@ -640,6 +998,8 @@ mod tests {
             peak_load: 0.6,
             duration_s: 30,
             workload: WorkloadKind::Diurnal,
+            faults: FaultPlan::none(),
+            safety: false,
         };
         let json = serde_json::to_string(&job).expect("serialize JobSpec");
         let back: JobSpec = serde_json::from_str(&json).expect("deserialize JobSpec");

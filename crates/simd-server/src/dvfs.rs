@@ -8,6 +8,8 @@
 //! §5.5 but applies new frequencies at the commanded instant (the paper's
 //! controller treats the switch as effectively immediate).
 
+use crate::clock::Nanos;
+use crate::faults::DvfsFault;
 use serde::{Deserialize, Serialize};
 
 /// MHz per GHz, for conversions in power/reporting code.
@@ -117,6 +119,110 @@ impl FreqPlan {
     }
 }
 
+/// What happened to one requested frequency transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransitionOutcome {
+    /// The write landed instantly (the fault-free path).
+    Applied,
+    /// The write was accepted but takes effect only at `ready_at`
+    /// (an injected extra-latency spike).
+    Deferred { ready_at: Nanos },
+    /// The core is mid-transition; the write was rejected (a stuck
+    /// cpufreq write — retry on a later tick).
+    Rejected,
+    /// An injected failure silently dropped the write.
+    Failed,
+    /// The target equals the current frequency; nothing to do.
+    NoOp,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PendingTransition {
+    target_mhz: u32,
+    ready_at: Nanos,
+}
+
+/// Per-core DVFS transition state machine.
+///
+/// The paper's controller treats frequency writes as effectively
+/// immediate, and with no faults injected this controller preserves that:
+/// every request applies instantly ([`TransitionOutcome::Applied`]) and
+/// nothing is ever pending. Injected faults surface the two real-hardware
+/// failure modes: a dropped write ([`TransitionOutcome::Failed`]) and a
+/// slow write that keeps the core busy until `ready_at`
+/// ([`TransitionOutcome::Deferred`]), during which further writes are
+/// [`TransitionOutcome::Rejected`].
+#[derive(Clone, Debug)]
+pub struct DvfsController {
+    pending: Vec<Option<PendingTransition>>,
+}
+
+impl DvfsController {
+    pub fn new(n_cores: usize) -> Self {
+        assert!(n_cores > 0, "DvfsController needs at least one core");
+        Self {
+            pending: vec![None; n_cores],
+        }
+    }
+
+    /// Whether `core` has a transition in flight.
+    pub fn in_transition(&self, core: usize) -> bool {
+        self.pending[core].is_some()
+    }
+
+    /// Request a transition for `core` from `current_mhz` to
+    /// `target_mhz`, under the drawn `fault`. The caller applies the
+    /// frequency itself on [`TransitionOutcome::Applied`]; deferred
+    /// transitions land through [`poll`](Self::poll).
+    pub fn request(
+        &mut self,
+        core: usize,
+        now: Nanos,
+        current_mhz: u32,
+        target_mhz: u32,
+        fault: DvfsFault,
+    ) -> TransitionOutcome {
+        if let Some(p) = &self.pending[core] {
+            debug_assert!(now < p.ready_at, "pending transition not polled");
+            return TransitionOutcome::Rejected;
+        }
+        if target_mhz == current_mhz {
+            return TransitionOutcome::NoOp;
+        }
+        match fault {
+            DvfsFault::None => TransitionOutcome::Applied,
+            DvfsFault::Fail => TransitionOutcome::Failed,
+            DvfsFault::Spike(extra_ns) => {
+                let ready_at = now + extra_ns.max(1);
+                self.pending[core] = Some(PendingTransition {
+                    target_mhz,
+                    ready_at,
+                });
+                TransitionOutcome::Deferred { ready_at }
+            }
+        }
+    }
+
+    /// Complete `core`'s pending transition if it is due at `now`,
+    /// returning the frequency that just took effect.
+    pub fn poll(&mut self, core: usize, now: Nanos) -> Option<u32> {
+        match &self.pending[core] {
+            Some(p) if now >= p.ready_at => {
+                let target = p.target_mhz;
+                self.pending[core] = None;
+                Some(target)
+            }
+            _ => None,
+        }
+    }
+
+    /// Earliest pending-transition completion time across all cores
+    /// (feeds the engine's next-event computation).
+    pub fn next_ready(&self) -> Option<Nanos> {
+        self.pending.iter().flatten().map(|p| p.ready_at).min()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +297,87 @@ mod tests {
         assert!(p.is_valid(1500));
         assert!(p.is_valid(2500));
         assert!(!p.is_valid(1700));
+    }
+
+    #[test]
+    fn controller_applies_instantly_without_faults() {
+        let mut c = DvfsController::new(2);
+        assert_eq!(
+            c.request(0, 100, 1000, 2000, DvfsFault::None),
+            TransitionOutcome::Applied
+        );
+        assert!(!c.in_transition(0));
+        assert_eq!(c.next_ready(), None);
+    }
+
+    #[test]
+    fn transition_to_current_level_is_a_noop() {
+        let mut c = DvfsController::new(1);
+        assert_eq!(
+            c.request(0, 0, 1500, 1500, DvfsFault::None),
+            TransitionOutcome::NoOp
+        );
+        // Even a drawn fault does not fire on a no-op target.
+        assert_eq!(
+            c.request(0, 0, 1500, 1500, DvfsFault::Spike(1_000)),
+            TransitionOutcome::NoOp
+        );
+        assert!(!c.in_transition(0));
+    }
+
+    #[test]
+    fn request_mid_transition_is_rejected_until_ready() {
+        let mut c = DvfsController::new(1);
+        let out = c.request(0, 1_000, 1000, 2000, DvfsFault::Spike(500));
+        assert_eq!(out, TransitionOutcome::Deferred { ready_at: 1_500 });
+        assert!(c.in_transition(0));
+        // A second write while the first is in flight is rejected —
+        // including a write back to the current frequency.
+        assert_eq!(
+            c.request(0, 1_200, 1000, 1500, DvfsFault::None),
+            TransitionOutcome::Rejected
+        );
+        assert_eq!(
+            c.request(0, 1_400, 1000, 1000, DvfsFault::None),
+            TransitionOutcome::Rejected
+        );
+        // Not done early; done exactly at ready_at.
+        assert_eq!(c.poll(0, 1_499), None);
+        assert_eq!(c.next_ready(), Some(1_500));
+        assert_eq!(c.poll(0, 1_500), Some(2000));
+        assert!(!c.in_transition(0));
+        assert_eq!(c.next_ready(), None);
+        // After completion, new requests land again.
+        assert_eq!(
+            c.request(0, 1_500, 2000, 1000, DvfsFault::None),
+            TransitionOutcome::Applied
+        );
+    }
+
+    #[test]
+    fn turbo_entry_under_injected_failure_then_retry() {
+        let p = FreqPlan::test_plan();
+        let mut c = DvfsController::new(1);
+        // The turbo write is dropped: frequency must stay put.
+        assert_eq!(
+            c.request(0, 0, 2000, p.turbo_mhz, DvfsFault::Fail),
+            TransitionOutcome::Failed
+        );
+        assert!(!c.in_transition(0));
+        // Retrying on the next tick (fault-free draw) succeeds.
+        assert_eq!(
+            c.request(0, 1_000_000, 2000, p.turbo_mhz, DvfsFault::None),
+            TransitionOutcome::Applied
+        );
+    }
+
+    #[test]
+    fn next_ready_reports_earliest_across_cores() {
+        let mut c = DvfsController::new(3);
+        c.request(2, 0, 1000, 1500, DvfsFault::Spike(900));
+        c.request(0, 0, 1000, 2000, DvfsFault::Spike(300));
+        assert_eq!(c.next_ready(), Some(300));
+        assert_eq!(c.poll(0, 300), Some(2000));
+        assert_eq!(c.next_ready(), Some(900));
     }
 }

@@ -131,6 +131,13 @@ impl FreqCommands {
         self.targets[core_id] = Some(mhz);
     }
 
+    /// Peek the pending command for `core_id` without consuming it.
+    /// Wrapper governors (e.g. a safety layer) use this to observe what
+    /// the wrapped policy commanded before deciding to override it.
+    pub fn get(&self, core_id: usize) -> Option<u32> {
+        self.targets[core_id]
+    }
+
     /// Command core `core_id` to the turbo frequency (Algorithm 1 line 7).
     pub fn set_turbo(&mut self, core_id: usize) {
         self.targets[core_id] = Some(self.turbo_mhz);
@@ -200,6 +207,49 @@ pub trait Governor {
     /// Human-readable policy name (reporting).
     fn name(&self) -> &str {
         "unnamed"
+    }
+
+    /// Whether the policy is currently producing well-formed (finite)
+    /// actions. Learning governors override this to report `false` after
+    /// emitting a non-finite action; a safety wrapper polls it every tick
+    /// and falls back to max frequency while it returns `false`.
+    fn healthy(&self) -> bool {
+        true
+    }
+}
+
+/// Forwarding impl so wrapper governors can be built over a borrowed
+/// `&mut dyn Governor` (the harness wraps heterogeneous policies this
+/// way without boxing).
+impl<G: Governor + ?Sized> Governor for &mut G {
+    fn on_tick(&mut self, view: &ServerView<'_>, cmds: &mut FreqCommands) {
+        (**self).on_tick(view, cmds);
+    }
+
+    fn on_request_start(
+        &mut self,
+        view: &ServerView<'_>,
+        core_id: usize,
+        req: &Request,
+        cmds: &mut FreqCommands,
+    ) {
+        (**self).on_request_start(view, core_id, req, cmds);
+    }
+
+    fn on_request_complete(&mut self, now: Nanos, core_id: usize, req: &Request, latency: Nanos) {
+        (**self).on_request_complete(now, core_id, req, latency);
+    }
+
+    fn on_run_end(&mut self, view: &ServerView<'_>) {
+        (**self).on_run_end(view);
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn healthy(&self) -> bool {
+        (**self).healthy()
     }
 }
 

@@ -34,6 +34,7 @@ pub mod clock;
 pub mod contention;
 pub mod cstates;
 pub mod dvfs;
+pub mod faults;
 pub mod governor;
 pub mod metrics;
 pub mod power;
@@ -43,7 +44,8 @@ pub mod server;
 pub use clock::{Nanos, MICROSECOND, MILLISECOND, SECOND};
 pub use contention::ContentionModel;
 pub use cstates::{CState, CStatePlan};
-pub use dvfs::{FreqPlan, MHZ_PER_GHZ};
+pub use dvfs::{DvfsController, FreqPlan, TransitionOutcome, MHZ_PER_GHZ};
+pub use faults::{DvfsFault, FaultPlan, FaultState, SensorReading};
 pub use governor::{CoreView, FixedFrequency, FreqCommands, Governor, RunningView, ServerView};
 pub use metrics::{LatencyStats, MetricsCollector, RequestRecord, TraceConfig, Traces};
 pub use power::{EnergyMeter, PowerModel};

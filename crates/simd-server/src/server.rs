@@ -21,7 +21,8 @@
 use crate::clock::Nanos;
 use crate::contention::ContentionModel;
 use crate::cstates::CStatePlan;
-use crate::dvfs::FreqPlan;
+use crate::dvfs::{DvfsController, FreqPlan, TransitionOutcome};
+use crate::faults::{FaultPlan, FaultState, SensorReading};
 use crate::governor::{CoreView, FreqCommands, Governor, RunningView, ServerView};
 use crate::metrics::{LatencyStats, MetricsCollector, RequestRecord, TraceConfig, Traces};
 use crate::power::{EnergyMeter, PowerModel};
@@ -81,6 +82,9 @@ pub struct RunOptions {
     pub tick_ns: Nanos,
     /// Trace collection (off by default — figure benches enable it).
     pub trace: TraceConfig,
+    /// Deterministic fault injection (off by default; see
+    /// [`crate::faults`]).
+    pub faults: FaultPlan,
 }
 
 impl Default for RunOptions {
@@ -88,6 +92,7 @@ impl Default for RunOptions {
         Self {
             tick_ns: crate::clock::MILLISECOND,
             trace: TraceConfig::default(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -105,6 +110,9 @@ pub struct SimResult {
     pub duration_ns: Nanos,
     pub traces: Traces,
     pub freq_transitions: u64,
+    /// Discrete faults injected by the run's [`FaultPlan`] (0 when the
+    /// plan is inactive).
+    pub faults_injected: u64,
 }
 
 struct Running {
@@ -197,6 +205,8 @@ impl Server {
         let mut traces = Traces::default();
         let mut cmds = FreqCommands::new(n, plan);
         let mut freq_telem = FreqTelemetry::new(n, rec.enabled(), opts.trace.freq_sample_ns > 0);
+        let mut faults = FaultState::new(opts.faults, n);
+        let mut dvfs = DvfsController::new(n);
 
         let mut now: Nanos = 0;
         let mut arr_idx = 0usize;
@@ -216,6 +226,21 @@ impl Server {
         };
 
         loop {
+            // ---- 0. Fault-plan boundaries at `now` ----
+            // Stall windows open/close, and deferred (spiked) DVFS
+            // transitions that came due take effect. With an inactive
+            // plan both are single-branch no-ops.
+            faults.poll_stalls(now, rec);
+            for (i, core) in cores.iter_mut().enumerate() {
+                if let Some(target) = dvfs.poll(i, now) {
+                    if target != core.freq_mhz {
+                        freq_telem.on_transition(now, i, core.freq_mhz, target, rec);
+                        core.freq_mhz = target;
+                        metrics.freq_transitions += 1;
+                    }
+                }
+            }
+
             // ---- 1. Completions at `now` ----
             for (core_id, core) in cores.iter_mut().enumerate() {
                 let done = matches!(&core.running,
@@ -258,12 +283,17 @@ impl Server {
             // ---- 3. Dispatch queued requests to idle cores ----
             // Awake idle cores are preferred; a sleeping core is woken
             // only when no awake core is free, and the request then pays
-            // the C-state's wake latency.
+            // the C-state's wake latency. Stalled cores accept nothing.
             while !queue.is_empty() {
+                let idle =
+                    |(i, c): &(usize, &CoreState)| c.running.is_none() && !faults.is_stalled(*i);
                 let awake = cores
                     .iter()
-                    .position(|c| c.running.is_none() && c.sleep.is_none());
-                let any_idle = awake.or_else(|| cores.iter().position(|c| c.running.is_none()));
+                    .enumerate()
+                    .find(|e| idle(e) && e.1.sleep.is_none())
+                    .map(|(i, _)| i);
+                let any_idle =
+                    awake.or_else(|| cores.iter().enumerate().find(idle).map(|(i, _)| i));
                 let Some(core_id) = any_idle else { break };
                 let req = queue.pop_front().unwrap();
                 {
@@ -280,6 +310,8 @@ impl Server {
                     &mut metrics,
                     rec,
                     &mut freq_telem,
+                    &mut faults,
+                    &mut dvfs,
                 );
                 if opts.trace.request_marks {
                     traces.marks.push((now, core_id, req.id, true));
@@ -309,8 +341,21 @@ impl Server {
             // ---- 4. Governor tick ----
             if now >= next_tick {
                 {
+                    // The tick observation goes through the sensor fault
+                    // model: the governor may see stale counters or a
+                    // noisy energy reading. Accounting is untouched.
+                    let reading = faults.observe(
+                        now,
+                        SensorReading {
+                            arrived: metrics.arrived,
+                            completed: metrics.completed,
+                            timeouts: metrics.timeouts,
+                            energy_uj: energy.read_energy_uj(),
+                        },
+                        rec,
+                    );
                     let views = build_core_views(&cores, now);
-                    let view = make_view(now, &queue, &views, &metrics, &energy);
+                    let view = make_view_with(now, &queue, &views, reading);
                     governor.on_tick(&view, &mut cmds);
                 }
                 apply_commands(
@@ -322,6 +367,8 @@ impl Server {
                     &mut metrics,
                     rec,
                     &mut freq_telem,
+                    &mut faults,
+                    &mut dvfs,
                 );
                 next_tick = now + opts.tick_ns;
                 if rec.enabled() && now >= next_snapshot {
@@ -370,7 +417,19 @@ impl Server {
             if arr_idx < arrivals.len() {
                 t_next = t_next.min(arrivals[arr_idx].arrival);
             }
-            for c in &cores {
+            if let Some(t) = dvfs.next_ready() {
+                t_next = t_next.min(t);
+            }
+            if let Some(t) = faults.next_stall_change() {
+                t_next = t_next.min(t);
+            }
+            for (i, c) in cores.iter().enumerate() {
+                // A stalled core retires no work: its request has no
+                // completion time until the stall window closes (which is
+                // itself in the event set above).
+                if faults.is_stalled(i) {
+                    continue;
+                }
                 if let Some(r) = &c.running {
                     let t = r.wake_remaining_ns
                         + Request::scaled_time(
@@ -390,7 +449,10 @@ impl Server {
             // ---- 8. Advance: integrate energy, retire work ----
             let p = socket_power(&self.cfg, &cores);
             energy.accumulate(p, dt);
-            for c in &mut cores {
+            for (i, c) in cores.iter_mut().enumerate() {
+                if faults.is_stalled(i) {
+                    continue;
+                }
                 if let Some(r) = &mut c.running {
                     // Wake latency drains first, in real time.
                     let mut dt_work = dt as f64;
@@ -423,6 +485,7 @@ impl Server {
             records: std::mem::take(&mut metrics.records),
             traces,
             freq_transitions: metrics.freq_transitions,
+            faults_injected: faults.injected,
         }
     }
 }
@@ -465,14 +528,35 @@ fn make_view<'a>(
     metrics: &MetricsCollector,
     energy: &EnergyMeter,
 ) -> ServerView<'a> {
+    make_view_with(
+        now,
+        queue,
+        cores,
+        SensorReading {
+            arrived: metrics.arrived,
+            completed: metrics.completed,
+            timeouts: metrics.timeouts,
+            energy_uj: energy.read_energy_uj(),
+        },
+    )
+}
+
+/// Build a view from an explicit (possibly fault-perturbed) sensor
+/// reading.
+fn make_view_with<'a>(
+    now: Nanos,
+    queue: &'a VecDeque<Request>,
+    cores: &'a [CoreView<'a>],
+    reading: SensorReading,
+) -> ServerView<'a> {
     ServerView {
         now,
         queue,
         cores,
-        total_arrived: metrics.arrived,
-        total_completed: metrics.completed,
-        total_timeouts: metrics.timeouts,
-        energy_uj: energy.read_energy_uj(),
+        total_arrived: reading.arrived,
+        total_completed: reading.completed,
+        total_timeouts: reading.timeouts,
+        energy_uj: reading.energy_uj,
     }
 }
 
@@ -568,6 +652,8 @@ fn apply_commands(
     metrics: &mut MetricsCollector,
     rec: &Recorder,
     freq_telem: &mut FreqTelemetry,
+    faults: &mut FaultState,
+    dvfs: &mut DvfsController,
 ) {
     for (i, core) in cores.iter_mut().enumerate() {
         if let Some(mhz) = cmds.take(i) {
@@ -576,10 +662,27 @@ fn apply_commands(
             } else {
                 plan.snap(mhz)
             };
-            if snapped != core.freq_mhz {
-                freq_telem.on_transition(now, i, core.freq_mhz, snapped, rec);
-                core.freq_mhz = snapped;
-                metrics.freq_transitions += 1;
+            if dvfs.in_transition(i) {
+                // A write while a (spiked) transition is in flight is
+                // rejected — the stuck-cpufreq case. Not an injected
+                // fault itself, so it is only counted.
+                rec.add("faults.dvfs_busy", 1);
+            } else if snapped != core.freq_mhz {
+                let fault = faults.draw_dvfs();
+                match dvfs.request(i, now, core.freq_mhz, snapped, fault) {
+                    TransitionOutcome::Applied => {
+                        freq_telem.on_transition(now, i, core.freq_mhz, snapped, rec);
+                        core.freq_mhz = snapped;
+                        metrics.freq_transitions += 1;
+                    }
+                    TransitionOutcome::Deferred { ready_at } => {
+                        faults.record(rec, now, "dvfs-spike", i as i64, (ready_at - now) as f64);
+                    }
+                    TransitionOutcome::Failed => {
+                        faults.record(rec, now, "dvfs-fail", i as i64, snapped as f64);
+                    }
+                    TransitionOutcome::Rejected | TransitionOutcome::NoOp => {}
+                }
             }
         }
         if let Some(level) = cmds.take_sleep(i) {
@@ -899,6 +1002,166 @@ mod tests {
             .sum();
         assert_eq!(total_residency, 2 * recorded.duration_ns);
         assert_eq!(recorder.dropped_events(), 0);
+    }
+
+    #[test]
+    fn fault_free_plan_with_nonzero_seed_is_transparent() {
+        // A plan whose knobs are all zero must be bit-identical to the
+        // default run regardless of its seed.
+        let server = Server::new(ServerConfig::paper_default(4));
+        let arrivals: Vec<Request> = (0..100)
+            .map(|i| req(i, i * 150_000, 300_000 + (i % 5) * 80_000))
+            .collect();
+        let base = server.run(
+            &arrivals,
+            &mut FixedFrequency { mhz: 1500 },
+            RunOptions::default(),
+        );
+        let seeded = server.run(
+            &arrivals,
+            &mut FixedFrequency { mhz: 1500 },
+            RunOptions {
+                faults: crate::FaultPlan {
+                    seed: 12345,
+                    ..crate::FaultPlan::none()
+                },
+                ..Default::default()
+            },
+        );
+        assert_eq!(base.records, seeded.records);
+        assert_eq!(base.energy_j.to_bits(), seeded.energy_j.to_bits());
+        assert_eq!(seeded.faults_injected, 0);
+    }
+
+    #[test]
+    fn certain_dvfs_failure_pins_initial_frequency() {
+        let server = one_core_server();
+        let arrivals = vec![req(0, 0, 2 * MILLISECOND)];
+        let opts = RunOptions {
+            faults: crate::FaultPlan {
+                seed: 1,
+                dvfs_fail_prob: 1.0,
+                ..crate::FaultPlan::none()
+            },
+            ..Default::default()
+        };
+        let rec = deeppower_telemetry::Recorder::ring(1 << 12);
+        let res = server.run_recorded(&arrivals, &mut FixedFrequency { mhz: 800 }, opts, &rec);
+        // Every write is dropped: the core stays at the initial 2100 MHz.
+        assert_eq!(res.freq_transitions, 0);
+        assert!(res.records[0].latency.abs_diff(2 * MILLISECOND) <= 1);
+        assert!(res.faults_injected > 0);
+        let events = rec.drain_events();
+        let fails = events
+            .iter()
+            .filter(|e| matches!(e, Event::FaultInjected(f) if f.kind == "dvfs-fail"))
+            .count() as u64;
+        assert_eq!(fails, res.faults_injected);
+        assert_eq!(rec.counter("faults.injected"), res.faults_injected);
+    }
+
+    #[test]
+    fn dvfs_spikes_defer_transitions_but_land() {
+        let server = one_core_server();
+        let arrivals = vec![req(0, 0, 10 * MILLISECOND)];
+        let opts = RunOptions {
+            faults: crate::FaultPlan {
+                seed: 2,
+                dvfs_spike_prob: 1.0,
+                dvfs_spike_min_ns: 50_000,
+                dvfs_spike_max_ns: 200_000,
+                ..crate::FaultPlan::none()
+            },
+            ..Default::default()
+        };
+        let res = server.run(&arrivals, &mut FixedFrequency { mhz: 800 }, opts);
+        // The spiked transition eventually lands (exactly one: after it,
+        // commands target the current frequency and are no-ops).
+        assert_eq!(res.freq_transitions, 1);
+        // Work ran slower than at 2100 the whole way, but faster than if
+        // the write had been dropped entirely.
+        let at_800 = 10 * MILLISECOND * 2100 / 800;
+        assert!(res.records[0].latency > 10 * MILLISECOND);
+        assert!(res.records[0].latency <= at_800 + MILLISECOND);
+    }
+
+    #[test]
+    fn core_stall_delays_service() {
+        let server = one_core_server();
+        let arrivals = vec![req(0, 0, 4 * MILLISECOND)];
+        let stall = crate::FaultPlan {
+            seed: 3,
+            stall_period_ns: 2 * MILLISECOND,
+            stall_duration_ns: MILLISECOND,
+            ..crate::FaultPlan::none()
+        };
+        let opts = RunOptions {
+            faults: stall,
+            ..Default::default()
+        };
+        let clean = server.run(
+            &arrivals,
+            &mut FixedFrequency { mhz: 2100 },
+            RunOptions::default(),
+        );
+        let faulted = server.run(&arrivals, &mut FixedFrequency { mhz: 2100 }, opts);
+        // The request crosses one 1 ms stall window at t=2 ms.
+        assert!(clean.records[0].latency.abs_diff(4 * MILLISECOND) <= 1);
+        assert!(
+            faulted.records[0].latency >= clean.records[0].latency + MILLISECOND,
+            "stall did not delay the request: {} vs {}",
+            faulted.records[0].latency,
+            clean.records[0].latency
+        );
+        assert!(faulted.faults_injected >= 1);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_and_replayable() {
+        let server = Server::new(ServerConfig::paper_default(4));
+        let arrivals: Vec<Request> = (0..300)
+            .map(|i| req(i, i * 120_000, 250_000 + (i % 9) * 60_000))
+            .collect();
+        let plan = crate::FaultPlan {
+            seed: 77,
+            dvfs_fail_prob: 0.2,
+            dvfs_spike_prob: 0.2,
+            dvfs_spike_min_ns: 10_000,
+            dvfs_spike_max_ns: 100_000,
+            stall_period_ns: 5 * MILLISECOND,
+            stall_duration_ns: MILLISECOND,
+            sensor_drop_prob: 0.2,
+            power_noise_frac: 0.1,
+        };
+        let opts = RunOptions {
+            faults: plan,
+            ..Default::default()
+        };
+        struct Stepper;
+        impl Governor for Stepper {
+            fn on_tick(&mut self, v: &ServerView<'_>, cmds: &mut FreqCommands) {
+                let mhz = if (v.now / MILLISECOND).is_multiple_of(2) {
+                    800
+                } else {
+                    2100
+                };
+                for i in 0..v.cores.len() {
+                    cmds.set(i, mhz);
+                }
+            }
+        }
+        let rec_a = deeppower_telemetry::Recorder::ring(1 << 16);
+        let rec_b = deeppower_telemetry::Recorder::ring(1 << 16);
+        let a = server.run_recorded(&arrivals, &mut Stepper, opts, &rec_a);
+        let b = server.run_recorded(&arrivals, &mut Stepper, opts, &rec_b);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+        assert_eq!(a.faults_injected, b.faults_injected);
+        assert!(a.faults_injected > 0, "matrix plan injected nothing");
+        assert_eq!(rec_a.drain_events(), rec_b.drain_events());
+        // And the faulted run differs from the fault-free one.
+        let clean = server.run(&arrivals, &mut Stepper, RunOptions::default());
+        assert_ne!(clean.records, a.records);
     }
 
     #[test]

@@ -151,6 +151,33 @@ pub struct JobEnd {
     pub drl_steps: u64,
 }
 
+/// One discrete injected fault (from the simulator's `FaultPlan`) or a
+/// detected internal fault (training divergence, rejected replay
+/// transition). `kind` is a stable tag: `dvfs-fail`, `dvfs-spike`,
+/// `core-stall`, `core-online`, `sensor-stale`, `train-diverged`,
+/// `replay-reject`, `action-nan`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultInjected {
+    pub t: u64,
+    pub kind: String,
+    /// Affected core, or -1 when the fault is not core-scoped.
+    pub core: i64,
+    /// Fault-specific magnitude (spike/stall ns, dropped target MHz…),
+    /// 0 when not applicable.
+    pub magnitude: f64,
+}
+
+/// The `SafetyGovernor` intervened on behalf of its wrapped policy.
+/// `action` is a stable tag: `watchdog-turbo`, `hold-decay`,
+/// `maxfreq-fallback`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SafetyAction {
+    pub t: u64,
+    pub action: String,
+    /// Affected core, or -1 when the action covers the whole socket.
+    pub core: i64,
+}
+
 /// The unified telemetry event.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Event {
@@ -164,6 +191,8 @@ pub enum Event {
     EpisodeEnd(EpisodeEnd),
     JobStart(JobStart),
     JobEnd(JobEnd),
+    FaultInjected(FaultInjected),
+    SafetyAction(SafetyAction),
 }
 
 impl Event {
@@ -180,6 +209,8 @@ impl Event {
             Event::EpisodeEnd(_) => "EpisodeEnd",
             Event::JobStart(_) => "JobStart",
             Event::JobEnd(_) => "JobEnd",
+            Event::FaultInjected(_) => "FaultInjected",
+            Event::SafetyAction(_) => "SafetyAction",
         }
     }
 }
@@ -216,6 +247,17 @@ mod tests {
                 app: "xapian".into(),
                 governor: "deeppower".into(),
                 seed: 42,
+            }),
+            Event::FaultInjected(FaultInjected {
+                t: 2_000_000,
+                kind: "dvfs-fail".into(),
+                core: 3,
+                magnitude: 2100.0,
+            }),
+            Event::SafetyAction(SafetyAction {
+                t: 3_000_000,
+                action: "watchdog-turbo".into(),
+                core: -1,
             }),
         ];
         for ev in &events {

@@ -1,0 +1,83 @@
+//! Crash-safe artifact writes.
+//!
+//! Every persistent artifact the workspace produces (policy checkpoints,
+//! grid reports, JSONL/CSV traces) goes through [`atomic_write`]: the
+//! content lands in a sibling temp file first and is renamed into place,
+//! so a crash mid-write can never leave a torn file at the destination —
+//! readers either see the complete old version or the complete new one.
+
+use std::ffi::OsString;
+use std::io;
+use std::path::Path;
+
+/// Write `contents` to `path` atomically: write a sibling `.tmp` file in
+/// the same directory (rename is only atomic within one filesystem),
+/// flush it, then rename it over `path`.
+pub fn atomic_write(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> io::Result<()> {
+    let path = path.as_ref();
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("path has no file name: {}", path.display()),
+        )
+    })?;
+    let mut tmp_name = OsString::from(".");
+    tmp_name.push(file_name);
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let write_and_rename = || -> io::Result<()> {
+        std::fs::write(&tmp, contents.as_ref())?;
+        std::fs::rename(&tmp, path)
+    };
+    write_and_rename().inspect_err(|_| {
+        // Best-effort cleanup; the original error is what matters.
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("deeppower-fs-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_roundtrips_and_overwrites() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("artifact.json");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer contents");
+        // No temp residue.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp file left behind");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_rejects_directoryless_target() {
+        let err = atomic_write("/", b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn failed_write_leaves_destination_untouched() {
+        let dir = tmp_dir("failkeep");
+        let path = dir.join("artifact.json");
+        atomic_write(&path, b"good").unwrap();
+        // Writing into a missing directory fails; the original survives.
+        let missing = dir.join("nope").join("artifact.json");
+        assert!(atomic_write(&missing, b"bad").is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"good");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

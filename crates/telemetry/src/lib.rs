@@ -33,15 +33,17 @@
 
 pub mod event;
 pub mod export;
+pub mod fs;
 pub mod histogram;
 pub mod logger;
 pub mod recorder;
 
 pub use event::{
-    CoreResidency, DrlStep, EpisodeEnd, Event, FreqTransition, JobEnd, JobStart, LatencySnapshot,
-    RequestComplete, RequestDispatch, TrainUpdate,
+    CoreResidency, DrlStep, EpisodeEnd, Event, FaultInjected, FreqTransition, JobEnd, JobStart,
+    LatencySnapshot, RequestComplete, RequestDispatch, SafetyAction, TrainUpdate,
 };
 pub use export::{freq_series, from_jsonl, steps_to_csv, to_jsonl, STEP_CSV_HEADER};
+pub use fs::atomic_write;
 pub use histogram::{Histogram, LatencyRecorder};
 pub use logger::{LogLevel, Logger};
 pub use recorder::{NoopSink, Recorder, RingSink, TelemetrySink};

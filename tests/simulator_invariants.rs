@@ -172,6 +172,7 @@ fn controller_under_overload_eventually_turbos_every_busy_core() {
         RunOptions {
             tick_ns: MILLISECOND,
             trace: deeppower_suite::sim::TraceConfig::millisecond(),
+            ..Default::default()
         },
     );
     let max_f = res.traces.freq.iter().map(|&(_, _, f)| f).max().unwrap();
