@@ -1,0 +1,165 @@
+//! Fleet scaling: nodes vs wall-clock, and batched vs per-node actor
+//! inference.
+//!
+//! Two perf claims backing the fleet layer:
+//!
+//! 1. **Batched inference** — evaluating one shared policy for N node
+//!    states as a single `N × 8` matrix–matrix forward pass
+//!    (`Ddpg::act_batch`) beats N single-state passes. Asserted
+//!    strictly for `N ≥ 8` (best-of-k timing on both sides).
+//! 2. **Fleet wall-clock** — the lockstep fleet driver scales with
+//!    node count roughly linearly in simulated work: doubling the
+//!    fleet roughly doubles (not squares) wall time.
+//!
+//! Results are printed as a table and written to
+//! `target/fleet-scaling.json` (the CI artifact; the committed
+//! `BENCH_fleet.json` at the repo root is the recorded baseline).
+//! `DEEPPOWER_SMOKE=1` shrinks reps and durations for CI.
+
+use deeppower_fleet::{
+    run_fleet, run_fleet_reference, untrained_policy, BalancerPolicy, FleetSpec,
+};
+use deeppower_nn::Matrix;
+use deeppower_workload::App;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let smoke = std::env::var("DEEPPOWER_SMOKE")
+        .map(|v| v != "0")
+        .unwrap_or(false);
+    let policy = untrained_policy(App::Masstree, 1);
+    let agent = policy.build_agent();
+
+    // ---- 1. batched vs per-node inference ----
+    let (calls_per_block, blocks) = if smoke { (50usize, 3usize) } else { (200, 5) };
+    println!("# actor inference — one N x 8 batch vs N single-state passes");
+    println!(
+        "{:>6} {:>12} {:>12} {:>9}",
+        "N", "loop(us)", "batch(us)", "speedup"
+    );
+    let mut inference_rows = Vec::new();
+    for n in [2usize, 8, 32, 128] {
+        let mut states = Matrix::zeros(n, 8);
+        for i in 0..n {
+            let row: Vec<f32> = (0..8)
+                .map(|j| ((i * 8 + j) as f32 * 0.37).sin().abs())
+                .collect();
+            states.set_row(i, &row);
+        }
+        // Best-of-k block timing on both sides; each block does the
+        // same number of *node decisions* (calls_per_block × n rows).
+        let mut t_loop = f64::INFINITY;
+        let mut t_batch = f64::INFINITY;
+        for _ in 0..blocks {
+            let t = Instant::now();
+            for _ in 0..calls_per_block {
+                for i in 0..n {
+                    black_box(agent.act(black_box(states.row(i))));
+                }
+            }
+            t_loop = t_loop.min(t.elapsed().as_secs_f64());
+
+            let t = Instant::now();
+            for _ in 0..calls_per_block {
+                black_box(agent.act_batch(black_box(&states)));
+            }
+            t_batch = t_batch.min(t.elapsed().as_secs_f64());
+        }
+        let us = 1e6 / calls_per_block as f64;
+        let speedup = t_loop / t_batch;
+        println!(
+            "{n:>6} {:>12.2} {:>12.2} {:>8.2}x",
+            t_loop * us,
+            t_batch * us,
+            speedup
+        );
+        // The acceptance bar: one matrix-matrix pass must strictly beat
+        // the per-node loop once the fleet is non-trivial.
+        if n >= 8 {
+            assert!(
+                t_batch < t_loop,
+                "batched inference not faster at N={n}: batch {t_batch:.6}s vs loop {t_loop:.6}s"
+            );
+        }
+        inference_rows.push(format!(
+            "{{\"n\": {n}, \"loop_us\": {:.3}, \"batch_us\": {:.3}, \"speedup\": {:.3}}}",
+            t_loop * us,
+            t_batch * us,
+            speedup
+        ));
+    }
+
+    // ---- 2. fleet wall-clock vs node count ----
+    let duration_s = if smoke { 3 } else { 12 };
+    let node_counts: &[usize] = if smoke {
+        &[1, 2, 4, 8]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
+    println!("\n# fleet wall-clock — {duration_s} s simulated, Masstree, round-robin");
+    println!(
+        "{:>6} {:>10} {:>12} {:>14}",
+        "nodes", "wall(s)", "requests", "ms/node-epoch"
+    );
+    let mut fleet_rows = Vec::new();
+    for &nodes in node_counts {
+        let spec = FleetSpec {
+            app: App::Masstree,
+            nodes,
+            balancer: BalancerPolicy::RoundRobin,
+            seed: 7,
+            peak_load: 0.4,
+            duration_s,
+        };
+        let t = Instant::now();
+        let res = run_fleet(&spec, &policy);
+        let wall = t.elapsed().as_secs_f64();
+        let per_epoch_ms = wall * 1e3 / (res.drl_epochs as f64 * nodes as f64);
+        println!(
+            "{nodes:>6} {wall:>10.2} {:>12} {per_epoch_ms:>14.3}",
+            res.total_requests
+        );
+        fleet_rows.push(format!(
+            "{{\"nodes\": {nodes}, \"wall_s\": {wall:.3}, \"requests\": {}, \"epochs\": {}}}",
+            res.total_requests, res.drl_epochs
+        ));
+    }
+
+    // ---- 3. end-to-end batched vs reference at N = 8 ----
+    let spec = FleetSpec {
+        app: App::Masstree,
+        nodes: 8,
+        balancer: BalancerPolicy::RoundRobin,
+        seed: 7,
+        peak_load: 0.4,
+        duration_s,
+    };
+    let t = Instant::now();
+    let batched = run_fleet(&spec, &policy);
+    let wall_batched = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let reference = run_fleet_reference(&spec, &policy);
+    let wall_reference = t.elapsed().as_secs_f64();
+    assert_eq!(
+        batched.to_json(),
+        reference.to_json(),
+        "batched fleet drifted from the per-node reference"
+    );
+    println!(
+        "\n# end-to-end at 8 nodes: batched {wall_batched:.2} s vs per-node loop {wall_reference:.2} s (results byte-identical)"
+    );
+
+    let json = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"inference\": [{}],\n  \"fleet\": [{}],\n  \"end_to_end_8_nodes\": {{\"batched_s\": {wall_batched:.3}, \"reference_s\": {wall_reference:.3}}}\n}}\n",
+        inference_rows.join(", "),
+        fleet_rows.join(", ")
+    );
+    let out =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/fleet-scaling.json");
+    if let Err(e) = deeppower_telemetry::atomic_write(&out, json) {
+        eprintln!("warning: could not write {}: {e}", out.display());
+    } else {
+        println!("report written to {}", out.display());
+    }
+}

@@ -24,9 +24,10 @@
 
 use deeppower_core::train::default_peak_load;
 use deeppower_core::{evaluate, evaluate_recorded, train, TrainConfig, TrainedPolicy};
+use deeppower_fleet::{run_fleet_recorded, BalancerPolicy};
 use deeppower_harness::{
-    calibrated_train_seed, grid, robustness_matrix, run_grid, run_grid_telemetry, summarize,
-    GovernorSpec, JobResult, WorkloadKind,
+    calibrated_train_seed, fleet_grid, grid, robustness_matrix, run_fleet_grid, run_grid,
+    run_grid_telemetry, summarize, GovernorSpec, JobResult, WorkloadKind,
 };
 use deeppower_simd_server::{TraceConfig, MILLISECOND};
 use deeppower_telemetry::{atomic_write, steps_to_csv, to_jsonl, Event, Logger, Recorder};
@@ -59,6 +60,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&flags, &log),
         "grid" => cmd_grid(&flags, &log),
         "robustness" => cmd_robustness(&flags, &log),
+        "fleet" => cmd_fleet(&flags, &log),
         "trace" => cmd_trace(&flags, &log),
         "workload-trace" => cmd_workload_trace(&flags, &log),
         "help" | "--help" | "-h" => {
@@ -90,6 +92,9 @@ USAGE:
                     [--telemetry DIR]
   deeppower robustness --app <name> [--governors LIST] [--duration-s S] [--peak-load F]
                     [--seed K] [--threads N] [-o FILE]
+  deeppower fleet   --policy FILE | --app <name> [--nodes N1,N2] [--balancer LIST]
+                    [--duration-s S] [--peak-load F] [--seed K] [--train-seed K]
+                    [--threads N] [-o FILE] [--telemetry DIR]
   deeppower trace   --policy FILE | --app <name> [--duration-s S] [--peak-load F] [--seed K]
                     [-o FILE.jsonl] [--csv FILE.csv]
   deeppower workload-trace [--period-s S] [--base-rps R] [--seed K] -o FILE
@@ -108,7 +113,12 @@ named job-NNN-<app>-<governor>-seed<K>.jsonl.
 `robustness` sweeps every governor (plain and wrapped in the safety
 layer, shown as `<governor>+safe`) across the seeded fault scenarios
 (none | dvfs | sensor | stall | all) and prints the degradation table;
--o writes the full matrix as JSON.";
+-o writes the full matrix as JSON.
+`fleet` runs N server nodes behind a deterministic load balancer
+(round-robin | jsq | power-aware), all steered by one shared policy via
+batched actor inference; --nodes/--balancer take comma lists and expand
+to a grid. -o writes the fleet reports as JSON; --telemetry DIR writes
+one JSONL artifact per node per cell.";
 
 type Flags = HashMap<String, String>;
 
@@ -455,6 +465,121 @@ fn cmd_robustness(flags: &Flags, log: &Logger) -> Result<(), String> {
     if let Some(out) = flags.get("out") {
         atomic_write(Path::new(out), report.to_json()).map_err(|e| e.to_string())?;
         log.info(&format!("robustness report written to {out}"));
+    }
+    Ok(())
+}
+
+/// Fleet-scale evaluation: node counts × balancer policies, every cell
+/// N lockstep node simulations sharing one policy through batched actor
+/// inference. The policy comes from `--policy FILE` or is trained
+/// in-process from `--app` (same recipe as `compare`).
+fn cmd_fleet(flags: &Flags, log: &Logger) -> Result<(), String> {
+    let node_counts = parse_list(flags, "nodes", "4", |s| {
+        s.parse::<usize>()
+            .map_err(|_| format!("bad node count `{s}`"))
+    })?;
+    let balancers = parse_list(flags, "balancer", "round-robin", |s| {
+        BalancerPolicy::parse(s)
+            .ok_or_else(|| format!("unknown balancer `{s}` (round-robin|jsq|power-aware)"))
+    })?;
+    if node_counts.is_empty() || node_counts.contains(&0) {
+        return Err("--nodes needs positive node counts".into());
+    }
+    if balancers.is_empty() {
+        return Err("--balancer needs at least one policy".into());
+    }
+    let duration_s = get(flags, "duration-s", 60u64)?;
+    let seed = get(flags, "seed", 999u64)?;
+    let threads = get(flags, "threads", 0usize)?;
+
+    let policy = match flags.get("policy") {
+        Some(p) => TrainedPolicy::load(Path::new(p)).map_err(|e| e.to_string())?,
+        None => {
+            let app = app_by_name(
+                flags
+                    .get("app")
+                    .ok_or("fleet needs --policy FILE or --app <name>")?,
+            )?;
+            let train_seed = get(flags, "train-seed", calibrated_train_seed(app))?;
+            log.info(&format!(
+                "training DeepPower for {app:?} (8 episodes x 120 s, seed {train_seed})..."
+            ));
+            let mut cfg = TrainConfig::for_app(app);
+            cfg.episodes = 8;
+            cfg.episode_s = 120;
+            cfg.seed = train_seed;
+            train(&cfg).0
+        }
+    };
+    let app = policy.app;
+    let peak_load = get(flags, "peak-load", default_peak_load(app))?;
+
+    let jobs = fleet_grid(
+        app,
+        &node_counts,
+        &balancers,
+        seed,
+        peak_load,
+        duration_s,
+        &policy,
+    );
+    log.info(&format!(
+        "running {} fleet cells on {app:?}: nodes {node_counts:?} x balancers {:?}, {duration_s} s each",
+        jobs.len(),
+        balancers.iter().map(|b| b.label()).collect::<Vec<_>>(),
+    ));
+    let t0 = std::time::Instant::now();
+    let results = match flags.get("telemetry") {
+        Some(dir) => {
+            // Per-node JSONL artifacts want live recorders, so telemetry
+            // cells run in-process (each fleet is itself N sessions).
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+            let mut results = Vec::with_capacity(jobs.len());
+            for (j, job) in jobs.iter().enumerate() {
+                let recs: Vec<Recorder> = (0..job.fleet.nodes)
+                    .map(|_| Recorder::ring(1 << 16))
+                    .collect();
+                let res = run_fleet_recorded(&job.fleet, &job.policy, &recs);
+                for (i, rec) in recs.iter().enumerate() {
+                    let path = Path::new(dir).join(format!(
+                        "fleet-{j:02}-{}-{}nodes-node{i:02}.jsonl",
+                        res.balancer, res.nodes
+                    ));
+                    atomic_write(&path, to_jsonl(&rec.drain_events()))
+                        .map_err(|e| e.to_string())?;
+                }
+                log.debug(&format!(
+                    "cell {j}: {} nodes, {} artifacts",
+                    job.fleet.nodes, job.fleet.nodes
+                ));
+                results.push(res);
+            }
+            results
+        }
+        None => run_fleet_grid(&jobs, threads),
+    };
+    log.info(&format!("finished in {:.1} s", t0.elapsed().as_secs_f64()));
+
+    println!(
+        "\n{:<6} {:<20} {:>9} {:>10} {:>10} {:>10} {:>9}",
+        "nodes", "balancer", "requests", "power(W)", "p95(ms)", "p99(ms)", "timeout%"
+    );
+    for r in &results {
+        println!(
+            "{:<6} {:<20} {:>9} {:>10.1} {:>10.2} {:>10.2} {:>8.2}%",
+            r.nodes,
+            r.balancer,
+            r.total_requests,
+            r.total_power_w,
+            r.fleet_p95_ms,
+            r.fleet_p99_ms,
+            r.fleet_timeout_rate * 100.0,
+        );
+    }
+    if let Some(out) = flags.get("out") {
+        let json = serde_json::to_string_pretty(&results).expect("fleet results serialization");
+        atomic_write(Path::new(out), json).map_err(|e| e.to_string())?;
+        log.info(&format!("fleet report written to {out}"));
     }
     Ok(())
 }

@@ -227,6 +227,82 @@ mod tests {
     }
 
     #[test]
+    fn per_tick_idle_commands_neither_wake_nor_rearm_sleeping_cores() {
+        // `ThreadController::scale_all` re-commands every idle core's
+        // BaseFreq level on every ShortTime tick. Under a SleepAware
+        // wrapper those per-tick commands land on C1/C6-sleeping cores;
+        // they must neither exit the sleep state nor reset the idle
+        // timer — only a request dispatch wakes a core.
+        let server = Server::new(ServerConfig::paper_with_cstates(1));
+        let arrivals = sparse_workload();
+        let opts = deeppower_simd_server::RunOptions {
+            trace: deeppower_simd_server::TraceConfig::millisecond(),
+            ..Default::default()
+        };
+        // base 0.3 interpolates well below the 2100 MHz start, so a real
+        // frequency command is pending on the core when it goes to sleep.
+        let params = ControllerParams::new(0.3, 1.0);
+        let mut awake = ThreadController::new(params);
+        let base = server.run(&arrivals, &mut awake, opts);
+        let mut sleepy = SleepAware::new(ThreadController::new(params), 1, SleepPolicy::default());
+        let slept = server.run(&arrivals, &mut sleepy, opts);
+
+        // (1) Every post-gap request pays the full C6 wake latency: the
+        // core was still in deep sleep at dispatch, so the per-tick
+        // commands never woke it early.
+        let lat = |r: &deeppower_simd_server::SimResult, id: u64| {
+            r.records.iter().find(|x| x.id == id).unwrap().latency
+        };
+        for id in 1..10u64 {
+            let delta = lat(&slept, id) as i64 - lat(&base, id) as i64;
+            assert!(
+                (90_000..=110_000).contains(&delta),
+                "req {id}: commands disturbed the sleep state, wake delta {delta} ns"
+            );
+        }
+
+        // (2) Sleep-entry timing is unchanged by the command stream: the
+        // controller run reaches the C6 power floor just like a governor
+        // that stops commanding idle cores entirely.
+        let mut quiet = SleepAware::new(FixedFrequency { mhz: 1200 }, 1, SleepPolicy::default());
+        let quiet_res = server.run(&arrivals, &mut quiet, opts);
+        let idle_floor = |r: &deeppower_simd_server::SimResult| {
+            r.traces
+                .power
+                .iter()
+                .filter(|&&(_, _, _, busy)| busy == 0)
+                .map(|&(_, p, _, _)| p)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let tc_floor = idle_floor(&slept);
+        let quiet_floor = idle_floor(&quiet_res);
+        assert!(
+            (tc_floor - quiet_floor).abs() < 1e-9,
+            "idle power floor differs: {tc_floor} vs {quiet_floor} W"
+        );
+        // And the floor is held for the bulk of each ~99 ms gap — a reset
+        // idle timer would push C6 entry out by another idle_to_deep and
+        // shrink this count. 10 gaps × ≥ 90 deep samples each.
+        let deep_samples = |r: &deeppower_simd_server::SimResult, floor: f64| {
+            r.traces
+                .power
+                .iter()
+                .filter(|&&(_, p, _, busy)| busy == 0 && (p - floor).abs() < 1e-9)
+                .count()
+        };
+        let tc_deep = deep_samples(&slept, tc_floor);
+        let quiet_deep = deep_samples(&quiet_res, quiet_floor);
+        assert!(
+            tc_deep >= 850 && quiet_deep >= 850,
+            "deep-sleep residency lost: controller {tc_deep} vs quiet {quiet_deep} samples"
+        );
+        assert!(
+            (tc_deep as i64 - quiet_deep as i64).abs() <= 20,
+            "idle timer rearmed by per-tick commands: {tc_deep} vs {quiet_deep} deep samples"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "shallow threshold")]
     fn policy_threshold_order_enforced() {
         let _ = SleepAware::new(

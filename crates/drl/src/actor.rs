@@ -107,6 +107,23 @@ impl TwoHeadActor {
             .to_vec()
     }
 
+    /// Batched inference: one `n × state_dim` forward pass producing an
+    /// `n × action_dim` action matrix. Row `i` is bit-identical to
+    /// `act(states.row(i))` — each output row is an independent chain of
+    /// dot products over that row alone, so batching changes the shape
+    /// of the computation (matrix–matrix instead of n matrix–vector
+    /// passes) but not a single float. The fleet layer leans on both
+    /// properties: the speed for N-node lockstep steps, the equality for
+    /// determinism against single-node runs.
+    pub fn act_batch(&self, states: &Matrix) -> Matrix {
+        assert_eq!(
+            states.cols(),
+            self.state_dim,
+            "actor batch state width mismatch"
+        );
+        self.forward_inference(states)
+    }
+
     /// Backward pass given `d_actions (n × action_dim)`; accumulates
     /// gradients and returns the gradient w.r.t. the input states.
     pub fn backward(&mut self, d_actions: &Matrix) -> Matrix {
@@ -204,6 +221,34 @@ mod tests {
             let a = actor.act(&state);
             assert_eq!(a.len(), 2);
             assert!(a.iter().all(|&x| (0.0..=1.0).contains(&x)), "{a:?}");
+        }
+    }
+
+    #[test]
+    fn act_batch_rows_equal_single_act_exactly() {
+        // The fleet layer's determinism guarantee rests on this being
+        // bit-exact, not approximate: each batched output row is the
+        // same chain of dot products as the single-state pass.
+        let mut rng = StdRng::seed_from_u64(7);
+        let actor = TwoHeadActor::paper_default(&mut rng, 8, 2);
+        for n in [1usize, 2, 8, 33] {
+            let mut states = Matrix::zeros(n, 8);
+            let mut r = StdRng::seed_from_u64(n as u64);
+            for i in 0..n {
+                let row: Vec<f32> = (0..8).map(|_| r.random_range(-2.0..2.0)).collect();
+                states.set_row(i, &row);
+            }
+            let batch = actor.act_batch(&states);
+            assert_eq!(batch.rows(), n);
+            assert_eq!(batch.cols(), 2);
+            for i in 0..n {
+                let single = actor.act(states.row(i));
+                assert_eq!(
+                    batch.row(i),
+                    &single[..],
+                    "row {i} of batch {n} diverged from single-state act"
+                );
+            }
         }
     }
 

@@ -179,6 +179,13 @@ impl Ddpg {
         self.actor.act(state)
     }
 
+    /// Deterministic actions for a stacked `n × state_dim` batch in one
+    /// matrix–matrix forward pass. Row `i` equals `act(states.row(i))`
+    /// exactly; see [`TwoHeadActor::act_batch`].
+    pub fn act_batch(&self, states: &Matrix) -> Matrix {
+        self.actor.act_batch(states)
+    }
+
     /// Training action: before `warmup` transitions have been observed a
     /// uniform-random action is returned (Algorithm 2 line 7), afterwards
     /// the actor output plus Gaussian noise, clamped to `[0, 1]`.

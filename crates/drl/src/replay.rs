@@ -5,6 +5,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// One state transition `(s, a, r, s', done)`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -99,13 +100,39 @@ impl ReplayBuffer {
         true
     }
 
-    /// Sample `batch` transitions uniformly with replacement. Panics when
-    /// empty; callers gate on warm-up length first (Algorithm 2 line 13).
+    /// Sample a uniform random mini-batch of `batch` transitions.
+    ///
+    /// Algorithm 2's mini-batch is drawn *without* replacement: when the
+    /// pool holds at least `batch` transitions, the indices come from a
+    /// partial Fisher–Yates shuffle (exactly `batch` RNG draws, same
+    /// stream as before), so no transition appears twice in one batch.
+    /// While the pool is still smaller than `batch` the sampler falls
+    /// back to drawing with replacement — callers that over-request from
+    /// a warm pool (diagnostics, tests) still get a full batch. Panics
+    /// when empty; callers gate on warm-up length first (Algorithm 2
+    /// line 13).
     pub fn sample<'a, R: Rng>(&'a self, rng: &mut R, batch: usize) -> Vec<&'a Transition> {
         assert!(!self.data.is_empty(), "sampling from empty replay buffer");
-        (0..batch)
-            .map(|_| &self.data[rng.random_range(0..self.data.len())])
-            .collect()
+        let n = self.data.len();
+        if n < batch {
+            return (0..batch)
+                .map(|_| &self.data[rng.random_range(0..n)])
+                .collect();
+        }
+        // Partial Fisher–Yates over 0..n, materialized sparsely: only the
+        // displaced entries of the virtual index array live in the map, so
+        // the cost is O(batch), not O(pool) — the pool can hold 100k
+        // transitions and this runs inside every gradient step.
+        let mut displaced: std::collections::HashMap<usize, usize> = HashMap::new();
+        let mut out = Vec::with_capacity(batch);
+        for i in 0..batch {
+            let j = rng.random_range(i..n);
+            let vj = displaced.get(&j).copied().unwrap_or(j);
+            let vi = displaced.get(&i).copied().unwrap_or(i);
+            displaced.insert(j, vi);
+            out.push(&self.data[vj]);
+        }
+        out
     }
 
     /// Iterate over the stored transitions (unspecified order).
@@ -155,6 +182,70 @@ mod tests {
         let batch = b.sample(&mut rng, 64);
         assert_eq!(batch.len(), 64);
         assert!(batch.iter().all(|x| x.reward < 4.0));
+    }
+
+    #[test]
+    fn full_pool_samples_without_replacement() {
+        // Algorithm 2's random mini-batch: once the pool can cover the
+        // batch, no transition may appear twice in one sample.
+        let mut b = ReplayBuffer::new(64);
+        for i in 0..64 {
+            b.push(t(i as f32));
+        }
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for batch in [1usize, 7, 32, 64] {
+                let s = b.sample(&mut rng, batch);
+                let mut seen = std::collections::HashSet::new();
+                for x in &s {
+                    assert!(
+                        seen.insert(x.reward.to_bits()),
+                        "duplicate transition in batch {batch} (seed {seed})"
+                    );
+                }
+                assert_eq!(s.len(), batch);
+            }
+        }
+    }
+
+    #[test]
+    fn full_batch_sample_is_a_permutation() {
+        let mut b = ReplayBuffer::new(8);
+        for i in 0..8 {
+            b.push(t(i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = b.sample(&mut rng, 8);
+        let mut rewards: Vec<i64> = s.iter().map(|x| x.reward as i64).collect();
+        rewards.sort_unstable();
+        assert_eq!(rewards, (0..8).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn sparse_fisher_yates_matches_dense_reference() {
+        // The O(batch) sparse shuffle must draw exactly the subset the
+        // textbook dense partial Fisher–Yates would, in the same order,
+        // from the same RNG stream.
+        let mut b = ReplayBuffer::new(32);
+        for i in 0..32 {
+            b.push(t(i as f32));
+        }
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let got: Vec<i64> = b
+                .sample(&mut rng, 12)
+                .iter()
+                .map(|x| x.reward as i64)
+                .collect();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut idx: Vec<usize> = (0..32).collect();
+            for i in 0..12 {
+                let j = rng.random_range(i..32);
+                idx.swap(i, j);
+            }
+            let want: Vec<i64> = idx[..12].iter().map(|&i| i as i64).collect();
+            assert_eq!(got, want, "seed {seed}");
+        }
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Deterministic load balancing: split one fleet-level arrival stream
+//! into per-node streams.
+//!
+//! The balancer runs *before* the simulation, as a pure function of the
+//! arrival trace — the same place a real L4 balancer sits (it routes on
+//! arrival, before the request's service time is known). The stateful
+//! policies therefore work from an *estimated* backlog model, the
+//! analog of a connection-count or EWMA-load table: each node is
+//! approximated as a fluid queue retiring reference-time work at its
+//! core count, and routing decisions fold each routed request's
+//! `work_ref_ns` into that estimate. The model never sees simulator
+//! state, so the split is reproducible from `(trace, nodes, policy)`
+//! alone — the property the determinism proptests pin down.
+
+use deeppower_simd_server::Request;
+use serde::{Deserialize, Serialize};
+
+/// How the fleet front-end routes requests to nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BalancerPolicy {
+    /// Request `i` goes to node `i mod N`. Stateless, perfectly fair in
+    /// counts, blind to work size.
+    RoundRobin,
+    /// Join-shortest-queue on the estimated-backlog model: each request
+    /// goes to the node with the least outstanding estimated work (ties
+    /// break to the lowest node index).
+    JoinShortestQueue,
+    /// Energy-oriented packing: among nodes whose estimated backlog
+    /// stays within half the request's SLA, pick the *most* loaded —
+    /// concentrating work so the remaining nodes idle at low power /
+    /// deep C-states. Falls back to join-shortest-queue when every node
+    /// is saturated.
+    PowerAware,
+}
+
+impl BalancerPolicy {
+    pub fn label(&self) -> &'static str {
+        match self {
+            BalancerPolicy::RoundRobin => "round-robin",
+            BalancerPolicy::JoinShortestQueue => "join-shortest-queue",
+            BalancerPolicy::PowerAware => "power-aware",
+        }
+    }
+
+    /// Parse a CLI-style name (`round-robin`, `jsq`, `power-aware`, …).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "round-robin" | "rr" => Some(BalancerPolicy::RoundRobin),
+            "join-shortest-queue" | "jsq" => Some(BalancerPolicy::JoinShortestQueue),
+            "power-aware" | "pack" => Some(BalancerPolicy::PowerAware),
+            _ => None,
+        }
+    }
+
+    pub fn all() -> [BalancerPolicy; 3] {
+        [
+            BalancerPolicy::RoundRobin,
+            BalancerPolicy::JoinShortestQueue,
+            BalancerPolicy::PowerAware,
+        ]
+    }
+}
+
+/// Fraction of reference speed each core is assumed to retire work at.
+/// DeepPower nodes spend most of their time well below the reference
+/// frequency (that is the point of the policy), so the balancer drains
+/// its estimate at the DVFS floor — roughly 800 MHz against the 2.1 GHz
+/// reference. An optimistic (full-speed) drain makes every backlog read
+/// zero between bursts, which degenerates join-shortest-queue into
+/// "always the tie-break node" and lets the packing policy bury one
+/// node; the conservative floor keeps estimates alive long enough to
+/// spread load the way a connection-count table would.
+const DRAIN_FRACTION: f64 = 0.4;
+
+/// Estimated-backlog model of one node: a fluid queue that retires
+/// reference-time work at `cores × DRAIN_FRACTION ×` real time.
+struct BacklogModel {
+    /// Reference-time work (ns) outstanding as of `last_t`.
+    work_ref_ns: f64,
+    last_t: u64,
+    drain_per_ns: f64,
+}
+
+impl BacklogModel {
+    fn new(cores: usize) -> Self {
+        Self {
+            work_ref_ns: 0.0,
+            last_t: 0,
+            drain_per_ns: cores.max(1) as f64 * DRAIN_FRACTION,
+        }
+    }
+
+    /// Outstanding estimated work after draining up to `now`.
+    fn outstanding_at(&mut self, now: u64) -> f64 {
+        let dt = now.saturating_sub(self.last_t) as f64;
+        self.work_ref_ns = (self.work_ref_ns - dt * self.drain_per_ns).max(0.0);
+        self.last_t = self.last_t.max(now);
+        self.work_ref_ns
+    }
+
+    fn route(&mut self, req: &Request) {
+        self.work_ref_ns += req.work_ref_ns as f64;
+    }
+}
+
+/// Split a sorted fleet-level arrival stream into `nodes` per-node
+/// streams under `policy`. Every request lands on exactly one node and
+/// per-node streams preserve arrival order (both properties are pinned
+/// by the conservation tests).
+pub fn split_arrivals(
+    arrivals: &[Request],
+    nodes: usize,
+    node_cores: usize,
+    policy: BalancerPolicy,
+) -> Vec<Vec<Request>> {
+    assert!(nodes > 0, "fleet needs at least one node");
+    let mut streams: Vec<Vec<Request>> = (0..nodes).map(|_| Vec::new()).collect();
+    let mut models: Vec<BacklogModel> = (0..nodes).map(|_| BacklogModel::new(node_cores)).collect();
+
+    for (i, req) in arrivals.iter().enumerate() {
+        let target = match policy {
+            BalancerPolicy::RoundRobin => i % nodes,
+            BalancerPolicy::JoinShortestQueue => argmin_outstanding(&mut models, req.arrival),
+            BalancerPolicy::PowerAware => {
+                // Pack onto the most loaded node that still has headroom:
+                // adding to a node already more than SLA/2 behind risks
+                // queueing timeouts, so such nodes are skipped.
+                let headroom = req.sla as f64 / 2.0;
+                let mut best: Option<(usize, f64)> = None;
+                for (k, m) in models.iter_mut().enumerate() {
+                    let out = m.outstanding_at(req.arrival);
+                    if out < headroom {
+                        let fuller = match best {
+                            Some((_, b)) => out > b,
+                            None => true,
+                        };
+                        if fuller {
+                            best = Some((k, out));
+                        }
+                    }
+                }
+                match best {
+                    Some((k, _)) => k,
+                    None => argmin_outstanding(&mut models, req.arrival),
+                }
+            }
+        };
+        models[target].route(req);
+        streams[target].push(req.clone());
+    }
+    streams
+}
+
+/// Node with the least outstanding estimated work at `now`; ties break
+/// to the lowest index (strict `<`).
+fn argmin_outstanding(models: &mut [BacklogModel], now: u64) -> usize {
+    let mut best = 0usize;
+    let mut best_out = f64::INFINITY;
+    for (k, m) in models.iter_mut().enumerate() {
+        let out = m.outstanding_at(now);
+        if out < best_out {
+            best = k;
+            best_out = out;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, arrival: u64, work: u64) -> Request {
+        Request {
+            id,
+            arrival,
+            work_ref_ns: work,
+            freq_sensitivity: 1.0,
+            sla: 10_000_000,
+            features: vec![],
+        }
+    }
+
+    #[test]
+    fn round_robin_strides_across_nodes() {
+        let arrivals: Vec<Request> = (0..10).map(|i| req(i, i * 1000, 500)).collect();
+        let streams = split_arrivals(&arrivals, 3, 4, BalancerPolicy::RoundRobin);
+        assert_eq!(
+            streams[0].iter().map(|r| r.id).collect::<Vec<_>>(),
+            [0, 3, 6, 9]
+        );
+        assert_eq!(
+            streams[1].iter().map(|r| r.id).collect::<Vec<_>>(),
+            [1, 4, 7]
+        );
+        assert_eq!(
+            streams[2].iter().map(|r| r.id).collect::<Vec<_>>(),
+            [2, 5, 8]
+        );
+    }
+
+    #[test]
+    fn jsq_prefers_the_least_loaded_node() {
+        // Two simultaneous heavy requests then a third: JSQ must not
+        // stack all three on node 0.
+        let arrivals = vec![
+            req(0, 0, 1_000_000),
+            req(1, 0, 1_000_000),
+            req(2, 0, 1_000_000),
+        ];
+        let streams = split_arrivals(&arrivals, 3, 1, BalancerPolicy::JoinShortestQueue);
+        assert!(streams.iter().all(|s| s.len() == 1), "{streams:?}");
+    }
+
+    #[test]
+    fn jsq_drains_backlog_over_time() {
+        // A 5 ms request at t=0 on node 0; by t = 20 ms the 1-core node
+        // has retired 20 ms × 0.4 = 8 ms of estimated work, so a small
+        // request then lands back on node 0 (index tie-break) rather
+        // than node 1.
+        let arrivals = vec![req(0, 0, 5_000_000), req(1, 20_000_000, 1000)];
+        let streams = split_arrivals(&arrivals, 2, 1, BalancerPolicy::JoinShortestQueue);
+        assert_eq!(streams[0].len(), 2, "{streams:?}");
+
+        // At t = 5 ms only 2 ms has drained: the request spills to the
+        // still-empty node 1 instead.
+        let arrivals = vec![req(0, 0, 5_000_000), req(1, 5_000_000, 1000)];
+        let streams = split_arrivals(&arrivals, 2, 1, BalancerPolicy::JoinShortestQueue);
+        assert_eq!(streams[1].len(), 1, "{streams:?}");
+    }
+
+    #[test]
+    fn power_aware_packs_until_headroom_is_exhausted() {
+        // SLA 10 ms → headroom 5 ms. Three simultaneous 3 ms requests:
+        // the first two pack onto node 0 (0 ms, then 3 ms outstanding);
+        // the third sees 6 ms > headroom on node 0 and spills to node 1.
+        let arrivals = vec![
+            req(0, 0, 3_000_000),
+            req(1, 0, 3_000_000),
+            req(2, 0, 3_000_000),
+        ];
+        let streams = split_arrivals(&arrivals, 3, 1, BalancerPolicy::PowerAware);
+        assert_eq!(streams[0].iter().map(|r| r.id).collect::<Vec<_>>(), [0, 1]);
+        assert_eq!(streams[1].iter().map(|r| r.id).collect::<Vec<_>>(), [2]);
+        assert!(streams[2].is_empty());
+    }
+
+    #[test]
+    fn power_aware_falls_back_to_jsq_when_saturated() {
+        // Every node saturated: the request still lands somewhere.
+        let mut arrivals: Vec<Request> = (0..8).map(|i| req(i, 0, 20_000_000)).collect();
+        arrivals.push(req(8, 0, 1000));
+        let streams = split_arrivals(&arrivals, 2, 1, BalancerPolicy::PowerAware);
+        let total: usize = streams.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 9);
+    }
+}

@@ -1,0 +1,384 @@
+//! The fleet driver: N node simulations advanced in lockstep
+//! `LongTime` epochs, steered by one shared DeepPower policy whose
+//! actions for all nodes come from a single batched forward pass.
+//!
+//! Each node is an independent [`Server`] session (its own cores,
+//! queue, energy meter and telemetry stream); the only coupling is the
+//! pre-computed balancer split of the fleet arrival stream and the
+//! shared actor. At every epoch boundary the driver pauses all nodes
+//! ([`Session::advance_until`]), stacks their 8-dimensional DeepPower
+//! states into one `N × 8` matrix, runs one matrix–matrix inference
+//! ([`Ddpg::act_batch`]) and writes each row's `(BaseFreq,
+//! ScalingCoef)` into that node's thread controller. Because every
+//! batched output row is bit-identical to the single-state pass (see
+//! `TwoHeadActor::act_batch`), the batched fleet produces *exactly* the
+//! per-node results of the naive one-node-at-a-time loop — pinned by
+//! `batched_and_unbatched_fleets_agree` — while doing `1/N` of the
+//! forward passes (the `fleet_scaling` bench measures the speedup).
+
+use crate::balancer::{split_arrivals, BalancerPolicy};
+use deeppower_core::{
+    ControllerParams, StateObserver, ThreadController, TrainConfig, TrainedPolicy, STATE_DIM,
+};
+use deeppower_drl::Ddpg;
+use deeppower_nn::Matrix;
+use deeppower_simd_server::{
+    FreqCommands, Governor, LatencyStats, Request, RequestRecord, RunOptions, Server, ServerConfig,
+    ServerView, Session, MILLISECOND,
+};
+use deeppower_telemetry::Recorder;
+use deeppower_workload::{trace_arrivals, App, AppSpec, DiurnalConfig, DiurnalTrace};
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// One fleet experiment: N identical nodes serving a shared diurnal
+/// trace behind a balancer, under one trained policy.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FleetSpec {
+    pub app: App,
+    /// Number of server nodes.
+    pub nodes: usize,
+    pub balancer: BalancerPolicy,
+    /// Master seed: the diurnal trace and request sampling derive from
+    /// it deterministically.
+    pub seed: u64,
+    /// Peak RPS per node as a fraction of the app's capacity (the fleet
+    /// trace peaks at `nodes ×` this rate).
+    pub peak_load: f64,
+    /// Trace duration in simulated seconds.
+    pub duration_s: u64,
+}
+
+/// Per-node slice of a fleet run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NodeSummary {
+    pub node: usize,
+    /// Requests routed to this node by the balancer.
+    pub assigned: u64,
+    /// Requests completed (the simulator drops nothing, so this equals
+    /// `assigned` — asserted by the conservation tests).
+    pub requests: u64,
+    pub energy_j: f64,
+    pub avg_power_w: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub timeout_rate: f64,
+    pub freq_transitions: u64,
+}
+
+/// Fleet-level aggregates plus the per-node breakdown.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FleetResult {
+    pub app: String,
+    pub nodes: usize,
+    pub balancer: String,
+    pub seed: u64,
+    pub peak_load: f64,
+    pub duration_s: u64,
+    /// Batched policy decisions taken (one per `LongTime` epoch).
+    pub drl_epochs: u64,
+    pub total_requests: u64,
+    pub total_energy_j: f64,
+    /// Sum of per-node average powers — the fleet's steady draw.
+    pub total_power_w: f64,
+    /// Percentiles over the *merged* latency records of all nodes.
+    pub fleet_p50_ms: f64,
+    pub fleet_p95_ms: f64,
+    pub fleet_p99_ms: f64,
+    pub fleet_timeout_rate: f64,
+    pub per_node: Vec<NodeSummary>,
+}
+
+impl FleetResult {
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("FleetResult serialization cannot fail")
+    }
+}
+
+/// Generate the fleet-level arrival stream: the app's diurnal trace
+/// with its peak scaled to `nodes × rps_for_load(peak_load)`.
+pub fn fleet_arrivals(spec: &FleetSpec) -> Vec<Request> {
+    let app_spec = AppSpec::get(spec.app);
+    let cfg = DiurnalConfig {
+        period_s: spec.duration_s,
+        ..Default::default()
+    };
+    let mut trace = DiurnalTrace::generate(&cfg, spec.seed);
+    trace.scale_peak_to(app_spec.rps_for_load(spec.peak_load) * spec.nodes as f64);
+    trace_arrivals(&app_spec, &trace, spec.seed)
+}
+
+/// A policy with freshly initialized (untrained) actor weights, for
+/// exercising fleet *mechanics* — scaling benches, determinism and
+/// conservation tests — without paying for training. Experiments that
+/// care about policy quality train via `deeppower-core` as usual.
+pub fn untrained_policy(app: App, seed: u64) -> TrainedPolicy {
+    let cfg = TrainConfig::for_app(app);
+    let ddpg = deeppower_drl::DdpgConfig {
+        seed,
+        ..cfg.deeppower.ddpg
+    };
+    let agent = Ddpg::new(ddpg);
+    TrainedPolicy {
+        app,
+        actor_weights: agent.actor_snapshot(),
+        ddpg,
+        deeppower: cfg.deeppower,
+    }
+}
+
+/// Node-side governor: Algorithm 1 whose parameters live in a shared
+/// cell the fleet driver rewrites at every epoch boundary. The session
+/// holds the governor `&mut`, so the driver reaches past that borrow
+/// through `Rc<Cell<…>>` (fleet runs are single-threaded; the
+/// cross-thread story is one fleet per harness worker).
+struct SharedParamsController {
+    params: Rc<Cell<ControllerParams>>,
+}
+
+impl Governor for SharedParamsController {
+    fn on_tick(&mut self, view: &ServerView<'_>, cmds: &mut FreqCommands) {
+        ThreadController::new(self.params.get()).scale_all(view, cmds);
+    }
+
+    fn name(&self) -> &str {
+        "fleet-thread-controller"
+    }
+}
+
+/// Run a fleet with batched actor inference and no telemetry.
+pub fn run_fleet(spec: &FleetSpec, policy: &TrainedPolicy) -> FleetResult {
+    let recs = vec![Recorder::disabled(); spec.nodes];
+    run_fleet_recorded(spec, policy, &recs)
+}
+
+/// [`run_fleet`] with one telemetry [`Recorder`] per node: node `i`'s
+/// engine events (dispatches, completions, frequency transitions,
+/// latency snapshots) land in `recs[i]`, so per-node JSONL artifacts
+/// fall out the same way single-server ones do.
+pub fn run_fleet_recorded(
+    spec: &FleetSpec,
+    policy: &TrainedPolicy,
+    recs: &[Recorder],
+) -> FleetResult {
+    run_fleet_impl(spec, policy, recs, true)
+}
+
+/// Reference implementation: identical lockstep drive, but each node's
+/// action comes from its own single-state forward pass. Exists so the
+/// `fleet_scaling` bench can time batched against per-node inference on
+/// the *same* workload, and so tests can assert the two are
+/// result-identical. Not the path experiments use.
+pub fn run_fleet_reference(spec: &FleetSpec, policy: &TrainedPolicy) -> FleetResult {
+    let recs = vec![Recorder::disabled(); spec.nodes];
+    run_fleet_impl(spec, policy, &recs, false)
+}
+
+fn run_fleet_impl(
+    spec: &FleetSpec,
+    policy: &TrainedPolicy,
+    recs: &[Recorder],
+    batched: bool,
+) -> FleetResult {
+    assert!(spec.nodes > 0, "fleet needs at least one node");
+    assert_eq!(recs.len(), spec.nodes, "one recorder per node");
+    let n = spec.nodes;
+    let app_spec = AppSpec::get(spec.app);
+    let server = Server::new(ServerConfig::paper_default(app_spec.n_threads));
+    let arrivals = fleet_arrivals(spec);
+    let streams = split_arrivals(&arrivals, n, app_spec.n_threads, spec.balancer);
+    let assigned: Vec<u64> = streams.iter().map(|s| s.len() as u64).collect();
+
+    let agent = policy.build_agent();
+    let opts = RunOptions {
+        tick_ns: policy.deeppower.short_time,
+        ..Default::default()
+    };
+    let cells: Vec<Rc<Cell<ControllerParams>>> = (0..n)
+        .map(|_| Rc::new(Cell::new(ControllerParams::default())))
+        .collect();
+    let mut govs: Vec<SharedParamsController> = cells
+        .iter()
+        .map(|c| SharedParamsController {
+            params: Rc::clone(c),
+        })
+        .collect();
+    let mut sessions: Vec<Session<'_>> = govs
+        .iter_mut()
+        .zip(&streams)
+        .zip(recs)
+        .map(|((gov, stream), rec)| server.session(stream, gov as &mut dyn Governor, opts, rec))
+        .collect();
+    let mut observers = vec![StateObserver::new(policy.deeppower.state_norm); n];
+    let mut states = Matrix::zeros(n, STATE_DIM);
+
+    let long = policy.deeppower.long_time.max(1);
+    let mut epochs = 0u64;
+    loop {
+        // Observe every node (the first epoch sees the pre-run empty
+        // state, mirroring the single-node governor acting on its first
+        // tick) and act — one batched pass, or N single passes on the
+        // reference path.
+        for (i, (observer, session)) in observers.iter_mut().zip(&sessions).enumerate() {
+            let s = session.with_view(|v| observer.observe(v));
+            states.set_row(i, &s);
+        }
+        if batched {
+            let actions = agent.act_batch(&states);
+            for (i, cell) in cells.iter().enumerate() {
+                cell.set(ControllerParams::from_action(actions.row(i)));
+            }
+        } else {
+            for (i, cell) in cells.iter().enumerate() {
+                let action = agent.act(states.row(i));
+                cell.set(ControllerParams::from_action(&action));
+            }
+        }
+        epochs += 1;
+        let t_stop = epochs.saturating_mul(long);
+        let mut all_done = true;
+        for session in sessions.iter_mut() {
+            if !session.advance_until(t_stop) {
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+    }
+
+    let results: Vec<_> = sessions.into_iter().map(Session::finish).collect();
+    assemble(spec, &app_spec, epochs, &assigned, results)
+}
+
+/// Fold per-node [`SimResult`]s into the fleet report. Fleet
+/// percentiles come from the merged record set, not from averaging
+/// per-node percentiles (which would understate the tail whenever one
+/// node runs hot).
+fn assemble(
+    spec: &FleetSpec,
+    app_spec: &AppSpec,
+    epochs: u64,
+    assigned: &[u64],
+    results: Vec<deeppower_simd_server::SimResult>,
+) -> FleetResult {
+    let ms = |ns: u64| ns as f64 / MILLISECOND as f64;
+    let mut merged: Vec<RequestRecord> = Vec::new();
+    let mut per_node = Vec::with_capacity(results.len());
+    let mut total_energy_j = 0.0;
+    let mut total_power_w = 0.0;
+    for (node, sim) in results.into_iter().enumerate() {
+        let s = &sim.stats;
+        per_node.push(NodeSummary {
+            node,
+            assigned: assigned[node],
+            requests: s.count,
+            energy_j: sim.energy_j,
+            avg_power_w: sim.avg_power_w,
+            p50_ms: ms(s.p50_ns),
+            p95_ms: ms(s.p95_ns),
+            p99_ms: ms(s.p99_ns),
+            timeout_rate: s.timeout_rate(),
+            freq_transitions: sim.freq_transitions,
+        });
+        total_energy_j += sim.energy_j;
+        total_power_w += sim.avg_power_w;
+        merged.extend(sim.records);
+    }
+    let fleet = LatencyStats::from_records(&merged);
+    FleetResult {
+        app: app_spec.name.to_string(),
+        nodes: spec.nodes,
+        balancer: spec.balancer.label().to_string(),
+        seed: spec.seed,
+        peak_load: spec.peak_load,
+        duration_s: spec.duration_s,
+        drl_epochs: epochs,
+        total_requests: fleet.count,
+        total_energy_j,
+        total_power_w,
+        fleet_p50_ms: ms(fleet.p50_ns),
+        fleet_p95_ms: ms(fleet.p95_ns),
+        fleet_p99_ms: ms(fleet.p99_ns),
+        fleet_timeout_rate: fleet.timeout_rate(),
+        per_node,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(nodes: usize, balancer: BalancerPolicy) -> FleetSpec {
+        FleetSpec {
+            app: App::Masstree, // the 8-thread app — cheapest node
+            nodes,
+            balancer,
+            seed: 11,
+            peak_load: 0.4,
+            duration_s: 3,
+        }
+    }
+
+    #[test]
+    fn fleet_conserves_requests_end_to_end() {
+        for balancer in BalancerPolicy::all() {
+            let spec = small_spec(3, balancer);
+            let policy = untrained_policy(spec.app, 5);
+            let generated = fleet_arrivals(&spec).len() as u64;
+            let res = run_fleet(&spec, &policy);
+            assert_eq!(
+                res.total_requests, generated,
+                "{balancer:?}: fleet dropped or duplicated requests"
+            );
+            for node in &res.per_node {
+                assert_eq!(
+                    node.requests, node.assigned,
+                    "{balancer:?}: node {} completed {} of {} assigned",
+                    node.node, node.requests, node.assigned
+                );
+            }
+            assert!(res.drl_epochs > 0);
+            assert!(res.total_energy_j > 0.0);
+        }
+    }
+
+    #[test]
+    fn fleet_runs_are_deterministic() {
+        let spec = small_spec(2, BalancerPolicy::JoinShortestQueue);
+        let policy = untrained_policy(spec.app, 7);
+        let a = run_fleet(&spec, &policy).to_json();
+        let b = run_fleet(&spec, &policy).to_json();
+        assert_eq!(a, b, "same spec + policy must reproduce byte-identically");
+    }
+
+    #[test]
+    fn batched_and_unbatched_fleets_agree() {
+        // The whole point of the batched path: same floats, fewer
+        // forward passes. Any drift here means act_batch is no longer
+        // bit-faithful to act.
+        let spec = small_spec(4, BalancerPolicy::RoundRobin);
+        let policy = untrained_policy(spec.app, 3);
+        let batched = run_fleet(&spec, &policy).to_json();
+        let reference = run_fleet_reference(&spec, &policy).to_json();
+        assert_eq!(batched, reference);
+    }
+
+    #[test]
+    fn per_node_recorders_capture_disjoint_streams() {
+        let spec = small_spec(2, BalancerPolicy::RoundRobin);
+        let policy = untrained_policy(spec.app, 9);
+        let recs = vec![Recorder::ring(1 << 14), Recorder::ring(1 << 14)];
+        let res = run_fleet_recorded(&spec, &policy, &recs);
+        let events: Vec<_> = recs.iter().map(|r| r.drain_events()).collect();
+        assert!(
+            events.iter().all(|e| !e.is_empty()),
+            "both nodes must emit telemetry"
+        );
+        // Node streams are per-node: each stream's dispatch events
+        // reference only requests the balancer routed to that node.
+        assert!(res.per_node.iter().all(|n| n.requests > 0));
+    }
+}

@@ -29,6 +29,7 @@ use deeppower_core::{
     train, ControllerParams, DeepPowerGovernor, Mode, SafetyConfig, SafetyGovernor, StepLog,
     ThreadController, TrainConfig, TrainedPolicy,
 };
+use deeppower_fleet::{run_fleet, BalancerPolicy, FleetResult, FleetSpec};
 use deeppower_simd_server::{
     FaultPlan, FixedFrequency, FreqPlan, Governor, Request, RunOptions, Server, ServerConfig,
     SimResult, MILLISECOND, SECOND,
@@ -212,7 +213,7 @@ impl JobResult {
 pub fn calibrated_train_seed(app: App) -> u64 {
     match app {
         App::Sphinx => 54,
-        App::ImgDnn => 12,
+        App::ImgDnn => 7,
         _ => 42,
     }
 }
@@ -760,6 +761,86 @@ pub fn robustness_matrix(
     }
 }
 
+/// One cell of a fleet experiment grid: a [`FleetSpec`] plus the shared
+/// policy every node evaluates. The policy travels inside the spec —
+/// like [`GovernorSpec::DeepPower`] — so the cell fully determines its
+/// [`FleetResult`] and the grid inherits the determinism contract.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FleetJobSpec {
+    pub fleet: FleetSpec,
+    pub policy: TrainedPolicy,
+}
+
+/// Expand a fleet cross product: node counts × balancer policies, one
+/// cell per combination, sharing `policy`.
+pub fn fleet_grid(
+    app: App,
+    node_counts: &[usize],
+    balancers: &[BalancerPolicy],
+    seed: u64,
+    peak_load: f64,
+    duration_s: u64,
+    policy: &TrainedPolicy,
+) -> Vec<FleetJobSpec> {
+    let mut jobs = Vec::with_capacity(node_counts.len() * balancers.len());
+    for &nodes in node_counts {
+        for &balancer in balancers {
+            jobs.push(FleetJobSpec {
+                fleet: FleetSpec {
+                    app,
+                    nodes,
+                    balancer,
+                    seed,
+                    peak_load,
+                    duration_s,
+                },
+                policy: policy.clone(),
+            });
+        }
+    }
+    jobs
+}
+
+/// Execute fleet jobs on `threads` workers with the same work-stealing
+/// slot scheme as [`run_grid`]: results are ordered by job index and
+/// byte-identical at any thread count (each fleet run is single-threaded
+/// and a pure function of its spec).
+pub fn run_fleet_grid(jobs: &[FleetJobSpec], threads: usize) -> Vec<FleetResult> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let threads = threads.min(jobs.len()).max(1);
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<FleetResult>> = jobs.iter().map(|_| OnceLock::new()).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(idx) else { break };
+                let result = run_fleet(&job.fleet, &job.policy);
+                assert!(
+                    slots[idx].set(result).is_ok(),
+                    "fleet job slot written twice"
+                );
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker panicked before finishing fleet job")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -805,6 +886,35 @@ mod tests {
         // And the report actually contains everything.
         assert!(serial.contains("\"groups\""));
         assert_eq!(serial.matches("\"seed\":").count(), 12);
+    }
+
+    #[test]
+    fn fleet_grid_results_are_byte_identical_across_thread_counts() {
+        let policy = deeppower_fleet::untrained_policy(App::Masstree, 5);
+        let jobs = fleet_grid(
+            App::Masstree,
+            &[1, 2],
+            &[
+                BalancerPolicy::RoundRobin,
+                BalancerPolicy::JoinShortestQueue,
+            ],
+            3,
+            0.4,
+            2,
+            &policy,
+        );
+        assert_eq!(jobs.len(), 4);
+        let serialize = |results: Vec<FleetResult>| {
+            results
+                .iter()
+                .map(FleetResult::to_json)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let serial = serialize(run_fleet_grid(&jobs, 1));
+        let parallel = serialize(run_fleet_grid(&jobs, 4));
+        assert_eq!(serial, parallel, "thread count changed fleet results");
+        assert_eq!(serial.matches("\"per_node\"").count(), 4);
     }
 
     #[test]

@@ -71,6 +71,15 @@ impl Matrix {
         }
     }
 
+    /// Overwrite row `r` in place. Lets a caller reuse one stacked-state
+    /// buffer across batched inference calls instead of rebuilding the
+    /// matrix each step.
+    pub fn set_row(&mut self, r: usize, row: &[f32]) {
+        assert_eq!(row.len(), self.cols, "Matrix::set_row width mismatch");
+        let start = r * self.cols;
+        self.data[start..start + self.cols].copy_from_slice(row);
+    }
+
     pub fn rows(&self) -> usize {
         self.rows
     }

@@ -50,4 +50,4 @@ pub use governor::{CoreView, FixedFrequency, FreqCommands, Governor, RunningView
 pub use metrics::{LatencyStats, MetricsCollector, RequestRecord, TraceConfig, Traces};
 pub use power::{EnergyMeter, PowerModel};
 pub use request::Request;
-pub use server::{RunOptions, Server, ServerConfig, SimResult};
+pub use server::{RunOptions, Server, ServerConfig, Session, SimResult};

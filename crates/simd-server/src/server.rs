@@ -184,309 +184,445 @@ impl Server {
         opts: RunOptions,
         rec: &Recorder,
     ) -> SimResult {
+        self.session(arrivals, governor, opts, rec).finish()
+    }
+
+    /// Start a resumable simulation [`Session`] over `arrivals`.
+    ///
+    /// The session processes exactly the same event sequence as
+    /// [`run_recorded`](Self::run_recorded) — that method is literally
+    /// `session(..).finish()` — but can be paused at any simulated time
+    /// via [`Session::advance_until`], letting a driver inspect the
+    /// server state between events and steer the governor from outside
+    /// (the fleet layer advances N node sessions in lockstep epochs and
+    /// batches their policy inference).
+    pub fn session<'a>(
+        &'a self,
+        arrivals: &'a [Request],
+        governor: &'a mut dyn Governor,
+        opts: RunOptions,
+        rec: &'a Recorder,
+    ) -> Session<'a> {
         assert!(opts.tick_ns > 0, "tick period must be positive");
         debug_assert!(
             arrivals.windows(2).all(|w| w[0].arrival <= w[1].arrival),
             "arrivals must be sorted by time"
         );
-
         let n = self.cfg.n_cores;
-        let plan = &self.cfg.freq_plan;
-        let mut cores: Vec<CoreState> = (0..n)
-            .map(|_| CoreState {
-                freq_mhz: self.cfg.initial_mhz,
-                running: None,
-                sleep: None,
-            })
-            .collect();
-        let mut queue: VecDeque<Request> = VecDeque::new();
-        let mut metrics = MetricsCollector::new();
-        let mut energy = EnergyMeter::new();
-        let mut traces = Traces::default();
-        let mut cmds = FreqCommands::new(n, plan);
-        let mut freq_telem = FreqTelemetry::new(n, rec.enabled(), opts.trace.freq_sample_ns > 0);
-        let mut faults = FaultState::new(opts.faults, n);
-        let mut dvfs = DvfsController::new(n);
+        Session {
+            cores: (0..n)
+                .map(|_| CoreState {
+                    freq_mhz: self.cfg.initial_mhz,
+                    running: None,
+                    sleep: None,
+                })
+                .collect(),
+            queue: VecDeque::new(),
+            metrics: MetricsCollector::new(),
+            energy: EnergyMeter::new(),
+            traces: Traces::default(),
+            cmds: FreqCommands::new(n, &self.cfg.freq_plan),
+            freq_telem: FreqTelemetry::new(n, rec.enabled(), opts.trace.freq_sample_ns > 0),
+            faults: FaultState::new(opts.faults, n),
+            dvfs: DvfsController::new(n),
+            now: 0,
+            arr_idx: 0,
+            next_tick: 0,
+            // Latency snapshots piggyback on governor ticks (existing
+            // event times), at most one per simulated second.
+            next_snapshot: crate::clock::SECOND,
+            next_freq_sample: if opts.trace.freq_sample_ns > 0 {
+                0
+            } else {
+                Nanos::MAX
+            },
+            next_power_sample: if opts.trace.power_sample_ns > 0 {
+                0
+            } else {
+                Nanos::MAX
+            },
+            primed: false,
+            finished: false,
+            cfg: &self.cfg,
+            arrivals,
+            governor,
+            opts,
+            rec,
+        }
+    }
+}
 
-        let mut now: Nanos = 0;
-        let mut arr_idx = 0usize;
-        let mut next_tick: Nanos = 0;
-        // Latency snapshots piggyback on governor ticks (existing event
-        // times), at most one per simulated second.
-        let mut next_snapshot: Nanos = crate::clock::SECOND;
-        let mut next_freq_sample: Nanos = if opts.trace.freq_sample_ns > 0 {
-            0
-        } else {
-            Nanos::MAX
-        };
-        let mut next_power_sample: Nanos = if opts.trace.power_sample_ns > 0 {
-            0
-        } else {
-            Nanos::MAX
-        };
+/// A paused-or-running simulation: the full state of one engine event
+/// loop, advanceable in bounded time slices. Created by
+/// [`Server::session`]; consumed by [`Session::finish`].
+pub struct Session<'a> {
+    cfg: &'a ServerConfig,
+    arrivals: &'a [Request],
+    governor: &'a mut dyn Governor,
+    opts: RunOptions,
+    rec: &'a Recorder,
+    cores: Vec<CoreState>,
+    queue: VecDeque<Request>,
+    metrics: MetricsCollector,
+    energy: EnergyMeter,
+    traces: Traces,
+    cmds: FreqCommands,
+    freq_telem: FreqTelemetry,
+    faults: FaultState,
+    dvfs: DvfsController,
+    now: Nanos,
+    arr_idx: usize,
+    next_tick: Nanos,
+    next_snapshot: Nanos,
+    next_freq_sample: Nanos,
+    next_power_sample: Nanos,
+    /// Whether the events at `now` (initially t=0) have been processed.
+    primed: bool,
+    finished: bool,
+}
 
+impl Session<'_> {
+    /// Simulated time of the last processed event.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Whether the run has terminated (all arrivals served, all cores
+    /// idle; the governor's `on_run_end` has fired).
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Process every event at simulated times strictly below `t_stop`,
+    /// then pause. Returns `true` when the run terminated instead of
+    /// pausing. Calling again with a larger bound resumes seamlessly:
+    /// the concatenation of any sequence of `advance_until` calls
+    /// processes the identical event sequence as one uninterrupted run.
+    pub fn advance_until(&mut self, t_stop: Nanos) -> bool {
+        if self.finished {
+            return true;
+        }
         loop {
-            // ---- 0. Fault-plan boundaries at `now` ----
-            // Stall windows open/close, and deferred (spiked) DVFS
-            // transitions that came due take effect. With an inactive
-            // plan both are single-branch no-ops.
-            faults.poll_stalls(now, rec);
-            for (i, core) in cores.iter_mut().enumerate() {
-                if let Some(target) = dvfs.poll(i, now) {
-                    if target != core.freq_mhz {
-                        freq_telem.on_transition(now, i, core.freq_mhz, target, rec);
-                        core.freq_mhz = target;
-                        metrics.freq_transitions += 1;
-                    }
+            if !self.primed {
+                self.primed = true;
+                if self.process_now() {
+                    return true;
                 }
             }
+            let t_next = self.next_event_time();
+            if t_next >= t_stop {
+                return false;
+            }
+            self.advance_to(t_next);
+            if self.process_now() {
+                return true;
+            }
+        }
+    }
 
-            // ---- 1. Completions at `now` ----
-            for (core_id, core) in cores.iter_mut().enumerate() {
-                let done = matches!(&core.running,
-                    Some(r) if r.remaining_ref_ns <= WORK_EPS && r.wake_remaining_ns <= WORK_EPS);
-                if done {
-                    let running = core.running.take().unwrap();
-                    let latency = now - running.req.arrival;
-                    let record = RequestRecord {
-                        id: running.req.id,
-                        arrival: running.req.arrival,
-                        started: running.started,
-                        completed: now,
-                        latency,
-                        timed_out: latency > running.req.sla,
-                    };
-                    metrics.on_completion(record);
-                    if opts.trace.request_marks {
-                        traces.marks.push((now, core_id, running.req.id, false));
-                        rec.emit(|| {
-                            Event::RequestComplete(event::RequestComplete {
-                                t: now,
-                                core: core_id as u64,
-                                id: running.req.id,
-                                latency_ns: latency,
-                                timed_out: record.timed_out,
-                            })
-                        });
-                    }
-                    governor.on_request_complete(now, core_id, &running.req, latency);
+    /// Run to termination (if not already there) and assemble the
+    /// [`SimResult`].
+    pub fn finish(mut self) -> SimResult {
+        // `next_event_time` is always finite (the governor tick never
+        // stops), so an unbounded advance runs to termination.
+        self.advance_until(Nanos::MAX);
+        self.freq_telem.finish(self.now, &self.cores, self.rec);
+        SimResult {
+            stats: self.metrics.stats(),
+            energy_j: self.energy.joules(),
+            avg_power_w: self.energy.average_power_w(),
+            duration_ns: self.now,
+            records: std::mem::take(&mut self.metrics.records),
+            traces: self.traces,
+            freq_transitions: self.metrics.freq_transitions,
+            faults_injected: self.faults.injected,
+        }
+    }
+
+    /// Inspect the paused server through the same [`ServerView`] the
+    /// governor sees (unperturbed sensors). The driver-side window into
+    /// a node between epochs.
+    pub fn with_view<T>(&self, f: impl FnOnce(&ServerView<'_>) -> T) -> T {
+        let views = build_core_views(&self.cores, self.now);
+        let view = make_view(self.now, &self.queue, &views, &self.metrics, &self.energy);
+        f(&view)
+    }
+
+    /// Process phases 0–6 at `self.now`; returns `true` on termination.
+    fn process_now(&mut self) -> bool {
+        let now = self.now;
+        let plan = &self.cfg.freq_plan;
+
+        // ---- 0. Fault-plan boundaries at `now` ----
+        // Stall windows open/close, and deferred (spiked) DVFS
+        // transitions that came due take effect. With an inactive
+        // plan both are single-branch no-ops.
+        self.faults.poll_stalls(now, self.rec);
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            if let Some(target) = self.dvfs.poll(i, now) {
+                if target != core.freq_mhz {
+                    self.freq_telem
+                        .on_transition(now, i, core.freq_mhz, target, self.rec);
+                    core.freq_mhz = target;
+                    self.metrics.freq_transitions += 1;
                 }
             }
+        }
 
-            // ---- 2. Arrivals at `now` ----
-            while arr_idx < arrivals.len() && arrivals[arr_idx].arrival <= now {
-                metrics.on_arrival();
-                queue.push_back(arrivals[arr_idx].clone());
-                arr_idx += 1;
-            }
-
-            // ---- 3. Dispatch queued requests to idle cores ----
-            // Awake idle cores are preferred; a sleeping core is woken
-            // only when no awake core is free, and the request then pays
-            // the C-state's wake latency. Stalled cores accept nothing.
-            while !queue.is_empty() {
-                let idle =
-                    |(i, c): &(usize, &CoreState)| c.running.is_none() && !faults.is_stalled(*i);
-                let awake = cores
-                    .iter()
-                    .enumerate()
-                    .find(|e| idle(e) && e.1.sleep.is_none())
-                    .map(|(i, _)| i);
-                let any_idle =
-                    awake.or_else(|| cores.iter().enumerate().find(idle).map(|(i, _)| i));
-                let Some(core_id) = any_idle else { break };
-                let req = queue.pop_front().unwrap();
-                {
-                    let views = build_core_views(&cores, now);
-                    let view = make_view(now, &queue, &views, &metrics, &energy);
-                    governor.on_request_start(&view, core_id, &req, &mut cmds);
-                }
-                apply_commands(
-                    now,
-                    &mut cores,
-                    &mut cmds,
-                    plan,
-                    &self.cfg.cstates,
-                    &mut metrics,
-                    rec,
-                    &mut freq_telem,
-                    &mut faults,
-                    &mut dvfs,
-                );
-                if opts.trace.request_marks {
-                    traces.marks.push((now, core_id, req.id, true));
-                    rec.emit(|| {
-                        Event::RequestDispatch(event::RequestDispatch {
+        // ---- 1. Completions at `now` ----
+        for (core_id, core) in self.cores.iter_mut().enumerate() {
+            let done = matches!(&core.running,
+                Some(r) if r.remaining_ref_ns <= WORK_EPS && r.wake_remaining_ns <= WORK_EPS);
+            if done {
+                let running = core.running.take().unwrap();
+                let latency = now - running.req.arrival;
+                let record = RequestRecord {
+                    id: running.req.id,
+                    arrival: running.req.arrival,
+                    started: running.started,
+                    completed: now,
+                    latency,
+                    timed_out: latency > running.req.sla,
+                };
+                self.metrics.on_completion(record);
+                if self.opts.trace.request_marks {
+                    self.traces
+                        .marks
+                        .push((now, core_id, running.req.id, false));
+                    self.rec.emit(|| {
+                        Event::RequestComplete(event::RequestComplete {
                             t: now,
                             core: core_id as u64,
-                            id: req.id,
+                            id: running.req.id,
+                            latency_ns: latency,
+                            timed_out: record.timed_out,
                         })
                     });
                 }
-                let wake_ns = cores[core_id]
-                    .sleep
-                    .take()
-                    .and_then(|i| self.cfg.cstates.get(i))
-                    .map(|st| st.wake_ns as f64)
-                    .unwrap_or(0.0);
-                let remaining = req.work_ref_ns as f64;
-                cores[core_id].running = Some(Running {
-                    req,
-                    started: now,
-                    remaining_ref_ns: remaining,
-                    wake_remaining_ns: wake_ns,
+                self.governor
+                    .on_request_complete(now, core_id, &running.req, latency);
+            }
+        }
+
+        // ---- 2. Arrivals at `now` ----
+        while self.arr_idx < self.arrivals.len() && self.arrivals[self.arr_idx].arrival <= now {
+            self.metrics.on_arrival();
+            self.queue.push_back(self.arrivals[self.arr_idx].clone());
+            self.arr_idx += 1;
+        }
+
+        // ---- 3. Dispatch queued requests to idle cores ----
+        // Awake idle cores are preferred; a sleeping core is woken
+        // only when no awake core is free, and the request then pays
+        // the C-state's wake latency. Stalled cores accept nothing.
+        while !self.queue.is_empty() {
+            let faults = &self.faults;
+            let idle = |(i, c): &(usize, &CoreState)| c.running.is_none() && !faults.is_stalled(*i);
+            let awake = self
+                .cores
+                .iter()
+                .enumerate()
+                .find(|e| idle(e) && e.1.sleep.is_none())
+                .map(|(i, _)| i);
+            let any_idle =
+                awake.or_else(|| self.cores.iter().enumerate().find(idle).map(|(i, _)| i));
+            let Some(core_id) = any_idle else { break };
+            let req = self.queue.pop_front().unwrap();
+            {
+                let views = build_core_views(&self.cores, now);
+                let view = make_view(now, &self.queue, &views, &self.metrics, &self.energy);
+                self.governor
+                    .on_request_start(&view, core_id, &req, &mut self.cmds);
+            }
+            apply_commands(
+                now,
+                &mut self.cores,
+                &mut self.cmds,
+                plan,
+                &self.cfg.cstates,
+                &mut self.metrics,
+                self.rec,
+                &mut self.freq_telem,
+                &mut self.faults,
+                &mut self.dvfs,
+            );
+            if self.opts.trace.request_marks {
+                self.traces.marks.push((now, core_id, req.id, true));
+                self.rec.emit(|| {
+                    Event::RequestDispatch(event::RequestDispatch {
+                        t: now,
+                        core: core_id as u64,
+                        id: req.id,
+                    })
                 });
             }
+            let wake_ns = self.cores[core_id]
+                .sleep
+                .take()
+                .and_then(|i| self.cfg.cstates.get(i))
+                .map(|st| st.wake_ns as f64)
+                .unwrap_or(0.0);
+            let remaining = req.work_ref_ns as f64;
+            self.cores[core_id].running = Some(Running {
+                req,
+                started: now,
+                remaining_ref_ns: remaining,
+                wake_remaining_ns: wake_ns,
+            });
+        }
 
-            // ---- 4. Governor tick ----
-            if now >= next_tick {
-                {
-                    // The tick observation goes through the sensor fault
-                    // model: the governor may see stale counters or a
-                    // noisy energy reading. Accounting is untouched.
-                    let reading = faults.observe(
-                        now,
-                        SensorReading {
-                            arrived: metrics.arrived,
-                            completed: metrics.completed,
-                            timeouts: metrics.timeouts,
-                            energy_uj: energy.read_energy_uj(),
-                        },
-                        rec,
-                    );
-                    let views = build_core_views(&cores, now);
-                    let view = make_view_with(now, &queue, &views, reading);
-                    governor.on_tick(&view, &mut cmds);
-                }
-                apply_commands(
+        // ---- 4. Governor tick ----
+        if now >= self.next_tick {
+            {
+                // The tick observation goes through the sensor fault
+                // model: the governor may see stale counters or a
+                // noisy energy reading. Accounting is untouched.
+                let reading = self.faults.observe(
                     now,
-                    &mut cores,
-                    &mut cmds,
-                    plan,
-                    &self.cfg.cstates,
-                    &mut metrics,
-                    rec,
-                    &mut freq_telem,
-                    &mut faults,
-                    &mut dvfs,
+                    SensorReading {
+                        arrived: self.metrics.arrived,
+                        completed: self.metrics.completed,
+                        timeouts: self.metrics.timeouts,
+                        energy_uj: self.energy.read_energy_uj(),
+                    },
+                    self.rec,
                 );
-                next_tick = now + opts.tick_ns;
-                if rec.enabled() && now >= next_snapshot {
-                    let s = metrics.quick_stats();
-                    rec.emit(|| {
-                        Event::LatencySnapshot(event::LatencySnapshot {
-                            t: now,
-                            count: s.count,
-                            p50_ns: s.p50_ns,
-                            p95_ns: s.p95_ns,
-                            p99_ns: s.p99_ns,
-                            timeouts: s.timeouts,
-                        })
-                    });
-                    next_snapshot = now + crate::clock::SECOND;
-                }
+                let views = build_core_views(&self.cores, now);
+                let view = make_view_with(now, &self.queue, &views, reading);
+                self.governor.on_tick(&view, &mut self.cmds);
             }
-
-            // ---- 5. Trace samples ----
-            if now >= next_freq_sample {
-                for (i, c) in cores.iter().enumerate() {
-                    traces.freq.push((now, i, c.freq_mhz));
-                }
-                next_freq_sample = now + opts.trace.freq_sample_ns;
+            apply_commands(
+                now,
+                &mut self.cores,
+                &mut self.cmds,
+                plan,
+                &self.cfg.cstates,
+                &mut self.metrics,
+                self.rec,
+                &mut self.freq_telem,
+                &mut self.faults,
+                &mut self.dvfs,
+            );
+            self.next_tick = now + self.opts.tick_ns;
+            if self.rec.enabled() && now >= self.next_snapshot {
+                let s = self.metrics.quick_stats();
+                self.rec.emit(|| {
+                    Event::LatencySnapshot(event::LatencySnapshot {
+                        t: now,
+                        count: s.count,
+                        p50_ns: s.p50_ns,
+                        p95_ns: s.p95_ns,
+                        p99_ns: s.p99_ns,
+                        timeouts: s.timeouts,
+                    })
+                });
+                self.next_snapshot = now + crate::clock::SECOND;
             }
-            if now >= next_power_sample {
-                let p = socket_power(&self.cfg, &cores);
-                let busy = cores.iter().filter(|c| c.running.is_some()).count();
-                traces.power.push((now, p, queue.len(), busy));
-                next_power_sample = now + opts.trace.power_sample_ns;
-            }
-
-            // ---- 6. Termination ----
-            let all_idle = cores.iter().all(|c| c.running.is_none());
-            if arr_idx == arrivals.len() && queue.is_empty() && all_idle {
-                let views = build_core_views(&cores, now);
-                let view = make_view(now, &queue, &views, &metrics, &energy);
-                governor.on_run_end(&view);
-                break;
-            }
-
-            // ---- 7. Next event time ----
-            let busy = cores.iter().filter(|c| c.running.is_some()).count();
-            let inflation = self.cfg.contention.inflation(busy, n);
-            let mut t_next = next_tick.min(next_freq_sample).min(next_power_sample);
-            if arr_idx < arrivals.len() {
-                t_next = t_next.min(arrivals[arr_idx].arrival);
-            }
-            if let Some(t) = dvfs.next_ready() {
-                t_next = t_next.min(t);
-            }
-            if let Some(t) = faults.next_stall_change() {
-                t_next = t_next.min(t);
-            }
-            for (i, c) in cores.iter().enumerate() {
-                // A stalled core retires no work: its request has no
-                // completion time until the stall window closes (which is
-                // itself in the event set above).
-                if faults.is_stalled(i) {
-                    continue;
-                }
-                if let Some(r) = &c.running {
-                    let t = r.wake_remaining_ns
-                        + Request::scaled_time(
-                            r.remaining_ref_ns,
-                            r.req.freq_sensitivity,
-                            c.freq_mhz,
-                            plan.reference_mhz,
-                            inflation,
-                        );
-                    let tc = now + (t.ceil().max(1.0)) as Nanos;
-                    t_next = t_next.min(tc);
-                }
-            }
-            debug_assert!(t_next > now, "event time did not advance");
-            let dt = t_next - now;
-
-            // ---- 8. Advance: integrate energy, retire work ----
-            let p = socket_power(&self.cfg, &cores);
-            energy.accumulate(p, dt);
-            for (i, c) in cores.iter_mut().enumerate() {
-                if faults.is_stalled(i) {
-                    continue;
-                }
-                if let Some(r) = &mut c.running {
-                    // Wake latency drains first, in real time.
-                    let mut dt_work = dt as f64;
-                    if r.wake_remaining_ns > 0.0 {
-                        let waking = r.wake_remaining_ns.min(dt_work);
-                        r.wake_remaining_ns -= waking;
-                        dt_work -= waking;
-                    }
-                    if dt_work > 0.0 {
-                        let retired = Request::retired_work(
-                            dt_work,
-                            r.req.freq_sensitivity,
-                            c.freq_mhz,
-                            plan.reference_mhz,
-                            inflation,
-                        );
-                        r.remaining_ref_ns = (r.remaining_ref_ns - retired).max(0.0);
-                    }
-                }
-            }
-            now = t_next;
         }
 
-        freq_telem.finish(now, &cores, rec);
-        SimResult {
-            stats: metrics.stats(),
-            energy_j: energy.joules(),
-            avg_power_w: energy.average_power_w(),
-            duration_ns: now,
-            records: std::mem::take(&mut metrics.records),
-            traces,
-            freq_transitions: metrics.freq_transitions,
-            faults_injected: faults.injected,
+        // ---- 5. Trace samples ----
+        if now >= self.next_freq_sample {
+            for (i, c) in self.cores.iter().enumerate() {
+                self.traces.freq.push((now, i, c.freq_mhz));
+            }
+            self.next_freq_sample = now + self.opts.trace.freq_sample_ns;
         }
+        if now >= self.next_power_sample {
+            let p = socket_power(self.cfg, &self.cores);
+            let busy = self.cores.iter().filter(|c| c.running.is_some()).count();
+            self.traces.power.push((now, p, self.queue.len(), busy));
+            self.next_power_sample = now + self.opts.trace.power_sample_ns;
+        }
+
+        // ---- 6. Termination ----
+        let all_idle = self.cores.iter().all(|c| c.running.is_none());
+        if self.arr_idx == self.arrivals.len() && self.queue.is_empty() && all_idle {
+            let views = build_core_views(&self.cores, now);
+            let view = make_view(now, &self.queue, &views, &self.metrics, &self.energy);
+            self.governor.on_run_end(&view);
+            self.finished = true;
+            return true;
+        }
+        false
+    }
+
+    /// Phase 7: earliest pending event time (always finite — the
+    /// governor tick never stops).
+    fn next_event_time(&self) -> Nanos {
+        let plan = &self.cfg.freq_plan;
+        let busy = self.cores.iter().filter(|c| c.running.is_some()).count();
+        let inflation = self.cfg.contention.inflation(busy, self.cfg.n_cores);
+        let mut t_next = self
+            .next_tick
+            .min(self.next_freq_sample)
+            .min(self.next_power_sample);
+        if self.arr_idx < self.arrivals.len() {
+            t_next = t_next.min(self.arrivals[self.arr_idx].arrival);
+        }
+        if let Some(t) = self.dvfs.next_ready() {
+            t_next = t_next.min(t);
+        }
+        if let Some(t) = self.faults.next_stall_change() {
+            t_next = t_next.min(t);
+        }
+        for (i, c) in self.cores.iter().enumerate() {
+            // A stalled core retires no work: its request has no
+            // completion time until the stall window closes (which is
+            // itself in the event set above).
+            if self.faults.is_stalled(i) {
+                continue;
+            }
+            if let Some(r) = &c.running {
+                let t = r.wake_remaining_ns
+                    + Request::scaled_time(
+                        r.remaining_ref_ns,
+                        r.req.freq_sensitivity,
+                        c.freq_mhz,
+                        plan.reference_mhz,
+                        inflation,
+                    );
+                let tc = self.now + (t.ceil().max(1.0)) as Nanos;
+                t_next = t_next.min(tc);
+            }
+        }
+        t_next
+    }
+
+    /// Phase 8: integrate energy and retire work up to `t_next`, then
+    /// move the clock there.
+    fn advance_to(&mut self, t_next: Nanos) {
+        debug_assert!(t_next > self.now, "event time did not advance");
+        let dt = t_next - self.now;
+        let plan = &self.cfg.freq_plan;
+        let busy = self.cores.iter().filter(|c| c.running.is_some()).count();
+        let inflation = self.cfg.contention.inflation(busy, self.cfg.n_cores);
+        let p = socket_power(self.cfg, &self.cores);
+        self.energy.accumulate(p, dt);
+        for (i, c) in self.cores.iter_mut().enumerate() {
+            if self.faults.is_stalled(i) {
+                continue;
+            }
+            if let Some(r) = &mut c.running {
+                // Wake latency drains first, in real time.
+                let mut dt_work = dt as f64;
+                if r.wake_remaining_ns > 0.0 {
+                    let waking = r.wake_remaining_ns.min(dt_work);
+                    r.wake_remaining_ns -= waking;
+                    dt_work -= waking;
+                }
+                if dt_work > 0.0 {
+                    let retired = Request::retired_work(
+                        dt_work,
+                        r.req.freq_sensitivity,
+                        c.freq_mhz,
+                        plan.reference_mhz,
+                        inflation,
+                    );
+                    r.remaining_ref_ns = (r.remaining_ref_ns - retired).max(0.0);
+                }
+            }
+        }
+        self.now = t_next;
     }
 }
 

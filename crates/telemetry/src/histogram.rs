@@ -138,6 +138,27 @@ impl Histogram {
         self.max
     }
 
+    /// Point-in-time summary, or `None` when nothing has been recorded —
+    /// the non-panicking read path for empty distributions. (The scalar
+    /// accessors above return 0 for an empty histogram, which callers
+    /// assembling reports cannot distinguish from a real recorded zero;
+    /// the snapshot makes emptiness explicit instead of panicking or
+    /// fabricating values.)
+    pub fn snapshot(&self) -> Option<HistogramSnapshot> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(HistogramSnapshot {
+            count: self.count,
+            mean: self.mean(),
+            min: self.min,
+            max: self.max,
+            p50: self.percentile(0.50),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
+        })
+    }
+
     /// Non-empty buckets as `(upper_bound, count)` pairs, ascending.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.counts
@@ -147,6 +168,20 @@ impl Histogram {
             .map(|(i, &c)| (bucket_upper_bound(i), c))
             .collect()
     }
+}
+
+/// Summary of a non-empty [`Histogram`] (see [`Histogram::snapshot`]).
+/// `min`/`max`/`mean` are exact; the percentiles carry the bucket
+/// scheme's `2^-SUB_BITS` relative quantization error.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub mean: f64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
 }
 
 /// Incremental latency aggregator: O(1) insert, O(buckets) reads.
@@ -275,23 +310,74 @@ mod tests {
         }
 
         /// Percentiles never leave the recorded range and are monotone
-        /// in q.
+        /// in q. Regression: this property used to read the bounds with
+        /// `values.iter().min()/max().unwrap()` over a generator that
+        /// excluded the empty vector — the empty and single-value
+        /// distributions were never exercised. The bounds now come from
+        /// the non-panicking [`Histogram::snapshot`], and the generator
+        /// includes both edge cases (`0..200`).
         #[test]
         fn percentile_bounded_and_monotone(
-            values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+            values in proptest::collection::vec(0u64..1_000_000_000, 0..200),
             q1 in 0.0f64..1.0,
             q2 in 0.0f64..1.0,
         ) {
             let mut h = Histogram::new();
             for &v in &values { h.record(v); }
-            let lo = *values.iter().min().unwrap();
-            let hi = *values.iter().max().unwrap();
-            for q in [q1, q2, 0.0, 1.0] {
-                let p = h.percentile(q);
-                prop_assert!(p >= lo && p <= hi, "p{q} = {p} outside [{lo}, {hi}]");
+            match h.snapshot() {
+                None => {
+                    // Empty histogram: no snapshot, and every scalar read
+                    // is a well-defined zero rather than a panic.
+                    prop_assert!(values.is_empty());
+                    prop_assert_eq!(h.percentile(q1), 0);
+                    prop_assert_eq!(h.min(), 0);
+                    prop_assert_eq!(h.max(), 0);
+                }
+                Some(snap) => {
+                    let (lo, hi) = (snap.min, snap.max);
+                    prop_assert_eq!(lo, *values.iter().min().unwrap());
+                    prop_assert_eq!(hi, *values.iter().max().unwrap());
+                    for q in [q1, q2, 0.0, 1.0] {
+                        let p = h.percentile(q);
+                        prop_assert!(p >= lo && p <= hi, "p{} = {} outside [{}, {}]", q, p, lo, hi);
+                    }
+                    let (ql, qh) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+                    prop_assert!(h.percentile(ql) <= h.percentile(qh));
+                }
             }
-            let (ql, qh) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
-            prop_assert!(h.percentile(ql) <= h.percentile(qh));
         }
+
+        /// A single-value distribution snapshots to that value exactly —
+        /// min, max and every percentile (the percentile clamp to the
+        /// true extremes cancels the bucket quantization).
+        #[test]
+        fn single_value_snapshot_is_exact(v in 0u64..u64::MAX / 2, q in 0.0f64..1.0) {
+            let mut h = Histogram::new();
+            h.record(v);
+            let snap = h.snapshot().expect("one value recorded");
+            prop_assert_eq!(snap.count, 1);
+            prop_assert_eq!(snap.min, v);
+            prop_assert_eq!(snap.max, v);
+            prop_assert_eq!(snap.p50, v);
+            prop_assert_eq!(snap.p99, v);
+            prop_assert_eq!(h.percentile(q), v);
+            prop_assert!((snap.mean - v as f64).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_none_not_a_panic() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot(), None);
+        // The scalar read paths stay total on empty input too.
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        // One record flips it to Some.
+        let mut h = h;
+        h.record(7);
+        let snap = h.snapshot().unwrap();
+        assert_eq!((snap.count, snap.min, snap.max), (1, 7, 7));
     }
 }

@@ -44,6 +44,6 @@ pub use event::{
 };
 pub use export::{freq_series, from_jsonl, steps_to_csv, to_jsonl, STEP_CSV_HEADER};
 pub use fs::atomic_write;
-pub use histogram::{Histogram, LatencyRecorder};
+pub use histogram::{Histogram, HistogramSnapshot, LatencyRecorder};
 pub use logger::{LogLevel, Logger};
 pub use recorder::{NoopSink, Recorder, RingSink, TelemetrySink};
