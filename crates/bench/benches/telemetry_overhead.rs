@@ -20,7 +20,7 @@
 
 use deeppower_core::{ControllerParams, ThreadController};
 use deeppower_simd_server::{RunOptions, Server, ServerConfig, SimResult};
-use deeppower_telemetry::{NoopSink, Recorder};
+use deeppower_telemetry::{NoopSink, Profiler, Recorder};
 use deeppower_workload::{constant_rate_arrivals, App, AppSpec};
 use std::time::Instant;
 
@@ -76,12 +76,34 @@ fn main() {
     let (t_ring, r_ring) = min_wall_s(repeats, || {
         server.run_recorded(&arrivals, &mut gov(), opts, &Recorder::ring(1 << 16))
     });
+    // The span profiler holds the same contract as the recorder: when
+    // disabled it is one `Option` branch per span site (open + drop).
+    let (t_prof_off, r_prof_off) = min_wall_s(repeats, || {
+        server.run_profiled(
+            &arrivals,
+            &mut gov(),
+            opts,
+            &Recorder::disabled(),
+            &Profiler::disabled(),
+        )
+    });
+    let (t_prof_on, r_prof_on) = min_wall_s(repeats, || {
+        server.run_profiled(
+            &arrivals,
+            &mut gov(),
+            opts,
+            &Recorder::disabled(),
+            &Profiler::enabled(),
+        )
+    });
 
     // Telemetry must never perturb the simulation.
     for (name, r) in [
         ("disabled", &r_disabled),
         ("noop-sink", &r_noop),
         ("ring", &r_ring),
+        ("profiler-off", &r_prof_off),
+        ("profiler-on", &r_prof_on),
     ] {
         assert_eq!(
             r.stats.count, r_plain.stats.count,
@@ -110,16 +132,30 @@ fn main() {
         t_ring,
         pct(t_ring)
     );
+    println!(
+        "{:<22} {:>9.4} {:>+8.2}%",
+        "profiler disabled",
+        t_prof_off,
+        pct(t_prof_off)
+    );
+    println!(
+        "{:<22} {:>9.4} {:>+8.2}%",
+        "profiler enabled",
+        t_prof_on,
+        pct(t_prof_on)
+    );
 
-    let worst = (t_disabled / t_plain - 1.0).max(t_noop / t_plain - 1.0);
+    let worst = (t_disabled / t_plain - 1.0)
+        .max(t_noop / t_plain - 1.0)
+        .max(t_prof_off / t_plain - 1.0);
     assert!(
         worst < tolerance,
-        "disabled/noop recorder overhead {:.2}% exceeds {:.0}% budget",
+        "disabled recorder/profiler overhead {:.2}% exceeds {:.0}% budget",
         worst * 100.0,
         tolerance * 100.0
     );
     println!(
-        "\n[overhead OK] disabled/noop recorder within {:.0}% of the plain path",
+        "\n[overhead OK] disabled recorder/profiler within {:.0}% of the plain path",
         tolerance * 100.0
     );
 }

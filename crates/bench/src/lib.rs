@@ -10,6 +10,8 @@
 //! fewer training episodes) so `cargo bench --workspace` finishes in
 //! minutes. Set `DEEPPOWER_FULL=1` for paper-scale runs.
 
+pub mod diff;
+
 use deeppower_core::{train, TrainConfig, TrainedPolicy};
 use deeppower_workload::App;
 use std::path::PathBuf;

@@ -23,14 +23,20 @@
 //! byte-identical at any thread count.
 
 use deeppower_core::train::default_peak_load;
-use deeppower_core::{evaluate, evaluate_recorded, train, TrainConfig, TrainedPolicy};
+use deeppower_core::{
+    action_surface, decisions_to_csv, decisions_to_jsonl, evaluate, evaluate_profiled,
+    evaluate_recorded, explain_decisions, mean_abs_saliency, surface_to_csv, train, train_profiled,
+    TrainConfig, TrainedPolicy, STATE_DIM_NAMES,
+};
 use deeppower_fleet::{run_fleet_recorded, BalancerPolicy};
 use deeppower_harness::{
     calibrated_train_seed, fleet_grid, grid, robustness_matrix, run_fleet_grid, run_grid,
     run_grid_telemetry, summarize, GovernorSpec, JobResult, WorkloadKind,
 };
 use deeppower_simd_server::{TraceConfig, MILLISECOND};
-use deeppower_telemetry::{atomic_write, steps_to_csv, to_jsonl, Event, Logger, Recorder};
+use deeppower_telemetry::{
+    atomic_write, render_phase_table, steps_to_csv, to_jsonl, Event, Logger, Profiler, Recorder,
+};
 use deeppower_workload::{save_trace_csv, App, AppSpec, DiurnalConfig, DiurnalTrace};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -62,6 +68,9 @@ fn main() -> ExitCode {
         "robustness" => cmd_robustness(&flags, &log),
         "fleet" => cmd_fleet(&flags, &log),
         "trace" => cmd_trace(&flags, &log),
+        "profile" => cmd_profile(&flags, &log),
+        "explain" => cmd_explain(&flags, &log),
+        "bench-diff" => cmd_bench_diff(&flags, &log),
         "workload-trace" => cmd_workload_trace(&flags, &log),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -97,6 +106,11 @@ USAGE:
                     [--threads N] [-o FILE] [--telemetry DIR]
   deeppower trace   --policy FILE | --app <name> [--duration-s S] [--peak-load F] [--seed K]
                     [-o FILE.jsonl] [--csv FILE.csv]
+  deeppower profile --policy FILE | --app <name> [--duration-s S] [--peak-load F] [--seed K]
+                    [-o FILE.json] [--table FILE.txt]
+  deeppower explain --policy FILE | --app <name> [--duration-s S] [--peak-load F] [--seed K]
+                    [--points N] [--eps F] [--jsonl FILE] [--csv FILE] [--surface FILE]
+  deeppower bench-diff --baseline FILE --candidate FILE [--tolerance F]
   deeppower workload-trace [--period-s S] [--base-rps R] [--seed K] -o FILE
 
 Global: -v (debug logging) | --quiet (errors only); logs go to stderr, data to stdout.
@@ -118,7 +132,15 @@ layer, shown as `<governor>+safe`) across the seeded fault scenarios
 (round-robin | jsq | power-aware), all steered by one shared policy via
 batched actor inference; --nodes/--balancer take comma lists and expand
 to a grid. -o writes the fleet reports as JSON; --telemetry DIR writes
-one JSONL artifact per node per cell.";
+one JSONL artifact per node per cell.
+`profile` runs training (without --policy) plus an evaluation under the
+span profiler and writes a Chrome trace-event JSON (load it at
+ui.perfetto.dev or chrome://tracing) plus a per-phase aggregate table.
+`explain` introspects a trained policy: the actor's action surface per
+state dimension, and per-decision Q-values + finite-difference saliency
+along an evaluation trajectory.
+`bench-diff` compares a fresh bench artifact against a committed
+BENCH_*.json baseline; exits non-zero on any gated regression.";
 
 type Flags = HashMap<String, String>;
 
@@ -492,25 +514,7 @@ fn cmd_fleet(flags: &Flags, log: &Logger) -> Result<(), String> {
     let seed = get(flags, "seed", 999u64)?;
     let threads = get(flags, "threads", 0usize)?;
 
-    let policy = match flags.get("policy") {
-        Some(p) => TrainedPolicy::load(Path::new(p)).map_err(|e| e.to_string())?,
-        None => {
-            let app = app_by_name(
-                flags
-                    .get("app")
-                    .ok_or("fleet needs --policy FILE or --app <name>")?,
-            )?;
-            let train_seed = get(flags, "train-seed", calibrated_train_seed(app))?;
-            log.info(&format!(
-                "training DeepPower for {app:?} (8 episodes x 120 s, seed {train_seed})..."
-            ));
-            let mut cfg = TrainConfig::for_app(app);
-            cfg.episodes = 8;
-            cfg.episode_s = 120;
-            cfg.seed = train_seed;
-            train(&cfg).0
-        }
-    };
+    let policy = policy_or_train(flags, log, "fleet", &Profiler::disabled())?;
     let app = policy.app;
     let peak_load = get(flags, "peak-load", default_peak_load(app))?;
 
@@ -584,31 +588,45 @@ fn cmd_fleet(flags: &Flags, log: &Logger) -> Result<(), String> {
     Ok(())
 }
 
+/// `--policy FILE` or in-process training from `--app` (the recipe the
+/// `compare`/`trace` commands share; `--episodes`/`--episode-s` resize
+/// it). Training runs under `prof`, so `profile` captures the training
+/// phases too; pass a disabled profiler everywhere else.
+fn policy_or_train(
+    flags: &Flags,
+    log: &Logger,
+    cmd: &str,
+    prof: &Profiler,
+) -> Result<TrainedPolicy, String> {
+    match flags.get("policy") {
+        Some(p) => TrainedPolicy::load(Path::new(p)).map_err(|e| e.to_string()),
+        None => {
+            let app = app_by_name(
+                flags
+                    .get("app")
+                    .ok_or_else(|| format!("{cmd} needs --policy FILE or --app <name>"))?,
+            )?;
+            let train_seed = get(flags, "train-seed", calibrated_train_seed(app))?;
+            let episodes = get(flags, "episodes", 8usize)?;
+            let episode_s = get(flags, "episode-s", 120u64)?;
+            log.info(&format!(
+                "no --policy given; training DeepPower for {app:?} ({episodes} episodes x {episode_s} s, seed {train_seed})..."
+            ));
+            let mut cfg = TrainConfig::for_app(app);
+            cfg.episodes = episodes;
+            cfg.episode_s = episode_s;
+            cfg.seed = train_seed;
+            Ok(train_profiled(&cfg, &Recorder::disabled(), prof).0)
+        }
+    }
+}
+
 /// Replay a policy with full instrumentation and dump the decision
 /// trace. The recorder ring is sized for the worst case — one
 /// `FreqTransition` per core per 1 ms tick plus two request marks per
 /// request — so nothing is evicted on sane durations.
 fn cmd_trace(flags: &Flags, log: &Logger) -> Result<(), String> {
-    let policy = match flags.get("policy") {
-        Some(p) => TrainedPolicy::load(Path::new(p)).map_err(|e| e.to_string())?,
-        None => {
-            // No policy file: train one in-process, like `compare` does.
-            let app = app_by_name(
-                flags
-                    .get("app")
-                    .ok_or("trace needs --policy FILE or --app <name>")?,
-            )?;
-            let train_seed = get(flags, "train-seed", calibrated_train_seed(app))?;
-            log.info(&format!(
-                "no --policy given; training DeepPower for {app:?} (8 episodes x 120 s, seed {train_seed})..."
-            ));
-            let mut cfg = TrainConfig::for_app(app);
-            cfg.episodes = 8;
-            cfg.episode_s = 120;
-            cfg.seed = train_seed;
-            train(&cfg).0
-        }
-    };
+    let policy = policy_or_train(flags, log, "trace", &Profiler::disabled())?;
     let duration_s = get(flags, "duration-s", 10u64)?;
     let peak = get(flags, "peak-load", default_peak_load(policy.app))?;
     let seed = get(flags, "seed", 999u64)?;
@@ -656,6 +674,181 @@ fn cmd_trace(flags: &Flags, log: &Logger) -> Result<(), String> {
         s.count,
         events.len()
     );
+    Ok(())
+}
+
+/// Run training (unless `--policy` is given) plus an evaluation rollout
+/// under the span profiler and export the wall-clock profile: a Chrome
+/// trace-event JSON (`-o`, loadable at ui.perfetto.dev) and a per-phase
+/// aggregate table (stdout; `--table FILE` to save).
+///
+/// The coverage line reports which share of the command's wall time the
+/// root spans account for — engine, DDPG and export phases should cover
+/// ≥ 90 %; much less means unprofiled work crept in somewhere.
+fn cmd_profile(flags: &Flags, log: &Logger) -> Result<(), String> {
+    let out: PathBuf = get(flags, "out", PathBuf::from("profile-trace.json"))?;
+    let prof = Profiler::enabled();
+    let t0 = std::time::Instant::now();
+
+    let policy = policy_or_train(flags, log, "profile", &prof)?;
+    let duration_s = get(flags, "duration-s", 10u64)?;
+    let peak = get(flags, "peak-load", default_peak_load(policy.app))?;
+    let seed = get(flags, "seed", 999u64)?;
+    log.info(&format!(
+        "profiling {:?} evaluation: {duration_s} s at peak load {peak:.2}",
+        policy.app
+    ));
+    let outcome = evaluate_profiled(
+        &policy,
+        peak,
+        duration_s,
+        seed,
+        TraceConfig::default(),
+        &Recorder::disabled(),
+        &prof,
+    );
+
+    // Artifact serialization is profiled work too; the export span
+    // closes before the phase table renders, so it shows up there (the
+    // Chrome trace itself cannot contain its own still-open export).
+    let sp = prof.span("export.chrome_trace");
+    let trace_json = prof.to_chrome_trace();
+    atomic_write(&out, trace_json).map_err(|e| e.to_string())?;
+    drop(sp);
+
+    if prof.dropped_spans() > 0 {
+        log.warn(&format!(
+            "{} spans dropped (record cap) — the Chrome trace is truncated; the table stays exact",
+            prof.dropped_spans()
+        ));
+    }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let table = render_phase_table(&prof.phase_table(), wall_ns);
+    println!("{table}");
+    let coverage = prof.root_total_ns() as f64 / wall_ns.max(1) as f64;
+    println!(
+        "profiled coverage: {:.1}% of {:.2} s wall ({} requests evaluated)",
+        coverage * 100.0,
+        wall_ns as f64 / 1e9,
+        outcome.sim.stats.count
+    );
+    if coverage < 0.90 {
+        log.warn("profiled phases cover < 90% of wall time — unprofiled work crept in");
+    }
+    if let Some(path) = flags.get("table") {
+        atomic_write(Path::new(path), table).map_err(|e| e.to_string())?;
+        log.info(&format!("phase table -> {path}"));
+    }
+    log.info(&format!("Chrome trace -> {}", out.display()));
+    Ok(())
+}
+
+/// Introspect a trained policy: sweep the actor's action surface along
+/// every state dimension, and annotate an evaluation trajectory's
+/// decisions with critic Q-values and finite-difference saliency.
+fn cmd_explain(flags: &Flags, log: &Logger) -> Result<(), String> {
+    let policy = policy_or_train(flags, log, "explain", &Profiler::disabled())?;
+    let duration_s = get(flags, "duration-s", 10u64)?;
+    let peak = get(flags, "peak-load", default_peak_load(policy.app))?;
+    let seed = get(flags, "seed", 999u64)?;
+    let points = get(flags, "points", 9usize)?;
+    let eps = get(flags, "eps", 0.05f32)?;
+    let jsonl: PathBuf = get(flags, "jsonl", PathBuf::from("explain-decisions.jsonl"))?;
+    let surface_out: PathBuf = get(flags, "surface", PathBuf::from("explain-surface.csv"))?;
+
+    let agent = policy.build_agent();
+    log.info(&format!(
+        "explaining {:?} policy over a {duration_s} s evaluation at peak load {peak:.2}",
+        policy.app
+    ));
+    let outcome = evaluate_recorded(
+        &policy,
+        peak,
+        duration_s,
+        seed,
+        TraceConfig::default(),
+        &Recorder::disabled(),
+    );
+    if outcome.log.is_empty() {
+        return Err("evaluation produced no DRL decisions — nothing to explain".into());
+    }
+    let decisions = explain_decisions(&agent, &outcome.log, eps);
+
+    // Action surface around the trajectory's mean state, so the sweeps
+    // cut through the region the policy actually operated in.
+    let mut base = [0.0f32; deeppower_core::STATE_DIM];
+    for row in &outcome.log {
+        for (b, s) in base.iter_mut().zip(&row.state) {
+            *b += s / outcome.log.len() as f32;
+        }
+    }
+    let surface = action_surface(&agent, &base, points);
+
+    atomic_write(&jsonl, decisions_to_jsonl(&decisions)).map_err(|e| e.to_string())?;
+    log.info(&format!(
+        "{} decisions -> {}",
+        decisions.len(),
+        jsonl.display()
+    ));
+    atomic_write(&surface_out, surface_to_csv(&surface)).map_err(|e| e.to_string())?;
+    log.info(&format!(
+        "{} surface points -> {}",
+        surface.len(),
+        surface_out.display()
+    ));
+    if let Some(csv) = flags.get("csv") {
+        atomic_write(Path::new(csv), decisions_to_csv(&decisions)).map_err(|e| e.to_string())?;
+        log.info(&format!("decision table -> {csv}"));
+    }
+
+    let sal = mean_abs_saliency(&decisions);
+    let mut ranked: Vec<(usize, f32)> = sal.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!(
+        "\nmean |saliency| per state dimension ({} decisions, eps {eps}):",
+        decisions.len()
+    );
+    for (dim, s) in &ranked {
+        println!("  {:<10} {s:.6}", STATE_DIM_NAMES[*dim]);
+    }
+    let q_mean = decisions.iter().map(|d| d.q_value as f64).sum::<f64>() / decisions.len() as f64;
+    println!("mean Q-value along trajectory: {q_mean:.4}");
+    if ranked[0].1 == 0.0 {
+        log.warn("saliency is all-zero — the actor is constant around every visited state");
+    }
+    Ok(())
+}
+
+/// Perf-regression gate: diff a fresh bench artifact against a
+/// committed `BENCH_*.json` baseline. Exits non-zero when any gated
+/// metric regresses beyond the tolerance (see `deeppower_bench::diff`
+/// for the metric classification and smoke-scale rules).
+fn cmd_bench_diff(flags: &Flags, log: &Logger) -> Result<(), String> {
+    let baseline = flags
+        .get("baseline")
+        .ok_or("bench-diff needs --baseline FILE")?;
+    let candidate = flags
+        .get("candidate")
+        .ok_or("bench-diff needs --candidate FILE")?;
+    let tolerance = get(flags, "tolerance", 0.35f64)?;
+    let b = std::fs::read_to_string(baseline)
+        .map_err(|e| format!("cannot read baseline {baseline}: {e}"))?;
+    let c = std::fs::read_to_string(candidate)
+        .map_err(|e| format!("cannot read candidate {candidate}: {e}"))?;
+    let report = deeppower_bench::diff::diff_str(&b, &c, tolerance)?;
+    print!("{}", report.render_table());
+    let regressions = report.regressions().count();
+    if regressions > 0 {
+        return Err(format!(
+            "{regressions} perf regression(s) beyond {:.0}% tolerance vs {baseline}",
+            tolerance * 100.0
+        ));
+    }
+    log.info(&format!(
+        "no perf regressions vs {baseline} ({} metrics compared, tolerance {:.0}%)",
+        report.rows.len(),
+        tolerance * 100.0
+    ));
     Ok(())
 }
 

@@ -1,0 +1,134 @@
+//! End-to-end exit-code contract of `deeppower bench-diff` — the CI
+//! perf-gate depends on it: zero against a clean candidate, non-zero
+//! the moment any gated metric regresses beyond tolerance.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn deeppower(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_deeppower"))
+        .args(args)
+        .output()
+        .expect("spawn deeppower binary")
+}
+
+fn repo_root() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop(); // crates/
+    p.pop(); // workspace root
+    p
+}
+
+fn baseline_path() -> String {
+    repo_root()
+        .join("BENCH_fleet.json")
+        .to_str()
+        .unwrap()
+        .to_string()
+}
+
+fn write_temp(name: &str, contents: &str) -> String {
+    let dir = std::env::temp_dir().join("deeppower-bench-diff-gate");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path.to_str().unwrap().to_string()
+}
+
+#[test]
+fn committed_baseline_passes_against_itself() {
+    let baseline = baseline_path();
+    assert!(Path::new(&baseline).exists(), "BENCH_fleet.json missing");
+    let out = deeppower(&[
+        "bench-diff",
+        "--baseline",
+        &baseline,
+        "--candidate",
+        &baseline,
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "self-diff must pass: {stderr}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wall_s"));
+}
+
+#[test]
+fn inflated_metric_exits_nonzero() {
+    let baseline = baseline_path();
+    let text = std::fs::read_to_string(&baseline).unwrap();
+    // Inflate one wall-clock metric far past any tolerance.
+    let inflated = text.replace("\"wall_s\": 2.139", "\"wall_s\": 999.0");
+    assert_ne!(text, inflated, "baseline schema changed; update this test");
+    let candidate = write_temp("inflated.json", &inflated);
+    let out = deeppower(&[
+        "bench-diff",
+        "--baseline",
+        &baseline,
+        "--candidate",
+        &candidate,
+    ]);
+    assert!(
+        !out.status.success(),
+        "inflated wall_s must fail the gate; stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSION"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("regression"));
+}
+
+#[test]
+fn drift_within_tolerance_passes() {
+    let baseline = baseline_path();
+    let text = std::fs::read_to_string(&baseline).unwrap();
+    // +10 % on one wall-clock metric — inside the default 35 % budget.
+    let drifted = text.replace("\"wall_s\": 2.139", "\"wall_s\": 2.353");
+    assert_ne!(text, drifted, "baseline schema changed; update this test");
+    let candidate = write_temp("drifted.json", &drifted);
+    let out = deeppower(&[
+        "bench-diff",
+        "--baseline",
+        &baseline,
+        "--candidate",
+        &candidate,
+    ]);
+    assert!(
+        out.status.success(),
+        "10% drift must pass the default gate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn missing_files_and_flags_fail_cleanly() {
+    let out = deeppower(&["bench-diff"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--baseline"));
+
+    let out = deeppower(&[
+        "bench-diff",
+        "--baseline",
+        "/nonexistent/base.json",
+        "--candidate",
+        "/nonexistent/cand.json",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("panicked"), "CLI panicked: {stderr}");
+    assert!(stderr.contains("cannot read baseline"));
+}
+
+#[test]
+fn malformed_candidate_fails_cleanly() {
+    let baseline = baseline_path();
+    let candidate = write_temp("garbage.json", "{ not json");
+    let out = deeppower(&[
+        "bench-diff",
+        "--baseline",
+        &baseline,
+        "--candidate",
+        &candidate,
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("panicked"), "CLI panicked: {stderr}");
+    assert!(stderr.contains("candidate is not valid JSON"));
+}

@@ -33,6 +33,13 @@ pub enum Mode {
 pub struct StepLog {
     /// Step end time.
     pub t: Nanos,
+    /// The normalized 8-dim observation at the step boundary — the
+    /// input the row's action was computed from (on the terminal row
+    /// flushed by `on_run_end` it is the final observation, while the
+    /// action columns keep the previous step's action: no new action is
+    /// taken at episode end). Introspection tools replay decisions
+    /// through the actor/critic from this.
+    pub state: [f32; STATE_DIM],
     /// Arrivals during the step (the RPS curve).
     pub num_req: u64,
     /// Average socket power over the step, watts.
@@ -157,7 +164,7 @@ impl<'a> DeepPowerGovernor<'a> {
         self.controller.params = ControllerParams::from_action(&action);
 
         if let Some((r, terms, elapsed)) = closed {
-            self.push_log(view, r, terms, elapsed);
+            self.push_log(view, &next_state, r, terms, elapsed);
         }
 
         self.pending = Some((next_state, self.action_vec()));
@@ -250,7 +257,14 @@ impl<'a> DeepPowerGovernor<'a> {
         Some((r, terms, elapsed))
     }
 
-    fn push_log(&mut self, view: &ServerView<'_>, r: f64, terms: RewardTerms, elapsed: Nanos) {
+    fn push_log(
+        &mut self,
+        view: &ServerView<'_>,
+        state: &[f32; STATE_DIM],
+        r: f64,
+        terms: RewardTerms,
+        elapsed: Nanos,
+    ) {
         let num_req = view.total_arrived - self.prev_arrived;
         let timeouts = view.total_timeouts - self.prev_timeouts;
         let d_energy_j = (view.energy_uj - self.prev_energy_uj) as f64 * 1e-6;
@@ -265,6 +279,7 @@ impl<'a> DeepPowerGovernor<'a> {
         };
         self.log.push(StepLog {
             t: view.now,
+            state: *state,
             num_req,
             power_w,
             base_freq: self.controller.params.base_freq,
@@ -325,7 +340,7 @@ impl Governor for DeepPowerGovernor<'_> {
         let next_state = self.observer.observe(view);
         if let Some((r, terms, elapsed)) = self.close_window(view, &next_state, true) {
             if elapsed > 0 {
-                self.push_log(view, r, terms, elapsed);
+                self.push_log(view, &next_state, r, terms, elapsed);
             }
         }
         self.last_step_t = Some(view.now);

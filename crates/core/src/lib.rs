@@ -37,6 +37,7 @@
 
 pub mod ablation;
 pub mod config;
+pub mod explain;
 pub mod governor;
 pub mod reward;
 pub mod safety;
@@ -47,6 +48,10 @@ pub mod train;
 
 pub use ablation::FlatDrlGovernor;
 pub use config::{DeepPowerConfig, StateNorm};
+pub use explain::{
+    action_surface, decisions_to_csv, decisions_to_jsonl, explain_decisions, mean_abs_saliency,
+    saliency_at, surface_to_csv, ActionOut, DecisionExplanation, SurfacePoint, STATE_DIM_NAMES,
+};
 pub use governor::{DeepPowerGovernor, Mode, StepLog};
 pub use reward::{scale_func, RewardCalculator, RewardTerms};
 pub use safety::{SafetyConfig, SafetyGovernor};
@@ -54,6 +59,6 @@ pub use sleep::{SleepAware, SleepPolicy};
 pub use state::{StateObserver, STATE_DIM};
 pub use thread_controller::{ControllerParams, ThreadController};
 pub use train::{
-    evaluate, evaluate_recorded, train, train_recorded, EvalOutcome, TrainConfig, TrainReport,
-    TrainedPolicy,
+    evaluate, evaluate_profiled, evaluate_recorded, train, train_profiled, train_recorded,
+    EvalOutcome, TrainConfig, TrainReport, TrainedPolicy,
 };

@@ -13,7 +13,7 @@ use crate::governor::{DeepPowerGovernor, Mode, StepLog};
 use crate::state::STATE_DIM;
 use deeppower_drl::{Ddpg, DdpgConfig};
 use deeppower_simd_server::{RunOptions, Server, ServerConfig, SimResult, TraceConfig};
-use deeppower_telemetry::{event, Event, Recorder};
+use deeppower_telemetry::{event, Event, Profiler, Recorder};
 use deeppower_workload::{trace_arrivals, App, AppSpec, DiurnalConfig, DiurnalTrace};
 use serde::{Deserialize, Serialize};
 
@@ -102,12 +102,16 @@ pub struct TrainReport {
     pub updates: u64,
 }
 
-/// A trained DeepPower policy: the actor weights plus the configs needed
-/// to reconstruct the agent. Serializable (JSON) for checkpointing.
+/// A trained DeepPower policy: the actor and critic weights plus the
+/// configs needed to reconstruct the agent. Serializable (JSON) for
+/// checkpointing. The critic rides along so introspection tools
+/// (`deeppower explain`) can query the trained Q-function from a
+/// checkpoint, not just the policy.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TrainedPolicy {
     pub app: App,
     pub actor_weights: Vec<f32>,
+    pub critic_weights: Vec<f32>,
     pub ddpg: DdpgConfig,
     pub deeppower: DeepPowerConfig,
 }
@@ -117,6 +121,9 @@ impl TrainedPolicy {
     pub fn build_agent(&self) -> Ddpg {
         let mut agent = Ddpg::new(self.ddpg);
         agent.load_actor_snapshot(&self.actor_weights);
+        if !self.critic_weights.is_empty() {
+            agent.load_critic_snapshot(&self.critic_weights);
+        }
         agent
     }
 
@@ -162,21 +169,36 @@ pub fn train(cfg: &TrainConfig) -> (TrainedPolicy, TrainReport) {
 /// [`event::DrlStep`]/[`event::TrainUpdate`] events from the governor
 /// plus one [`event::EpisodeEnd`] per episode.
 pub fn train_recorded(cfg: &TrainConfig, rec: &Recorder) -> (TrainedPolicy, TrainReport) {
+    train_profiled(cfg, rec, &Profiler::disabled())
+}
+
+/// [`train_recorded`] with a span [`Profiler`]: workload generation
+/// opens `engine.ingest` spans, the engine its `engine.*` phase spans,
+/// and the agent its `ddpg.*` update-stage spans (nested inside
+/// `engine.tick`). Profiling never perturbs training.
+pub fn train_profiled(
+    cfg: &TrainConfig,
+    rec: &Recorder,
+    prof: &Profiler,
+) -> (TrainedPolicy, TrainReport) {
     let spec = AppSpec::get(cfg.app);
     let server = server_for(&spec);
     let mut agent = Ddpg::new(DdpgConfig {
         seed: cfg.seed,
         ..cfg.deeppower.ddpg
     });
+    agent.set_profiler(prof);
     let mut report = TrainReport::default();
 
     for ep in 0..cfg.episodes {
         let ep_seed = cfg.seed.wrapping_add(1 + ep as u64);
+        let sp = prof.span("engine.ingest");
         let trace = trace_for(&spec, cfg.peak_load, cfg.episode_s, ep_seed);
         let arrivals = trace_arrivals(&spec, &trace, ep_seed.wrapping_mul(31).wrapping_add(7));
+        drop(sp);
         let mut gov = DeepPowerGovernor::new(&mut agent, cfg.deeppower, Mode::Train)
             .with_recorder(rec.clone());
-        let res = server.run_recorded(
+        let res = server.run_profiled(
             &arrivals,
             &mut gov,
             RunOptions {
@@ -185,6 +207,7 @@ pub fn train_recorded(cfg: &TrainConfig, rec: &Recorder) -> (TrainedPolicy, Trai
                 ..Default::default()
             },
             rec,
+            prof,
         );
         let steps = gov.log.len().max(1) as f64;
         let mean_reward = gov.log.iter().map(|l| l.reward).sum::<f64>() / steps;
@@ -209,6 +232,7 @@ pub fn train_recorded(cfg: &TrainConfig, rec: &Recorder) -> (TrainedPolicy, Trai
     let policy = TrainedPolicy {
         app: cfg.app,
         actor_weights: agent.actor_snapshot(),
+        critic_weights: agent.critic_snapshot(),
         ddpg: cfg.deeppower.ddpg,
         deeppower: cfg.deeppower,
     };
@@ -252,14 +276,39 @@ pub fn evaluate_recorded(
     trace_cfg: TraceConfig,
     rec: &Recorder,
 ) -> EvalOutcome {
+    evaluate_profiled(
+        policy,
+        peak_load,
+        duration_s,
+        seed,
+        trace_cfg,
+        rec,
+        &Profiler::disabled(),
+    )
+}
+
+/// [`evaluate_recorded`] with a span [`Profiler`] attached to workload
+/// generation (`engine.ingest`) and the engine (`engine.*` phases).
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_profiled(
+    policy: &TrainedPolicy,
+    peak_load: f64,
+    duration_s: u64,
+    seed: u64,
+    trace_cfg: TraceConfig,
+    rec: &Recorder,
+    prof: &Profiler,
+) -> EvalOutcome {
     let spec = AppSpec::get(policy.app);
     let server = server_for(&spec);
+    let sp = prof.span("engine.ingest");
     let trace = trace_for(&spec, peak_load, duration_s, seed);
     let arrivals = trace_arrivals(&spec, &trace, seed.wrapping_mul(131).wrapping_add(17));
+    drop(sp);
     let mut agent = policy.build_agent();
     let mut gov =
         DeepPowerGovernor::new(&mut agent, policy.deeppower, Mode::Eval).with_recorder(rec.clone());
-    let sim = server.run_recorded(
+    let sim = server.run_profiled(
         &arrivals,
         &mut gov,
         RunOptions {
@@ -268,6 +317,7 @@ pub fn evaluate_recorded(
             ..Default::default()
         },
         rec,
+        prof,
     );
     EvalOutcome {
         sim,
@@ -363,6 +413,49 @@ mod tests {
     }
 
     #[test]
+    fn profiled_training_matches_plain_and_checkpoints_critic() {
+        let cfg = tiny_train_cfg();
+        let (plain_policy, plain_report) = train(&cfg);
+        let prof = Profiler::enabled();
+        let (prof_policy, prof_report) = train_profiled(&cfg, &Recorder::disabled(), &prof);
+        // Profiling must not change training.
+        assert_eq!(plain_policy.actor_weights, prof_policy.actor_weights);
+        assert_eq!(plain_policy.critic_weights, prof_policy.critic_weights);
+        assert_eq!(plain_report.episode_rewards, prof_report.episode_rewards);
+        assert!(!prof_policy.critic_weights.is_empty());
+
+        let rows = prof.phase_table();
+        let has = |n: &str| rows.iter().any(|r| r.name == n && r.count > 0);
+        for n in [
+            "engine.ingest",
+            "engine.tick",
+            "engine.advance",
+            "ddpg.critic",
+        ] {
+            assert!(has(n), "missing {n} spans");
+        }
+        // DDPG stages run inside the governor tick, so they are never
+        // root spans — summing root time across phases cannot double
+        // count them.
+        let ddpg = rows.iter().find(|r| r.name == "ddpg.critic").unwrap();
+        assert_eq!(ddpg.root_ns, 0);
+
+        // The checkpointed critic answers Q-queries identically after a
+        // JSON round-trip.
+        let dir = std::env::temp_dir().join(format!("deeppower-critic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("policy.json");
+        prof_policy.save(&path).unwrap();
+        let loaded = TrainedPolicy::load(&path).unwrap();
+        assert_eq!(loaded.critic_weights, prof_policy.critic_weights);
+        let (a, b) = (prof_policy.build_agent(), loaded.build_agent());
+        let s = [0.4f32; STATE_DIM];
+        let act = a.act(&s);
+        assert_eq!(a.q_value(&s, &act).to_bits(), b.q_value(&s, &act).to_bits());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn injected_training_nan_rolls_back_and_completes() {
         // Corrupt the bootstrap targets of one mid-run gradient update:
         // the agent must detect the divergence, roll back to the last
@@ -397,6 +490,7 @@ mod tests {
         let policy = TrainedPolicy {
             app: cfg.app,
             actor_weights: agent.actor_snapshot(),
+            critic_weights: agent.critic_snapshot(),
             ddpg: cfg.deeppower.ddpg,
             deeppower: cfg.deeppower,
         };

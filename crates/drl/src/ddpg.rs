@@ -12,6 +12,7 @@ use crate::critic::Critic;
 use crate::noise::{clamp_action, GaussianNoise};
 use crate::replay::{ReplayBuffer, Transition};
 use deeppower_nn::{mse_loss, Adam, AdamConfig, Matrix, Optimizer, Params};
+use deeppower_telemetry::Profiler;
 use rand::{rngs::StdRng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
@@ -132,6 +133,9 @@ pub struct Ddpg {
     /// finite update; the rollback target when an update diverges.
     last_good: (Vec<f32>, Vec<f32>),
     rollbacks: u64,
+    /// Span profiler for `update` stages (`ddpg.*`); disabled by default
+    /// so every span call is one branch.
+    prof: Profiler,
 }
 
 impl Ddpg {
@@ -170,8 +174,16 @@ impl Ddpg {
             scratch: UpdateScratch::new(),
             last_good,
             rollbacks: 0,
+            prof: Profiler::disabled(),
             cfg,
         }
+    }
+
+    /// Attach a span [`Profiler`]: `update` stages then open `ddpg.*`
+    /// spans (sample / target / critic / actor / soft-update).
+    /// Profiling never touches the learning math.
+    pub fn set_profiler(&mut self, prof: &Profiler) {
+        self.prof = prof.clone();
     }
 
     /// Deterministic (evaluation) action — what runs after training.
@@ -240,6 +252,7 @@ impl Ddpg {
 
         // Gather the mini-batch straight out of the replay pool into the
         // reusable scratch matrices — no transition clones.
+        let sp = self.prof.span("ddpg.sample");
         self.scratch.states.reshape(n, self.cfg.state_dim);
         self.scratch.actions.reshape(n, self.cfg.action_dim);
         self.scratch.next_states.reshape(n, self.cfg.state_dim);
@@ -254,7 +267,10 @@ impl Ddpg {
                 .copy_from_slice(&t.next_state);
         }
 
+        drop(sp);
+
         // Bootstrap target y = r + γ (1 - done) Q'(s', π'(s')).
+        let sp = self.prof.span("ddpg.target");
         let next_actions = self
             .actor_target
             .forward_inference(&self.scratch.next_states);
@@ -271,8 +287,10 @@ impl Ddpg {
         if self.cfg.inject_nan_update != 0 && self.updates + 1 == self.cfg.inject_nan_update {
             self.scratch.targets.as_mut_slice().fill(f32::NAN);
         }
+        drop(sp);
 
         // Critic step.
+        let sp = self.prof.span("ddpg.critic");
         self.critic.zero_grad();
         let q = self
             .critic
@@ -284,7 +302,9 @@ impl Ddpg {
             self.critic.clip_grad_norm(self.cfg.grad_clip);
         }
         self.critic_opt.step(&mut self.critic);
+        drop(sp);
 
+        let sp = self.prof.span("ddpg.actor");
         // Actor step: maximize mean Q(s, π(s)) ⇒ descend on its negation.
         // The critic accumulates gradients here too, but they are zeroed at
         // the start of the next critic step, so they never reach its
@@ -303,6 +323,7 @@ impl Ddpg {
             self.actor.clip_grad_norm(self.cfg.grad_clip);
         }
         self.actor_opt.step(&mut self.actor);
+        drop(sp);
 
         // Divergence check *before* the target networks absorb the new
         // weights: a non-finite loss, Q-value, gradient norm or weight
@@ -350,11 +371,13 @@ impl Ddpg {
         }
 
         // Soft target updates.
+        let sp = self.prof.span("ddpg.soft_update");
         self.actor_target
             .soft_update_from(&actor_snap, self.cfg.tau);
         self.critic_target
             .soft_update_from(&critic_snap, self.cfg.tau);
         self.last_good = (actor_snap, critic_snap);
+        drop(sp);
 
         self.noise.sigma = (self.noise.sigma * self.cfg.noise_decay).max(self.cfg.noise_sigma_min);
         UpdateStats {
@@ -375,6 +398,28 @@ impl Ddpg {
     pub fn load_actor_snapshot(&mut self, flat: &[f32]) {
         self.actor.load_snapshot(flat);
         self.actor_target.load_snapshot(flat);
+    }
+
+    /// Flat weight snapshot of the critic (checkpointed alongside the
+    /// actor so introspection tools can query the trained Q-function).
+    pub fn critic_snapshot(&self) -> Vec<f32> {
+        self.critic.snapshot()
+    }
+
+    /// Restore critic weights (and sync its target copy).
+    pub fn load_critic_snapshot(&mut self, flat: &[f32]) {
+        self.critic.load_snapshot(flat);
+        self.critic_target.load_snapshot(flat);
+    }
+
+    /// `Q_w(state, action)` under the current critic — scalar value of
+    /// one state–action pair, for policy introspection.
+    pub fn q_value(&self, state: &[f32], action: &[f32]) -> f32 {
+        debug_assert_eq!(state.len(), self.cfg.state_dim);
+        debug_assert_eq!(action.len(), self.cfg.action_dim);
+        let s = Matrix::from_rows(&[state]);
+        let a = Matrix::from_rows(&[action]);
+        self.critic.forward_inference(&s, &a).get(0, 0)
     }
 }
 
@@ -495,6 +540,105 @@ mod tests {
         }
         let last: f32 = (0..5).map(|_| agent.update().critic_loss).sum::<f32>() / 5.0;
         assert!(last < first, "critic loss did not fall: {first} -> {last}");
+    }
+
+    #[test]
+    fn profiled_update_is_bit_identical_and_captures_stage_spans() {
+        let cfg = DdpgConfig {
+            state_dim: 2,
+            action_dim: 2,
+            warmup: 0,
+            batch_size: 16,
+            seed: 11,
+            ..Default::default()
+        };
+        let fill = |agent: &mut Ddpg| {
+            let mut rng = StdRng::seed_from_u64(9);
+            for _ in 0..64 {
+                let a = vec![
+                    rand::Rng::random_range(&mut rng, 0.0..1.0),
+                    rand::Rng::random_range(&mut rng, 0.0..1.0),
+                ];
+                agent.observe(Transition {
+                    state: vec![0.5, 0.5],
+                    action: a.clone(),
+                    reward: a[0] - a[1],
+                    next_state: vec![0.5, 0.5],
+                    done: true,
+                });
+            }
+        };
+        let mut plain = Ddpg::new(cfg);
+        fill(&mut plain);
+        let mut profiled = Ddpg::new(cfg);
+        fill(&mut profiled);
+        let prof = deeppower_telemetry::Profiler::enabled();
+        profiled.set_profiler(&prof);
+
+        for _ in 0..10 {
+            plain.update();
+            profiled.update();
+        }
+        // Profiling must not perturb the learning math.
+        let (pa, qa) = (plain.actor_snapshot(), profiled.actor_snapshot());
+        assert_eq!(pa.len(), qa.len());
+        assert!(pa.iter().zip(&qa).all(|(a, b)| a.to_bits() == b.to_bits()));
+        let (pc, qc) = (plain.critic_snapshot(), profiled.critic_snapshot());
+        assert!(pc.iter().zip(&qc).all(|(a, b)| a.to_bits() == b.to_bits()));
+
+        let rows = prof.phase_table();
+        for stage in [
+            "ddpg.sample",
+            "ddpg.target",
+            "ddpg.critic",
+            "ddpg.actor",
+            "ddpg.soft_update",
+        ] {
+            let row = rows.iter().find(|r| r.name == stage);
+            assert_eq!(row.map_or(0, |r| r.count), 10, "missing spans for {stage}");
+        }
+    }
+
+    #[test]
+    fn critic_snapshot_round_trips_q_values() {
+        let cfg = DdpgConfig {
+            state_dim: 2,
+            action_dim: 2,
+            warmup: 0,
+            batch_size: 16,
+            seed: 4,
+            ..Default::default()
+        };
+        let mut trained = Ddpg::new(cfg);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..64 {
+            let a = vec![
+                rand::Rng::random_range(&mut rng, 0.0..1.0),
+                rand::Rng::random_range(&mut rng, 0.0..1.0),
+            ];
+            trained.observe(Transition {
+                state: vec![0.5, 0.5],
+                action: a.clone(),
+                reward: a[0] - a[1],
+                next_state: vec![0.5, 0.5],
+                done: true,
+            });
+        }
+        for _ in 0..20 {
+            trained.update();
+        }
+        let mut fresh = Ddpg::new(cfg);
+        let (s, a) = ([0.3f32, 0.7], [0.6f32, 0.1]);
+        assert_ne!(
+            trained.q_value(&s, &a).to_bits(),
+            fresh.q_value(&s, &a).to_bits(),
+            "training should move the critic"
+        );
+        fresh.load_critic_snapshot(&trained.critic_snapshot());
+        assert_eq!(
+            trained.q_value(&s, &a).to_bits(),
+            fresh.q_value(&s, &a).to_bits()
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@ use deeppower_simd_server::{
     FreqCommands, Governor, LatencyStats, Request, RequestRecord, RunOptions, Server, ServerConfig,
     ServerView, Session, MILLISECOND,
 };
-use deeppower_telemetry::Recorder;
+use deeppower_telemetry::{Profiler, Recorder};
 use deeppower_workload::{trace_arrivals, App, AppSpec, DiurnalConfig, DiurnalTrace};
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
@@ -124,6 +124,7 @@ pub fn untrained_policy(app: App, seed: u64) -> TrainedPolicy {
     TrainedPolicy {
         app,
         actor_weights: agent.actor_snapshot(),
+        critic_weights: agent.critic_snapshot(),
         ddpg,
         deeppower: cfg.deeppower,
     }
@@ -163,7 +164,22 @@ pub fn run_fleet_recorded(
     policy: &TrainedPolicy,
     recs: &[Recorder],
 ) -> FleetResult {
-    run_fleet_impl(spec, policy, recs, true)
+    run_fleet_impl(spec, policy, recs, true, &Profiler::disabled())
+}
+
+/// [`run_fleet_recorded`] with a span [`Profiler`]: the lockstep epoch
+/// opens `fleet.balance` (arrival split, once up front),
+/// `fleet.batch_act` (observe + batched inference), `fleet.advance`
+/// (node sessions, whose `engine.*` spans nest inside) and
+/// `fleet.merge` (finish + percentile merge) spans. Profiling never
+/// perturbs the simulation.
+pub fn run_fleet_profiled(
+    spec: &FleetSpec,
+    policy: &TrainedPolicy,
+    recs: &[Recorder],
+    prof: &Profiler,
+) -> FleetResult {
+    run_fleet_impl(spec, policy, recs, true, prof)
 }
 
 /// Reference implementation: identical lockstep drive, but each node's
@@ -173,7 +189,7 @@ pub fn run_fleet_recorded(
 /// result-identical. Not the path experiments use.
 pub fn run_fleet_reference(spec: &FleetSpec, policy: &TrainedPolicy) -> FleetResult {
     let recs = vec![Recorder::disabled(); spec.nodes];
-    run_fleet_impl(spec, policy, &recs, false)
+    run_fleet_impl(spec, policy, &recs, false, &Profiler::disabled())
 }
 
 fn run_fleet_impl(
@@ -181,15 +197,18 @@ fn run_fleet_impl(
     policy: &TrainedPolicy,
     recs: &[Recorder],
     batched: bool,
+    prof: &Profiler,
 ) -> FleetResult {
     assert!(spec.nodes > 0, "fleet needs at least one node");
     assert_eq!(recs.len(), spec.nodes, "one recorder per node");
     let n = spec.nodes;
     let app_spec = AppSpec::get(spec.app);
     let server = Server::new(ServerConfig::paper_default(app_spec.n_threads));
+    let sp = prof.span("fleet.balance");
     let arrivals = fleet_arrivals(spec);
     let streams = split_arrivals(&arrivals, n, app_spec.n_threads, spec.balancer);
     let assigned: Vec<u64> = streams.iter().map(|s| s.len() as u64).collect();
+    drop(sp);
 
     let agent = policy.build_agent();
     let opts = RunOptions {
@@ -209,7 +228,11 @@ fn run_fleet_impl(
         .iter_mut()
         .zip(&streams)
         .zip(recs)
-        .map(|((gov, stream), rec)| server.session(stream, gov as &mut dyn Governor, opts, rec))
+        .map(|((gov, stream), rec)| {
+            server
+                .session(stream, gov as &mut dyn Governor, opts, rec)
+                .with_profiler(prof)
+        })
         .collect();
     let mut observers = vec![StateObserver::new(policy.deeppower.state_norm); n];
     let mut states = Matrix::zeros(n, STATE_DIM);
@@ -221,6 +244,7 @@ fn run_fleet_impl(
         // state, mirroring the single-node governor acting on its first
         // tick) and act — one batched pass, or N single passes on the
         // reference path.
+        let sp = prof.span("fleet.batch_act");
         for (i, (observer, session)) in observers.iter_mut().zip(&sessions).enumerate() {
             let s = session.with_view(|v| observer.observe(v));
             states.set_row(i, &s);
@@ -236,19 +260,23 @@ fn run_fleet_impl(
                 cell.set(ControllerParams::from_action(&action));
             }
         }
+        drop(sp);
         epochs += 1;
         let t_stop = epochs.saturating_mul(long);
+        let sp = prof.span("fleet.advance");
         let mut all_done = true;
         for session in sessions.iter_mut() {
             if !session.advance_until(t_stop) {
                 all_done = false;
             }
         }
+        drop(sp);
         if all_done {
             break;
         }
     }
 
+    let _sp = prof.span("fleet.merge");
     let results: Vec<_> = sessions.into_iter().map(Session::finish).collect();
     assemble(spec, &app_spec, epochs, &assigned, results)
 }
@@ -364,6 +392,29 @@ mod tests {
         let batched = run_fleet(&spec, &policy).to_json();
         let reference = run_fleet_reference(&spec, &policy).to_json();
         assert_eq!(batched, reference);
+    }
+
+    #[test]
+    fn profiled_fleet_is_byte_identical_and_captures_epoch_spans() {
+        let spec = small_spec(2, BalancerPolicy::JoinShortestQueue);
+        let policy = untrained_policy(spec.app, 7);
+        let plain = run_fleet(&spec, &policy).to_json();
+        let prof = Profiler::enabled();
+        let recs = vec![Recorder::disabled(); spec.nodes];
+        let profiled = run_fleet_profiled(&spec, &policy, &recs, &prof).to_json();
+        assert_eq!(plain, profiled, "profiling perturbed the fleet result");
+
+        let rows = prof.phase_table();
+        let count = |n: &str| rows.iter().find(|r| r.name == n).map_or(0, |r| r.count);
+        assert_eq!(count("fleet.balance"), 1);
+        assert_eq!(count("fleet.merge"), 1);
+        assert!(count("fleet.batch_act") > 0);
+        assert_eq!(count("fleet.batch_act"), count("fleet.advance"));
+        // Node-engine spans nest inside fleet.advance/fleet.merge, so
+        // they carry no root time of their own.
+        let tick = rows.iter().find(|r| r.name == "engine.tick").unwrap();
+        assert!(tick.count > 0);
+        assert_eq!(tick.root_ns, 0);
     }
 
     #[test]

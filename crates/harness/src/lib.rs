@@ -34,7 +34,7 @@ use deeppower_simd_server::{
     FaultPlan, FixedFrequency, FreqPlan, Governor, Request, RunOptions, Server, ServerConfig,
     SimResult, MILLISECOND, SECOND,
 };
-use deeppower_telemetry::{event, Event, Recorder};
+use deeppower_telemetry::{event, Event, Profiler, Recorder};
 use deeppower_workload::{constant_rate_arrivals, trace_arrivals, App, AppSpec};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -289,6 +289,18 @@ pub fn run_job(spec: &JobSpec) -> JobResult {
 /// — which is what lets [`run_grid_telemetry`] promise byte-identical
 /// artifacts at any thread count.
 pub fn run_job_recorded(spec: &JobSpec, job: u64, rec: &Recorder) -> JobResult {
+    run_job_profiled(spec, job, rec, &Profiler::disabled())
+}
+
+/// [`run_job_recorded`] with a span [`Profiler`]. The whole cell runs
+/// under a `harness.job` root span; inside it the engine, training and
+/// DDPG spans nest as usual. The profiler is `Send + Sync`, so one
+/// handle can aggregate across all grid workers — and because spans are
+/// wall-clock-only artifacts, enabling it cannot perturb the
+/// [`JobResult`] or the event stream (see
+/// `profiled_grid_is_byte_identical_at_any_thread_count`).
+pub fn run_job_profiled(spec: &JobSpec, job: u64, rec: &Recorder, prof: &Profiler) -> JobResult {
+    let _job_span = prof.span("harness.job");
     let app_spec = AppSpec::get(spec.app);
     let server = Server::new(ServerConfig::paper_default(app_spec.n_threads));
     let arrivals = arrivals_for(spec, &app_spec);
@@ -310,23 +322,23 @@ pub fn run_job_recorded(spec: &JobSpec, job: u64, rec: &Recorder) -> JobResult {
     let (result, sim_ns) = match &spec.governor {
         GovernorSpec::MaxFreq => {
             let mut gov = max_freq_governor();
-            let sim = run_sim(&server, &arrivals, &mut gov, opts, rec, spec.safety);
+            let sim = run_sim(&server, &arrivals, &mut gov, opts, rec, spec.safety, prof);
             (JobResult::from_sim(spec, &sim, &[]), sim.duration_ns)
         }
         GovernorSpec::FixedMhz(mhz) => {
             let mut gov = FixedFrequency { mhz: *mhz };
-            let sim = run_sim(&server, &arrivals, &mut gov, opts, rec, spec.safety);
+            let sim = run_sim(&server, &arrivals, &mut gov, opts, rec, spec.safety, prof);
             (JobResult::from_sim(spec, &sim, &[]), sim.duration_ns)
         }
         GovernorSpec::ThreadController(base_freq, scaling_coef) => {
             let mut gov = ThreadController::new(ControllerParams::new(*base_freq, *scaling_coef));
-            let sim = run_sim(&server, &arrivals, &mut gov, opts, rec, spec.safety);
+            let sim = run_sim(&server, &arrivals, &mut gov, opts, rec, spec.safety, prof);
             (JobResult::from_sim(spec, &sim, &[]), sim.duration_ns)
         }
         GovernorSpec::Retail => {
             let profile = collect_profile(&app_spec, PROFILE_LOAD, PROFILE_EPISODES, PROFILE_SEED);
             let mut gov = RetailGovernor::train(&profile, plan(), RetailConfig::default());
-            let sim = run_sim(&server, &arrivals, &mut gov, opts, rec, spec.safety);
+            let sim = run_sim(&server, &arrivals, &mut gov, opts, rec, spec.safety, prof);
             (JobResult::from_sim(spec, &sim, &[]), sim.duration_ns)
         }
         GovernorSpec::Gemini => {
@@ -338,16 +350,16 @@ pub fn run_job_recorded(spec: &JobSpec, job: u64, rec: &Recorder) -> JobResult {
                 GeminiConfig::default(),
                 5,
             );
-            let sim = run_sim(&server, &arrivals, &mut gov, opts, rec, spec.safety);
+            let sim = run_sim(&server, &arrivals, &mut gov, opts, rec, spec.safety, prof);
             (JobResult::from_sim(spec, &sim, &[]), sim.duration_ns)
         }
-        GovernorSpec::DeepPower(policy) => run_policy(spec, &server, &arrivals, policy, rec),
+        GovernorSpec::DeepPower(policy) => run_policy(spec, &server, &arrivals, policy, rec, prof),
         GovernorSpec::DeepPowerTrain(train_cfg) => {
             let mut cfg = *train_cfg;
             cfg.app = spec.app;
             cfg.seed = spec.seed;
-            let (policy, _) = train::train_recorded(&cfg, rec);
-            run_policy(spec, &server, &arrivals, &policy, rec)
+            let (policy, _) = train::train_profiled(&cfg, rec, prof);
+            run_policy(spec, &server, &arrivals, &policy, rec, prof)
         }
     };
 
@@ -374,15 +386,16 @@ fn run_sim(
     opts: RunOptions,
     rec: &Recorder,
     safety: bool,
+    prof: &Profiler,
 ) -> SimResult {
     if safety {
         let n_cores = server.config().n_cores;
         let mut safe =
             SafetyGovernor::new(gov, n_cores, SafetyConfig::default()).with_recorder(rec.clone());
-        server.run_recorded(arrivals, &mut safe, opts, rec)
+        server.run_profiled(arrivals, &mut safe, opts, rec, prof)
     } else {
         let mut gov = gov;
-        server.run_recorded(arrivals, &mut gov, opts, rec)
+        server.run_profiled(arrivals, &mut gov, opts, rec, prof)
     }
 }
 
@@ -392,8 +405,10 @@ fn run_policy(
     arrivals: &[Request],
     policy: &TrainedPolicy,
     rec: &Recorder,
+    prof: &Profiler,
 ) -> (JobResult, u64) {
     let mut agent = policy.build_agent();
+    agent.set_profiler(prof);
     let mut gov =
         DeepPowerGovernor::new(&mut agent, policy.deeppower, Mode::Eval).with_recorder(rec.clone());
     let opts = RunOptions {
@@ -401,7 +416,7 @@ fn run_policy(
         faults: spec.faults,
         ..Default::default()
     };
-    let sim = run_sim(server, arrivals, &mut gov, opts, rec, spec.safety);
+    let sim = run_sim(server, arrivals, &mut gov, opts, rec, spec.safety, prof);
     let duration = sim.duration_ns;
     (JobResult::from_sim(spec, &sim, &gov.log), duration)
 }
@@ -415,7 +430,18 @@ fn run_policy(
 /// identical for every thread count. `threads = 0` uses the machine's
 /// available parallelism.
 pub fn run_grid(jobs: &[JobSpec], threads: usize) -> Vec<JobResult> {
-    run_grid_inner(jobs, threads, false).0
+    run_grid_inner(jobs, threads, false, &Profiler::disabled()).0
+}
+
+/// [`run_grid`] with a shared span [`Profiler`]. Every worker records
+/// into the same handle (the profiler is `Send + Sync` and keeps
+/// per-thread open-span stacks), so the phase table and Chrome trace
+/// cover the whole grid: one `harness.job` root span per job, with the
+/// engine/training/DDPG spans of that job nested inside on whichever
+/// worker thread ran it. Results stay byte-identical to [`run_grid`] —
+/// spans are a wall-clock-only artifact channel.
+pub fn run_grid_profiled(jobs: &[JobSpec], threads: usize, prof: &Profiler) -> Vec<JobResult> {
+    run_grid_inner(jobs, threads, false, prof).0
 }
 
 /// [`run_grid`] plus one telemetry event stream per job, index-aligned
@@ -428,7 +454,7 @@ pub fn run_grid(jobs: &[JobSpec], threads: usize) -> Vec<JobResult> {
 /// serializing stream `i` (e.g. via `deeppower_telemetry::to_jsonl`)
 /// yields byte-identical output at `--threads 1` and `--threads 8`.
 pub fn run_grid_telemetry(jobs: &[JobSpec], threads: usize) -> (Vec<JobResult>, Vec<Vec<Event>>) {
-    let (results, events) = run_grid_inner(jobs, threads, true);
+    let (results, events) = run_grid_inner(jobs, threads, true, &Profiler::disabled());
     (results, events.expect("telemetry slots requested"))
 }
 
@@ -437,6 +463,7 @@ fn run_grid_inner(
     jobs: &[JobSpec],
     threads: usize,
     telemetry: bool,
+    prof: &Profiler,
 ) -> (Vec<JobResult>, Option<Vec<Vec<Event>>>) {
     let threads = if threads == 0 {
         std::thread::available_parallelism()
@@ -464,7 +491,7 @@ fn run_grid_inner(
                 } else {
                     Recorder::disabled()
                 };
-                let result = run_job_recorded(job, idx as u64, &rec);
+                let result = run_job_profiled(job, idx as u64, &rec, prof);
                 let events = rec.drain_events();
                 assert!(
                     slots[idx].set((result, events)).is_ok(),
@@ -931,6 +958,36 @@ mod tests {
             // Every artifact is bracketed by its lifecycle events.
             assert!(matches!(a.first(), Some(Event::JobStart(s)) if s.job == i as u64));
             assert!(matches!(a.last(), Some(Event::JobEnd(e)) if e.job == i as u64));
+        }
+    }
+
+    /// Satellite: enabling the span profiler must not change a single
+    /// byte of the grid report, at any thread count — spans are a
+    /// wall-clock-only artifact channel, fully outside the determinism
+    /// contract's inputs. Also pins the span accounting: exactly one
+    /// `harness.job` root span per job, engine spans nested inside.
+    #[test]
+    fn profiled_grid_is_byte_identical_at_any_thread_count() {
+        let jobs = small_grid();
+        let plain = summarize(run_grid(&jobs, 1)).to_json();
+        for threads in [1, 4] {
+            let prof = Profiler::enabled();
+            let report = summarize(run_grid_profiled(&jobs, threads, &prof)).to_json();
+            assert_eq!(
+                plain, report,
+                "profiling changed grid results at threads={threads}"
+            );
+            let table = prof.phase_table();
+            let count = |name: &str| table.iter().find(|r| r.name == name).map_or(0, |r| r.count);
+            assert_eq!(count("harness.job"), jobs.len() as u64);
+            assert!(count("engine.completions") > 0);
+            // Jobs are the only roots, so the whole engine time nests
+            // under them: non-root phases contribute zero root time.
+            for row in &table {
+                if row.name != "harness.job" {
+                    assert_eq!(row.root_ns, 0, "{} escaped harness.job", row.name);
+                }
+            }
         }
     }
 

@@ -27,7 +27,7 @@ use crate::governor::{CoreView, FreqCommands, Governor, RunningView, ServerView}
 use crate::metrics::{LatencyStats, MetricsCollector, RequestRecord, TraceConfig, Traces};
 use crate::power::{EnergyMeter, PowerModel};
 use crate::request::Request;
-use deeppower_telemetry::{event, Event, Recorder};
+use deeppower_telemetry::{event, Event, Profiler, Recorder};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Work remaining below this many reference-nanoseconds counts as done
@@ -187,6 +187,24 @@ impl Server {
         self.session(arrivals, governor, opts, rec).finish()
     }
 
+    /// [`run_recorded`](Self::run_recorded) with a span [`Profiler`]
+    /// attached: engine phases (completions / arrivals+dispatch /
+    /// governor tick / trace samples / advance) open wall-clock spans.
+    /// Profiling reads the clock but writes nothing into the
+    /// simulation, so results stay bit-identical to an unprofiled run.
+    pub fn run_profiled(
+        &self,
+        arrivals: &[Request],
+        governor: &mut dyn Governor,
+        opts: RunOptions,
+        rec: &Recorder,
+        prof: &Profiler,
+    ) -> SimResult {
+        self.session(arrivals, governor, opts, rec)
+            .with_profiler(prof)
+            .finish()
+    }
+
     /// Start a resumable simulation [`Session`] over `arrivals`.
     ///
     /// The session processes exactly the same event sequence as
@@ -248,6 +266,7 @@ impl Server {
             governor,
             opts,
             rec,
+            prof: Profiler::disabled(),
         }
     }
 }
@@ -261,6 +280,7 @@ pub struct Session<'a> {
     governor: &'a mut dyn Governor,
     opts: RunOptions,
     rec: &'a Recorder,
+    prof: Profiler,
     cores: Vec<CoreState>,
     queue: VecDeque<Request>,
     metrics: MetricsCollector,
@@ -282,6 +302,14 @@ pub struct Session<'a> {
 }
 
 impl Session<'_> {
+    /// Attach a span [`Profiler`] (a cheap handle clone; disabled by
+    /// default). Engine phases then open `engine.*` spans; with the
+    /// default disabled profiler every span call is one branch.
+    pub fn with_profiler(mut self, prof: &Profiler) -> Self {
+        self.prof = prof.clone();
+        self
+    }
+
     /// Simulated time of the last processed event.
     pub fn now(&self) -> Nanos {
         self.now
@@ -302,6 +330,12 @@ impl Session<'_> {
         if self.finished {
             return true;
         }
+        // One umbrella span over the whole event loop, so the profile
+        // also accounts for the scheduling work *between* the phase
+        // spans (event selection, loop control) — this is what lets a
+        // profiled run's phase table cover ~all of the engine's wall
+        // time rather than just the phase bodies.
+        let _sp = self.prof.span("engine.run");
         loop {
             if !self.primed {
                 self.primed = true;
@@ -357,6 +391,7 @@ impl Session<'_> {
         // Stall windows open/close, and deferred (spiked) DVFS
         // transitions that came due take effect. With an inactive
         // plan both are single-branch no-ops.
+        let sp = self.prof.span("engine.completions");
         self.faults.poll_stalls(now, self.rec);
         for (i, core) in self.cores.iter_mut().enumerate() {
             if let Some(target) = self.dvfs.poll(i, now) {
@@ -403,8 +438,10 @@ impl Session<'_> {
                     .on_request_complete(now, core_id, &running.req, latency);
             }
         }
+        drop(sp);
 
         // ---- 2. Arrivals at `now` ----
+        let sp = self.prof.span("engine.arrivals");
         while self.arr_idx < self.arrivals.len() && self.arrivals[self.arr_idx].arrival <= now {
             self.metrics.on_arrival();
             self.queue.push_back(self.arrivals[self.arr_idx].clone());
@@ -470,9 +507,11 @@ impl Session<'_> {
                 wake_remaining_ns: wake_ns,
             });
         }
+        drop(sp);
 
         // ---- 4. Governor tick ----
         if now >= self.next_tick {
+            let _sp = self.prof.span("engine.tick");
             {
                 // The tick observation goes through the sensor fault
                 // model: the governor may see stale counters or a
@@ -521,6 +560,7 @@ impl Session<'_> {
         }
 
         // ---- 5. Trace samples ----
+        let sp = self.prof.span("engine.metrics");
         if now >= self.next_freq_sample {
             for (i, c) in self.cores.iter().enumerate() {
                 self.traces.freq.push((now, i, c.freq_mhz));
@@ -533,10 +573,15 @@ impl Session<'_> {
             self.traces.power.push((now, p, self.queue.len(), busy));
             self.next_power_sample = now + self.opts.trace.power_sample_ns;
         }
+        drop(sp);
 
         // ---- 6. Termination ----
         let all_idle = self.cores.iter().all(|c| c.running.is_none());
         if self.arr_idx == self.arrivals.len() && self.queue.is_empty() && all_idle {
+            // The run-end flush is governor work (DRL governors close
+            // their last window and may train here), so it gets its own
+            // span — DDPG stage spans must never be roots.
+            let _sp = self.prof.span("engine.finish");
             let views = build_core_views(&self.cores, now);
             let view = make_view(now, &self.queue, &views, &self.metrics, &self.energy);
             self.governor.on_run_end(&view);
@@ -592,6 +637,7 @@ impl Session<'_> {
     /// move the clock there.
     fn advance_to(&mut self, t_next: Nanos) {
         debug_assert!(t_next > self.now, "event time did not advance");
+        let _sp = self.prof.span("engine.advance");
         let dt = t_next - self.now;
         let plan = &self.cfg.freq_plan;
         let busy = self.cores.iter().filter(|c| c.running.is_some()).count();
@@ -1138,6 +1184,49 @@ mod tests {
             .sum();
         assert_eq!(total_residency, 2 * recorded.duration_ns);
         assert_eq!(recorder.dropped_events(), 0);
+    }
+
+    #[test]
+    fn profiled_run_is_bit_identical_and_captures_phase_spans() {
+        let server = Server::new(ServerConfig::paper_default(2));
+        let arrivals: Vec<Request> = (0..200)
+            .map(|i| req(i, i * 10_000_000, 400_000 + (i % 5) * 100_000))
+            .collect();
+        let opts = RunOptions {
+            trace: TraceConfig::millisecond(),
+            ..Default::default()
+        };
+        let mut gov = FixedFrequency { mhz: 2100 };
+        let plain = server.run(&arrivals, &mut gov, opts);
+        let prof = deeppower_telemetry::Profiler::enabled();
+        let profiled = server.run_profiled(
+            &arrivals,
+            &mut gov,
+            opts,
+            &deeppower_telemetry::Recorder::disabled(),
+            &prof,
+        );
+
+        // Profiling reads the wall clock but must not perturb the
+        // simulation: results are bit-identical.
+        assert_eq!(plain.records, profiled.records);
+        assert_eq!(plain.energy_j.to_bits(), profiled.energy_j.to_bits());
+        assert_eq!(plain.freq_transitions, profiled.freq_transitions);
+
+        let rows = prof.phase_table();
+        let count = |name: &str| rows.iter().find(|r| r.name == name).map_or(0, |r| r.count);
+        for phase in [
+            "engine.completions",
+            "engine.arrivals",
+            "engine.tick",
+            "engine.metrics",
+            "engine.advance",
+        ] {
+            assert!(count(phase) > 0, "no {phase} spans recorded");
+        }
+        // Each processed event visits completions/arrivals/metrics once.
+        assert_eq!(count("engine.completions"), count("engine.arrivals"));
+        assert_eq!(count("engine.completions"), count("engine.metrics"));
     }
 
     #[test]

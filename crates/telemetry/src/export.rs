@@ -104,10 +104,36 @@ pub fn freq_series(
     out
 }
 
+/// Slice one training episode out of a concatenated multi-episode
+/// stream: everything after the previous `EpisodeEnd` (or the stream
+/// start, for the first episode) up to and *including* the `EpisodeEnd`
+/// whose `episode` field equals `episode`. `None` when the stream holds
+/// no such episode.
+///
+/// Training artifacts concatenate per-episode engine runs, and each
+/// run's event timestamps restart at `t = 0`. Time-series
+/// reconstructions ([`freq_series`], or plotting [`steps_to_csv`]'s `t`
+/// column) assume monotone time, so they must be fed one episode slice
+/// at a time — on a raw multi-episode stream the `t`-reset at each
+/// boundary silently corrupts them (see
+/// `freq_series_on_concatenated_episodes_is_wrong_use_slices`).
+pub fn episode_events(events: &[Event], episode: u64) -> Option<&[Event]> {
+    let mut start = 0;
+    for (i, ev) in events.iter().enumerate() {
+        if let Event::EpisodeEnd(e) = ev {
+            if e.episode == episode {
+                return Some(&events[start..=i]);
+            }
+            start = i + 1;
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{FreqTransition, JobEnd, JobStart};
+    use crate::event::{EpisodeEnd, FreqTransition, JobEnd, JobStart};
 
     fn sample_events() -> Vec<Event> {
         vec![
@@ -215,5 +241,143 @@ mod tests {
     fn freq_series_no_transitions_holds_initial() {
         let series = freq_series(&[], 0, 1234, 200, 100);
         assert_eq!(series, vec![(0, 1234), (100, 1234), (200, 1234)]);
+    }
+
+    /// Boundary semantics pin: a transition at exactly a sample time is
+    /// visible *at* that sample (`tt <= t`), and the series includes the
+    /// final point at exactly `t_end`. Both are `<=`, not `<` — an
+    /// off-by-one here would shift every epoch-aligned DVFS decision by
+    /// one sample in the figure benches.
+    #[test]
+    fn freq_series_boundaries_are_inclusive() {
+        let events = vec![Event::FreqTransition(FreqTransition {
+            t: 100,
+            core: 0,
+            from_mhz: 800,
+            to_mhz: 1600,
+        })];
+        let series = freq_series(&events, 0, 800, 200, 100);
+        assert_eq!(series, vec![(0, 800), (100, 1600), (200, 1600)]);
+    }
+
+    fn episode_end(episode: u64, steps: u64) -> Event {
+        Event::EpisodeEnd(EpisodeEnd {
+            episode,
+            steps,
+            mean_reward: -0.5,
+            avg_power_w: 80.0,
+            timeout_rate: 0.01,
+            updates: 10 * (episode + 1),
+        })
+    }
+
+    fn freq(t: u64, from_mhz: u32, to_mhz: u32) -> Event {
+        Event::FreqTransition(FreqTransition {
+            t,
+            core: 0,
+            from_mhz,
+            to_mhz,
+        })
+    }
+
+    fn step(t: u64) -> Event {
+        Event::DrlStep(DrlStep {
+            t,
+            num_req: 100,
+            power_w: 80.0,
+            base_freq: 0.25,
+            scaling_coef: 1.0,
+            avg_freq_mhz: 1300.0,
+            queue_len: 0,
+            timeouts: 0,
+            reward: -0.5,
+            r_energy: 0.4,
+            r_timeout: 0.1,
+            r_queue: 0.0,
+        })
+    }
+
+    /// Two training episodes concatenated: timestamps restart at the
+    /// `EpisodeEnd` boundary.
+    fn two_episode_stream() -> Vec<Event> {
+        vec![
+            step(1_000),
+            freq(900, 800, 2100),
+            step(2_000),
+            episode_end(0, 2),
+            freq(100, 800, 1600), // episode 1 restarts at t = 0
+            step(1_000),
+            episode_end(1, 1),
+        ]
+    }
+
+    #[test]
+    fn episode_events_slices_inclusive_of_episode_end() {
+        let events = two_episode_stream();
+        let ep0 = episode_events(&events, 0).unwrap();
+        assert_eq!(ep0.len(), 4);
+        assert!(matches!(ep0.last(), Some(Event::EpisodeEnd(e)) if e.episode == 0));
+        let ep1 = episode_events(&events, 1).unwrap();
+        assert_eq!(ep1.len(), 3);
+        assert!(matches!(ep1.first(), Some(Event::FreqTransition(f)) if f.t == 100));
+        assert!(matches!(ep1.last(), Some(Event::EpisodeEnd(e)) if e.episode == 1));
+        assert!(episode_events(&events, 2).is_none());
+        assert!(episode_events(&[], 0).is_none());
+    }
+
+    /// Regression pin for the epoch-boundary hazard: on the raw
+    /// concatenated stream, episode 1's `t`-reset makes its first
+    /// transition (`t = 100`) look *earlier* than episode 0's (`t =
+    /// 900`), so the reconstruction swallows episode 0's step the
+    /// moment it applies — the series lands on 1600 MHz where episode 0
+    /// actually ran at 2100 MHz. Per-episode slices reconstruct both
+    /// correctly; that is the only supported way to build time series
+    /// from training artifacts.
+    #[test]
+    fn freq_series_on_concatenated_episodes_is_wrong_use_slices() {
+        let events = two_episode_stream();
+
+        // Correct: slice first.
+        let ep0 = freq_series(episode_events(&events, 0).unwrap(), 0, 800, 1_000, 500);
+        assert_eq!(ep0, vec![(0, 800), (500, 800), (1_000, 2100)]);
+        let ep1 = freq_series(episode_events(&events, 1).unwrap(), 0, 800, 1_000, 500);
+        assert_eq!(ep1, vec![(0, 800), (500, 1600), (1_000, 1600)]);
+
+        // Hazard: the raw stream reconstructs neither episode — at
+        // t = 1000 both transitions have "passed" and the later event
+        // in stream order (episode 1's 1600 MHz) wins.
+        let raw = freq_series(&events, 0, 800, 1_000, 500);
+        assert_eq!(raw, vec![(0, 800), (500, 800), (1_000, 1600)]);
+        assert_ne!(raw, ep0, "raw multi-episode series must not be trusted");
+    }
+
+    /// `steps_to_csv` projects in stream order, so the raw multi-episode
+    /// table has a non-monotone `t` column at the boundary; per-episode
+    /// slices have monotone time and exactly `EpisodeEnd::steps` rows.
+    #[test]
+    fn steps_to_csv_per_episode_slices_are_monotone() {
+        let events = two_episode_stream();
+        let t_column = |csv: &str| -> Vec<u64> {
+            csv.lines()
+                .skip(1)
+                .map(|l| l.split(',').next().unwrap().parse().unwrap())
+                .collect()
+        };
+        let raw = t_column(&steps_to_csv(&events));
+        assert_eq!(raw, vec![1_000, 2_000, 1_000], "t resets at the boundary");
+
+        for episode in [0u64, 1] {
+            let slice = episode_events(&events, episode).unwrap();
+            let ts = t_column(&steps_to_csv(slice));
+            assert!(ts.windows(2).all(|w| w[0] < w[1]), "non-monotone: {ts:?}");
+            let declared = slice
+                .iter()
+                .find_map(|ev| match ev {
+                    Event::EpisodeEnd(e) if e.episode == episode => Some(e.steps),
+                    _ => None,
+                })
+                .unwrap();
+            assert_eq!(ts.len() as u64, declared, "row count vs EpisodeEnd::steps");
+        }
     }
 }

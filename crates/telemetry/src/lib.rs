@@ -25,25 +25,40 @@
 //!   aggregator: O(1) insert and O(buckets) percentile reads, replacing
 //!   sort-a-fresh-clone percentile computation on periodic paths.
 //!
+//! * [`Profiler`] — hierarchical wall-clock span profiling for the hot
+//!   paths (engine phases, DDPG update stages, fleet lockstep epochs,
+//!   harness jobs), with per-phase aggregate tables and Chrome
+//!   trace-event export. Same disabled-is-one-branch contract as the
+//!   recorder, but `Send + Sync` so one handle spans worker threads.
+//!
 //! Determinism contract: events carry only simulation-derived data
 //! (simulated timestamps, counters, model outputs) — never wall-clock
 //! readings — so a job's event stream is a pure function of its spec
 //! and the harness can promise byte-identical artifacts at any
-//! `--threads` value. Wall-clock timings belong to the [`Logger`].
+//! `--threads` value. Wall-clock timings belong to the [`Logger`] and
+//! the [`Profiler`], whose spans live in a separate artifact channel
+//! (phase tables, Chrome traces) that never feeds back into results.
 
 pub mod event;
 pub mod export;
 pub mod fs;
 pub mod histogram;
 pub mod logger;
+pub mod profile;
 pub mod recorder;
 
 pub use event::{
     CoreResidency, DrlStep, EpisodeEnd, Event, FaultInjected, FreqTransition, JobEnd, JobStart,
     LatencySnapshot, RequestComplete, RequestDispatch, SafetyAction, TrainUpdate,
 };
-pub use export::{freq_series, from_jsonl, steps_to_csv, to_jsonl, STEP_CSV_HEADER};
+pub use export::{
+    episode_events, freq_series, from_jsonl, steps_to_csv, to_jsonl, STEP_CSV_HEADER,
+};
 pub use fs::atomic_write;
 pub use histogram::{Histogram, HistogramSnapshot, LatencyRecorder};
 pub use logger::{LogLevel, Logger};
+pub use profile::{
+    from_chrome_trace, render_phase_table, ChromeEvent, PhaseRow, Profiler, Span, SpanRecord,
+    DEFAULT_MAX_SPANS,
+};
 pub use recorder::{NoopSink, Recorder, RingSink, TelemetrySink};
