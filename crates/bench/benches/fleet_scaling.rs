@@ -1,15 +1,22 @@
 //! Fleet scaling: nodes vs wall-clock, and batched vs per-node actor
 //! inference.
 //!
-//! Two perf claims backing the fleet layer:
+//! Three perf claims backing the fleet layer:
 //!
 //! 1. **Batched inference** — evaluating one shared policy for N node
 //!    states as a single `N × 8` matrix–matrix forward pass
 //!    (`Ddpg::act_batch`) beats N single-state passes. Asserted
 //!    strictly for `N ≥ 8` (best-of-k timing on both sides).
-//! 2. **Fleet wall-clock** — the lockstep fleet driver scales with
-//!    node count roughly linearly in simulated work: doubling the
-//!    fleet roughly doubles (not squares) wall time.
+//! 2. **Fleet wall-clock** — the serial lockstep driver scales with
+//!    node count roughly linearly in simulated work, and the
+//!    parallel driver (`run_fleet_threaded`) buys node scaling that is
+//!    *sublinear* in wall-clock on a multi-core host while staying
+//!    byte-identical (asserted every run, every node count).
+//! 3. **End-to-end batched ≤ reference** — the batched lockstep fleet
+//!    must not lose to the per-node inference loop it replaced.
+//!    Timed best-of-k with the two drivers alternating, so neither
+//!    side pockets the warm-up; emitted as
+//!    `batched_over_reference_ratio` for the bench-diff gate.
 //!
 //! Results are printed as a table and written to
 //! `target/fleet-scaling.json` (the CI artifact; the committed
@@ -17,7 +24,7 @@
 //! `DEEPPOWER_SMOKE=1` shrinks reps and durations for CI.
 
 use deeppower_fleet::{
-    run_fleet, run_fleet_reference, untrained_policy, BalancerPolicy, FleetSpec,
+    run_fleet, run_fleet_reference, run_fleet_threaded, untrained_policy, BalancerPolicy, FleetSpec,
 };
 use deeppower_nn::Matrix;
 use deeppower_workload::App;
@@ -90,19 +97,24 @@ fn main() {
         ));
     }
 
-    // ---- 2. fleet wall-clock vs node count ----
+    // ---- 2. fleet wall-clock vs node count, serial and parallel ----
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     let duration_s = if smoke { 3 } else { 12 };
     let node_counts: &[usize] = if smoke {
         &[1, 2, 4, 8]
     } else {
         &[1, 2, 4, 8, 16]
     };
-    println!("\n# fleet wall-clock — {duration_s} s simulated, Masstree, round-robin");
     println!(
-        "{:>6} {:>10} {:>12} {:>14}",
-        "nodes", "wall(s)", "requests", "ms/node-epoch"
+        "\n# fleet wall-clock — {duration_s} s simulated, Masstree, round-robin, {cores} cores"
+    );
+    println!(
+        "{:>6} {:>10} {:>12} {:>9} {:>12} {:>14}",
+        "nodes", "wall(s)", "parallel(s)", "speedup", "requests", "ms/node-epoch"
     );
     let mut fleet_rows = Vec::new();
+    let mut parallel_walls = std::collections::BTreeMap::new();
+    let scale_rounds = 2;
     for &nodes in node_counts {
         let spec = FleetSpec {
             app: App::Masstree,
@@ -112,21 +124,62 @@ fn main() {
             peak_load: 0.4,
             duration_s,
         };
-        let t = Instant::now();
-        let res = run_fleet(&spec, &policy);
-        let wall = t.elapsed().as_secs_f64();
-        let per_epoch_ms = wall * 1e3 / (res.drl_epochs as f64 * nodes as f64);
+        // Alternating best-of-k, like section 3: a cold first run can
+        // be 2-3× slower than steady state, so single-shot serial-then-
+        // parallel timing would credit the parallel driver with the
+        // warm-up it didn't pay.
+        let mut wall = f64::INFINITY;
+        let mut wall_par = f64::INFINITY;
+        let mut requests = 0u64;
+        let mut epochs = 0u64;
+        for round in 0..scale_rounds {
+            let t = Instant::now();
+            let res = run_fleet(&spec, &policy);
+            wall = wall.min(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            let par = run_fleet_threaded(&spec, &policy, 0);
+            wall_par = wall_par.min(t.elapsed().as_secs_f64());
+            // The determinism contract is asserted every size — the
+            // speedup is worthless if the bytes drift.
+            if round == 0 {
+                assert_eq!(
+                    res.to_json(),
+                    par.to_json(),
+                    "parallel fleet diverged from serial at {nodes} nodes"
+                );
+                requests = res.total_requests;
+                epochs = res.drl_epochs;
+            }
+        }
+        let speedup = wall / wall_par;
+        parallel_walls.insert(nodes, wall_par);
+        let per_epoch_ms = wall * 1e3 / (epochs as f64 * nodes as f64);
         println!(
-            "{nodes:>6} {wall:>10.2} {:>12} {per_epoch_ms:>14.3}",
-            res.total_requests
+            "{nodes:>6} {wall:>10.2} {wall_par:>12.2} {speedup:>8.2}x {requests:>12} {per_epoch_ms:>14.3}"
         );
         fleet_rows.push(format!(
-            "{{\"nodes\": {nodes}, \"wall_s\": {wall:.3}, \"requests\": {}, \"epochs\": {}}}",
-            res.total_requests, res.drl_epochs
+            "{{\"nodes\": {nodes}, \"wall_s\": {wall:.3}, \"parallel_s\": {wall_par:.3}, \"speedup\": {speedup:.3}, \"requests\": {requests}, \"epochs\": {epochs}}}"
         ));
+    }
+    // Acceptance bar for the parallel engine: quadrupling the fleet
+    // from 4 to 16 nodes costs < 2.5× wall-clock when cores exist to
+    // spread over. Single-core hosts still verified byte-identity above.
+    if cores >= 4 {
+        if let (Some(&w4), Some(&w16)) = (parallel_walls.get(&4), parallel_walls.get(&16)) {
+            assert!(
+                w16 < 2.5 * w4,
+                "parallel fleet scaling is not sublinear: 16 nodes {w16:.2}s vs 4 nodes {w4:.2}s"
+            );
+        }
+    } else {
+        println!("({cores}-core machine: sublinear-scaling assertion skipped, determinism still enforced)");
     }
 
     // ---- 3. end-to-end batched vs reference at N = 8 ----
+    // Best-of-k with the two drivers alternating inside each round, so
+    // cache/allocator warm-up lands on both sides equally (single-shot
+    // timing here once let the batched path "lose" 2.5% purely to
+    // running first, cold).
     let spec = FleetSpec {
         app: App::Masstree,
         nodes: 8,
@@ -135,23 +188,42 @@ fn main() {
         peak_load: 0.4,
         duration_s,
     };
-    let t = Instant::now();
-    let batched = run_fleet(&spec, &policy);
-    let wall_batched = t.elapsed().as_secs_f64();
-    let t = Instant::now();
-    let reference = run_fleet_reference(&spec, &policy);
-    let wall_reference = t.elapsed().as_secs_f64();
-    assert_eq!(
-        batched.to_json(),
-        reference.to_json(),
-        "batched fleet drifted from the per-node reference"
+    let rounds = if smoke { 3 } else { 5 };
+    let mut wall_batched = f64::INFINITY;
+    let mut wall_reference = f64::INFINITY;
+    let mut checked = false;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        let batched = run_fleet(&spec, &policy);
+        wall_batched = wall_batched.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let reference = run_fleet_reference(&spec, &policy);
+        wall_reference = wall_reference.min(t.elapsed().as_secs_f64());
+        if !checked {
+            assert_eq!(
+                batched.to_json(),
+                reference.to_json(),
+                "batched fleet drifted from the per-node reference"
+            );
+            checked = true;
+        }
+    }
+    let ratio = wall_batched / wall_reference;
+    // Pathology guard, not a noise gate: the two drivers do identical
+    // engine work and differ only in microseconds of inference per
+    // epoch, so the true ratio is ~1.0 and anything ≥ 1.10 means the
+    // batched path grew real overhead (the PR-4 regression shape). The
+    // recorded ratio feeds the tolerance-padded bench-diff unity gate.
+    assert!(
+        ratio <= 1.10,
+        "batched fleet lost to the per-node reference: {wall_batched:.3}s vs {wall_reference:.3}s ({ratio:.3}x)"
     );
     println!(
-        "\n# end-to-end at 8 nodes: batched {wall_batched:.2} s vs per-node loop {wall_reference:.2} s (results byte-identical)"
+        "\n# end-to-end at 8 nodes: batched {wall_batched:.2} s vs per-node loop {wall_reference:.2} s, ratio {ratio:.3} (results byte-identical, best of {rounds})"
     );
 
     let json = format!(
-        "{{\n  \"smoke\": {smoke},\n  \"inference\": [{}],\n  \"fleet\": [{}],\n  \"end_to_end_8_nodes\": {{\"batched_s\": {wall_batched:.3}, \"reference_s\": {wall_reference:.3}}}\n}}\n",
+        "{{\n  \"smoke\": {smoke},\n  \"inference\": [{}],\n  \"fleet\": [{}],\n  \"end_to_end_8_nodes\": {{\"batched_s\": {wall_batched:.3}, \"reference_s\": {wall_reference:.3}, \"batched_over_reference_ratio\": {ratio:.3}}}\n}}\n",
         inference_rows.join(", "),
         fleet_rows.join(", ")
     );

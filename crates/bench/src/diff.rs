@@ -14,6 +14,13 @@
 //! * **Exact** — determinism anchors (`requests`, `epochs`, `seed`,
 //!   `nodes`, `n`): any difference is a regression regardless of
 //!   tolerance, because the simulation is bit-replayable.
+//! * **Ratio** — paired-measurement ratios (`*_ratio`, e.g.
+//!   `batched_over_reference_ratio`): gated against **unity**, not the
+//!   baseline. A candidate above `1.0 + tolerance` is a regression even
+//!   if the baseline was just as bad — this is what catches "the
+//!   optimized path lost to the path it replaced", which per-leaf
+//!   baseline comparison structurally cannot (both sides drift together
+//!   on a slow runner).
 //! * **Info** — everything else: reported, never gated.
 //!
 //! Structure walk: objects match by key (missing keys are reported,
@@ -25,8 +32,8 @@
 //! Smoke-scale awareness: when the two artifacts disagree on their
 //! `"smoke"` flag, absolute timings are incomparable (different trace
 //! lengths, different machines' CI runners), so only **scale-invariant**
-//! metrics — HigherBetter ratios like `speedup` — stay gated;
-//! LowerBetter and Exact leaves demote to Info.
+//! metrics — HigherBetter ratios like `speedup`, and Ratio leaves —
+//! stay gated; LowerBetter and Exact leaves demote to Info.
 
 use serde_json::Value;
 
@@ -36,6 +43,8 @@ pub enum Direction {
     LowerBetter,
     HigherBetter,
     Exact,
+    /// Paired-measurement ratio gated against unity (see module docs).
+    Ratio,
     Info,
 }
 
@@ -122,6 +131,7 @@ pub fn classify(key: &str) -> Direction {
     match key {
         "speedup" => Direction::HigherBetter,
         "requests" | "epochs" | "seed" | "nodes" | "n" => Direction::Exact,
+        _ if key.ends_with("_ratio") => Direction::Ratio,
         _ if key.starts_with("wall")
             || key.ends_with("_s")
             || key.ends_with("_ms")
@@ -195,8 +205,8 @@ fn leaf(
     rows: &mut Vec<MetricDiff>,
 ) {
     let mut direction = classify(key);
-    // Cross-scale comparison: only ratios survive as gates.
-    if scale_mismatch && direction != Direction::HigherBetter {
+    // Cross-scale comparison: only scale-invariant ratios survive as gates.
+    if scale_mismatch && direction != Direction::HigherBetter && direction != Direction::Ratio {
         direction = Direction::Info;
     }
     let (rel_change, status) = match (b, c) {
@@ -213,6 +223,7 @@ fn leaf(
                 Direction::Exact if b != c => Status::Regression,
                 Direction::LowerBetter if rel > tolerance => Status::Regression,
                 Direction::HigherBetter if rel < -tolerance => Status::Regression,
+                Direction::Ratio if c > 1.0 + tolerance => Status::Regression,
                 _ => Status::Ok,
             };
             (rel, status)
@@ -331,7 +342,8 @@ mod tests {
                       {"n": 8, "loop_us": 6.1, "batch_us": 3.6, "speedup": 1.72}],
         "fleet": [{"nodes": 1, "wall_s": 0.24, "requests": 284111, "epochs": 13},
                   {"nodes": 8, "wall_s": 2.14, "requests": 2275329, "epochs": 13}],
-        "end_to_end_8_nodes": {"batched_s": 1.97, "reference_s": 1.92}
+        "end_to_end_8_nodes": {"batched_s": 1.88, "reference_s": 1.92,
+                               "batched_over_reference_ratio": 0.979}
     }"#;
 
     #[test]
@@ -419,8 +431,50 @@ mod tests {
     }
 
     #[test]
+    fn ratio_above_unity_plus_tolerance_is_a_regression() {
+        // The PR-4 escape: batched lost to reference (ratio > 1) while
+        // both absolute timings stayed within tolerance of their own
+        // baselines. The Ratio class gates against unity instead.
+        let cand = BASE.replace(
+            "\"batched_over_reference_ratio\": 0.979",
+            "\"batched_over_reference_ratio\": 1.9",
+        );
+        let report = diff_str(BASE, &cand, 0.35).unwrap();
+        let bad: Vec<_> = report.regressions().collect();
+        assert_eq!(bad.len(), 1, "{}", report.render_table());
+        assert_eq!(
+            bad[0].path,
+            "end_to_end_8_nodes.batched_over_reference_ratio"
+        );
+        assert_eq!(bad[0].direction, Direction::Ratio);
+
+        // Near-unity noise passes: the gate is tolerance-padded so a
+        // statistical tie between the two drivers cannot flake CI.
+        let cand = BASE.replace(
+            "\"batched_over_reference_ratio\": 0.979",
+            "\"batched_over_reference_ratio\": 1.02",
+        );
+        assert!(!diff_str(BASE, &cand, 0.35).unwrap().has_regressions());
+    }
+
+    #[test]
+    fn ratio_gate_survives_smoke_mismatch() {
+        // Absolute timings demote to Info across scales, but a ratio of
+        // two same-scale measurements is scale-invariant and stays gated.
+        let cand = BASE.replace("\"smoke\": false", "\"smoke\": true").replace(
+            "\"batched_over_reference_ratio\": 0.979",
+            "\"batched_over_reference_ratio\": 1.9",
+        );
+        let report = diff_str(BASE, &cand, 0.35).unwrap();
+        assert!(report.scale_mismatch);
+        assert!(report
+            .regressions()
+            .any(|r| r.path == "end_to_end_8_nodes.batched_over_reference_ratio"));
+    }
+
+    #[test]
     fn missing_key_reports_but_does_not_gate() {
-        let cand = BASE.replace("\"batched_s\": 1.97, ", "");
+        let cand = BASE.replace("\"batched_s\": 1.88, ", "");
         let report = diff_str(BASE, &cand, 0.35).unwrap();
         assert!(!report.has_regressions());
         let row = report
@@ -444,6 +498,7 @@ mod tests {
         assert_eq!(classify("wall_s"), Direction::LowerBetter);
         assert_eq!(classify("loop_us"), Direction::LowerBetter);
         assert_eq!(classify("batched_s"), Direction::LowerBetter);
+        assert_eq!(classify("batched_over_reference_ratio"), Direction::Ratio);
         assert_eq!(classify("requests"), Direction::Exact);
         assert_eq!(classify("epochs"), Direction::Exact);
         assert_eq!(classify("label"), Direction::Info);

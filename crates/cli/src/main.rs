@@ -132,7 +132,9 @@ layer, shown as `<governor>+safe`) across the seeded fault scenarios
 (round-robin | jsq | power-aware), all steered by one shared policy via
 batched actor inference; --nodes/--balancer take comma lists and expand
 to a grid. -o writes the fleet reports as JSON; --telemetry DIR writes
-one JSONL artifact per node per cell.
+one JSONL artifact per node per cell. --threads N (0 = all cores) splits
+across grid cells first, then leftover cores parallelize the node
+sessions *inside* each fleet — results are byte-identical either way.
 `profile` runs training (without --policy) plus an evaluation under the
 span profiler and writes a Chrome trace-event JSON (load it at
 ui.perfetto.dev or chrome://tracing) plus a per-phase aggregate table.

@@ -2,6 +2,7 @@
 //! perf-gate depends on it: zero against a clean candidate, non-zero
 //! the moment any gated metric regresses beyond tolerance.
 
+use serde_json::Value;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
 
@@ -35,6 +36,24 @@ fn write_temp(name: &str, contents: &str) -> String {
     path.to_str().unwrap().to_string()
 }
 
+/// Parse the committed baseline, apply `mutate`, write the result to a
+/// temp candidate file. Mutating through the JSON tree (rather than
+/// string replacement) keeps these tests alive across re-baselines.
+fn mutated_candidate(name: &str, mutate: impl FnOnce(&mut Value)) -> String {
+    let text = std::fs::read_to_string(baseline_path()).unwrap();
+    let mut v: Value = serde_json::from_str(&text).expect("committed baseline parses");
+    mutate(&mut v);
+    write_temp(name, &serde_json::to_string_pretty(&v).unwrap())
+}
+
+/// `fleet[0].wall_s` of the parsed artifact, as a mutable slot.
+fn first_wall_s(v: &mut Value) -> &mut Value {
+    v.get_mut("fleet")
+        .and_then(|f| f.at_mut(0))
+        .and_then(|row| row.get_mut("wall_s"))
+        .expect("baseline has fleet[0].wall_s")
+}
+
 #[test]
 fn committed_baseline_passes_against_itself() {
     let baseline = baseline_path();
@@ -54,11 +73,9 @@ fn committed_baseline_passes_against_itself() {
 #[test]
 fn inflated_metric_exits_nonzero() {
     let baseline = baseline_path();
-    let text = std::fs::read_to_string(&baseline).unwrap();
-    // Inflate one wall-clock metric far past any tolerance.
-    let inflated = text.replace("\"wall_s\": 2.139", "\"wall_s\": 999.0");
-    assert_ne!(text, inflated, "baseline schema changed; update this test");
-    let candidate = write_temp("inflated.json", &inflated);
+    let candidate = mutated_candidate("inflated.json", |v| {
+        *first_wall_s(v) = Value::from(999.0);
+    });
     let out = deeppower(&[
         "bench-diff",
         "--baseline",
@@ -78,11 +95,12 @@ fn inflated_metric_exits_nonzero() {
 #[test]
 fn drift_within_tolerance_passes() {
     let baseline = baseline_path();
-    let text = std::fs::read_to_string(&baseline).unwrap();
-    // +10 % on one wall-clock metric — inside the default 35 % budget.
-    let drifted = text.replace("\"wall_s\": 2.139", "\"wall_s\": 2.353");
-    assert_ne!(text, drifted, "baseline schema changed; update this test");
-    let candidate = write_temp("drifted.json", &drifted);
+    let candidate = mutated_candidate("drifted.json", |v| {
+        // +10 % on one wall-clock metric — inside the default 35 % budget.
+        let slot = first_wall_s(v);
+        let drifted = slot.as_f64().unwrap() * 1.10;
+        *slot = Value::from(drifted);
+    });
     let out = deeppower(&[
         "bench-diff",
         "--baseline",
@@ -93,6 +111,56 @@ fn drift_within_tolerance_passes() {
     assert!(
         out.status.success(),
         "10% drift must pass the default gate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn batched_losing_to_reference_exits_nonzero() {
+    // The regression this gate exists for: PR 4's batched fleet ran
+    // slower than the per-node reference and sailed through CI because
+    // batched_s and reference_s were only compared to their own
+    // baselines. The ratio leaf is gated against unity — and stays
+    // gated across a smoke-scale mismatch, exactly the CI shape
+    // (smoke candidate vs full-scale committed baseline).
+    let baseline = baseline_path();
+    fn ratio_slot(v: &mut Value) -> &mut Value {
+        v.get_mut("end_to_end_8_nodes")
+            .and_then(|e| e.get_mut("batched_over_reference_ratio"))
+            .expect("baseline carries the batched/reference ratio — the gate depends on it")
+    }
+    let candidate = mutated_candidate("batched-lost.json", |v| {
+        *v.get_mut("smoke").unwrap() = Value::from(true);
+        *ratio_slot(v) = Value::from(1.9);
+    });
+    let out = deeppower(&[
+        "bench-diff",
+        "--baseline",
+        &baseline,
+        "--candidate",
+        &candidate,
+    ]);
+    assert!(
+        !out.status.success(),
+        "batched/reference ratio 1.9 must fail the gate; stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("batched_over_reference_ratio"));
+
+    // A near-unity tie passes: the gate flags pathology, not noise.
+    let candidate = mutated_candidate("batched-tie.json", |v| {
+        *ratio_slot(v) = Value::from(0.99);
+    });
+    let out = deeppower(&[
+        "bench-diff",
+        "--baseline",
+        &baseline,
+        "--candidate",
+        &candidate,
+    ]);
+    assert!(
+        out.status.success(),
+        "near-unity ratio must pass: {}",
         String::from_utf8_lossy(&out.stderr)
     );
 }

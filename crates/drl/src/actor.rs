@@ -124,6 +124,30 @@ impl TwoHeadActor {
         self.forward_inference(states)
     }
 
+    /// Allocation-free [`TwoHeadActor::act_batch`]: writes the `n ×
+    /// action_dim` action matrix into `out`, using `scratch` for every
+    /// intermediate. Bit-identical to `act_batch` — the trunk and heads
+    /// run the same fused kernels in the same order, only the storage is
+    /// caller-owned — so hot callers (the fleet lockstep loop calls this
+    /// once per LongTime epoch) amortize all buffers to zero.
+    pub fn act_batch_into(&self, states: &Matrix, out: &mut Matrix, scratch: &mut ActorScratch) {
+        assert_eq!(
+            states.cols(),
+            self.state_dim,
+            "actor batch state width mismatch"
+        );
+        let n = states.rows();
+        self.trunk
+            .forward_inference_into(states, &mut scratch.h, &mut scratch.tmp);
+        out.reshape(n, self.heads.len());
+        for (c, head) in self.heads.iter().enumerate() {
+            head.forward_inference_into(&scratch.h, &mut scratch.head_out, &mut scratch.head_tmp);
+            for r in 0..n {
+                out.set(r, c, scratch.head_out.get(r, 0));
+            }
+        }
+    }
+
     /// Backward pass given `d_actions (n × action_dim)`; accumulates
     /// gradients and returns the gradient w.r.t. the input states.
     pub fn backward(&mut self, d_actions: &Matrix) -> Matrix {
@@ -173,6 +197,34 @@ impl Params for TwoHeadActor {
         for h in &mut self.heads {
             h.visit_params_mut(f);
         }
+    }
+}
+
+/// Reusable buffers for [`TwoHeadActor::act_batch_into`]. One of these
+/// per hot loop; after the first call at a given batch size nothing in
+/// the batched inference path allocates.
+#[derive(Clone, Debug)]
+pub struct ActorScratch {
+    h: Matrix,
+    tmp: Matrix,
+    head_out: Matrix,
+    head_tmp: Matrix,
+}
+
+impl ActorScratch {
+    pub fn new() -> Self {
+        Self {
+            h: Matrix::zeros(0, 0),
+            tmp: Matrix::zeros(0, 0),
+            head_out: Matrix::zeros(0, 0),
+            head_tmp: Matrix::zeros(0, 0),
+        }
+    }
+}
+
+impl Default for ActorScratch {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -249,6 +301,27 @@ mod tests {
                     "row {i} of batch {n} diverged from single-state act"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn act_batch_into_matches_act_batch() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let actor = TwoHeadActor::paper_default(&mut rng, 8, 2);
+        let mut out = Matrix::zeros(0, 0);
+        let mut scratch = ActorScratch::new();
+        // Reuse the same scratch across growing and shrinking batches to
+        // prove stale storage never leaks into the result.
+        for n in [4usize, 1, 16, 3] {
+            let mut states = Matrix::zeros(n, 8);
+            let mut r = StdRng::seed_from_u64(100 + n as u64);
+            for i in 0..n {
+                let row: Vec<f32> = (0..8).map(|_| r.random_range(-2.0..2.0)).collect();
+                states.set_row(i, &row);
+            }
+            let want = actor.act_batch(&states);
+            actor.act_batch_into(&states, &mut out, &mut scratch);
+            assert_eq!(want, out, "batch {n} diverged");
         }
     }
 

@@ -198,6 +198,18 @@ impl Ddpg {
         self.actor.act_batch(states)
     }
 
+    /// [`Ddpg::act_batch`] into caller-owned storage — bit-identical, but
+    /// allocation-free once `out`/`scratch` have seen the batch shape.
+    /// See [`TwoHeadActor::act_batch_into`].
+    pub fn act_batch_into(
+        &self,
+        states: &Matrix,
+        out: &mut Matrix,
+        scratch: &mut crate::actor::ActorScratch,
+    ) {
+        self.actor.act_batch_into(states, out, scratch)
+    }
+
     /// Training action: before `warmup` transitions have been observed a
     /// uniform-random action is returned (Algorithm 2 line 7), afterwards
     /// the actor output plus Gaussian noise, clamped to `[0, 1]`.

@@ -35,7 +35,7 @@ pub mod replay;
 pub mod sac;
 pub mod td3;
 
-pub use actor::TwoHeadActor;
+pub use actor::{ActorScratch, TwoHeadActor};
 pub use critic::Critic;
 pub use ddpg::{Ddpg, DdpgConfig, UpdateStats};
 pub use dqn::{Ddqn, Dqn, DqnConfig};

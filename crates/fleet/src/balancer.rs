@@ -22,8 +22,9 @@ pub enum BalancerPolicy {
     /// counts, blind to work size.
     RoundRobin,
     /// Join-shortest-queue on the estimated-backlog model: each request
-    /// goes to the node with the least outstanding estimated work (ties
-    /// break to the lowest node index).
+    /// goes to the node with the least outstanding estimated work. Ties
+    /// rotate deterministically with the request index, so an idle
+    /// fleet spreads instead of piling onto node 0.
     JoinShortestQueue,
     /// Energy-oriented packing: among nodes whose estimated backlog
     /// stays within half the request's SLA, pick the *most* loaded —
@@ -120,7 +121,7 @@ pub fn split_arrivals(
     for (i, req) in arrivals.iter().enumerate() {
         let target = match policy {
             BalancerPolicy::RoundRobin => i % nodes,
-            BalancerPolicy::JoinShortestQueue => argmin_outstanding(&mut models, req.arrival),
+            BalancerPolicy::JoinShortestQueue => argmin_outstanding(&mut models, req.arrival, i),
             BalancerPolicy::PowerAware => {
                 // Pack onto the most loaded node that still has headroom:
                 // adding to a node already more than SLA/2 behind risks
@@ -141,7 +142,7 @@ pub fn split_arrivals(
                 }
                 match best {
                     Some((k, _)) => k,
-                    None => argmin_outstanding(&mut models, req.arrival),
+                    None => argmin_outstanding(&mut models, req.arrival, i),
                 }
             }
         };
@@ -151,19 +152,27 @@ pub fn split_arrivals(
     streams
 }
 
-/// Node with the least outstanding estimated work at `now`; ties break
-/// to the lowest index (strict `<`).
-fn argmin_outstanding(models: &mut [BacklogModel], now: u64) -> usize {
-    let mut best = 0usize;
+/// Node with the least outstanding estimated work at `now`. Equal
+/// backlogs rotate with `req_index` instead of collapsing to the lowest
+/// node index: between bursts every estimate drains to zero, and under
+/// lowest-index tie-breaking each new burst's head would land on node 0
+/// every time — at N ≥ 32 that low-index bias is the dominant routing
+/// signal. Rotation keeps the choice a pure function of
+/// `(trace, nodes, policy)`, so determinism is untouched.
+fn argmin_outstanding(models: &mut [BacklogModel], now: u64, req_index: usize) -> usize {
+    let mut ties: Vec<usize> = Vec::with_capacity(4);
     let mut best_out = f64::INFINITY;
     for (k, m) in models.iter_mut().enumerate() {
         let out = m.outstanding_at(now);
         if out < best_out {
-            best = k;
             best_out = out;
+            ties.clear();
+            ties.push(k);
+        } else if out == best_out {
+            ties.push(k);
         }
     }
-    best
+    ties[req_index % ties.len()]
 }
 
 #[cfg(test)]
@@ -214,19 +223,55 @@ mod tests {
 
     #[test]
     fn jsq_drains_backlog_over_time() {
-        // A 5 ms request at t=0 on node 0; by t = 20 ms the 1-core node
-        // has retired 20 ms × 0.4 = 8 ms of estimated work, so a small
-        // request then lands back on node 0 (index tie-break) rather
-        // than node 1.
-        let arrivals = vec![req(0, 0, 5_000_000), req(1, 20_000_000, 1000)];
+        // Drain must be able to flip a strict comparison, not just
+        // resolve ties. Node 0 takes 6 ms at t=0, node 1 takes 4 ms at
+        // t=9 ms; by t=10 ms the 1-core nodes have drained to 2.0 ms
+        // and 3.6 ms respectively (0.4 ref-ns per ns), so the tiny
+        // request lands back on node 0 — the *older* backlog wins
+        // despite having been larger.
+        let arrivals = vec![
+            req(0, 0, 6_000_000),
+            req(1, 9_000_000, 4_000_000),
+            req(2, 10_000_000, 1000),
+        ];
         let streams = split_arrivals(&arrivals, 2, 1, BalancerPolicy::JoinShortestQueue);
-        assert_eq!(streams[0].len(), 2, "{streams:?}");
+        assert_eq!(
+            streams[0].iter().map(|r| r.id).collect::<Vec<_>>(),
+            [0, 2],
+            "{streams:?}"
+        );
+        assert_eq!(streams[1].iter().map(|r| r.id).collect::<Vec<_>>(), [1]);
 
-        // At t = 5 ms only 2 ms has drained: the request spills to the
-        // still-empty node 1 instead.
-        let arrivals = vec![req(0, 0, 5_000_000), req(1, 5_000_000, 1000)];
+        // Without the intervening drain (same split requested at t=0
+        // instead), the 4 ms backlog would still be the strict minimum:
+        // the request spills to node 1.
+        let arrivals = vec![
+            req(0, 0, 6_000_000),
+            req(1, 0, 4_000_000),
+            req(2, 1000, 1000),
+        ];
         let streams = split_arrivals(&arrivals, 2, 1, BalancerPolicy::JoinShortestQueue);
-        assert_eq!(streams[1].len(), 1, "{streams:?}");
+        assert_eq!(streams[1].iter().map(|r| r.id).collect::<Vec<_>>(), [1, 2]);
+    }
+
+    #[test]
+    fn jsq_ties_rotate_instead_of_packing_node_zero() {
+        // Requests spaced far enough apart that every backlog estimate
+        // has fully drained: each routing decision is an all-nodes tie.
+        // Rotation must spread them evenly; the old lowest-index
+        // tie-break put all twelve on node 0.
+        let arrivals: Vec<Request> = (0..12).map(|i| req(i, i * 1_000_000_000, 1000)).collect();
+        let streams = split_arrivals(&arrivals, 4, 1, BalancerPolicy::JoinShortestQueue);
+        for (k, s) in streams.iter().enumerate() {
+            assert_eq!(s.len(), 3, "node {k} got {} of 12: {streams:?}", s.len());
+        }
+        // Still a pure function of the trace: same call, same split.
+        let again = split_arrivals(&arrivals, 4, 1, BalancerPolicy::JoinShortestQueue);
+        for (a, b) in streams.iter().zip(&again) {
+            let ids: Vec<u64> = a.iter().map(|r| r.id).collect();
+            let ids_b: Vec<u64> = b.iter().map(|r| r.id).collect();
+            assert_eq!(ids, ids_b);
+        }
     }
 
     #[test]

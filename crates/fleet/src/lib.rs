@@ -26,7 +26,8 @@ pub mod sim;
 pub use balancer::{split_arrivals, BalancerPolicy};
 pub use sim::{
     fleet_arrivals, run_fleet, run_fleet_profiled, run_fleet_recorded, run_fleet_reference,
-    untrained_policy, FleetResult, FleetSpec, NodeSummary,
+    run_fleet_threaded, run_fleet_threaded_profiled, untrained_policy, FleetResult, FleetSpec,
+    NodeSummary,
 };
 
 #[cfg(test)]
@@ -83,6 +84,36 @@ mod proptests {
                     "per-node stream lost arrival order"
                 );
             }
+        }
+
+        /// Satellite: no low-index bias at large N. When arrivals are
+        /// spaced so every backlog estimate fully drains between them,
+        /// each JSQ decision is an all-nodes tie; rotation must spread
+        /// the requests within one of perfectly even (the old
+        /// lowest-index tie-break put every request on node 0).
+        #[test]
+        fn jsq_spread_is_balanced_at_large_n(nodes in 32usize..65, count in 64usize..129) {
+            // Tiny requests, 1 s apart: a 1-core node drains 0.4 s of
+            // reference work per second, so estimates hit zero long
+            // before the next arrival.
+            let arrivals: Vec<deeppower_simd_server::Request> = (0..count as u64)
+                .map(|i| deeppower_simd_server::Request {
+                    id: i,
+                    arrival: i * 1_000_000_000,
+                    work_ref_ns: 1000,
+                    freq_sensitivity: 1.0,
+                    sla: 10_000_000,
+                    features: vec![],
+                })
+                .collect();
+            let streams = split_arrivals(&arrivals, nodes, 1, BalancerPolicy::JoinShortestQueue);
+            let max = streams.iter().map(|s| s.len()).max().unwrap();
+            let min = streams.iter().map(|s| s.len()).min().unwrap();
+            prop_assert!(
+                max - min <= 1,
+                "tie rotation left an uneven split at N={}: max {} min {}",
+                nodes, max, min
+            );
         }
     }
 }

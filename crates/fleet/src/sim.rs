@@ -15,12 +15,17 @@
 //! per-node results of the naive one-node-at-a-time loop — pinned by
 //! `batched_and_unbatched_fleets_agree` — while doing `1/N` of the
 //! forward passes (the `fleet_scaling` bench measures the speedup).
+//!
+//! [`run_fleet_threaded`] runs the same lockstep drive with node
+//! sessions partitioned across persistent worker threads and a barrier
+//! at every epoch; it is byte-identical to the serial driver at any
+//! thread count (see its docs for the protocol).
 
 use crate::balancer::{split_arrivals, BalancerPolicy};
 use deeppower_core::{
     ControllerParams, StateObserver, ThreadController, TrainConfig, TrainedPolicy, STATE_DIM,
 };
-use deeppower_drl::Ddpg;
+use deeppower_drl::{ActorScratch, Ddpg};
 use deeppower_nn::Matrix;
 use deeppower_simd_server::{
     FreqCommands, Governor, LatencyStats, Request, RequestRecord, RunOptions, Server, ServerConfig,
@@ -31,6 +36,8 @@ use deeppower_workload::{trace_arrivals, App, AppSpec, DiurnalConfig, DiurnalTra
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, OnceLock};
 
 /// One fleet experiment: N identical nodes serving a shared diurnal
 /// trace behind a balancer, under one trained policy.
@@ -236,6 +243,8 @@ fn run_fleet_impl(
         .collect();
     let mut observers = vec![StateObserver::new(policy.deeppower.state_norm); n];
     let mut states = Matrix::zeros(n, STATE_DIM);
+    let mut actions = Matrix::zeros(0, 0);
+    let mut scratch = ActorScratch::new();
 
     let long = policy.deeppower.long_time.max(1);
     let mut epochs = 0u64;
@@ -243,14 +252,15 @@ fn run_fleet_impl(
         // Observe every node (the first epoch sees the pre-run empty
         // state, mirroring the single-node governor acting on its first
         // tick) and act — one batched pass, or N single passes on the
-        // reference path.
+        // reference path. The batched pass reuses `actions`/`scratch`
+        // across epochs so the steady-state loop never allocates.
         let sp = prof.span("fleet.batch_act");
         for (i, (observer, session)) in observers.iter_mut().zip(&sessions).enumerate() {
             let s = session.with_view(|v| observer.observe(v));
             states.set_row(i, &s);
         }
         if batched {
-            let actions = agent.act_batch(&states);
+            agent.act_batch_into(&states, &mut actions, &mut scratch);
             for (i, cell) in cells.iter().enumerate() {
                 cell.set(ControllerParams::from_action(actions.row(i)));
             }
@@ -278,6 +288,214 @@ fn run_fleet_impl(
 
     let _sp = prof.span("fleet.merge");
     let results: Vec<_> = sessions.into_iter().map(Session::finish).collect();
+    assemble(spec, &app_spec, epochs, &assigned, results)
+}
+
+/// Multi-threaded [`run_fleet`]: the same lockstep drive with the node
+/// sessions partitioned across `threads` persistent workers and a
+/// barrier at every `LongTime` epoch.
+///
+/// `threads == 0` means "use every available core"; any value is
+/// clamped to `[1, nodes]` and `1` falls back to the serial driver. The
+/// result is **byte-identical to [`run_fleet`] at any thread count** —
+/// the same discipline as the harness `run_grid`:
+///
+/// * Node `i` lives on worker `i % threads` for its whole lifetime
+///   (sessions are `!Send`, so each is created, advanced and finished
+///   on one thread; there is no work stealing).
+/// * Each epoch, workers write their nodes' observed states into
+///   disjoint rows of one shared `N × STATE_DIM` matrix, then the
+///   leader runs the *single* batched forward pass — bit-identical to
+///   the serial loop's — and publishes one `ControllerParams` per node.
+/// * Completion is a monotone counter: a worker adds each of its nodes
+///   exactly once, the epoch it finishes, and every thread leaves the
+///   loop at the same barrier when the count reaches N. The epoch count
+///   and every per-node result therefore match the serial driver float
+///   for float.
+pub fn run_fleet_threaded(spec: &FleetSpec, policy: &TrainedPolicy, threads: usize) -> FleetResult {
+    run_fleet_threaded_profiled(spec, policy, threads, &Profiler::disabled())
+}
+
+/// [`run_fleet_threaded`] with a span [`Profiler`]. The profiler keeps
+/// per-thread span stacks, so worker-side `engine.*` spans never
+/// interleave across nodes; the leader's `fleet.batch_act` covers the
+/// batched inference exactly as in the serial driver. Profiling never
+/// perturbs the simulation.
+pub fn run_fleet_threaded_profiled(
+    spec: &FleetSpec,
+    policy: &TrainedPolicy,
+    threads: usize,
+    prof: &Profiler,
+) -> FleetResult {
+    assert!(spec.nodes > 0, "fleet needs at least one node");
+    let threads = resolve_threads(threads, spec.nodes);
+    if threads == 1 {
+        let recs = vec![Recorder::disabled(); spec.nodes];
+        return run_fleet_impl(spec, policy, &recs, true, prof);
+    }
+    run_fleet_parallel(spec, policy, threads, prof)
+}
+
+/// `0` → all available cores; otherwise clamp into `[1, nodes]`.
+fn resolve_threads(threads: usize, nodes: usize) -> usize {
+    let t = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    };
+    t.min(nodes).max(1)
+}
+
+fn run_fleet_parallel(
+    spec: &FleetSpec,
+    policy: &TrainedPolicy,
+    threads: usize,
+    prof: &Profiler,
+) -> FleetResult {
+    let n = spec.nodes;
+    debug_assert!(threads >= 2 && threads <= n);
+    let app_spec = AppSpec::get(spec.app);
+    let server = Server::new(ServerConfig::paper_default(app_spec.n_threads));
+    let sp = prof.span("fleet.balance");
+    let arrivals = fleet_arrivals(spec);
+    let streams = split_arrivals(&arrivals, n, app_spec.n_threads, spec.balancer);
+    let assigned: Vec<u64> = streams.iter().map(|s| s.len() as u64).collect();
+    drop(sp);
+
+    let agent = policy.build_agent();
+    let opts = RunOptions {
+        tick_ns: policy.deeppower.short_time,
+        ..Default::default()
+    };
+    let long = policy.deeppower.long_time.max(1);
+    let state_norm = policy.deeppower.state_norm;
+
+    // Epoch protocol, three barriers per epoch:
+    //   workers observe → states rows   ── A ──
+    //   leader: one batched pass → actions     ── B ──
+    //   workers: set params, advance_until(t_stop), bump `done`  ── C ──
+    //   everyone: done == n ? break : next epoch
+    // `done` is monotone-cumulative (each node counted exactly once by
+    // its owner, the epoch it finishes), so there is no reset step and
+    // no reset race; every thread reads the same value after barrier C.
+    let states = Mutex::new(Matrix::zeros(n, STATE_DIM));
+    let actions = Mutex::new(vec![ControllerParams::default(); n]);
+    let barrier = Barrier::new(threads + 1);
+    let done = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<deeppower_simd_server::SimResult>> =
+        (0..n).map(|_| OnceLock::new()).collect();
+
+    let mut epochs = 0u64;
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let (server, streams) = (&server, &streams);
+            let (states, actions) = (&states, &actions);
+            let (barrier, done, slots, prof) = (&barrier, &done, &slots, prof);
+            scope.spawn(move || {
+                // Everything a session touches is created on this
+                // thread: sessions hold `Rc` cells and `&mut` governor
+                // borrows and must never migrate.
+                let owned: Vec<usize> = (w..n).step_by(threads).collect();
+                let recs = vec![Recorder::disabled(); owned.len()];
+                let cells: Vec<Rc<Cell<ControllerParams>>> = owned
+                    .iter()
+                    .map(|_| Rc::new(Cell::new(ControllerParams::default())))
+                    .collect();
+                let mut govs: Vec<SharedParamsController> = cells
+                    .iter()
+                    .map(|c| SharedParamsController {
+                        params: Rc::clone(c),
+                    })
+                    .collect();
+                let mut sessions: Vec<Session<'_>> = govs
+                    .iter_mut()
+                    .zip(&owned)
+                    .zip(&recs)
+                    .map(|((gov, &i), rec)| {
+                        server
+                            .session(&streams[i], gov as &mut dyn Governor, opts, rec)
+                            .with_profiler(prof)
+                    })
+                    .collect();
+                let mut observers = vec![StateObserver::new(state_norm); owned.len()];
+                let mut finished = vec![false; owned.len()];
+                let mut local_epochs = 0u64;
+                loop {
+                    {
+                        let mut st = states.lock().expect("fleet states lock");
+                        for ((k, session), observer) in
+                            sessions.iter().enumerate().zip(observers.iter_mut())
+                        {
+                            let s = session.with_view(|v| observer.observe(v));
+                            st.set_row(owned[k], &s);
+                        }
+                    }
+                    barrier.wait(); // A: every node's state row written
+                    barrier.wait(); // B: leader published this epoch's actions
+                    {
+                        let acts = actions.lock().expect("fleet actions lock");
+                        for (k, cell) in cells.iter().enumerate() {
+                            cell.set(acts[owned[k]]);
+                        }
+                    }
+                    local_epochs += 1;
+                    let t_stop = local_epochs.saturating_mul(long);
+                    let sp = prof.span("fleet.advance");
+                    let mut newly = 0;
+                    for (k, session) in sessions.iter_mut().enumerate() {
+                        if session.advance_until(t_stop) && !finished[k] {
+                            finished[k] = true;
+                            newly += 1;
+                        }
+                    }
+                    drop(sp);
+                    if newly > 0 {
+                        done.fetch_add(newly, Ordering::SeqCst);
+                    }
+                    barrier.wait(); // C: all completions visible
+                    if done.load(Ordering::SeqCst) == n {
+                        break;
+                    }
+                }
+                for (k, session) in sessions.into_iter().enumerate() {
+                    if slots[owned[k]].set(session.finish()).is_err() {
+                        unreachable!("node {} produced two results", owned[k]);
+                    }
+                }
+            });
+        }
+
+        // Leader: the one batched forward pass per epoch, reusing the
+        // action matrix and actor scratch so nothing here allocates in
+        // steady state.
+        let mut actions_mat = Matrix::zeros(0, 0);
+        let mut scratch = ActorScratch::new();
+        loop {
+            barrier.wait(); // A
+            {
+                let sp = prof.span("fleet.batch_act");
+                let st = states.lock().expect("fleet states lock");
+                agent.act_batch_into(&st, &mut actions_mat, &mut scratch);
+                let mut acts = actions.lock().expect("fleet actions lock");
+                for (i, a) in acts.iter_mut().enumerate() {
+                    *a = ControllerParams::from_action(actions_mat.row(i));
+                }
+                drop(sp);
+            }
+            barrier.wait(); // B
+            epochs += 1;
+            barrier.wait(); // C
+            if done.load(Ordering::SeqCst) == n {
+                break;
+            }
+        }
+    });
+
+    let _sp = prof.span("fleet.merge");
+    let results: Vec<_> = slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every node produces a result"))
+        .collect();
     assemble(spec, &app_spec, epochs, &assigned, results)
 }
 
@@ -415,6 +633,39 @@ mod tests {
         let tick = rows.iter().find(|r| r.name == "engine.tick").unwrap();
         assert!(tick.count > 0);
         assert_eq!(tick.root_ns, 0);
+    }
+
+    #[test]
+    fn threaded_fleet_is_byte_identical_at_any_thread_count() {
+        // The acceptance bar for the parallel driver: not "close", not
+        // "statistically equal" — the same bytes as the serial engine,
+        // regardless of how nodes land on workers.
+        let spec = small_spec(4, BalancerPolicy::JoinShortestQueue);
+        let policy = untrained_policy(spec.app, 13);
+        let serial = run_fleet(&spec, &policy).to_json();
+        for threads in [1usize, 2, 8] {
+            let parallel = run_fleet_threaded(&spec, &policy, threads).to_json();
+            assert_eq!(serial, parallel, "--threads {threads} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn profiled_threaded_fleet_is_byte_identical() {
+        // Profiler span stacks are per-thread; turning profiling on
+        // under the parallel driver must not change a single byte.
+        let spec = small_spec(4, BalancerPolicy::RoundRobin);
+        let policy = untrained_policy(spec.app, 5);
+        let plain = run_fleet_threaded(&spec, &policy, 2).to_json();
+        let prof = Profiler::enabled();
+        let profiled = run_fleet_threaded_profiled(&spec, &policy, 2, &prof).to_json();
+        assert_eq!(plain, profiled, "profiling perturbed the parallel fleet");
+        let rows = prof.phase_table();
+        let count = |n: &str| rows.iter().find(|r| r.name == n).map_or(0, |r| r.count);
+        assert_eq!(count("fleet.balance"), 1);
+        assert_eq!(count("fleet.merge"), 1);
+        assert!(count("fleet.batch_act") > 0);
+        // Two workers each open one advance span per epoch.
+        assert_eq!(count("fleet.advance"), 2 * count("fleet.batch_act"));
     }
 
     #[test]

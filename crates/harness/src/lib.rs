@@ -29,7 +29,7 @@ use deeppower_core::{
     train, ControllerParams, DeepPowerGovernor, Mode, SafetyConfig, SafetyGovernor, StepLog,
     ThreadController, TrainConfig, TrainedPolicy,
 };
-use deeppower_fleet::{run_fleet, BalancerPolicy, FleetResult, FleetSpec};
+use deeppower_fleet::{run_fleet_threaded, BalancerPolicy, FleetResult, FleetSpec};
 use deeppower_simd_server::{
     FaultPlan, FixedFrequency, FreqPlan, Governor, Request, RunOptions, Server, ServerConfig,
     SimResult, MILLISECOND, SECOND,
@@ -830,8 +830,14 @@ pub fn fleet_grid(
 
 /// Execute fleet jobs on `threads` workers with the same work-stealing
 /// slot scheme as [`run_grid`]: results are ordered by job index and
-/// byte-identical at any thread count (each fleet run is single-threaded
-/// and a pure function of its spec).
+/// byte-identical at any thread count.
+///
+/// The budget splits across two levels: when there are fewer jobs than
+/// threads, the leftover cores go *inside* each fleet via
+/// [`deeppower_fleet::run_fleet_threaded`] (whose results are themselves
+/// byte-identical to the serial driver at any intra-fleet thread
+/// count). A 16-core host running a 2-cell grid therefore drives each
+/// fleet with 8 worker threads instead of idling 14 cores.
 pub fn run_fleet_grid(jobs: &[FleetJobSpec], threads: usize) -> Vec<FleetResult> {
     let threads = if threads == 0 {
         std::thread::available_parallelism()
@@ -840,17 +846,21 @@ pub fn run_fleet_grid(jobs: &[FleetJobSpec], threads: usize) -> Vec<FleetResult>
     } else {
         threads
     };
-    let threads = threads.min(jobs.len()).max(1);
+    let threads = threads.max(1);
+    let pool = threads.min(jobs.len()).max(1);
+    // Cores left over after one worker per job parallelize the fleets
+    // themselves (run_fleet_threaded clamps to the node count).
+    let intra = (threads / pool).max(1);
 
     let next = AtomicUsize::new(0);
     let slots: Vec<OnceLock<FleetResult>> = jobs.iter().map(|_| OnceLock::new()).collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for _ in 0..pool {
             scope.spawn(|| loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(idx) else { break };
-                let result = run_fleet(&job.fleet, &job.policy);
+                let result = run_fleet_threaded(&job.fleet, &job.policy, intra);
                 assert!(
                     slots[idx].set(result).is_ok(),
                     "fleet job slot written twice"

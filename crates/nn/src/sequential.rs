@@ -111,6 +111,40 @@ impl Sequential {
         cur
     }
 
+    /// [`Sequential::forward_inference`] into caller-owned storage: the
+    /// result lands in `cur`, with `scratch` as the ping-pong partner.
+    /// Once both matrices have seen the stack's widest shape no further
+    /// allocation happens — hot callers (the fleet lockstep driver runs
+    /// this every epoch) keep the pair across calls and go fully
+    /// allocation-free. Bit-identical to `forward_inference`: same
+    /// fused kernels in the same order, only the storage is reused.
+    pub fn forward_inference_into(&self, x: &Matrix, cur: &mut Matrix, scratch: &mut Matrix) {
+        cur.reshape(x.rows(), x.cols());
+        cur.as_mut_slice().copy_from_slice(x.as_slice());
+        let mut i = 0;
+        while i < self.stages.len() {
+            match (&self.stages[i], self.stages.get(i + 1)) {
+                (Stage::Linear(l), Some(Stage::Activation(a))) => {
+                    l.forward_inference_act_into(cur, a.kind, scratch);
+                    std::mem::swap(cur, scratch);
+                    i += 2;
+                }
+                (Stage::Linear(l), _) => {
+                    // Identity-fused = plain linear (Identity applies as
+                    // exactly `x`, so the floats are untouched).
+                    l.forward_inference_act_into(cur, ActivationKind::Identity, scratch);
+                    std::mem::swap(cur, scratch);
+                    i += 1;
+                }
+                (Stage::Activation(a), _) => {
+                    let kind = a.kind;
+                    cur.map_inplace(|v| kind.apply(v));
+                    i += 1;
+                }
+            }
+        }
+    }
+
     /// Backward pass; returns gradient w.r.t. the stack input.
     pub fn backward(&mut self, d_out: &Matrix) -> Matrix {
         let mut cur = d_out.clone();
@@ -272,6 +306,29 @@ mod tests {
         let y = net.forward(&x);
         let d_in = net.backward(&Matrix::full(y.rows(), y.cols(), 1.0));
         assert_eq!((d_in.rows(), d_in.cols()), (1, 4));
+    }
+
+    #[test]
+    fn forward_inference_into_is_bit_identical_and_reuses_storage() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let net = Sequential::mlp(
+            &mut rng,
+            &[6, 24, 24, 3],
+            ActivationKind::Relu,
+            ActivationKind::Identity, // ends on a bare Linear stage
+        );
+        let mut cur = Matrix::zeros(0, 0);
+        let mut scratch = Matrix::zeros(0, 0);
+        for batch in [1usize, 4, 9] {
+            let mut x = Matrix::zeros(batch, 6);
+            for r in 0..batch {
+                let row: Vec<f32> = (0..6).map(|c| ((r * 6 + c) as f32).sin()).collect();
+                x.set_row(r, &row);
+            }
+            let want = net.forward_inference(&x);
+            net.forward_inference_into(&x, &mut cur, &mut scratch);
+            assert_eq!(want, cur, "batch {batch} diverged");
+        }
     }
 
     #[test]

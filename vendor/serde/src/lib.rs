@@ -62,6 +62,50 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Mutable counterpart of [`get`](Self::get).
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Index into an array value.
+    pub fn at(&self, index: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// Mutable counterpart of [`at`](Self::at).
+    pub fn at_mut(&mut self, index: usize) -> Option<&mut Value> {
+        match self {
+            Value::Array(items) => items.get_mut(index),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload widened to `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(Number::F64(v))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
 }
 
 /// Serialization / deserialization error.
