@@ -1,13 +1,15 @@
 //! Telemetry overhead — cost of the recorder on the hot simulation loop.
 //!
 //! The acceptance bar for the telemetry layer: running the server
-//! through `run_recorded` with a *disabled* recorder, or with one backed
-//! by the no-op sink, must cost within 2% of the plain `run` path. A
+//! through `run_recorded` with a *disabled* recorder, with one backed
+//! by the no-op sink, or with a [`MonitorSink`] feeding a *disabled*
+//! health monitor, must cost within 2% of the plain `run` path. A
 //! disabled recorder is a single `Option` branch per emission site;
 //! `NoopSink` additionally constructs each event payload before
-//! discarding it. The ring-buffered full-capture cost is reported for
-//! reference (no assertion — it pays for payload construction *and*
-//! buffering).
+//! discarding it; a disabled monitor discards after one branch in
+//! `observe`. The ring-buffered full-capture and enabled-monitor costs
+//! are reported for reference (no assertion — they pay for payload
+//! construction plus buffering / SLO evaluation).
 //!
 //! Workload: a compare-style rollout — Xapian under the thread
 //! controller at moderate load, default (non-tracing) `TraceConfig`, so
@@ -20,8 +22,10 @@
 
 use deeppower_core::{ControllerParams, ThreadController};
 use deeppower_simd_server::{RunOptions, Server, ServerConfig, SimResult};
-use deeppower_telemetry::{NoopSink, Profiler, Recorder};
+use deeppower_telemetry::{FleetMonitor, MonitorConfig, MonitorSink, NoopSink, Profiler, Recorder};
 use deeppower_workload::{constant_rate_arrivals, App, AppSpec};
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::time::Instant;
 
 fn min_wall_s(repeats: usize, mut run: impl FnMut() -> SimResult) -> (f64, SimResult) {
@@ -76,6 +80,28 @@ fn main() {
     let (t_ring, r_ring) = min_wall_s(repeats, || {
         server.run_recorded(&arrivals, &mut gov(), opts, &Recorder::ring(1 << 16))
     });
+    // The health monitor holds the same contract: a disabled monitor
+    // behind a `MonitorSink` discards every event after one branch, so
+    // wiring the sink must be free; an *enabled* monitor folds rollups
+    // and runs the SLO machine (reported, not asserted).
+    let (t_mon_off, r_mon_off) = min_wall_s(repeats, || {
+        let mon = Rc::new(RefCell::new(FleetMonitor::disabled()));
+        server.run_recorded(
+            &arrivals,
+            &mut gov(),
+            opts,
+            &Recorder::with_sink(Box::new(MonitorSink::new(mon, 0))),
+        )
+    });
+    let (t_mon_on, r_mon_on) = min_wall_s(repeats, || {
+        let mon = Rc::new(RefCell::new(FleetMonitor::new(MonitorConfig::default())));
+        server.run_recorded(
+            &arrivals,
+            &mut gov(),
+            opts,
+            &Recorder::with_sink(Box::new(MonitorSink::new(mon, 0))),
+        )
+    });
     // The span profiler holds the same contract as the recorder: when
     // disabled it is one `Option` branch per span site (open + drop).
     let (t_prof_off, r_prof_off) = min_wall_s(repeats, || {
@@ -102,6 +128,8 @@ fn main() {
         ("disabled", &r_disabled),
         ("noop-sink", &r_noop),
         ("ring", &r_ring),
+        ("monitor-off", &r_mon_off),
+        ("monitor-on", &r_mon_on),
         ("profiler-off", &r_prof_off),
         ("profiler-on", &r_prof_on),
     ] {
@@ -134,6 +162,18 @@ fn main() {
     );
     println!(
         "{:<22} {:>9.4} {:>+8.2}%",
+        "monitor disabled",
+        t_mon_off,
+        pct(t_mon_off)
+    );
+    println!(
+        "{:<22} {:>9.4} {:>+8.2}%",
+        "monitor enabled",
+        t_mon_on,
+        pct(t_mon_on)
+    );
+    println!(
+        "{:<22} {:>9.4} {:>+8.2}%",
         "profiler disabled",
         t_prof_off,
         pct(t_prof_off)
@@ -147,15 +187,16 @@ fn main() {
 
     let worst = (t_disabled / t_plain - 1.0)
         .max(t_noop / t_plain - 1.0)
+        .max(t_mon_off / t_plain - 1.0)
         .max(t_prof_off / t_plain - 1.0);
     assert!(
         worst < tolerance,
-        "disabled recorder/profiler overhead {:.2}% exceeds {:.0}% budget",
+        "disabled recorder/monitor/profiler overhead {:.2}% exceeds {:.0}% budget",
         worst * 100.0,
         tolerance * 100.0
     );
     println!(
-        "\n[overhead OK] disabled recorder/profiler within {:.0}% of the plain path",
+        "\n[overhead OK] disabled recorder/monitor/profiler within {:.0}% of the plain path",
         tolerance * 100.0
     );
 }

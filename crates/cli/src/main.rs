@@ -28,14 +28,15 @@ use deeppower_core::{
     evaluate_recorded, explain_decisions, mean_abs_saliency, surface_to_csv, train, train_profiled,
     TrainConfig, TrainedPolicy, STATE_DIM_NAMES,
 };
-use deeppower_fleet::{run_fleet_recorded, BalancerPolicy};
+use deeppower_fleet::{run_fleet_monitored, run_fleet_recorded, BalancerPolicy};
 use deeppower_harness::{
-    calibrated_train_seed, fleet_grid, grid, robustness_matrix, run_fleet_grid, run_grid,
-    run_grid_telemetry, summarize, GovernorSpec, JobResult, WorkloadKind,
+    calibrated_train_seed, fault_scenarios, fleet_grid, grid, robustness_matrix, run_fleet_grid,
+    run_grid, run_grid_telemetry, summarize, GovernorSpec, JobResult, WorkloadKind,
 };
 use deeppower_simd_server::{TraceConfig, MILLISECOND};
 use deeppower_telemetry::{
-    atomic_write, render_phase_table, steps_to_csv, to_jsonl, Event, Logger, Profiler, Recorder,
+    atomic_write, from_jsonl, render_phase_table, steps_to_csv, to_jsonl, Event, FleetMonitor,
+    HealthReport, Logger, MonitorConfig, Profiler, Recorder, SloSpec,
 };
 use deeppower_workload::{save_trace_csv, App, AppSpec, DiurnalConfig, DiurnalTrace};
 use std::collections::HashMap;
@@ -67,6 +68,7 @@ fn main() -> ExitCode {
         "grid" => cmd_grid(&flags, &log),
         "robustness" => cmd_robustness(&flags, &log),
         "fleet" => cmd_fleet(&flags, &log),
+        "monitor" => cmd_monitor(&flags, &log),
         "trace" => cmd_trace(&flags, &log),
         "profile" => cmd_profile(&flags, &log),
         "explain" => cmd_explain(&flags, &log),
@@ -103,7 +105,10 @@ USAGE:
                     [--seed K] [--threads N] [-o FILE]
   deeppower fleet   --policy FILE | --app <name> [--nodes N1,N2] [--balancer LIST]
                     [--duration-s S] [--peak-load F] [--seed K] [--train-seed K]
-                    [--threads N] [-o FILE] [--telemetry DIR]
+                    [--fault none|dvfs|sensor|stall|all] [--monitor] [--slo FILE]
+                    [--health FILE] [--threads N] [-o FILE] [--telemetry DIR]
+  deeppower monitor --input FILE[,FILE...] [--slo FILE | --app <name>] [-o FILE]
+                    [--log FILE]
   deeppower trace   --policy FILE | --app <name> [--duration-s S] [--peak-load F] [--seed K]
                     [-o FILE.jsonl] [--csv FILE.csv]
   deeppower profile --policy FILE | --app <name> [--duration-s S] [--peak-load F] [--seed K]
@@ -135,6 +140,17 @@ to a grid. -o writes the fleet reports as JSON; --telemetry DIR writes
 one JSONL artifact per node per cell. --threads N (0 = all cores) splits
 across grid cells first, then leftover cores parallelize the node
 sessions *inside* each fleet — results are byte-identical either way.
+--fault applies one of the seeded robustness fault scenarios to every
+node; --monitor attaches the fleet health monitor inline (SLO from
+--slo FILE or the app's SLA) and prints each cell's incident log;
+--health FILE writes the per-cell health reports as JSON.
+`monitor` replays telemetry JSONL artifacts offline — one file per node,
+e.g. the per-node artifacts of `fleet --telemetry` — through the fleet
+health monitor: tumbling-window SLO evaluation, multi-window burn-rate
+alerts with incident timelines, EWMA anomaly flags. The SLO comes from
+--slo FILE (JSON SloSpec), --app (the app's Table-3 SLA as p99 target),
+or defaults to a timeout-rate ceiling; -o writes the health report JSON
+and --log the human-readable incident log.
 `profile` runs training (without --policy) plus an evaluation under the
 span profiler and writes a Chrome trace-event JSON (load it at
 ui.perfetto.dev or chrome://tracing) plus a per-phase aggregate table.
@@ -147,7 +163,7 @@ BENCH_*.json baseline; exits non-zero on any gated regression.";
 type Flags = HashMap<String, String>;
 
 /// Flags that take no value; their presence maps to `"true"`.
-const BOOL_FLAGS: &[&str] = &["quiet", "verbose"];
+const BOOL_FLAGS: &[&str] = &["quiet", "verbose", "monitor"];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut out = HashMap::new();
@@ -516,11 +532,26 @@ fn cmd_fleet(flags: &Flags, log: &Logger) -> Result<(), String> {
     let seed = get(flags, "seed", 999u64)?;
     let threads = get(flags, "threads", 0usize)?;
 
+    let fault = flags.get("fault").map(String::as_str).unwrap_or("none");
+    let faults = fault_scenarios(seed)
+        .into_iter()
+        .find(|(name, _)| *name == fault)
+        .map(|(_, plan)| plan)
+        .ok_or_else(|| format!("unknown fault scenario `{fault}` (none|dvfs|sensor|stall|all)"))?;
+    let monitor = flags.contains_key("monitor");
+    if monitor && flags.contains_key("telemetry") {
+        return Err(
+            "--monitor and --telemetry are mutually exclusive; write artifacts first, then \
+             `deeppower monitor --input node0.jsonl,node1.jsonl,...`"
+                .into(),
+        );
+    }
+
     let policy = policy_or_train(flags, log, "fleet", &Profiler::disabled())?;
     let app = policy.app;
     let peak_load = get(flags, "peak-load", default_peak_load(app))?;
 
-    let jobs = fleet_grid(
+    let mut jobs = fleet_grid(
         app,
         &node_counts,
         &balancers,
@@ -529,40 +560,61 @@ fn cmd_fleet(flags: &Flags, log: &Logger) -> Result<(), String> {
         duration_s,
         &policy,
     );
+    for job in &mut jobs {
+        job.fleet.faults = faults;
+    }
     log.info(&format!(
-        "running {} fleet cells on {app:?}: nodes {node_counts:?} x balancers {:?}, {duration_s} s each",
+        "running {} fleet cells on {app:?}: nodes {node_counts:?} x balancers {:?}, {duration_s} s each, faults `{fault}`",
         jobs.len(),
         balancers.iter().map(|b| b.label()).collect::<Vec<_>>(),
     ));
     let t0 = std::time::Instant::now();
-    let results = match flags.get("telemetry") {
-        Some(dir) => {
-            // Per-node JSONL artifacts want live recorders, so telemetry
-            // cells run in-process (each fleet is itself N sessions).
-            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
-            let mut results = Vec::with_capacity(jobs.len());
-            for (j, job) in jobs.iter().enumerate() {
-                let recs: Vec<Recorder> = (0..job.fleet.nodes)
-                    .map(|_| Recorder::ring(1 << 16))
-                    .collect();
-                let res = run_fleet_recorded(&job.fleet, &job.policy, &recs);
-                for (i, rec) in recs.iter().enumerate() {
-                    let path = Path::new(dir).join(format!(
-                        "fleet-{j:02}-{}-{}nodes-node{i:02}.jsonl",
-                        res.balancer, res.nodes
+    let mut healths: Vec<HealthReport> = Vec::new();
+    let results = if monitor {
+        let app_spec = AppSpec::get(app);
+        let slo = slo_from_flags(flags, SloSpec::for_sla_ns(app_spec.name, app_spec.sla))?;
+        jobs.iter()
+            .map(|job| {
+                let (res, rep) = run_fleet_monitored(
+                    &job.fleet,
+                    &job.policy,
+                    threads,
+                    MonitorConfig::with_slo(slo.clone()),
+                );
+                healths.push(rep);
+                res
+            })
+            .collect()
+    } else {
+        match flags.get("telemetry") {
+            Some(dir) => {
+                // Per-node JSONL artifacts want live recorders, so telemetry
+                // cells run in-process (each fleet is itself N sessions).
+                std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+                let mut results = Vec::with_capacity(jobs.len());
+                for (j, job) in jobs.iter().enumerate() {
+                    let recs: Vec<Recorder> = (0..job.fleet.nodes)
+                        .map(|_| Recorder::ring(1 << 16))
+                        .collect();
+                    let res = run_fleet_recorded(&job.fleet, &job.policy, &recs);
+                    for (i, rec) in recs.iter().enumerate() {
+                        let path = Path::new(dir).join(format!(
+                            "fleet-{j:02}-{}-{}nodes-node{i:02}.jsonl",
+                            res.balancer, res.nodes
+                        ));
+                        atomic_write(&path, to_jsonl(&rec.drain_events()))
+                            .map_err(|e| e.to_string())?;
+                    }
+                    log.debug(&format!(
+                        "cell {j}: {} nodes, {} artifacts",
+                        job.fleet.nodes, job.fleet.nodes
                     ));
-                    atomic_write(&path, to_jsonl(&rec.drain_events()))
-                        .map_err(|e| e.to_string())?;
+                    results.push(res);
                 }
-                log.debug(&format!(
-                    "cell {j}: {} nodes, {} artifacts",
-                    job.fleet.nodes, job.fleet.nodes
-                ));
-                results.push(res);
+                results
             }
-            results
+            None => run_fleet_grid(&jobs, threads),
         }
-        None => run_fleet_grid(&jobs, threads),
     };
     log.info(&format!("finished in {:.1} s", t0.elapsed().as_secs_f64()));
 
@@ -582,10 +634,89 @@ fn cmd_fleet(flags: &Flags, log: &Logger) -> Result<(), String> {
             r.fleet_timeout_rate * 100.0,
         );
     }
+    if monitor {
+        for (r, rep) in results.iter().zip(&healths) {
+            println!("\n== cell: {} nodes, {} ==", r.nodes, r.balancer);
+            print!("{}", rep.render_incident_log());
+        }
+        if let Some(path) = flags.get("health") {
+            let json = serde_json::to_string_pretty(&healths).expect("health report serialization");
+            atomic_write(Path::new(path), json).map_err(|e| e.to_string())?;
+            log.info(&format!("health reports written to {path}"));
+        }
+    }
     if let Some(out) = flags.get("out") {
         let json = serde_json::to_string_pretty(&results).expect("fleet results serialization");
         atomic_write(Path::new(out), json).map_err(|e| e.to_string())?;
         log.info(&format!("fleet report written to {out}"));
+    }
+    Ok(())
+}
+
+/// SLO spec selection shared by `fleet --monitor` and `monitor`:
+/// `--slo FILE` (JSON [`SloSpec`]) wins, otherwise the caller's default
+/// (the `--app` SLA, or `SloSpec::default()` for offline artifacts).
+fn slo_from_flags(flags: &Flags, default: SloSpec) -> Result<SloSpec, String> {
+    match flags.get("slo") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read SLO spec {path}: {e}"))?;
+            SloSpec::from_json(&text).map_err(|e| format!("bad SLO spec {path}: {e}"))
+        }
+        None => Ok(default),
+    }
+}
+
+/// Offline health plane: replay per-node telemetry artifacts (one JSONL
+/// file per node, in node order) through a [`FleetMonitor`] and emit the
+/// same health report / incident log an inline `fleet --monitor` run
+/// produces. Deterministic: a pure function of the artifact bytes and
+/// the SLO spec.
+fn cmd_monitor(flags: &Flags, log: &Logger) -> Result<(), String> {
+    let inputs = parse_list(flags, "input", "", |s| Ok::<_, String>(s.to_string()))?;
+    let inputs: Vec<String> = inputs.into_iter().filter(|s| !s.is_empty()).collect();
+    if inputs.is_empty() {
+        return Err("monitor needs --input FILE[,FILE...] (one JSONL artifact per node)".into());
+    }
+
+    let default_slo = match flags.get("app") {
+        Some(name) => {
+            let spec = AppSpec::get(app_by_name(name)?);
+            SloSpec::for_sla_ns(spec.name, spec.sla)
+        }
+        None => SloSpec::default(),
+    };
+    let slo = slo_from_flags(flags, default_slo)?;
+    log.info(&format!(
+        "evaluating SLO `{}` over {} node artifact(s)",
+        slo.name,
+        inputs.len()
+    ));
+
+    let mut mon = FleetMonitor::new(MonitorConfig::with_slo(slo));
+    for (node, path) in inputs.iter().enumerate() {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read telemetry artifact {path}: {e}"))?;
+        let events = from_jsonl(&text).map_err(|e| format!("corrupt artifact {path}: {e}"))?;
+        mon.ingest(node as u64, &events);
+    }
+    let report = mon.finish();
+    if report.windows == 0 {
+        return Err(format!(
+            "no window rollups in {} artifact(s) — re-record with a window-enabled run \
+             (`deeppower fleet --telemetry DIR`)",
+            inputs.len()
+        ));
+    }
+
+    print!("{}", report.render_incident_log());
+    if let Some(out) = flags.get("out") {
+        atomic_write(Path::new(out), report.to_json()).map_err(|e| e.to_string())?;
+        log.info(&format!("health report written to {out}"));
+    }
+    if let Some(path) = flags.get("log") {
+        atomic_write(Path::new(path), report.render_incident_log()).map_err(|e| e.to_string())?;
+        log.info(&format!("incident log written to {path}"));
     }
     Ok(())
 }

@@ -97,6 +97,89 @@ fn positional_argument_is_rejected() {
     assert_clean_failure(&out, "unexpected argument `xapian`");
 }
 
+#[test]
+fn monitor_without_input_fails() {
+    let out = deeppower(&["monitor"]);
+    assert_clean_failure(&out, "monitor needs --input");
+}
+
+#[test]
+fn monitor_missing_artifact_fails() {
+    let out = deeppower(&["monitor", "--input", "/nonexistent/node00.jsonl"]);
+    assert_clean_failure(&out, "cannot read telemetry artifact");
+}
+
+#[test]
+fn monitor_corrupt_artifact_fails() {
+    let dir = std::env::temp_dir().join("deeppower-cli-errors");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("truncated.jsonl");
+    // A truncated write: valid first line, garbage second.
+    std::fs::write(&path, "{\"t\":0,\"kind\":\"nope\"\n{half a li").unwrap();
+    let out = deeppower(&["monitor", "--input", path.to_str().unwrap()]);
+    assert_clean_failure(&out, "corrupt artifact");
+    // The diagnostic must point at the offending line.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 1"), "no line number in:\n{stderr}");
+    std::fs::remove_file(&path).ok();
+}
+
+/// An artifact with events but no `WindowRollup`s (e.g. recorded before
+/// windows existed, or with windowing disabled) has nothing for the
+/// monitor to evaluate — that is an error, not an empty healthy report.
+#[test]
+fn monitor_artifact_without_rollups_fails() {
+    let dir = std::env::temp_dir().join("deeppower-cli-errors");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("no-rollups.jsonl");
+    std::fs::write(
+        &path,
+        "{\"LatencySnapshot\":{\"t\":1000000000,\"count\":10,\"p50_ns\":1,\"p95_ns\":2,\"p99_ns\":3,\"timeouts\":0}}\n",
+    )
+    .unwrap();
+    let out = deeppower(&["monitor", "--input", path.to_str().unwrap()]);
+    assert_clean_failure(&out, "no window rollups");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn monitor_bad_slo_spec_fails() {
+    let dir = std::env::temp_dir().join("deeppower-cli-errors");
+    std::fs::create_dir_all(&dir).unwrap();
+    let slo = dir.join("bad-slo.json");
+    std::fs::write(&slo, "{ not an slo").unwrap();
+    // The SLO parse happens before artifacts are opened, so the input
+    // path never being read is fine here.
+    let out = deeppower(&[
+        "monitor",
+        "--input",
+        "/nonexistent/node00.jsonl",
+        "--slo",
+        slo.to_str().unwrap(),
+    ]);
+    assert_clean_failure(&out, "bad SLO spec");
+    std::fs::remove_file(&slo).ok();
+}
+
+#[test]
+fn fleet_unknown_fault_scenario_fails() {
+    let out = deeppower(&["fleet", "--app", "masstree", "--fault", "gremlins"]);
+    assert_clean_failure(&out, "unknown fault scenario `gremlins`");
+}
+
+#[test]
+fn fleet_monitor_and_telemetry_are_exclusive() {
+    let out = deeppower(&[
+        "fleet",
+        "--app",
+        "masstree",
+        "--monitor",
+        "--telemetry",
+        "/tmp/deeppower-cli-errors-tele",
+    ]);
+    assert_clean_failure(&out, "mutually exclusive");
+}
+
 /// A report path whose parent directory does not exist must surface the
 /// I/O error (from the atomic temp-file create) instead of panicking —
 /// and fast, so use the cheapest possible grid cell.

@@ -25,9 +25,9 @@ pub mod sim;
 
 pub use balancer::{split_arrivals, BalancerPolicy};
 pub use sim::{
-    fleet_arrivals, run_fleet, run_fleet_profiled, run_fleet_recorded, run_fleet_reference,
-    run_fleet_threaded, run_fleet_threaded_profiled, untrained_policy, FleetResult, FleetSpec,
-    NodeSummary,
+    fleet_arrivals, run_fleet, run_fleet_monitored, run_fleet_profiled, run_fleet_recorded,
+    run_fleet_reference, run_fleet_threaded, run_fleet_threaded_profiled, untrained_policy,
+    FleetResult, FleetSpec, NodeSummary,
 };
 
 #[cfg(test)]

@@ -28,13 +28,15 @@ use deeppower_core::{
 use deeppower_drl::{ActorScratch, Ddpg};
 use deeppower_nn::Matrix;
 use deeppower_simd_server::{
-    FreqCommands, Governor, LatencyStats, Request, RequestRecord, RunOptions, Server, ServerConfig,
-    ServerView, Session, MILLISECOND,
+    FaultPlan, FreqCommands, Governor, LatencyStats, Request, RequestRecord, RunOptions, Server,
+    ServerConfig, ServerView, Session, MILLISECOND,
 };
-use deeppower_telemetry::{Profiler, Recorder};
+use deeppower_telemetry::{
+    FleetMonitor, HealthReport, MonitorConfig, MonitorSink, Profiler, Recorder,
+};
 use deeppower_workload::{trace_arrivals, App, AppSpec, DiurnalConfig, DiurnalTrace};
 use serde::{Deserialize, Serialize};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex, OnceLock};
@@ -55,6 +57,10 @@ pub struct FleetSpec {
     pub peak_load: f64,
     /// Trace duration in simulated seconds.
     pub duration_s: u64,
+    /// Fault axes applied to every node. Each node draws from its own
+    /// fault streams (seed offset by the node index), so a fleet under
+    /// e.g. core stalls degrades node by node, not in lockstep.
+    pub faults: FaultPlan,
 }
 
 /// Per-node slice of a fleet run.
@@ -199,6 +205,20 @@ pub fn run_fleet_reference(spec: &FleetSpec, policy: &TrainedPolicy) -> FleetRes
     run_fleet_impl(spec, policy, &recs, false, &Profiler::disabled())
 }
 
+/// Per-node [`RunOptions`]: every node shares the fleet's tick grid
+/// (and therefore its window grid) and fault axes, but draws from its
+/// own fault seed stream (`seed + node`) so faults don't strike the
+/// whole fleet in lockstep.
+fn node_opts(base: RunOptions, faults: FaultPlan, node: usize) -> RunOptions {
+    RunOptions {
+        faults: FaultPlan {
+            seed: faults.seed.wrapping_add(node as u64),
+            ..faults
+        },
+        ..base
+    }
+}
+
 fn run_fleet_impl(
     spec: &FleetSpec,
     policy: &TrainedPolicy,
@@ -235,9 +255,15 @@ fn run_fleet_impl(
         .iter_mut()
         .zip(&streams)
         .zip(recs)
-        .map(|((gov, stream), rec)| {
+        .enumerate()
+        .map(|(i, ((gov, stream), rec))| {
             server
-                .session(stream, gov as &mut dyn Governor, opts, rec)
+                .session(
+                    stream,
+                    gov as &mut dyn Governor,
+                    node_opts(opts, spec.faults, i),
+                    rec,
+                )
                 .with_profiler(prof)
         })
         .collect();
@@ -346,12 +372,58 @@ fn resolve_threads(threads: usize, nodes: usize) -> usize {
     t.min(nodes).max(1)
 }
 
+/// Run a fleet (serial or threaded, per `threads`) with a
+/// [`FleetMonitor`] attached: every node's telemetry stream — window
+/// rollups, injected faults, governor steps — feeds the monitor inline
+/// through per-node [`MonitorSink`] recorders, and the final
+/// [`HealthReport`] rides along with the fleet result.
+///
+/// The report is **byte-identical at any thread count**: monitor state
+/// is keyed `(window, node)` and order-independent across nodes, so
+/// the per-worker monitors the parallel driver merges reconstruct
+/// exactly the state the serial driver builds (asserted by
+/// `monitored_fleet_report_is_byte_identical_at_any_thread_count`).
+pub fn run_fleet_monitored(
+    spec: &FleetSpec,
+    policy: &TrainedPolicy,
+    threads: usize,
+    cfg: MonitorConfig,
+) -> (FleetResult, HealthReport) {
+    assert!(spec.nodes > 0, "fleet needs at least one node");
+    let threads = resolve_threads(threads, spec.nodes);
+    if threads == 1 {
+        let monitor = Rc::new(RefCell::new(FleetMonitor::new(cfg)));
+        let recs: Vec<Recorder> = (0..spec.nodes)
+            .map(|i| Recorder::with_sink(Box::new(MonitorSink::new(Rc::clone(&monitor), i as u64))))
+            .collect();
+        let result = run_fleet_impl(spec, policy, &recs, true, &Profiler::disabled());
+        let report = monitor.borrow().finish();
+        return (result, report);
+    }
+    let (result, report) =
+        run_fleet_parallel_inner(spec, policy, threads, &Profiler::disabled(), Some(cfg));
+    (
+        result,
+        report.expect("monitored parallel fleet returns a report"),
+    )
+}
+
 fn run_fleet_parallel(
     spec: &FleetSpec,
     policy: &TrainedPolicy,
     threads: usize,
     prof: &Profiler,
 ) -> FleetResult {
+    run_fleet_parallel_inner(spec, policy, threads, prof, None).0
+}
+
+fn run_fleet_parallel_inner(
+    spec: &FleetSpec,
+    policy: &TrainedPolicy,
+    threads: usize,
+    prof: &Profiler,
+    monitor_cfg: Option<MonitorConfig>,
+) -> (FleetResult, Option<HealthReport>) {
     let n = spec.nodes;
     debug_assert!(threads >= 2 && threads <= n);
     let app_spec = AppSpec::get(spec.app);
@@ -384,6 +456,8 @@ fn run_fleet_parallel(
     let done = AtomicUsize::new(0);
     let slots: Vec<OnceLock<deeppower_simd_server::SimResult>> =
         (0..n).map(|_| OnceLock::new()).collect();
+    let mon_slots: Vec<OnceLock<FleetMonitor>> = (0..threads).map(|_| OnceLock::new()).collect();
+    let faults = spec.faults;
 
     let mut epochs = 0u64;
     std::thread::scope(|scope| {
@@ -391,12 +465,26 @@ fn run_fleet_parallel(
             let (server, streams) = (&server, &streams);
             let (states, actions) = (&states, &actions);
             let (barrier, done, slots, prof) = (&barrier, &done, &slots, prof);
+            let (monitor_cfg, mon_slots) = (monitor_cfg.as_ref(), &mon_slots);
             scope.spawn(move || {
                 // Everything a session touches is created on this
                 // thread: sessions hold `Rc` cells and `&mut` governor
                 // borrows and must never migrate.
                 let owned: Vec<usize> = (w..n).step_by(threads).collect();
-                let recs = vec![Recorder::disabled(); owned.len()];
+                // Worker-local monitor: nodes feed it inline through
+                // their sinks; workers own disjoint node sets, so the
+                // merged monitors equal the serial driver's.
+                let worker_mon =
+                    monitor_cfg.map(|cfg| Rc::new(RefCell::new(FleetMonitor::new(cfg.clone()))));
+                let recs: Vec<Recorder> = match &worker_mon {
+                    Some(m) => owned
+                        .iter()
+                        .map(|&i| {
+                            Recorder::with_sink(Box::new(MonitorSink::new(Rc::clone(m), i as u64)))
+                        })
+                        .collect(),
+                    None => vec![Recorder::disabled(); owned.len()],
+                };
                 let cells: Vec<Rc<Cell<ControllerParams>>> = owned
                     .iter()
                     .map(|_| Rc::new(Cell::new(ControllerParams::default())))
@@ -413,7 +501,12 @@ fn run_fleet_parallel(
                     .zip(&recs)
                     .map(|((gov, &i), rec)| {
                         server
-                            .session(&streams[i], gov as &mut dyn Governor, opts, rec)
+                            .session(
+                                &streams[i],
+                                gov as &mut dyn Governor,
+                                node_opts(opts, faults, i),
+                                rec,
+                            )
                             .with_profiler(prof)
                     })
                     .collect();
@@ -462,6 +555,22 @@ fn run_fleet_parallel(
                         unreachable!("node {} produced two results", owned[k]);
                     }
                 }
+                if let Some(m) = worker_mon {
+                    // The sessions (and their recorders) are gone, so
+                    // this worker holds the only strong reference left.
+                    drop(recs);
+                    let mon = Rc::try_unwrap(m)
+                        .unwrap_or_else(|m| {
+                            unreachable!(
+                                "worker {w} monitor still shared: {} refs",
+                                Rc::strong_count(&m)
+                            )
+                        })
+                        .into_inner();
+                    if mon_slots[w].set(mon).is_err() {
+                        unreachable!("worker {w} published two monitors");
+                    }
+                }
             });
         }
 
@@ -496,7 +605,20 @@ fn run_fleet_parallel(
         .into_iter()
         .map(|s| s.into_inner().expect("every node produces a result"))
         .collect();
-    assemble(spec, &app_spec, epochs, &assigned, results)
+    let report = monitor_cfg.map(|cfg| {
+        let mut fleet_mon = FleetMonitor::new(cfg);
+        for slot in mon_slots {
+            fleet_mon.merge(
+                slot.into_inner()
+                    .expect("every worker publishes its monitor"),
+            );
+        }
+        fleet_mon.finish()
+    });
+    (
+        assemble(spec, &app_spec, epochs, &assigned, results),
+        report,
+    )
 }
 
 /// Fold per-node [`SimResult`]s into the fleet report. Fleet
@@ -565,6 +687,7 @@ mod tests {
             seed: 11,
             peak_load: 0.4,
             duration_s: 3,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -666,6 +789,101 @@ mod tests {
         assert!(count("fleet.batch_act") > 0);
         // Two workers each open one advance span per epoch.
         assert_eq!(count("fleet.advance"), 2 * count("fleet.batch_act"));
+    }
+
+    #[test]
+    fn monitored_fleet_report_is_byte_identical_at_any_thread_count() {
+        // Same bar as the threaded driver itself: the health report is
+        // a pure function of the per-node event streams, so serial and
+        // parallel monitored fleets must agree byte for byte — and
+        // monitoring must not perturb the fleet result.
+        use deeppower_telemetry::{MonitorConfig, SloSpec};
+        let mut spec = small_spec(4, BalancerPolicy::JoinShortestQueue);
+        spec.faults = FaultPlan {
+            seed: 21,
+            stall_period_ns: 1_000_000_000,
+            stall_duration_ns: 300_000_000,
+            ..FaultPlan::none()
+        };
+        let policy = untrained_policy(spec.app, 13);
+        let cfg = MonitorConfig::with_slo(SloSpec::for_sla_ns("masstree", MILLISECOND));
+        let plain = run_fleet(&spec, &policy).to_json();
+        let (serial_res, serial_rep) = run_fleet_monitored(&spec, &policy, 1, cfg.clone());
+        assert_eq!(
+            plain,
+            serial_res.to_json(),
+            "monitoring perturbed the fleet result"
+        );
+        assert!(serial_rep.windows > 0, "monitor saw no window rollups");
+        let serial_rep = serial_rep.to_json();
+        for threads in [2usize, 8] {
+            let (res, rep) = run_fleet_monitored(&spec, &policy, threads, cfg.clone());
+            assert_eq!(plain, res.to_json(), "--threads {threads} result diverged");
+            assert_eq!(
+                serial_rep,
+                rep.to_json(),
+                "--threads {threads} health report diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_fleet_trips_alerts_clean_fleet_stays_healthy() {
+        // The health plane's acceptance bar: a fault-injected fleet
+        // trips at least one burn-rate alert whose incident timeline
+        // names the injected faults, while the identical fault-free
+        // fleet produces zero alerts and zero violations.
+        use deeppower_telemetry::{BurnRateRule, Event, MonitorConfig, SloSpec};
+        let mut spec = FleetSpec {
+            app: App::Masstree,
+            nodes: 3,
+            balancer: BalancerPolicy::JoinShortestQueue,
+            seed: 11,
+            peak_load: 0.75,
+            duration_s: 6,
+            faults: FaultPlan::none(),
+        };
+        let policy = untrained_policy(spec.app, 5);
+        let mut slo = SloSpec::for_sla_ns("masstree", MILLISECOND);
+        // Short trailing windows: the run is only six windows long.
+        slo.rules = vec![BurnRateRule {
+            long_windows: 2,
+            short_windows: 1,
+            max_burn: 2.0,
+        }];
+        let cfg = MonitorConfig::with_slo(slo);
+
+        let (_, clean) = run_fleet_monitored(&spec, &policy, 1, cfg.clone());
+        assert!(clean.healthy, "fault-free baseline must be healthy");
+        assert!(clean.alerts.is_empty());
+        assert_eq!(clean.outcomes.iter().map(|o| o.violations).sum::<u64>(), 0);
+
+        spec.faults = FaultPlan {
+            seed: 42,
+            stall_period_ns: 1_000_000_000,
+            stall_duration_ns: 700_000_000,
+            ..FaultPlan::none()
+        };
+        let (_, faulted) = run_fleet_monitored(&spec, &policy, 1, cfg);
+        assert!(!faulted.healthy);
+        assert!(
+            !faulted.alerts.is_empty(),
+            "core stalls at 0.75 load must trip a burn-rate alert"
+        );
+        let alert = &faulted.alerts[0];
+        assert!(
+            !alert.timeline.is_empty(),
+            "alert must carry incident context"
+        );
+        assert!(
+            alert.timeline.iter().any(|e| e.kind == "core-stall"),
+            "timeline must name the injected faults"
+        );
+        assert!(faulted
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::SloViolation(_))));
+        assert!(faulted.outcomes.iter().any(|o| o.violations > 0));
     }
 
     #[test]

@@ -34,7 +34,7 @@ use deeppower_simd_server::{
     FaultPlan, FixedFrequency, FreqPlan, Governor, Request, RunOptions, Server, ServerConfig,
     SimResult, MILLISECOND, SECOND,
 };
-use deeppower_telemetry::{event, Event, Profiler, Recorder};
+use deeppower_telemetry::{event, Event, FleetMonitor, MonitorConfig, Profiler, Recorder, SloSpec};
 use deeppower_workload::{constant_rate_arrivals, trace_arrivals, App, AppSpec};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -658,6 +658,15 @@ pub struct RobustnessRow {
     pub p99_ms: f64,
     pub timeout_rate: f64,
     pub faults_injected: u64,
+    /// Burn-rate alerts fired by a [`FleetMonitor`] evaluating the
+    /// app's SLA over the job's window-rollup stream (default
+    /// multi-window rules; short runs rarely span enough windows to
+    /// trip them).
+    pub alerts: u64,
+    /// Seconds of objective-time in instantaneous SLO violation,
+    /// summed across objectives (a window violating two objectives
+    /// counts twice).
+    pub violation_s: f64,
     /// Deltas vs the same governor's `none` scenario.
     pub d_power_w: f64,
     pub d_p99_ms: f64,
@@ -683,26 +692,30 @@ impl RobustnessReport {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<24} {:<8} {:>9} {:>9} {:>9} {:>8} {:>9} {:>9} {:>9}\n",
+            "{:<24} {:<8} {:>9} {:>9} {:>9} {:>8} {:>7} {:>7} {:>9} {:>9} {:>9}\n",
             "governor",
             "scenario",
             "power_w",
             "p99_ms",
             "timeout",
             "faults",
+            "alerts",
+            "viol_s",
             "d_power",
             "d_p99",
             "d_timeout"
         ));
         for r in &self.rows {
             out.push_str(&format!(
-                "{:<24} {:<8} {:>9.2} {:>9.2} {:>9.4} {:>8} {:>+9.2} {:>+9.2} {:>+9.4}\n",
+                "{:<24} {:<8} {:>9.2} {:>9.2} {:>9.4} {:>8} {:>7} {:>7.2} {:>+9.2} {:>+9.2} {:>+9.4}\n",
                 r.governor,
                 r.scenario,
                 r.avg_power_w,
                 r.p99_ms,
                 r.timeout_rate,
                 r.faults_injected,
+                r.alerts,
+                r.violation_s,
                 r.d_power_w,
                 r.d_p99_ms,
                 r.d_timeout_rate
@@ -747,6 +760,14 @@ pub fn robustness_jobs(
 
 /// Run the governors × fault-scenarios matrix and compute each cell's
 /// degradation relative to the same governor's fault-free run.
+///
+/// Each job runs under a telemetry recorder ([`run_grid_telemetry`]) and
+/// its event stream feeds a single-node [`FleetMonitor`] evaluating the
+/// app's SLA ([`SloSpec::for_sla_ns`]), so every row also reports
+/// burn-rate alert counts and time in SLO violation. Event streams are
+/// ring-capped at [`GRID_EVENT_CAPACITY`]; a dvfs fault storm on a long
+/// run can clip the *earliest* events, which may drop leading windows
+/// from the monitor's view (never the run's own results).
 pub fn robustness_matrix(
     app: App,
     governors: &[GovernorSpec],
@@ -757,15 +778,33 @@ pub fn robustness_matrix(
     threads: usize,
 ) -> RobustnessReport {
     let jobs = robustness_jobs(app, governors, include_safety, seed, peak_load, duration_s);
-    let results = run_grid(&jobs, threads);
+    let (results, events) = run_grid_telemetry(&jobs, threads);
+    let app_spec = AppSpec::get(app);
+    let slo = SloSpec::for_sla_ns(app_spec.name, app_spec.sla);
+    let health: Vec<(u64, f64)> = events
+        .iter()
+        .map(|stream| {
+            let mut mon = FleetMonitor::new(MonitorConfig::with_slo(slo.clone()));
+            mon.ingest(0, stream);
+            let rep = mon.finish();
+            let violation_ns: u64 = rep.outcomes.iter().map(|o| o.time_in_violation_ns).sum();
+            (rep.alerts.len() as u64, violation_ns as f64 / 1e9)
+        })
+        .collect();
     let scenarios = fault_scenarios(seed);
     let n_scenarios = scenarios.len();
     let mut rows = Vec::with_capacity(results.len());
-    for (chunk_jobs, chunk) in jobs.chunks(n_scenarios).zip(results.chunks(n_scenarios)) {
+    for ((chunk_jobs, chunk), chunk_health) in jobs
+        .chunks(n_scenarios)
+        .zip(results.chunks(n_scenarios))
+        .zip(health.chunks(n_scenarios))
+    {
         // First job of every chunk is the governor's `none` baseline.
         debug_assert!(!chunk_jobs[0].faults.is_active());
         let base = &chunk[0];
-        for ((name, _), r) in scenarios.iter().zip(chunk) {
+        for (((name, _), r), &(alerts, violation_s)) in
+            scenarios.iter().zip(chunk).zip(chunk_health)
+        {
             rows.push(RobustnessRow {
                 governor: r.governor.clone(),
                 scenario: name.to_string(),
@@ -773,6 +812,8 @@ pub fn robustness_matrix(
                 p99_ms: r.p99_ms,
                 timeout_rate: r.timeout_rate,
                 faults_injected: r.faults_injected,
+                alerts,
+                violation_s,
                 d_power_w: r.avg_power_w - base.avg_power_w,
                 d_p99_ms: r.p99_ms - base.p99_ms,
                 d_timeout_rate: r.timeout_rate - base.timeout_rate,
@@ -820,6 +861,7 @@ pub fn fleet_grid(
                     seed,
                     peak_load,
                     duration_s,
+                    faults: Default::default(),
                 },
                 policy: policy.clone(),
             });
@@ -1120,10 +1162,16 @@ mod tests {
             assert_eq!(row.d_p99_ms, 0.0);
             assert_eq!(row.d_timeout_rate, 0.0);
             assert_eq!(row.faults_injected, 0);
+            // MaxFreq at 0.4 load never breaches the SLA, so the
+            // health columns of the fault-free rows are clean.
+            assert_eq!(row.alerts, 0);
+            assert_eq!(row.violation_s, 0.0);
         }
         let table = report.render_table();
         assert!(table.contains("baseline+safe"));
         assert!(table.contains("scenario"));
+        assert!(table.contains("alerts"));
+        assert!(table.contains("viol_s"));
     }
 
     /// Acceptance: with faults off, `SafetyGovernor(DeepPower)` matches

@@ -329,4 +329,61 @@ mod tests {
             }
         }
     }
+
+    mod monitor_merge_props {
+        use super::*;
+        use deeppower_telemetry::{Event, FleetMonitor, Histogram, MonitorConfig, WindowRollup};
+        use proptest::prelude::*;
+
+        proptest! {
+            /// When a single monitor window spans the whole run, the
+            /// fleet-merged window stats equal the collector's
+            /// whole-run `quick_stats` exactly: both read the same
+            /// log-bucket histogram, rebuilding from per-node bucket
+            /// (upper-bound, count) pairs preserves per-bucket counts,
+            /// and both clamp percentiles to the exact extremes.
+            #[test]
+            fn fleet_merged_window_matches_whole_run_quick_stats(
+                lats in proptest::collection::vec(1u64..50_000_000, 1..200),
+                nodes in 1u64..4,
+            ) {
+                let samples: Vec<(u64, bool)> =
+                    lats.into_iter().map(|l| (l, l % 5 == 0)).collect();
+                let mut collector = MetricsCollector::new();
+                let mut hists: Vec<Histogram> =
+                    (0..nodes).map(|_| Histogram::new()).collect();
+                let mut timeouts = vec![0u64; nodes as usize];
+                for (i, &(lat, timed_out)) in samples.iter().enumerate() {
+                    collector.on_completion(rec(lat, timed_out));
+                    let n = (i as u64 % nodes) as usize;
+                    hists[n].record(lat);
+                    if timed_out {
+                        timeouts[n] += 1;
+                    }
+                }
+                const WINDOW: u64 = 1_000_000_000;
+                let mut mon = FleetMonitor::new(MonitorConfig::default());
+                for n in 0..nodes as usize {
+                    if hists[n].count() == 0 {
+                        continue;
+                    }
+                    let roll = WindowRollup::from_histogram(
+                        WINDOW, 0, WINDOW, &hists[n], timeouts[n], 1.0, 1000.0, 0);
+                    mon.observe(n as u64, &Event::WindowRollup(roll));
+                }
+                let report = mon.finish();
+                prop_assert_eq!(report.window_series.len(), 1);
+                let w = &report.window_series[0];
+                let quick = collector.quick_stats();
+                prop_assert_eq!(w.count, quick.count);
+                prop_assert_eq!(w.timeouts, quick.timeouts);
+                prop_assert_eq!(w.max_ns, quick.max_ns);
+                prop_assert_eq!(w.p50_ns, quick.p50_ns);
+                prop_assert_eq!(w.p95_ns, quick.p95_ns);
+                prop_assert_eq!(w.p99_ns, quick.p99_ns);
+                prop_assert!(
+                    (w.mean_ns - quick.mean_ns).abs() <= 1e-6 * quick.mean_ns.max(1.0));
+            }
+        }
+    }
 }

@@ -27,7 +27,7 @@ use crate::governor::{CoreView, FreqCommands, Governor, RunningView, ServerView}
 use crate::metrics::{LatencyStats, MetricsCollector, RequestRecord, TraceConfig, Traces};
 use crate::power::{EnergyMeter, PowerModel};
 use crate::request::Request;
-use deeppower_telemetry::{event, Event, Profiler, Recorder};
+use deeppower_telemetry::{event, Event, Histogram, Profiler, Recorder};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Work remaining below this many reference-nanoseconds counts as done
@@ -85,6 +85,13 @@ pub struct RunOptions {
     /// Deterministic fault injection (off by default; see
     /// [`crate::faults`]).
     pub faults: FaultPlan,
+    /// Tumbling-window span for [`event::WindowRollup`] emission when a
+    /// recorder is enabled (0 disables rollups). Windows close at
+    /// governor-tick boundaries, so with the default one-second window
+    /// and millisecond ticks every node on the same tick grid produces
+    /// aligned window indices — the property the fleet health monitor
+    /// merges on.
+    pub window_ns: Nanos,
 }
 
 impl Default for RunOptions {
@@ -93,6 +100,7 @@ impl Default for RunOptions {
             tick_ns: crate::clock::MILLISECOND,
             trace: TraceConfig::default(),
             faults: FaultPlan::none(),
+            window_ns: crate::clock::SECOND,
         }
     }
 }
@@ -113,6 +121,100 @@ pub struct SimResult {
     /// Discrete faults injected by the run's [`FaultPlan`] (0 when the
     /// plan is inactive).
     pub faults_injected: u64,
+}
+
+/// Tumbling-window accumulator behind the per-window
+/// [`event::WindowRollup`] stream the fleet health monitor consumes.
+/// Active only when the session's recorder is enabled *and*
+/// `RunOptions::window_ns > 0`; when inactive every hook is one branch,
+/// preserving the telemetry-never-perturbs-results contract (windows
+/// close at boundaries the engine visits anyway).
+struct WindowTelemetry {
+    enabled: bool,
+    window_ns: Nanos,
+    /// Open-window start and close boundary.
+    start: Nanos,
+    next: Nanos,
+    /// Sequential window ordinal (aligned across same-grid nodes).
+    index: u64,
+    lat: Histogram,
+    timeouts: u64,
+    /// True meter reading at window start (power = delta / span).
+    energy_start_uj: u64,
+    /// Tick-sampled mean commanded core frequency.
+    freq_sum: f64,
+    freq_samples: u64,
+}
+
+impl WindowTelemetry {
+    fn new(enabled: bool, window_ns: Nanos) -> Self {
+        Self {
+            enabled: enabled && window_ns > 0,
+            window_ns,
+            start: 0,
+            next: window_ns,
+            index: 0,
+            lat: Histogram::new(),
+            timeouts: 0,
+            energy_start_uj: 0,
+            freq_sum: 0.0,
+            freq_samples: 0,
+        }
+    }
+
+    #[inline]
+    fn on_completion(&mut self, latency_ns: Nanos, timed_out: bool) {
+        if self.enabled {
+            self.lat.record(latency_ns);
+            if timed_out {
+                self.timeouts += 1;
+            }
+        }
+    }
+
+    /// Sample the commanded frequencies at a governor tick.
+    fn on_tick(&mut self, cores: &[CoreState]) {
+        let sum: u64 = cores.iter().map(|c| c.freq_mhz as u64).sum();
+        self.freq_sum += sum as f64 / cores.len() as f64;
+        self.freq_samples += 1;
+    }
+
+    /// Close the open window at `now`, emit its rollup, and open the
+    /// next one. No-op when nothing has elapsed (a roll at the exact
+    /// boundary already happened).
+    fn roll(&mut self, now: Nanos, queue_len: u64, energy_uj: u64, rec: &Recorder) {
+        let span = now - self.start;
+        if span == 0 {
+            return;
+        }
+        let delta_uj = energy_uj - self.energy_start_uj;
+        // µJ over ns → watts.
+        let power_w = delta_uj as f64 * 1000.0 / span as f64;
+        let avg_freq_mhz = if self.freq_samples > 0 {
+            self.freq_sum / self.freq_samples as f64
+        } else {
+            0.0
+        };
+        let rollup = event::WindowRollup::from_histogram(
+            now,
+            self.index,
+            span,
+            &self.lat,
+            self.timeouts,
+            power_w,
+            avg_freq_mhz,
+            queue_len,
+        );
+        rec.emit(|| Event::WindowRollup(rollup));
+        self.index += 1;
+        self.start = now;
+        self.next = now + self.window_ns;
+        self.lat.reset();
+        self.timeouts = 0;
+        self.energy_start_uj = energy_uj;
+        self.freq_sum = 0.0;
+        self.freq_samples = 0;
+    }
 }
 
 struct Running {
@@ -249,6 +351,7 @@ impl Server {
             // Latency snapshots piggyback on governor ticks (existing
             // event times), at most one per simulated second.
             next_snapshot: crate::clock::SECOND,
+            window: WindowTelemetry::new(rec.enabled(), opts.window_ns),
             next_freq_sample: if opts.trace.freq_sample_ns > 0 {
                 0
             } else {
@@ -294,6 +397,7 @@ pub struct Session<'a> {
     arr_idx: usize,
     next_tick: Nanos,
     next_snapshot: Nanos,
+    window: WindowTelemetry,
     next_freq_sample: Nanos,
     next_power_sample: Nanos,
     /// Whether the events at `now` (initially t=0) have been processed.
@@ -360,6 +464,13 @@ impl Session<'_> {
         // `next_event_time` is always finite (the governor tick never
         // stops), so an unbounded advance runs to termination.
         self.advance_until(Nanos::MAX);
+        // Flush the trailing (possibly partial) monitor window before
+        // the residency events close out the stream.
+        if self.window.enabled {
+            let queue_len = self.queue.len() as u64;
+            let energy_uj = self.energy.read_energy_uj();
+            self.window.roll(self.now, queue_len, energy_uj, self.rec);
+        }
         self.freq_telem.finish(self.now, &self.cores, self.rec);
         SimResult {
             stats: self.metrics.stats(),
@@ -420,6 +531,7 @@ impl Session<'_> {
                     timed_out: latency > running.req.sla,
                 };
                 self.metrics.on_completion(record);
+                self.window.on_completion(latency, record.timed_out);
                 if self.opts.trace.request_marks {
                     self.traces
                         .marks
@@ -556,6 +668,14 @@ impl Session<'_> {
                     })
                 });
                 self.next_snapshot = now + crate::clock::SECOND;
+            }
+            if self.window.enabled {
+                self.window.on_tick(&self.cores);
+                if now >= self.window.next {
+                    let queue_len = self.queue.len() as u64;
+                    let energy_uj = self.energy.read_energy_uj();
+                    self.window.roll(now, queue_len, energy_uj, self.rec);
+                }
             }
         }
 
@@ -1184,6 +1304,82 @@ mod tests {
             .sum();
         assert_eq!(total_residency, 2 * recorded.duration_ns);
         assert_eq!(recorder.dropped_events(), 0);
+    }
+
+    #[test]
+    fn window_rollups_partition_the_run() {
+        let server = Server::new(ServerConfig::paper_default(2));
+        let arrivals: Vec<Request> = (0..300)
+            .map(|i| req(i, i * 10_000_000, 400_000 + (i % 7) * 100_000))
+            .collect();
+        let mut gov = FixedFrequency { mhz: 2100 };
+        let recorder = deeppower_telemetry::Recorder::ring(1 << 14);
+        let res = server.run_recorded(&arrivals, &mut gov, RunOptions::default(), &recorder);
+        let events = recorder.drain_events();
+        let rollups: Vec<&event::WindowRollup> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::WindowRollup(w) => Some(w),
+                _ => None,
+            })
+            .collect();
+        // ~3 s run, 1 s windows (plus a trailing partial window).
+        assert!(rollups.len() >= 3, "got {} rollups", rollups.len());
+        // Indices are sequential from 0 and times strictly increase.
+        for (i, w) in rollups.iter().enumerate() {
+            assert_eq!(w.index, i as u64);
+            assert!(w.window_ns > 0);
+            assert!(w.power_w > 0.0, "window {i} saw no energy");
+        }
+        assert!(rollups.windows(2).all(|p| p[0].t < p[1].t));
+        // Windows partition the run: counts/timeouts sum to the run
+        // totals, spans sum to the run duration, last window closes at
+        // run end.
+        assert_eq!(
+            rollups.iter().map(|w| w.count).sum::<u64>(),
+            res.stats.count
+        );
+        assert_eq!(
+            rollups.iter().map(|w| w.timeouts).sum::<u64>(),
+            res.stats.timeouts
+        );
+        assert_eq!(
+            rollups.iter().map(|w| w.window_ns).sum::<u64>(),
+            res.duration_ns
+        );
+        assert_eq!(rollups.last().unwrap().t, res.duration_ns);
+        // All non-final windows span exactly the nominal second.
+        for w in &rollups[..rollups.len() - 1] {
+            assert_eq!(w.window_ns, crate::clock::SECOND);
+        }
+        // Per-window percentiles stay within the window extremes, and
+        // the bucket arrays carry the whole window count.
+        for w in &rollups {
+            if w.count > 0 {
+                assert!(w.min_ns <= w.p50_ns && w.p50_ns <= w.p99_ns && w.p99_ns <= w.max_ns);
+                assert_eq!(w.bucket_counts.iter().sum::<u64>(), w.count);
+                assert_eq!(w.bucket_ubs.len(), w.bucket_counts.len());
+            }
+        }
+
+        // window_ns = 0 disables rollups without touching results.
+        let mut gov2 = FixedFrequency { mhz: 2100 };
+        let rec2 = deeppower_telemetry::Recorder::ring(1 << 14);
+        let res2 = server.run_recorded(
+            &arrivals,
+            &mut gov2,
+            RunOptions {
+                window_ns: 0,
+                ..Default::default()
+            },
+            &rec2,
+        );
+        assert_eq!(res.records, res2.records);
+        assert_eq!(res.energy_j.to_bits(), res2.energy_j.to_bits());
+        assert!(rec2
+            .drain_events()
+            .iter()
+            .all(|e| e.kind() != "WindowRollup"));
     }
 
     #[test]

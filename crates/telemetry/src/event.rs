@@ -178,6 +178,145 @@ pub struct SafetyAction {
     pub core: i64,
 }
 
+/// Tumbling-window rollup emitted by the server session once per
+/// monitor window (default one simulated second, tick-aligned). The
+/// raw material of the fleet health plane: windows with equal `index`
+/// across nodes cover the same simulated interval, so a fleet monitor
+/// can merge them commutatively. `bucket_ubs`/`bucket_counts` are the
+/// nonzero log-histogram buckets of the window's latency distribution
+/// (parallel arrays), enough to rebuild merged percentiles exactly as
+/// [`crate::Histogram`] would report them; `min_ns`/`max_ns` are exact
+/// so merged percentiles clamp to true extremes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WindowRollup {
+    /// Window close time (simulated ns).
+    pub t: u64,
+    /// Tumbling-window ordinal since run start (aligned across nodes).
+    pub index: u64,
+    /// Actual covered span, ns (the final window may be partial).
+    pub window_ns: u64,
+    /// Completions inside the window.
+    pub count: u64,
+    pub timeouts: u64,
+    /// Exact latency extremes over the window (0 when `count == 0`).
+    pub min_ns: u64,
+    pub max_ns: u64,
+    pub mean_ns: f64,
+    /// Histogram-bucket percentiles clamped to the exact extremes.
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    /// Mean socket power over the window, watts (true meter, un-noised).
+    pub power_w: f64,
+    /// Tick-sampled mean commanded core frequency, MHz.
+    pub avg_freq_mhz: f64,
+    /// Queue length at window close.
+    pub queue_len: u64,
+    /// Nonzero latency-histogram buckets: upper bounds and counts.
+    pub bucket_ubs: Vec<u64>,
+    pub bucket_counts: Vec<u64>,
+}
+
+impl WindowRollup {
+    /// Assemble a rollup from a window's latency histogram plus the
+    /// window scalars — the single code path used by the server session
+    /// and by tests, so merged percentiles stay reproducible.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_histogram(
+        t: u64,
+        index: u64,
+        window_ns: u64,
+        hist: &crate::histogram::Histogram,
+        timeouts: u64,
+        power_w: f64,
+        avg_freq_mhz: f64,
+        queue_len: u64,
+    ) -> Self {
+        let (bucket_ubs, bucket_counts) = hist.nonzero_buckets().into_iter().unzip();
+        Self {
+            t,
+            index,
+            window_ns,
+            count: hist.count(),
+            timeouts,
+            min_ns: hist.min(),
+            max_ns: hist.max(),
+            mean_ns: hist.mean(),
+            p50_ns: hist.percentile(0.50),
+            p95_ns: hist.percentile(0.95),
+            p99_ns: hist.percentile(0.99),
+            power_w,
+            avg_freq_mhz,
+            queue_len,
+            bucket_ubs,
+            bucket_counts,
+        }
+    }
+}
+
+/// One monitor window breached an SLO threshold (instantaneous, per
+/// window — sustained breaches escalate to [`Alert`] via burn-rate
+/// rules). `metric` is a stable tag: `p99-latency`, `timeout-rate`,
+/// `power`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SloViolation {
+    /// Close time of the violating window (simulated ns).
+    pub t: u64,
+    /// Tumbling-window ordinal.
+    pub window: u64,
+    pub metric: String,
+    /// Observed value in the metric's native unit (ms, rate, watts).
+    pub observed: f64,
+    pub target: f64,
+    /// Error-budget burn rate of the window (1.0 = exactly on budget).
+    pub burn: f64,
+}
+
+/// One line of an [`Alert`]'s incident timeline: context events
+/// (`FaultInjected` / `SafetyAction` / `DrlStep`) aggregated per
+/// window, node and kind in the windows preceding the trip.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IncidentEntry {
+    /// Simulated time of the last occurrence.
+    pub t: u64,
+    pub node: u64,
+    /// Context tag (`dvfs-fail`, `core-stall`, `watchdog-turbo`,
+    /// `drl-step`, …).
+    pub kind: String,
+    /// Occurrences of this kind on this node in this window.
+    pub count: u64,
+    /// Human-readable detail of the last occurrence.
+    pub detail: String,
+}
+
+/// A burn-rate rule tripped: both its long and short trailing window
+/// averages of the error-budget burn rate met the threshold. Carries
+/// the incident timeline — recent fault/safety/decision context
+/// preceding the trip.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Close time of the window that tripped the rule (simulated ns).
+    pub t: u64,
+    pub metric: String,
+    /// Rule label, e.g. `burn>=2/5w:2w`.
+    pub rule: String,
+    /// Short-window average burn at the trip.
+    pub burn: f64,
+    pub timeline: Vec<IncidentEntry>,
+}
+
+/// A previously fired [`Alert`] recovered: the short-window average
+/// burn fell back below the rule threshold.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AlertResolved {
+    /// Close time of the recovering window (simulated ns).
+    pub t: u64,
+    pub metric: String,
+    pub rule: String,
+    /// Time from trip to recovery, simulated ns.
+    pub duration_ns: u64,
+}
+
 /// The unified telemetry event.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Event {
@@ -193,6 +332,10 @@ pub enum Event {
     JobEnd(JobEnd),
     FaultInjected(FaultInjected),
     SafetyAction(SafetyAction),
+    WindowRollup(WindowRollup),
+    SloViolation(SloViolation),
+    Alert(Alert),
+    AlertResolved(AlertResolved),
 }
 
 impl Event {
@@ -211,6 +354,10 @@ impl Event {
             Event::JobEnd(_) => "JobEnd",
             Event::FaultInjected(_) => "FaultInjected",
             Event::SafetyAction(_) => "SafetyAction",
+            Event::WindowRollup(_) => "WindowRollup",
+            Event::SloViolation(_) => "SloViolation",
+            Event::Alert(_) => "Alert",
+            Event::AlertResolved(_) => "AlertResolved",
         }
     }
 }
@@ -258,6 +405,51 @@ mod tests {
                 t: 3_000_000,
                 action: "watchdog-turbo".into(),
                 core: -1,
+            }),
+            Event::WindowRollup(WindowRollup {
+                t: 1_000_000_000,
+                index: 0,
+                window_ns: 1_000_000_000,
+                count: 1200,
+                timeouts: 3,
+                min_ns: 90_000,
+                max_ns: 9_100_000,
+                mean_ns: 640_000.0,
+                p50_ns: 540_000,
+                p95_ns: 2_100_000,
+                p99_ns: 8_900_000,
+                power_w: 84.0,
+                avg_freq_mhz: 1900.0,
+                queue_len: 2,
+                bucket_ubs: vec![98_303, 589_823, 9_437_183],
+                bucket_counts: vec![1, 1195, 4],
+            }),
+            Event::SloViolation(SloViolation {
+                t: 2_000_000_000,
+                window: 1,
+                metric: "timeout-rate".into(),
+                observed: 0.12,
+                target: 0.05,
+                burn: 2.4,
+            }),
+            Event::Alert(Alert {
+                t: 5_000_000_000,
+                metric: "p99-latency".into(),
+                rule: "burn>=2/5w:2w".into(),
+                burn: 3.1,
+                timeline: vec![IncidentEntry {
+                    t: 4_400_000_000,
+                    node: 1,
+                    kind: "core-stall".into(),
+                    count: 2,
+                    detail: "core 5, 20.0 ms".into(),
+                }],
+            }),
+            Event::AlertResolved(AlertResolved {
+                t: 9_000_000_000,
+                metric: "p99-latency".into(),
+                rule: "burn>=2/5w:2w".into(),
+                duration_ns: 4_000_000_000,
             }),
         ];
         for ev in &events {

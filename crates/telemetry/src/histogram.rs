@@ -82,6 +82,33 @@ impl Histogram {
         self.max = self.max.max(v);
     }
 
+    /// Record `n` occurrences of `v` in O(1) — the merge primitive for
+    /// rebuilding a histogram from another histogram's
+    /// [`Histogram::nonzero_buckets`] pairs (`v` is then a bucket upper
+    /// bound, which maps back into the same bucket).
+    #[inline]
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(v)] += n;
+        self.count += n;
+        self.sum += v as u128 * n as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Clear every bucket and counter, keeping the allocation — lets
+    /// periodic windowing reuse one histogram instead of reallocating
+    /// `N_BUCKETS` counters per window.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
     pub fn count(&self) -> u64 {
         self.count
     }
@@ -157,6 +184,21 @@ impl Histogram {
             p95: self.percentile(0.95),
             p99: self.percentile(0.99),
         })
+    }
+
+    /// Recorded values whose bucket upper bound is `<= v` — the
+    /// "within target" count a latency burn rate is computed from.
+    /// O(buckets), conservative by at most one bucket (values sharing
+    /// `v`'s bucket but above it are not counted unless the whole
+    /// bucket fits).
+    pub fn count_at_or_below(&self, v: u64) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .take(bucket_index(v) + 1)
+            .filter(|(i, _)| bucket_upper_bound(*i) <= v)
+            .map(|(_, &c)| c)
+            .sum()
     }
 
     /// Non-empty buckets as `(upper_bound, count)` pairs, ascending.
@@ -362,6 +404,52 @@ mod tests {
             prop_assert_eq!(snap.p99, v);
             prop_assert_eq!(h.percentile(q), v);
             prop_assert!((snap.mean - v as f64).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record_and_reset_clears() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (v, n) in [(7u64, 3u64), (120_000, 5), (9_999_999, 1)] {
+            for _ in 0..n {
+                a.record(v);
+            }
+            b.record_n(v, n);
+        }
+        b.record_n(42, 0); // no-op
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.min(), b.min());
+        assert_eq!(a.max(), b.max());
+        assert_eq!(a.mean(), b.mean());
+        assert_eq!(a.nonzero_buckets(), b.nonzero_buckets());
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(a.percentile(q), b.percentile(q));
+        }
+        b.reset();
+        assert!(b.is_empty());
+        assert_eq!(b.nonzero_buckets(), vec![]);
+        assert_eq!(b.percentile(0.99), 0);
+        b.record(5);
+        assert_eq!((b.count(), b.min(), b.max()), (1, 5, 5));
+    }
+
+    proptest! {
+        /// Rebuilding a histogram from its own nonzero buckets via
+        /// `record_n` preserves bucket counts exactly — the property the
+        /// fleet monitor's window merge relies on.
+        #[test]
+        fn rebuild_from_buckets_preserves_bucket_counts(
+            values in proptest::collection::vec(0u64..10_000_000_000, 0..100),
+        ) {
+            let mut h = Histogram::new();
+            for &v in &values { h.record(v); }
+            let mut rebuilt = Histogram::new();
+            for (ub, c) in h.nonzero_buckets() {
+                rebuilt.record_n(ub, c);
+            }
+            prop_assert_eq!(h.count(), rebuilt.count());
+            prop_assert_eq!(h.nonzero_buckets(), rebuilt.nonzero_buckets());
         }
     }
 

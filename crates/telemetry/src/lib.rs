@@ -44,12 +44,15 @@ pub mod export;
 pub mod fs;
 pub mod histogram;
 pub mod logger;
+pub mod monitor;
 pub mod profile;
 pub mod recorder;
+pub mod slo;
 
 pub use event::{
-    CoreResidency, DrlStep, EpisodeEnd, Event, FaultInjected, FreqTransition, JobEnd, JobStart,
-    LatencySnapshot, RequestComplete, RequestDispatch, SafetyAction, TrainUpdate,
+    Alert, AlertResolved, CoreResidency, DrlStep, EpisodeEnd, Event, FaultInjected, FreqTransition,
+    IncidentEntry, JobEnd, JobStart, LatencySnapshot, RequestComplete, RequestDispatch,
+    SafetyAction, SloViolation, TrainUpdate, WindowRollup,
 };
 pub use export::{
     episode_events, freq_series, from_jsonl, steps_to_csv, to_jsonl, STEP_CSV_HEADER,
@@ -57,8 +60,16 @@ pub use export::{
 pub use fs::atomic_write;
 pub use histogram::{Histogram, HistogramSnapshot, LatencyRecorder};
 pub use logger::{LogLevel, Logger};
+pub use monitor::{
+    AlertRecord, AnomalyRecord, FleetMonitor, HealthReport, MonitorConfig, MonitorSink, SloOutcome,
+    WindowSummary,
+};
 pub use profile::{
     from_chrome_trace, render_phase_table, ChromeEvent, PhaseRow, Profiler, Span, SpanRecord,
     DEFAULT_MAX_SPANS,
 };
 pub use recorder::{NoopSink, Recorder, RingSink, TelemetrySink};
+pub use slo::{
+    default_rules, BurnRateRule, EwmaConfig, EwmaDetector, SloSpec, LATENCY_BUDGET, METRIC_P99,
+    METRIC_POWER, METRIC_TIMEOUT,
+};
