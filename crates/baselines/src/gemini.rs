@@ -318,7 +318,10 @@ mod tests {
         // True work far above what feature 0.5 suggests (~0.45 ms).
         let req = deeppower_simd_server::Request {
             id: 0,
+            client_id: 0,
+            attempt: 0,
             arrival: 0,
+            first_arrival: 0,
             work_ref_ns: 5_000_000,
             freq_sensitivity: 1.0,
             sla: 8_000_000,

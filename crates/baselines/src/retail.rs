@@ -157,7 +157,10 @@ mod tests {
         let plan = FreqPlan::xeon_gold_5218r();
         let mk = |feat: f32, budget_ms: u64| Request {
             id: 0,
+            client_id: 0,
+            attempt: 0,
             arrival: 0,
+            first_arrival: 0,
             work_ref_ns: 0,
             freq_sensitivity: 1.0,
             sla: budget_ms * MILLISECOND,
@@ -172,6 +175,8 @@ mod tests {
             total_arrived: 0,
             total_completed: 0,
             total_timeouts: 0,
+            total_shed: 0,
+            total_wasted: 0,
             energy_uj: 0,
         };
         let f_short = gov.select_freq(&view, &mk(0.2, 8));
@@ -220,7 +225,10 @@ mod tests {
         let gov = trained(&spec);
         let req = Request {
             id: 0,
+            client_id: 0,
+            attempt: 0,
             arrival: 0,
+            first_arrival: 0,
             work_ref_ns: 0,
             freq_sensitivity: 1.0,
             sla: 8 * MILLISECOND,
@@ -232,7 +240,10 @@ mod tests {
         for i in 0..400 {
             crowded.push_back(Request {
                 id: i,
+                client_id: i,
+                attempt: 0,
                 arrival: 0,
+                first_arrival: 0,
                 work_ref_ns: 0,
                 freq_sensitivity: 1.0,
                 sla: 8 * MILLISECOND,
@@ -246,6 +257,8 @@ mod tests {
             total_arrived: 0,
             total_completed: 0,
             total_timeouts: 0,
+            total_shed: 0,
+            total_wasted: 0,
             energy_uj: 0,
         };
         let f_idle = gov.select_freq(&view_of(&empty), &req);
@@ -262,7 +275,10 @@ mod tests {
         let gov = trained(&spec);
         let req = Request {
             id: 0,
+            client_id: 0,
+            attempt: 0,
             arrival: 0,
+            first_arrival: 0,
             work_ref_ns: 0,
             freq_sensitivity: 1.0,
             sla: 8 * MILLISECOND,
@@ -278,6 +294,8 @@ mod tests {
             total_arrived: 0,
             total_completed: 0,
             total_timeouts: 0,
+            total_shed: 0,
+            total_wasted: 0,
             energy_uj: 0,
         };
         assert_eq!(

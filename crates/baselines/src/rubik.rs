@@ -167,11 +167,16 @@ mod tests {
             total_arrived: 0,
             total_completed: 0,
             total_timeouts: 0,
+            total_shed: 0,
+            total_wasted: 0,
             energy_uj: 0,
         };
         let short_req = deeppower_simd_server::Request {
             id: 0,
+            client_id: 0,
+            attempt: 0,
             arrival: 0,
+            first_arrival: 0,
             work_ref_ns: 0,
             freq_sensitivity: 1.0,
             sla: 8_000_000,

@@ -124,6 +124,7 @@ fn main() {
             peak_load: 0.4,
             duration_s,
             faults: Default::default(),
+            overload: Default::default(),
         };
         // Alternating best-of-k, like section 3: a cold first run can
         // be 2-3× slower than steady state, so single-shot serial-then-
@@ -189,6 +190,7 @@ fn main() {
         peak_load: 0.4,
         duration_s,
         faults: Default::default(),
+        overload: Default::default(),
     };
     let rounds = if smoke { 3 } else { 5 };
     let mut wall_batched = f64::INFINITY;

@@ -93,6 +93,8 @@ fn main() {
         total_arrived: 0,
         total_completed: 0,
         total_timeouts: 0,
+        total_shed: 0,
+        total_wasted: 0,
         energy_uj: 0,
     };
     let tc = ThreadController::new(ControllerParams::new(0.3, 0.9));

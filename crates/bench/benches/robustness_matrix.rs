@@ -13,6 +13,13 @@
 //!   watchdog must **bound the timeout blow-up** to less than half of
 //!   the unwrapped rate, in every scenario.
 //!
+//! The matrix also carries the three overload scenarios (`retry-storm`,
+//! `flash-crowd`, `collapse`): closed-loop clients with bounded queues
+//! and seeded retries, fault-free. The safety-transparency and
+//! watchdog bounds are asserted over the fault scenarios only — under
+//! a retry storm the watchdog may legitimately intervene — while the
+//! overload rows are held to their goodput accounting.
+//!
 //! Cells run at a reduced 6 s duration by default; `DEEPPOWER_FULL=1`
 //! raises it to 20 s, and `DEEPPOWER_SMOKE=1` (the CI knob) pins the
 //! reduced duration even when `DEEPPOWER_FULL` is set.
@@ -21,15 +28,16 @@ use deeppower_bench::Scale;
 use deeppower_harness::{robustness_matrix, GovernorSpec, RobustnessRow};
 use deeppower_workload::App;
 
-const N_SCENARIOS: usize = 5; // none | dvfs | sensor | stall | all
+const N_SCENARIOS: usize = 8; // none | dvfs | sensor | stall | all + 3 overload
+const N_FAULT: usize = 5; // the fault prefix the safety bounds cover
 
-/// `report.rows` chunked per governor: 5 plain rows then 5 `+safe` rows.
+/// `report.rows` chunked per governor: 8 plain rows then 8 `+safe` rows.
 fn chunk(rows: &[RobustnessRow], governor_idx: usize) -> (&[RobustnessRow], &[RobustnessRow]) {
     rows[governor_idx * 2 * N_SCENARIOS..(governor_idx + 1) * 2 * N_SCENARIOS].split_at(N_SCENARIOS)
 }
 
 fn assert_transparent(plain: &[RobustnessRow], safe: &[RobustnessRow], what: &str) {
-    for (p, s) in plain.iter().zip(safe) {
+    for (p, s) in plain.iter().zip(safe).take(N_FAULT) {
         assert_eq!(s.governor, format!("{}+safe", p.governor));
         assert_eq!(
             p.avg_power_w.to_bits(),
@@ -74,7 +82,7 @@ fn main() {
     // The fragile controller times out almost everything; the watchdog
     // must cut that to under half — under faults and fault-free alike.
     let (plain, safe) = chunk(&report.rows, 2);
-    for (p, s) in plain.iter().zip(safe) {
+    for (p, s) in plain.iter().zip(safe).take(N_FAULT) {
         assert!(
             p.timeout_rate > 0.5,
             "{}: fragile controller should blow past SLA (timeout {:.4})",
@@ -90,8 +98,36 @@ fn main() {
             p.timeout_rate
         );
     }
+    // Overload rows: fault-free by construction, real goodput
+    // accounting, and the bounded queue visibly sheds for the fragile
+    // controller under the collapse regime.
+    for g in 0..3 {
+        let (plain, _) = chunk(&report.rows, g);
+        for row in &plain[N_FAULT..] {
+            assert_eq!(
+                row.faults_injected, 0,
+                "{}: overload row injected faults",
+                row.scenario
+            );
+            assert!(
+                row.goodput > 0,
+                "{}: no goodput under overload",
+                row.scenario
+            );
+        }
+    }
+    let (fragile, _) = chunk(&report.rows, 2);
+    let collapse = fragile
+        .iter()
+        .find(|r| r.scenario == "collapse")
+        .expect("collapse row present");
+    assert!(
+        collapse.shed > 0,
+        "fragile controller under collapse must shed at the bounded queue"
+    );
     println!(
         "[bounds OK] wrapper bit-transparent for healthy governors; \
-         watchdog halves the fragile controller's timeout rate"
+         watchdog halves the fragile controller's timeout rate; \
+         overload rows carry goodput/shed accounting"
     );
 }

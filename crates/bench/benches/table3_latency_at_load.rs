@@ -44,6 +44,7 @@ fn main() {
                 duration_s: secs,
                 workload: WorkloadKind::Constant,
                 faults: deeppower_simd_server::FaultPlan::none(),
+                overload: deeppower_simd_server::OverloadPlan::none(),
                 safety: false,
             })
         })

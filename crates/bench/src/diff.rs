@@ -131,6 +131,10 @@ pub fn classify(key: &str) -> Direction {
     match key {
         "speedup" => Direction::HigherBetter,
         "requests" | "epochs" | "seed" | "nodes" | "n" => Direction::Exact,
+        // Delivered-goodput fractions: higher is better and the gate is
+        // against the baseline, not unity — must precede the generic
+        // `_ratio` arm.
+        _ if key.ends_with("goodput_ratio") => Direction::HigherBetter,
         _ if key.ends_with("_ratio") => Direction::Ratio,
         _ if key.starts_with("wall")
             || key.ends_with("_s")
@@ -502,6 +506,25 @@ mod tests {
         assert_eq!(classify("requests"), Direction::Exact);
         assert_eq!(classify("epochs"), Direction::Exact);
         assert_eq!(classify("label"), Direction::Info);
+        // Goodput fractions are higher-better baseline gates, not
+        // unity-gated pair ratios.
+        assert_eq!(classify("goodput_ratio"), Direction::HigherBetter);
+        assert_eq!(classify("managed_goodput_ratio"), Direction::HigherBetter);
+    }
+
+    #[test]
+    fn goodput_ratio_regresses_only_downward() {
+        let base = r#"{"smoke": false, "collapse": {"goodput_ratio": 0.8}}"#;
+        let worse = r#"{"smoke": false, "collapse": {"goodput_ratio": 0.4}}"#;
+        let better = r#"{"smoke": false, "collapse": {"goodput_ratio": 0.95}}"#;
+        let report = diff_str(base, worse, 0.35).unwrap();
+        let bad: Vec<_> = report.regressions().collect();
+        assert_eq!(bad.len(), 1, "{}", report.render_table());
+        assert_eq!(bad[0].path, "collapse.goodput_ratio");
+        assert_eq!(bad[0].direction, Direction::HigherBetter);
+        // Improvement never gates, even far above the baseline (a plain
+        // Ratio leaf would flag > 1.0 + tolerance).
+        assert!(!diff_str(base, better, 0.35).unwrap().has_regressions());
     }
 
     #[test]

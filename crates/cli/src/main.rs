@@ -30,10 +30,11 @@ use deeppower_core::{
 };
 use deeppower_fleet::{run_fleet_monitored, run_fleet_recorded, BalancerPolicy};
 use deeppower_harness::{
-    calibrated_train_seed, fault_scenarios, fleet_grid, grid, robustness_matrix, run_fleet_grid,
-    run_grid, run_grid_telemetry, summarize, GovernorSpec, JobResult, WorkloadKind,
+    calibrated_train_seed, fault_scenarios, fleet_grid, grid, robustness_matrix_for,
+    run_fleet_grid, run_grid, run_grid_telemetry, select_scenarios, summarize, GovernorSpec,
+    JobResult, WorkloadKind,
 };
-use deeppower_simd_server::{TraceConfig, MILLISECOND};
+use deeppower_simd_server::{QueuePolicy, TraceConfig, MILLISECOND};
 use deeppower_telemetry::{
     atomic_write, from_jsonl, render_phase_table, steps_to_csv, to_jsonl, Event, FleetMonitor,
     HealthReport, Logger, MonitorConfig, Profiler, Recorder, SloSpec,
@@ -101,8 +102,10 @@ USAGE:
   deeppower grid    --apps a,b [--governors LIST] [--seeds LIST] [--duration-s S]
                     [--peak-load F] [--workload diurnal|constant] [--threads N] [-o FILE]
                     [--telemetry DIR]
-  deeppower robustness --app <name> [--governors LIST] [--duration-s S] [--peak-load F]
-                    [--seed K] [--threads N] [-o FILE]
+  deeppower robustness --app <name> [--governors LIST] [--scenario LIST] [--duration-s S]
+                    [--peak-load F] [--seed K] [--threads N] [-o FILE]
+                    [--queue-policy fifo|lifo|drop-newest|drop-oldest]
+                    [--queue-capacity N] [--retry-prob F]
   deeppower fleet   --policy FILE | --app <name> [--nodes N1,N2] [--balancer LIST]
                     [--duration-s S] [--peak-load F] [--seed K] [--train-seed K]
                     [--fault none|dvfs|sensor|stall|all] [--monitor] [--slo FILE]
@@ -131,8 +134,13 @@ JSONL; --csv additionally writes the per-second DrlStep table.
 named job-NNN-<app>-<governor>-seed<K>.jsonl.
 `robustness` sweeps every governor (plain and wrapped in the safety
 layer, shown as `<governor>+safe`) across the seeded fault scenarios
-(none | dvfs | sensor | stall | all) and prints the degradation table;
--o writes the full matrix as JSON.
+(none | dvfs | sensor | stall | all) *and* the closed-loop overload
+scenarios (retry-storm | flash-crowd | collapse) and prints the
+degradation table with goodput/wasted-work accounting; -o writes the
+full matrix as JSON. --scenario takes a comma list restricting the sweep
+(the `none` delta baseline always runs); --queue-policy,
+--queue-capacity and --retry-prob override the overload scenarios'
+bounded-queue and retry knobs.
 `fleet` runs N server nodes behind a deterministic load balancer
 (round-robin | jsq | power-aware), all steered by one shared policy via
 batched actor inference; --nodes/--balancer take comma lists and expand
@@ -493,12 +501,51 @@ fn cmd_robustness(flags: &Flags, log: &Logger) -> Result<(), String> {
         return Err("--governors needs at least one governor".into());
     }
 
+    // --scenario restricts the matrix to `none` + the named scenarios;
+    // default is all eight (5 fault + 3 overload).
+    let wanted = parse_list(flags, "scenario", "", |s| Ok(s.to_string()))?;
+    let mut scenarios = select_scenarios(seed, AppSpec::get(app).sla, &wanted)?;
+
+    // Overload knobs tune every *overload* scenario's plan in the
+    // selection; fault scenarios and the `none` baseline are untouched.
+    if let Some(p) = flags.get("queue-policy") {
+        let policy = QueuePolicy::parse(p).ok_or_else(|| {
+            format!("unknown queue policy `{p}` (fifo|lifo|drop-newest|drop-oldest)")
+        })?;
+        for (_, _, ov) in scenarios.iter_mut().filter(|(_, _, ov)| ov.is_active()) {
+            ov.queue_policy = policy;
+        }
+    }
+    if flags.contains_key("queue-capacity") {
+        let cap = get(flags, "queue-capacity", 0u32)?;
+        if cap == 0 {
+            return Err("queue capacity must be at least 1".into());
+        }
+        for (_, _, ov) in scenarios.iter_mut().filter(|(_, _, ov)| ov.is_active()) {
+            ov.queue_capacity = cap;
+        }
+    }
+    if flags.contains_key("retry-prob") {
+        let prob = get(flags, "retry-prob", 0.0f64)?;
+        if !(0.0..=1.0).contains(&prob) {
+            return Err(format!(
+                "retry probability must be within [0, 1], got {prob}"
+            ));
+        }
+        for (_, _, ov) in scenarios.iter_mut().filter(|(_, _, ov)| ov.is_active()) {
+            ov.retry_prob = prob;
+        }
+    }
+
     log.info(&format!(
-        "robustness matrix on {app:?}: {} governors x 2 (plain, +safe) x 5 fault scenarios, {duration_s} s each",
-        governors.len()
+        "robustness matrix on {app:?}: {} governors x 2 (plain, +safe) x {} scenarios, {duration_s} s each",
+        governors.len(),
+        scenarios.len()
     ));
     let t0 = std::time::Instant::now();
-    let report = robustness_matrix(app, &governors, true, seed, peak_load, duration_s, threads);
+    let report = robustness_matrix_for(
+        &scenarios, app, &governors, true, seed, peak_load, duration_s, threads,
+    );
     log.info(&format!("finished in {:.1} s", t0.elapsed().as_secs_f64()));
 
     println!("\n{}", report.render_table());

@@ -162,6 +162,80 @@ fn monitor_bad_slo_spec_fails() {
 }
 
 #[test]
+fn robustness_unknown_scenario_fails() {
+    let out = deeppower(&[
+        "robustness",
+        "--app",
+        "masstree",
+        "--scenario",
+        "retry-strom",
+    ]);
+    assert_clean_failure(
+        &out,
+        "unknown scenario `retry-strom` (none|dvfs|sensor|stall|all|retry-storm|flash-crowd|collapse)",
+    );
+    assert_one_line_error(&out);
+}
+
+#[test]
+fn robustness_unknown_queue_policy_fails() {
+    let out = deeppower(&[
+        "robustness",
+        "--app",
+        "masstree",
+        "--queue-policy",
+        "random",
+    ]);
+    assert_clean_failure(
+        &out,
+        "unknown queue policy `random` (fifo|lifo|drop-newest|drop-oldest)",
+    );
+    assert_one_line_error(&out);
+}
+
+#[test]
+fn robustness_zero_queue_capacity_fails() {
+    let out = deeppower(&["robustness", "--app", "masstree", "--queue-capacity", "0"]);
+    assert_clean_failure(&out, "queue capacity must be at least 1");
+    assert_one_line_error(&out);
+}
+
+#[test]
+fn robustness_unparseable_queue_capacity_fails() {
+    let out = deeppower(&["robustness", "--app", "masstree", "--queue-capacity", "-3"]);
+    assert_clean_failure(&out, "bad value for --queue-capacity");
+    assert_one_line_error(&out);
+}
+
+#[test]
+fn robustness_retry_prob_out_of_range_fails() {
+    for bad in ["1.5", "-0.1"] {
+        let out = deeppower(&["robustness", "--app", "masstree", "--retry-prob", bad]);
+        assert_clean_failure(&out, "retry probability must be within [0, 1]");
+        assert_one_line_error(&out);
+    }
+    let out = deeppower(&["robustness", "--app", "masstree", "--retry-prob", "often"]);
+    assert_clean_failure(&out, "bad value for --retry-prob");
+    assert_one_line_error(&out);
+}
+
+/// The diagnostic itself is a single `error: ...` line (the usage block
+/// that follows is separated by a blank line).
+fn assert_one_line_error(out: &Output) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let first = stderr.lines().next().unwrap_or("");
+    assert!(
+        first.starts_with("[error] "),
+        "diagnostic must lead stderr:\n{stderr}"
+    );
+    assert_eq!(
+        stderr.lines().nth(1).unwrap_or(""),
+        "",
+        "diagnostic must be one line:\n{stderr}"
+    );
+}
+
+#[test]
 fn fleet_unknown_fault_scenario_fails() {
     let out = deeppower(&["fleet", "--app", "masstree", "--fault", "gremlins"]);
     assert_clean_failure(&out, "unknown fault scenario `gremlins`");

@@ -78,6 +78,7 @@ impl<'a> FlatDrlGovernor<'a> {
                 view.energy_uj,
                 view.total_timeouts,
                 view.total_arrived,
+                view.total_wasted,
                 view.queue.len(),
             );
             return;
@@ -87,6 +88,7 @@ impl<'a> FlatDrlGovernor<'a> {
             view.energy_uj,
             view.total_timeouts,
             view.total_arrived,
+            view.total_wasted,
             view.queue.len(),
             elapsed,
         );

@@ -40,6 +40,10 @@ pub struct DeepPowerConfig {
     pub beta: f64,
     /// Reward weight on queue growth.
     pub gamma_q: f64,
+    /// Reward weight on wasted work — completions whose client already
+    /// abandoned (overload co-management extension). `0.0` keeps the
+    /// paper's three-term reward bit-identically.
+    pub kappa: f64,
     /// Queue-penalty threshold η of `scaleFunc` (§4.4.2; Fig. 5 uses 100).
     pub eta: f64,
     pub state_norm: StateNorm,
@@ -57,6 +61,7 @@ impl Default for DeepPowerConfig {
             alpha: 1.0,
             beta: 4.0,
             gamma_q: 1.0,
+            kappa: 0.0,
             eta: 100.0,
             state_norm: StateNorm::default(),
             updates_per_step: 1,
@@ -95,7 +100,7 @@ impl DeepPowerConfig {
         if self.long_time < self.short_time {
             return Err("LongTime must be >= ShortTime".into());
         }
-        if self.alpha < 0.0 || self.beta < 0.0 || self.gamma_q < 0.0 {
+        if self.alpha < 0.0 || self.beta < 0.0 || self.gamma_q < 0.0 || self.kappa < 0.0 {
             return Err("reward weights must be non-negative".into());
         }
         if self.eta <= 0.0 {

@@ -239,6 +239,7 @@ mod tests {
             power_w: 0.0,
             base_freq: 0.0,
             scaling_coef: 0.0,
+            admit_frac: 1.0,
             avg_freq_mhz: 0.0,
             queue_len: 0,
             timeouts: 0,

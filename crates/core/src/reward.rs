@@ -26,23 +26,29 @@ pub fn scale_func(x: f64, eta: f64) -> f64 {
     a / (a + b)
 }
 
-/// The three reward components of one step, pre-weighting (all ≥ 0;
-/// useful for diagnostics and the reward-weight ablation).
+/// The reward components of one step, pre-weighting (all ≥ 0; useful for
+/// diagnostics and the reward-weight ablation). `wasted` is the overload
+/// extension's term — service effort spent on requests whose client had
+/// already abandoned — and stays 0 unless an overload plan is active.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct RewardTerms {
     pub energy: f64,
     pub timeout: f64,
     pub queue: f64,
+    pub wasted: f64,
 }
 
 impl RewardTerms {
     /// Combine with weights into the (negative) total reward, normalized by
     /// the weight sum so the reward scale stays ~[-2, 0] regardless of how
     /// aggressively β is tuned — unbounded negative rewards destabilize the
-    /// DDPG critic (its targets compound by 1/(1−γ)).
-    pub fn total(&self, alpha: f64, beta: f64, gamma_q: f64) -> f64 {
-        let wsum = (alpha + beta + gamma_q).max(1e-9);
-        -(alpha * self.energy + beta * self.timeout + gamma_q * self.queue) / wsum
+    /// DDPG critic (its targets compound by 1/(1−γ)). With `kappa = 0` the
+    /// weight sum and the total are bit-identical to the paper's
+    /// three-term reward.
+    pub fn total(&self, alpha: f64, beta: f64, gamma_q: f64, kappa: f64) -> f64 {
+        let wsum = (alpha + beta + gamma_q + kappa).max(1e-9);
+        -(alpha * self.energy + beta * self.timeout + gamma_q * self.queue + kappa * self.wasted)
+            / wsum
     }
 }
 
@@ -53,6 +59,9 @@ pub struct RewardCalculator {
     pub alpha: f64,
     pub beta: f64,
     pub gamma_q: f64,
+    /// Weight on the wasted-work term (overload extension; 0 = the paper's
+    /// three-term reward, bit-identically).
+    pub kappa: f64,
     pub eta: f64,
     /// Normalization band for the energy term: socket power at idle/min
     /// frequency and at all-cores-max (watts).
@@ -61,6 +70,7 @@ pub struct RewardCalculator {
     prev_energy_uj: u64,
     prev_timeouts: u64,
     prev_arrived: u64,
+    prev_wasted: u64,
     prev_queue_len: usize,
 }
 
@@ -70,12 +80,14 @@ impl RewardCalculator {
             alpha,
             beta,
             gamma_q,
+            kappa: 0.0,
             eta,
             idle_power_w: 40.0,
             max_power_w: 130.0,
             prev_energy_uj: 0,
             prev_timeouts: 0,
             prev_arrived: 0,
+            prev_wasted: 0,
             prev_queue_len: 0,
         }
     }
@@ -85,6 +97,7 @@ impl RewardCalculator {
         self.prev_energy_uj = 0;
         self.prev_timeouts = 0;
         self.prev_arrived = 0;
+        self.prev_wasted = 0;
         self.prev_queue_len = 0;
     }
 
@@ -96,10 +109,18 @@ impl RewardCalculator {
     /// calculator mid-run — the monotone RAPL/request counters keep
     /// counting across episodes — latch to the *current* counters so the
     /// next `step` measures a real delta instead of the entire history.
-    pub fn latch(&mut self, energy_uj: u64, timeouts: u64, arrived: u64, queue_len: usize) {
+    pub fn latch(
+        &mut self,
+        energy_uj: u64,
+        timeouts: u64,
+        arrived: u64,
+        wasted: u64,
+        queue_len: usize,
+    ) {
         self.prev_energy_uj = energy_uj;
         self.prev_timeouts = timeouts;
         self.prev_arrived = arrived;
+        self.prev_wasted = wasted;
         self.prev_queue_len = queue_len;
     }
 
@@ -107,6 +128,8 @@ impl RewardCalculator {
     ///
     /// * `energy_uj` — RAPL counter (monotone),
     /// * `timeouts` / `arrived` — cumulative request counters,
+    /// * `wasted` — cumulative wasted completions (served after the client
+    ///   abandoned; 0 unless an overload plan is active),
     /// * `queue_len` — current queue length,
     /// * `step_ns` — length of the DRL step (to convert energy to power).
     pub fn step(
@@ -114,17 +137,20 @@ impl RewardCalculator {
         energy_uj: u64,
         timeouts: u64,
         arrived: u64,
+        wasted: u64,
         queue_len: usize,
         step_ns: u64,
     ) -> (f64, RewardTerms) {
         let d_energy_j = (energy_uj.saturating_sub(self.prev_energy_uj)) as f64 * 1e-6;
         let d_timeouts = timeouts.saturating_sub(self.prev_timeouts) as f64;
         let d_arrived = arrived.saturating_sub(self.prev_arrived) as f64;
+        let d_wasted = wasted.saturating_sub(self.prev_wasted) as f64;
         let queue_growth = queue_len.saturating_sub(self.prev_queue_len) as f64;
 
         self.prev_energy_uj = energy_uj;
         self.prev_timeouts = timeouts;
         self.prev_arrived = arrived;
+        self.prev_wasted = wasted;
         self.prev_queue_len = queue_len;
 
         let power_w = d_energy_j / (step_ns as f64 * 1e-9).max(1e-12);
@@ -136,13 +162,24 @@ impl RewardCalculator {
             0.0
         };
         let queue_term = scale_func(queue_len as f64, self.eta) * queue_growth / self.eta;
+        // Like the timeout term: fraction of the step's offered load whose
+        // service turned out to be wasted work.
+        let wasted_term = if d_arrived > 0.0 {
+            (d_wasted / d_arrived).min(1.0)
+        } else {
+            0.0
+        };
 
         let terms = RewardTerms {
             energy: energy_term,
             timeout: timeout_term,
             queue: queue_term,
+            wasted: wasted_term,
         };
-        (terms.total(self.alpha, self.beta, self.gamma_q), terms)
+        (
+            terms.total(self.alpha, self.beta, self.gamma_q, self.kappa),
+            terms,
+        )
     }
 }
 
@@ -183,17 +220,17 @@ mod tests {
         let mut rc_low = RewardCalculator::new(1.0, 0.0, 0.0, 100.0);
         let mut rc_high = RewardCalculator::new(1.0, 0.0, 0.0, 100.0);
         // 1 s steps: 50 J (50 W) vs 120 J (120 W).
-        let (r_low, _) = rc_low.step(50_000_000, 0, 100, 0, 1_000_000_000);
-        let (r_high, _) = rc_high.step(120_000_000, 0, 100, 0, 1_000_000_000);
+        let (r_low, _) = rc_low.step(50_000_000, 0, 100, 0, 0, 1_000_000_000);
+        let (r_high, _) = rc_high.step(120_000_000, 0, 100, 0, 0, 1_000_000_000);
         assert!(r_high < r_low, "more power must mean lower reward");
     }
 
     #[test]
     fn reward_penalizes_timeouts() {
         let mut rc = RewardCalculator::new(0.0, 1.0, 0.0, 100.0);
-        let (r_none, t) = rc.step(0, 0, 100, 0, 1_000_000_000);
+        let (r_none, t) = rc.step(0, 0, 100, 0, 0, 1_000_000_000);
         assert_eq!(t.timeout, 0.0);
-        let (r_some, t) = rc.step(0, 20, 200, 0, 1_000_000_000);
+        let (r_some, t) = rc.step(0, 20, 200, 0, 0, 1_000_000_000);
         assert!((t.timeout - 0.2).abs() < 1e-9);
         assert!(r_some < r_none);
     }
@@ -202,14 +239,14 @@ mod tests {
     fn queue_growth_below_eta_barely_punished() {
         let mut rc = RewardCalculator::new(0.0, 0.0, 1.0, 100.0);
         // Queue grows 0 → 20 (well below η): tiny penalty.
-        let (_, t) = rc.step(0, 0, 0, 20, 1_000_000_000);
+        let (_, t) = rc.step(0, 0, 0, 0, 20, 1_000_000_000);
         assert!(
             t.queue < 0.01,
             "small queue growth over-punished: {}",
             t.queue
         );
         // Queue grows 20 → 400 (above η): large penalty.
-        let (_, t) = rc.step(0, 0, 0, 400, 1_000_000_000);
+        let (_, t) = rc.step(0, 0, 0, 0, 400, 1_000_000_000);
         assert!(
             t.queue > 1.0,
             "large queue growth under-punished: {}",
@@ -220,17 +257,30 @@ mod tests {
     #[test]
     fn queue_shrinkage_not_rewarded() {
         let mut rc = RewardCalculator::new(0.0, 0.0, 1.0, 100.0);
-        let _ = rc.step(0, 0, 0, 500, 1_000_000_000);
-        let (_, t) = rc.step(0, 0, 0, 100, 1_000_000_000);
+        let _ = rc.step(0, 0, 0, 0, 500, 1_000_000_000);
+        let (_, t) = rc.step(0, 0, 0, 0, 100, 1_000_000_000);
         assert_eq!(t.queue, 0.0, "max(Δql, 0) clips shrinkage");
+    }
+
+    #[test]
+    fn wasted_term_is_fraction_of_offered_load() {
+        let mut rc = RewardCalculator::new(0.0, 0.0, 0.0, 100.0);
+        rc.kappa = 1.0;
+        let (r0, t0) = rc.step(0, 0, 100, 0, 0, 1_000_000_000);
+        assert_eq!(t0.wasted, 0.0);
+        assert_eq!(r0, 0.0);
+        // 100 new offers, 25 of them served-after-abandon → 0.25.
+        let (r1, t1) = rc.step(0, 0, 200, 25, 0, 1_000_000_000);
+        assert!((t1.wasted - 0.25).abs() < 1e-12);
+        assert!(r1 < r0, "wasted work must lower the reward when κ > 0");
     }
 
     #[test]
     fn counters_are_deltas_not_cumulative() {
         let mut rc = RewardCalculator::new(1.0, 1.0, 0.0, 100.0);
-        let (_, t1) = rc.step(60_000_000, 5, 100, 0, 1_000_000_000);
+        let (_, t1) = rc.step(60_000_000, 5, 100, 0, 0, 1_000_000_000);
         // Same cumulative counters again → zero deltas.
-        let (_, t2) = rc.step(60_000_000, 5, 100, 0, 1_000_000_000);
+        let (_, t2) = rc.step(60_000_000, 5, 100, 0, 0, 1_000_000_000);
         assert!(t1.energy > 0.0 || t1.timeout > 0.0);
         assert_eq!(t2.timeout, 0.0);
         assert!(t2.energy <= 0.0 + 1e-12); // clamped at 0 (power below idle band)
@@ -244,11 +294,11 @@ mod tests {
         // history; `latch(...)` rebases so only post-boundary deltas
         // count.
         let mut rc = RewardCalculator::new(1.0, 1.0, 0.0, 100.0);
-        let _ = rc.step(500_000_000, 40, 1_000, 0, 1_000_000_000);
+        let _ = rc.step(500_000_000, 40, 1_000, 0, 0, 1_000_000_000);
 
         let mut via_reset = rc;
         via_reset.reset();
-        let (_, t_reset) = via_reset.step(501_000_000, 40, 1_010, 0, 1_000_000_000);
+        let (_, t_reset) = via_reset.step(501_000_000, 40, 1_010, 0, 0, 1_000_000_000);
         // 501 J "consumed in one second" — a spurious, clamped-out blowup.
         assert!(
             t_reset.energy >= 2.0 - 1e-12,
@@ -260,8 +310,8 @@ mod tests {
         );
 
         let mut via_latch = rc;
-        via_latch.latch(500_000_000, 40, 1_000, 0);
-        let (_, t_latch) = via_latch.step(501_000_000, 40, 1_010, 0, 1_000_000_000);
+        via_latch.latch(500_000_000, 40, 1_000, 0, 0);
+        let (_, t_latch) = via_latch.step(501_000_000, 40, 1_010, 0, 0, 1_000_000_000);
         // Real delta: 1 J over 1 s = 1 W, far below the idle band → 0.
         assert_eq!(
             t_latch.energy, 0.0,
@@ -279,14 +329,19 @@ mod tests {
             energy: 1.0,
             timeout: 0.5,
             queue: 0.2,
+            wasted: 0.4,
         };
         // Single-term weights: total = -term value.
-        assert!((terms.total(1.0, 0.0, 0.0) + 1.0).abs() < 1e-12);
-        assert!((terms.total(0.0, 2.0, 0.0) + 0.5).abs() < 1e-12);
+        assert!((terms.total(1.0, 0.0, 0.0, 0.0) + 1.0).abs() < 1e-12);
+        assert!((terms.total(0.0, 2.0, 0.0, 0.0) + 0.5).abs() < 1e-12);
+        assert!((terms.total(0.0, 0.0, 0.0, 3.0) + 0.4).abs() < 1e-12);
         // Mixed weights normalize by the weight sum.
         let expected = -(1.0 + 2.0 * 0.5 + 5.0 * 0.2) / 8.0;
-        assert!((terms.total(1.0, 2.0, 5.0) - expected).abs() < 1e-12);
+        assert!((terms.total(1.0, 2.0, 5.0, 0.0) - expected).abs() < 1e-12);
         // Scaling all weights together leaves the reward unchanged.
-        assert!((terms.total(2.0, 4.0, 10.0) - expected).abs() < 1e-12);
+        assert!((terms.total(2.0, 4.0, 10.0, 0.0) - expected).abs() < 1e-12);
+        // κ joins the normalization: the four-term total.
+        let expected4 = -(1.0 + 2.0 * 0.5 + 5.0 * 0.2 + 2.0 * 0.4) / 10.0;
+        assert!((terms.total(1.0, 2.0, 5.0, 2.0) - expected4).abs() < 1e-12);
     }
 }

@@ -132,7 +132,10 @@ mod tests {
         (0..10u64)
             .map(|i| Request {
                 id: i,
+                client_id: i,
+                attempt: 0,
                 arrival: i * 100 * MILLISECOND,
+                first_arrival: i * 100 * MILLISECOND,
                 work_ref_ns: MILLISECOND,
                 freq_sensitivity: 1.0,
                 sla: 50 * MILLISECOND,

@@ -104,7 +104,10 @@ mod tests {
     fn queued(arrival: Nanos, sla: Nanos) -> Request {
         Request {
             id: 0,
+            client_id: 0,
+            attempt: 0,
             arrival,
+            first_arrival: arrival,
             work_ref_ns: 1,
             freq_sensitivity: 1.0,
             sla,
@@ -125,6 +128,8 @@ mod tests {
             total_arrived: arrived,
             total_completed: 0,
             total_timeouts: 0,
+            total_shed: 0,
+            total_wasted: 0,
             energy_uj: 0,
         }
     }

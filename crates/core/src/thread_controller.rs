@@ -23,11 +23,17 @@
 use deeppower_simd_server::{FreqCommands, Governor, ServerView};
 use serde::{Deserialize, Serialize};
 
-/// The two parameters the DRL agent controls (§4.4.3), both in `[0, 1]`.
+/// The parameters the DRL agent controls (§4.4.3), all in `[0, 1]`
+/// (`scaling_coef` may exceed 1; the score cap handles it).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ControllerParams {
     pub base_freq: f32,
     pub scaling_coef: f32,
+    /// Admission threshold for the overload co-management extension, as
+    /// a fraction of the server's admission scale. `1.0` — the value
+    /// two-action (paper-faithful) policies always carry — admits up to
+    /// the full scale, i.e. the legacy behaviour.
+    pub admit_frac: f32,
 }
 
 impl ControllerParams {
@@ -50,13 +56,30 @@ impl ControllerParams {
         Self {
             base_freq: base_freq.clamp(0.0, 1.0),
             scaling_coef: scaling_coef.max(0.0),
+            admit_frac: 1.0,
         }
     }
 
-    /// From a raw DRL action vector `[base_freq, scaling_coef]`.
+    /// From a raw DRL action vector: `[base_freq, scaling_coef]` for the
+    /// paper's two-action policy, or `[base_freq, scaling_coef,
+    /// admit_frac]` for the admission-co-managed extension.
     pub fn from_action(action: &[f32]) -> Self {
-        assert_eq!(action.len(), 2, "controller action must be 2-dimensional");
-        Self::new(action[0], action[1])
+        assert!(
+            action.len() == 2 || action.len() == 3,
+            "controller action must be 2- or 3-dimensional, got {}",
+            action.len()
+        );
+        let mut p = Self::new(action[0], action[1]);
+        if action.len() == 3 {
+            // Same sanitization as the frequency knobs: a non-finite
+            // admission head degrades to admit-all, never to reject-all.
+            p.admit_frac = if action[2].is_finite() {
+                action[2].clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+        }
+        p
     }
 }
 
@@ -66,6 +89,7 @@ impl Default for ControllerParams {
         Self {
             base_freq: 0.5,
             scaling_coef: 0.5,
+            admit_frac: 1.0,
         }
     }
 }
@@ -89,8 +113,11 @@ impl ThreadController {
         consumed_frac * self.params.scaling_coef + self.params.base_freq
     }
 
-    /// Apply Algorithm 1's body to every core given the current view.
+    /// Apply Algorithm 1's body to every core given the current view,
+    /// and publish the admission threshold (consumed only by servers
+    /// running a DRL-admission overload plan; a no-op everywhere else).
     pub fn scale_all(&self, view: &ServerView<'_>, cmds: &mut FreqCommands) {
+        cmds.set_admission(self.params.admit_frac);
         for (core_id, core) in view.cores.iter().enumerate() {
             match &core.running {
                 Some(run) => {
@@ -150,7 +177,10 @@ mod tests {
     fn req(id: u64, arrival: u64, work: u64, sla: u64) -> Request {
         Request {
             id,
+            client_id: id,
+            attempt: 0,
             arrival,
+            first_arrival: arrival,
             work_ref_ns: work,
             freq_sensitivity: 1.0,
             sla,
@@ -165,6 +195,12 @@ mod tests {
         assert_eq!(p.scaling_coef, 1.5); // coef may exceed 1 (score cap handles it)
         let p = ControllerParams::from_action(&[0.3, 0.9]);
         assert_eq!(p, ControllerParams::new(0.3, 0.9));
+        assert_eq!(p.admit_frac, 1.0, "2-action policies admit everything");
+        let p3 = ControllerParams::from_action(&[0.3, 0.9, 0.4]);
+        assert_eq!(p3.admit_frac, 0.4);
+        let p3 = ControllerParams::from_action(&[0.3, 0.9, f32::NAN]);
+        assert_eq!(p3.admit_frac, 1.0, "broken admission head → admit-all");
+        assert!(std::panic::catch_unwind(|| ControllerParams::from_action(&[0.1])).is_err());
     }
 
     #[test]

@@ -182,7 +182,10 @@ mod tests {
     fn req(id: u64, arrival: u64, work: u64) -> Request {
         Request {
             id,
+            client_id: id,
+            attempt: 0,
             arrival,
+            first_arrival: arrival,
             work_ref_ns: work,
             freq_sensitivity: 1.0,
             sla: 10_000_000,

@@ -99,7 +99,10 @@ mod proptests {
             let arrivals: Vec<deeppower_simd_server::Request> = (0..count as u64)
                 .map(|i| deeppower_simd_server::Request {
                     id: i,
+                    client_id: i,
+                    attempt: 0,
                     arrival: i * 1_000_000_000,
+                    first_arrival: i * 1_000_000_000,
                     work_ref_ns: 1000,
                     freq_sensitivity: 1.0,
                     sla: 10_000_000,

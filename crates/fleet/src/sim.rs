@@ -28,8 +28,8 @@ use deeppower_core::{
 use deeppower_drl::{ActorScratch, Ddpg};
 use deeppower_nn::Matrix;
 use deeppower_simd_server::{
-    FaultPlan, FreqCommands, Governor, LatencyStats, Request, RequestRecord, RunOptions, Server,
-    ServerConfig, ServerView, Session, MILLISECOND,
+    FaultPlan, FreqCommands, Governor, LatencyStats, OverloadPlan, Request, RequestRecord,
+    RunOptions, Server, ServerConfig, ServerView, Session, MILLISECOND,
 };
 use deeppower_telemetry::{
     FleetMonitor, HealthReport, MonitorConfig, MonitorSink, Profiler, Recorder,
@@ -61,6 +61,11 @@ pub struct FleetSpec {
     /// fault streams (seed offset by the node index), so a fleet under
     /// e.g. core stalls degrades node by node, not in lockstep.
     pub faults: FaultPlan,
+    /// Overload plan applied to every node (bounded queue, client
+    /// deadlines, retries, admission). Like faults, each node's retry
+    /// RNG seed is offset by the node index so retry storms desynchronize
+    /// across the fleet.
+    pub overload: OverloadPlan,
 }
 
 /// Per-node slice of a fleet run.
@@ -69,9 +74,19 @@ pub struct NodeSummary {
     pub node: usize,
     /// Requests routed to this node by the balancer.
     pub assigned: u64,
-    /// Requests completed (the simulator drops nothing, so this equals
-    /// `assigned` — asserted by the conservation tests).
+    /// Requests completed. Without an overload plan the simulator drops
+    /// nothing, so this equals `assigned` (asserted by the conservation
+    /// tests); with one, shed requests make it smaller and retries can
+    /// make it larger.
     pub requests: u64,
+    /// Completions whose client was still waiting.
+    pub goodput: u64,
+    /// Completions after the client abandoned (wasted work).
+    pub wasted: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Retries injected by this node's closed-loop clients.
+    pub retries: u64,
     pub energy_j: f64,
     pub avg_power_w: f64,
     pub p50_ms: f64,
@@ -93,6 +108,11 @@ pub struct FleetResult {
     /// Batched policy decisions taken (one per `LongTime` epoch).
     pub drl_epochs: u64,
     pub total_requests: u64,
+    /// Fleet-wide goodput / wasted / shed totals (overload plans only;
+    /// without one `total_goodput == total_requests` and the rest are 0).
+    pub total_goodput: u64,
+    pub total_wasted: u64,
+    pub total_shed: u64,
     pub total_energy_j: f64,
     /// Sum of per-node average powers — the fleet's steady draw.
     pub total_power_w: f64,
@@ -209,11 +229,20 @@ pub fn run_fleet_reference(spec: &FleetSpec, policy: &TrainedPolicy) -> FleetRes
 /// (and therefore its window grid) and fault axes, but draws from its
 /// own fault seed stream (`seed + node`) so faults don't strike the
 /// whole fleet in lockstep.
-fn node_opts(base: RunOptions, faults: FaultPlan, node: usize) -> RunOptions {
+fn node_opts(
+    base: RunOptions,
+    faults: FaultPlan,
+    overload: OverloadPlan,
+    node: usize,
+) -> RunOptions {
     RunOptions {
         faults: FaultPlan {
             seed: faults.seed.wrapping_add(node as u64),
             ..faults
+        },
+        overload: OverloadPlan {
+            seed: overload.seed.wrapping_add(node as u64),
+            ..overload
         },
         ..base
     }
@@ -261,7 +290,7 @@ fn run_fleet_impl(
                 .session(
                     stream,
                     gov as &mut dyn Governor,
-                    node_opts(opts, spec.faults, i),
+                    node_opts(opts, spec.faults, spec.overload, i),
                     rec,
                 )
                 .with_profiler(prof)
@@ -458,6 +487,7 @@ fn run_fleet_parallel_inner(
         (0..n).map(|_| OnceLock::new()).collect();
     let mon_slots: Vec<OnceLock<FleetMonitor>> = (0..threads).map(|_| OnceLock::new()).collect();
     let faults = spec.faults;
+    let overload = spec.overload;
 
     let mut epochs = 0u64;
     std::thread::scope(|scope| {
@@ -504,7 +534,7 @@ fn run_fleet_parallel_inner(
                             .session(
                                 &streams[i],
                                 gov as &mut dyn Governor,
-                                node_opts(opts, faults, i),
+                                node_opts(opts, faults, overload, i),
                                 rec,
                             )
                             .with_profiler(prof)
@@ -637,12 +667,20 @@ fn assemble(
     let mut per_node = Vec::with_capacity(results.len());
     let mut total_energy_j = 0.0;
     let mut total_power_w = 0.0;
+    let (mut total_goodput, mut total_wasted, mut total_shed) = (0u64, 0u64, 0u64);
     for (node, sim) in results.into_iter().enumerate() {
         let s = &sim.stats;
+        total_goodput += sim.goodput;
+        total_wasted += sim.wasted;
+        total_shed += sim.shed;
         per_node.push(NodeSummary {
             node,
             assigned: assigned[node],
             requests: s.count,
+            goodput: sim.goodput,
+            wasted: sim.wasted,
+            shed: sim.shed,
+            retries: sim.retries,
             energy_j: sim.energy_j,
             avg_power_w: sim.avg_power_w,
             p50_ms: ms(s.p50_ns),
@@ -665,6 +703,9 @@ fn assemble(
         duration_s: spec.duration_s,
         drl_epochs: epochs,
         total_requests: fleet.count,
+        total_goodput,
+        total_wasted,
+        total_shed,
         total_energy_j,
         total_power_w,
         fleet_p50_ms: ms(fleet.p50_ns),
@@ -688,6 +729,7 @@ mod tests {
             peak_load: 0.4,
             duration_s: 3,
             faults: FaultPlan::none(),
+            overload: OverloadPlan::none(),
         }
     }
 
@@ -792,6 +834,49 @@ mod tests {
     }
 
     #[test]
+    fn overloaded_fleet_is_byte_identical_at_any_thread_count() {
+        // Satellite of the overload work: the closed-loop client layer
+        // (bounded queues, abandonment, seeded retries) must preserve
+        // the serial/threaded byte-identity bar, and the retry RNG
+        // streams must replay bit-identically alongside fault injection.
+        let mut spec = small_spec(4, BalancerPolicy::JoinShortestQueue);
+        spec.peak_load = 1.3; // past saturation so the overload layer engages
+        spec.faults = FaultPlan {
+            seed: 21,
+            stall_period_ns: 1_000_000_000,
+            stall_duration_ns: 300_000_000,
+            ..FaultPlan::none()
+        };
+        spec.overload = OverloadPlan {
+            seed: 9,
+            queue_capacity: 32,
+            client_timeout_ns: 5 * MILLISECOND,
+            retry_prob: 0.6,
+            max_attempts: 3,
+            retry_backoff_ns: 2 * MILLISECOND,
+            retry_jitter_ns: 500_000,
+            ..OverloadPlan::none()
+        };
+        let policy = untrained_policy(spec.app, 13);
+        let serial = run_fleet(&spec, &policy);
+        assert!(
+            serial.total_shed > 0 && serial.total_wasted > 0,
+            "overload plan never engaged: shed={} wasted={}",
+            serial.total_shed,
+            serial.total_wasted
+        );
+        assert!(
+            serial.per_node.iter().map(|n| n.retries).sum::<u64>() > 0,
+            "no retries fired"
+        );
+        let serial = serial.to_json();
+        for threads in [1usize, 2, 8] {
+            let parallel = run_fleet_threaded(&spec, &policy, threads).to_json();
+            assert_eq!(serial, parallel, "--threads {threads} diverged from serial");
+        }
+    }
+
+    #[test]
     fn monitored_fleet_report_is_byte_identical_at_any_thread_count() {
         // Same bar as the threaded driver itself: the health report is
         // a pure function of the per-node event streams, so serial and
@@ -842,6 +927,7 @@ mod tests {
             peak_load: 0.75,
             duration_s: 6,
             faults: FaultPlan::none(),
+            overload: OverloadPlan::none(),
         };
         let policy = untrained_policy(spec.app, 5);
         let mut slo = SloSpec::for_sla_ns("masstree", MILLISECOND);

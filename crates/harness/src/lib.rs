@@ -31,8 +31,8 @@ use deeppower_core::{
 };
 use deeppower_fleet::{run_fleet_threaded, BalancerPolicy, FleetResult, FleetSpec};
 use deeppower_simd_server::{
-    FaultPlan, FixedFrequency, FreqPlan, Governor, Request, RunOptions, Server, ServerConfig,
-    SimResult, MILLISECOND, SECOND,
+    FaultPlan, FixedFrequency, FreqPlan, Governor, OverloadPlan, Request, RunOptions, Server,
+    ServerConfig, SimResult, MILLISECOND, SECOND,
 };
 use deeppower_telemetry::{event, Event, FleetMonitor, MonitorConfig, Profiler, Recorder, SloSpec};
 use deeppower_workload::{constant_rate_arrivals, trace_arrivals, App, AppSpec};
@@ -121,6 +121,9 @@ pub struct JobSpec {
     /// Deterministic platform-fault injection for this cell
     /// ([`FaultPlan::none`] = the classic fault-free rollout).
     pub faults: FaultPlan,
+    /// Closed-loop client / bounded-queue overload model for this cell
+    /// ([`OverloadPlan::none`] = the classic open-loop rollout).
+    pub overload: OverloadPlan,
     /// Wrap the governor in a [`SafetyGovernor`] (default thresholds).
     /// Reported labels gain a `+safe` suffix.
     pub safety: bool,
@@ -165,6 +168,17 @@ pub struct JobResult {
     /// Faults the simulator injected during the run (0 when the job's
     /// [`FaultPlan`] is inactive).
     pub faults_injected: u64,
+    /// Completions whose client was still waiting (== `requests` when
+    /// the job's [`OverloadPlan`] is inactive).
+    pub goodput: u64,
+    /// Completions after the client abandoned (wasted work).
+    pub wasted: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Retries injected by the closed-loop clients.
+    pub retries: u64,
+    /// Server busy-time burned on wasted completions, seconds.
+    pub wasted_s: f64,
 }
 
 impl JobResult {
@@ -198,7 +212,23 @@ impl JobResult {
             drl_steps,
             mean_reward,
             faults_injected: sim.faults_injected,
+            goodput: sim.goodput,
+            wasted: sim.wasted,
+            shed: sim.shed,
+            retries: sim.retries,
+            wasted_s: sim.wasted_s,
         }
+    }
+
+    /// Goodput as a fraction of everything the clients offered
+    /// (completions + shed); 1.0 for an open-loop run, 0.0 when nothing
+    /// was offered.
+    pub fn goodput_ratio(&self) -> f64 {
+        let offered = self.goodput + self.wasted + self.shed;
+        if offered == 0 {
+            return 0.0;
+        }
+        self.goodput as f64 / offered as f64
     }
 }
 
@@ -240,6 +270,7 @@ pub fn grid(
                     duration_s,
                     workload,
                     faults: FaultPlan::none(),
+                    overload: OverloadPlan::none(),
                     safety: false,
                 });
             }
@@ -306,6 +337,7 @@ pub fn run_job_profiled(spec: &JobSpec, job: u64, rec: &Recorder, prof: &Profile
     let arrivals = arrivals_for(spec, &app_spec);
     let opts = RunOptions {
         faults: spec.faults,
+        overload: spec.overload,
         ..Default::default()
     };
     let plan = FreqPlan::xeon_gold_5218r;
@@ -414,6 +446,7 @@ fn run_policy(
     let opts = RunOptions {
         tick_ns: policy.deeppower.short_time,
         faults: spec.faults,
+        overload: spec.overload,
         ..Default::default()
     };
     let sim = run_sim(server, arrivals, &mut gov, opts, rec, spec.safety, prof);
@@ -648,6 +681,77 @@ pub fn fault_scenarios(seed: u64) -> Vec<(&'static str, FaultPlan)> {
     ]
 }
 
+/// The canonical overload scenarios: closed-loop clients with bounded
+/// queues and seeded retries, scaled to the app's SLA so every workload
+/// sees comparable pressure relative to its own deadline.
+pub fn overload_scenarios(seed: u64, sla_ns: u64) -> Vec<(&'static str, OverloadPlan)> {
+    let sla_ns = sla_ns.max(1);
+    let base = OverloadPlan {
+        seed,
+        queue_capacity: 256,
+        client_timeout_ns: 4 * sla_ns,
+        retry_prob: 0.8,
+        max_attempts: 3,
+        retry_backoff_ns: sla_ns,
+        retry_jitter_ns: (sla_ns / 4).max(1),
+        ..OverloadPlan::none()
+    };
+    vec![
+        // Impatient clients re-offering almost every timeout: the load
+        // amplification loop of a classic retry storm.
+        (
+            "retry-storm",
+            OverloadPlan {
+                retry_prob: 0.9,
+                max_attempts: 4,
+                ..base
+            },
+        ),
+        // A transient arrival multiplier on top of the closed loop.
+        (
+            "flash-crowd",
+            OverloadPlan {
+                burst_start_ns: 500 * MILLISECOND,
+                burst_duration_ns: SECOND,
+                burst_factor: 3,
+                ..base
+            },
+        ),
+        // Tight queue, short deadlines, near-certain retries: the regime
+        // where an unmanaged server congestion-collapses.
+        (
+            "collapse",
+            OverloadPlan {
+                queue_capacity: 64,
+                client_timeout_ns: 2 * sla_ns,
+                retry_prob: 0.95,
+                max_attempts: 5,
+                retry_backoff_ns: (sla_ns / 2).max(1),
+                ..base
+            },
+        ),
+    ]
+}
+
+/// Full robustness scenario list: the five platform-fault scenarios
+/// (overload-free) followed by the three overload scenarios
+/// (fault-free). `none` stays first as the shared delta baseline.
+pub fn robustness_scenarios(
+    seed: u64,
+    sla_ns: u64,
+) -> Vec<(&'static str, FaultPlan, OverloadPlan)> {
+    let mut out: Vec<_> = fault_scenarios(seed)
+        .into_iter()
+        .map(|(name, faults)| (name, faults, OverloadPlan::none()))
+        .collect();
+    out.extend(
+        overload_scenarios(seed, sla_ns)
+            .into_iter()
+            .map(|(name, overload)| (name, FaultPlan::none(), overload)),
+    );
+    out
+}
+
 /// One cell of the robustness matrix: a governor under a fault scenario,
 /// with degradation deltas against the same governor's fault-free run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -671,6 +775,13 @@ pub struct RobustnessRow {
     pub d_power_w: f64,
     pub d_p99_ms: f64,
     pub d_timeout_rate: f64,
+    /// Completions the client was still waiting for (== all completions
+    /// on overload-free rows).
+    pub goodput: u64,
+    /// Server busy-seconds burned on abandoned requests.
+    pub wasted_s: f64,
+    /// Requests shed at admission.
+    pub shed: u64,
 }
 
 /// The governors × fault-scenarios degradation matrix for one app.
@@ -692,7 +803,7 @@ impl RobustnessReport {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<24} {:<8} {:>9} {:>9} {:>9} {:>8} {:>7} {:>7} {:>9} {:>9} {:>9}\n",
+            "{:<24} {:<12} {:>9} {:>9} {:>9} {:>8} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7}\n",
             "governor",
             "scenario",
             "power_w",
@@ -703,11 +814,14 @@ impl RobustnessReport {
             "viol_s",
             "d_power",
             "d_p99",
-            "d_timeout"
+            "d_timeout",
+            "goodput",
+            "wasted_s",
+            "shed"
         ));
         for r in &self.rows {
             out.push_str(&format!(
-                "{:<24} {:<8} {:>9.2} {:>9.2} {:>9.4} {:>8} {:>7} {:>7.2} {:>+9.2} {:>+9.2} {:>+9.4}\n",
+                "{:<24} {:<12} {:>9.2} {:>9.2} {:>9.4} {:>8} {:>7} {:>7.2} {:>+9.2} {:>+9.2} {:>+9.4} {:>9} {:>9.3} {:>7}\n",
                 r.governor,
                 r.scenario,
                 r.avg_power_w,
@@ -718,17 +832,48 @@ impl RobustnessReport {
                 r.violation_s,
                 r.d_power_w,
                 r.d_p99_ms,
-                r.d_timeout_rate
+                r.d_timeout_rate,
+                r.goodput,
+                r.wasted_s,
+                r.shed
             ));
         }
         out
     }
 }
 
+/// Resolve a scenario selection against [`robustness_scenarios`].
+///
+/// `wanted` empty means "all eight". Otherwise the result is `none`
+/// (always kept first — every matrix chunk needs its delta baseline)
+/// followed by the requested scenarios in canonical order. Unknown
+/// names are a one-line `Err` listing the valid set.
+pub fn select_scenarios(
+    seed: u64,
+    sla_ns: u64,
+    wanted: &[String],
+) -> Result<Vec<(&'static str, FaultPlan, OverloadPlan)>, String> {
+    let all = robustness_scenarios(seed, sla_ns);
+    if wanted.is_empty() {
+        return Ok(all);
+    }
+    for w in wanted {
+        if !all.iter().any(|(name, _, _)| name == w) {
+            let names: Vec<_> = all.iter().map(|(n, _, _)| *n).collect();
+            return Err(format!("unknown scenario `{w}` ({})", names.join("|")));
+        }
+    }
+    Ok(all
+        .into_iter()
+        .filter(|(name, _, _)| *name == "none" || wanted.iter().any(|w| w == name))
+        .collect())
+}
+
 /// Build the robustness job list: every governor (plain and, when
-/// `include_safety`, safety-wrapped) under every fault scenario.
-/// Row-major: scenarios vary fastest, then the safety axis, then
-/// governors — matching [`robustness_matrix`]'s row order.
+/// `include_safety`, safety-wrapped) under every fault *and* overload
+/// scenario ([`robustness_scenarios`]). Row-major: scenarios vary
+/// fastest, then the safety axis, then governors — matching
+/// [`robustness_matrix`]'s row order.
 pub fn robustness_jobs(
     app: App,
     governors: &[GovernorSpec],
@@ -737,11 +882,35 @@ pub fn robustness_jobs(
     peak_load: f64,
     duration_s: u64,
 ) -> Vec<JobSpec> {
-    let scenarios = fault_scenarios(seed);
+    let scenarios = robustness_scenarios(seed, AppSpec::get(app).sla);
+    robustness_jobs_for(
+        &scenarios,
+        app,
+        governors,
+        include_safety,
+        seed,
+        peak_load,
+        duration_s,
+    )
+}
+
+/// [`robustness_jobs`] over an explicit scenario list (see
+/// [`select_scenarios`]). The first scenario must be the overload- and
+/// fault-free `none` baseline.
+#[allow(clippy::too_many_arguments)]
+pub fn robustness_jobs_for(
+    scenarios: &[(&'static str, FaultPlan, OverloadPlan)],
+    app: App,
+    governors: &[GovernorSpec],
+    include_safety: bool,
+    seed: u64,
+    peak_load: f64,
+    duration_s: u64,
+) -> Vec<JobSpec> {
     let mut jobs = Vec::new();
     for gov in governors {
         for &safety in &[false, true][..if include_safety { 2 } else { 1 }] {
-            for (_, faults) in &scenarios {
+            for (_, faults, overload) in scenarios {
                 jobs.push(JobSpec {
                     app,
                     governor: gov.clone(),
@@ -750,6 +919,7 @@ pub fn robustness_jobs(
                     duration_s,
                     workload: WorkloadKind::Constant,
                     faults: *faults,
+                    overload: *overload,
                     safety,
                 });
             }
@@ -777,10 +947,48 @@ pub fn robustness_matrix(
     duration_s: u64,
     threads: usize,
 ) -> RobustnessReport {
-    let jobs = robustness_jobs(app, governors, include_safety, seed, peak_load, duration_s);
+    let scenarios = robustness_scenarios(seed, AppSpec::get(app).sla);
+    robustness_matrix_for(
+        &scenarios,
+        app,
+        governors,
+        include_safety,
+        seed,
+        peak_load,
+        duration_s,
+        threads,
+    )
+}
+
+/// [`robustness_matrix`] over an explicit scenario list (see
+/// [`select_scenarios`]), e.g. the CLI's `--scenario` filter. The first
+/// scenario must be the `none` baseline the deltas are taken against.
+#[allow(clippy::too_many_arguments)]
+pub fn robustness_matrix_for(
+    scenarios: &[(&'static str, FaultPlan, OverloadPlan)],
+    app: App,
+    governors: &[GovernorSpec],
+    include_safety: bool,
+    seed: u64,
+    peak_load: f64,
+    duration_s: u64,
+    threads: usize,
+) -> RobustnessReport {
+    let jobs = robustness_jobs_for(
+        scenarios,
+        app,
+        governors,
+        include_safety,
+        seed,
+        peak_load,
+        duration_s,
+    );
     let (results, events) = run_grid_telemetry(&jobs, threads);
     let app_spec = AppSpec::get(app);
-    let slo = SloSpec::for_sla_ns(app_spec.name, app_spec.sla);
+    let mut slo = SloSpec::for_sla_ns(app_spec.name, app_spec.sla);
+    // Overload rows also answer for delivered goodput: windows where
+    // less than half the offered load completes usefully violate.
+    slo.goodput_ratio = 0.5;
     let health: Vec<(u64, f64)> = events
         .iter()
         .map(|stream| {
@@ -791,7 +999,6 @@ pub fn robustness_matrix(
             (rep.alerts.len() as u64, violation_ns as f64 / 1e9)
         })
         .collect();
-    let scenarios = fault_scenarios(seed);
     let n_scenarios = scenarios.len();
     let mut rows = Vec::with_capacity(results.len());
     for ((chunk_jobs, chunk), chunk_health) in jobs
@@ -800,9 +1007,9 @@ pub fn robustness_matrix(
         .zip(health.chunks(n_scenarios))
     {
         // First job of every chunk is the governor's `none` baseline.
-        debug_assert!(!chunk_jobs[0].faults.is_active());
+        debug_assert!(!chunk_jobs[0].faults.is_active() && !chunk_jobs[0].overload.is_active());
         let base = &chunk[0];
-        for (((name, _), r), &(alerts, violation_s)) in
+        for (((name, _, _), r), &(alerts, violation_s)) in
             scenarios.iter().zip(chunk).zip(chunk_health)
         {
             rows.push(RobustnessRow {
@@ -817,6 +1024,9 @@ pub fn robustness_matrix(
                 d_power_w: r.avg_power_w - base.avg_power_w,
                 d_p99_ms: r.p99_ms - base.p99_ms,
                 d_timeout_rate: r.timeout_rate - base.timeout_rate,
+                goodput: r.goodput,
+                wasted_s: r.wasted_s,
+                shed: r.shed,
             });
         }
     }
@@ -862,6 +1072,7 @@ pub fn fleet_grid(
                     peak_load,
                     duration_s,
                     faults: Default::default(),
+                    overload: Default::default(),
                 },
                 policy: policy.clone(),
             });
@@ -1084,6 +1295,7 @@ mod tests {
             duration_s: 2,
             workload: WorkloadKind::Constant,
             faults: FaultPlan::none(),
+            overload: OverloadPlan::none(),
             safety: false,
         }];
         let res = run_grid(&jobs, 1);
@@ -1143,6 +1355,7 @@ mod tests {
             duration_s: 1,
             workload: WorkloadKind::Constant,
             faults: FaultPlan::none(),
+            overload: OverloadPlan::none(),
             safety: true,
         };
         assert_eq!(job.governor_label(), "thread-controller+safe");
@@ -1155,8 +1368,8 @@ mod tests {
     #[test]
     fn robustness_matrix_has_zero_deltas_on_fault_free_rows() {
         let report = robustness_matrix(App::Masstree, &[GovernorSpec::MaxFreq], true, 5, 0.4, 2, 0);
-        // 1 governor × {plain, safe} × 5 scenarios.
-        assert_eq!(report.rows.len(), 10);
+        // 1 governor × {plain, safe} × 8 scenarios (5 fault + 3 overload).
+        assert_eq!(report.rows.len(), 16);
         for row in report.rows.iter().filter(|r| r.scenario == "none") {
             assert_eq!(row.d_power_w, 0.0);
             assert_eq!(row.d_p99_ms, 0.0);
@@ -1167,11 +1380,73 @@ mod tests {
             assert_eq!(row.alerts, 0);
             assert_eq!(row.violation_s, 0.0);
         }
+        // Overload scenarios complete real traffic, inject no faults,
+        // and report goodput accounting.
+        for row in report
+            .rows
+            .iter()
+            .filter(|r| ["retry-storm", "flash-crowd", "collapse"].contains(&r.scenario.as_str()))
+        {
+            assert_eq!(row.faults_injected, 0);
+            assert!(row.goodput > 0, "overload row had no goodput: {row:?}");
+        }
         let table = report.render_table();
         assert!(table.contains("baseline+safe"));
         assert!(table.contains("scenario"));
         assert!(table.contains("alerts"));
         assert!(table.contains("viol_s"));
+        assert!(table.contains("goodput"));
+        assert!(table.contains("retry-storm"));
+        assert!(table.contains("collapse"));
+    }
+
+    #[test]
+    fn select_scenarios_keeps_baseline_and_rejects_unknown() {
+        let all = select_scenarios(1, MILLISECOND, &[]).unwrap();
+        assert_eq!(all.len(), 8);
+        let picked = select_scenarios(1, MILLISECOND, &["retry-storm".into()]).unwrap();
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0].0, "none");
+        assert_eq!(picked[1].0, "retry-storm");
+        assert!(picked[1].2.is_active() && !picked[1].1.is_active());
+        // Requesting `none` alone is valid: a pure-baseline run.
+        let base = select_scenarios(1, MILLISECOND, &["none".into()]).unwrap();
+        assert_eq!(base.len(), 1);
+        let err = select_scenarios(1, MILLISECOND, &["retry-strom".into()]).unwrap_err();
+        assert!(err.contains("unknown scenario `retry-strom`"), "{err}");
+        assert!(err.contains("retry-storm|flash-crowd|collapse"), "{err}");
+    }
+
+    /// `--scenario`-style filtering produces the same cells the full
+    /// matrix does for those scenarios: the delta baseline is the same
+    /// `none` run either way.
+    #[test]
+    fn filtered_matrix_matches_full_matrix_rows() {
+        let scenarios =
+            select_scenarios(5, AppSpec::get(App::Masstree).sla, &["collapse".into()]).unwrap();
+        let filtered = robustness_matrix_for(
+            &scenarios,
+            App::Masstree,
+            &[GovernorSpec::MaxFreq],
+            false,
+            5,
+            0.4,
+            2,
+            0,
+        );
+        assert_eq!(filtered.rows.len(), 2);
+        let full = robustness_matrix(App::Masstree, &[GovernorSpec::MaxFreq], false, 5, 0.4, 2, 0);
+        for row in &filtered.rows {
+            let twin = full
+                .rows
+                .iter()
+                .find(|r| r.scenario == row.scenario)
+                .expect("full matrix has the scenario");
+            assert_eq!(
+                serde_json::to_string(row).unwrap(),
+                serde_json::to_string(twin).unwrap()
+            );
+        }
     }
 
     /// Acceptance: with faults off, `SafetyGovernor(DeepPower)` matches
@@ -1194,6 +1469,7 @@ mod tests {
             duration_s: 2,
             workload: WorkloadKind::Constant,
             faults: FaultPlan::none(),
+            overload: OverloadPlan::none(),
             safety: false,
         };
         let plain = run_job(&job);
@@ -1224,6 +1500,7 @@ mod tests {
             duration_s: 30,
             workload: WorkloadKind::Diurnal,
             faults: FaultPlan::none(),
+            overload: OverloadPlan::none(),
             safety: false,
         };
         let json = serde_json::to_string(&job).expect("serialize JobSpec");

@@ -139,6 +139,10 @@ pub struct SensorReading {
     pub completed: u64,
     pub timeouts: u64,
     pub energy_uj: u64,
+    /// Requests shed at admission (overload plans only; 0 otherwise).
+    pub shed: u64,
+    /// Completions after client abandonment (wasted work).
+    pub wasted: u64,
 }
 
 /// Per-run fault machinery: the seeded streams plus stall/sensor state.
@@ -330,6 +334,8 @@ mod tests {
             completed: 8,
             timeouts: 1,
             energy_uj: e,
+            shed: 0,
+            wasted: 0,
         }
     }
 

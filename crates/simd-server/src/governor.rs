@@ -60,6 +60,10 @@ pub struct ServerView<'a> {
     pub total_arrived: u64,
     pub total_completed: u64,
     pub total_timeouts: u64,
+    /// Requests shed at admission (0 unless an overload plan is active).
+    pub total_shed: u64,
+    /// Completions whose client had already abandoned (wasted work).
+    pub total_wasted: u64,
     /// RAPL-style monotone energy counter in microjoules.
     pub energy_uj: u64,
 }
@@ -85,6 +89,7 @@ impl ServerView<'_> {
 pub struct FreqCommands {
     targets: Vec<Option<u32>>,
     sleep_targets: Vec<Option<usize>>,
+    admission: Option<f32>,
     turbo_mhz: u32,
     min_mhz: u32,
     max_mhz: u32,
@@ -98,6 +103,7 @@ impl FreqCommands {
         Self {
             targets: vec![None; n_cores],
             sleep_targets: vec![None; n_cores],
+            admission: None,
             turbo_mhz: plan.turbo_mhz,
             min_mhz: plan.min_mhz(),
             max_mhz: plan.max_mhz(),
@@ -162,6 +168,23 @@ impl FreqCommands {
 
     pub(crate) fn take_sleep(&mut self, core_id: usize) -> Option<usize> {
         self.sleep_targets[core_id].take()
+    }
+
+    /// Command an admission threshold as a fraction of the admission
+    /// scale (clamped to `[0, 1]`). Consumed only by runs whose
+    /// [`crate::OverloadPlan`] uses [`crate::AdmissionMode::Drl`];
+    /// ignored everywhere else. Last write wins.
+    pub fn set_admission(&mut self, frac: f32) {
+        self.admission = Some(frac.clamp(0.0, 1.0));
+    }
+
+    /// Peek the pending admission command without consuming it.
+    pub fn get_admission(&self) -> Option<f32> {
+        self.admission
+    }
+
+    pub(crate) fn take_admission(&mut self) -> Option<f32> {
+        self.admission.take()
     }
 
     pub fn n_cores(&self) -> usize {
@@ -326,6 +349,8 @@ mod tests {
             total_arrived: 0,
             total_completed: 0,
             total_timeouts: 0,
+            total_shed: 0,
+            total_wasted: 0,
             energy_uj: 0,
         };
         assert_eq!(view.busy_cores(), 1);

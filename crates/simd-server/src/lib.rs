@@ -37,6 +37,7 @@ pub mod dvfs;
 pub mod faults;
 pub mod governor;
 pub mod metrics;
+pub mod overload;
 pub mod power;
 pub mod request;
 pub mod server;
@@ -48,6 +49,10 @@ pub use dvfs::{DvfsController, FreqPlan, TransitionOutcome, MHZ_PER_GHZ};
 pub use faults::{DvfsFault, FaultPlan, FaultState, SensorReading};
 pub use governor::{CoreView, FixedFrequency, FreqCommands, Governor, RunningView, ServerView};
 pub use metrics::{LatencyStats, MetricsCollector, RequestRecord, TraceConfig, Traces};
+pub use overload::{
+    AdmissionController, AdmissionMode, AdmitAll, CoDelAdmission, DrlAdmission, OverloadCounters,
+    OverloadPlan, OverloadState, QueuePolicy, StaticThreshold, SYNTH_ID_BASE,
+};
 pub use power::{EnergyMeter, PowerModel};
 pub use request::Request;
 pub use server::{RunOptions, Server, ServerConfig, Session, SimResult};

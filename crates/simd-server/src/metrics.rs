@@ -13,9 +13,12 @@ pub struct RequestRecord {
     pub arrival: Nanos,
     pub started: Nanos,
     pub completed: Nanos,
-    /// End-to-end latency (`completed - arrival`), the quantity the SLA
-    /// constrains (§4.3: "Latency is defined as the time between when a
-    /// request arrives at the server and when it is sent back").
+    /// End-to-end latency, the quantity the SLA constrains (§4.3:
+    /// "Latency is defined as the time between when a request arrives at
+    /// the server and when it is sent back"). For a retried request this
+    /// is measured from the client's *first* submission
+    /// (`Request::client_arrival`), matching how the client perceives
+    /// it; for first attempts it equals `completed - arrival`.
     pub latency: Nanos,
     pub timed_out: bool,
 }
@@ -131,6 +134,10 @@ pub struct MetricsCollector {
     /// Count of actual frequency transitions applied (a commanded value
     /// equal to the current one is not a transition).
     pub freq_transitions: u64,
+    /// Deepest the queue ever got (the open-loop engine's queue is
+    /// unbounded, so this is the only backpressure signal a plain run
+    /// surfaces).
+    pub peak_queue_depth: u64,
     /// Incremental latency aggregator: O(1) insert, O(buckets)
     /// percentile reads, feeding run-so-far snapshots without
     /// re-sorting `records` (see [`quick_stats`](Self::quick_stats)).
@@ -144,6 +151,11 @@ impl MetricsCollector {
 
     pub fn on_arrival(&mut self) {
         self.arrived += 1;
+    }
+
+    /// Track the queue's high-water mark after a push.
+    pub fn observe_queue_depth(&mut self, depth: usize) {
+        self.peak_queue_depth = self.peak_queue_depth.max(depth as u64);
     }
 
     pub fn on_completion(&mut self, rec: RequestRecord) {

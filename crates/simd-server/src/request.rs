@@ -13,9 +13,19 @@ use serde::{Deserialize, Serialize};
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Request {
     /// Monotonically increasing id (assigned by the workload generator).
+    /// Unique per *attempt*: a retry gets a fresh server id.
     pub id: u64,
-    /// Arrival time at the server queue.
+    /// Stable client-visible id that survives retries: every attempt of
+    /// the same logical client request carries the same `client_id`.
+    pub client_id: u64,
+    /// Zero-based attempt counter (0 = first submission).
+    pub attempt: u32,
+    /// Arrival time at the server queue (of *this* attempt).
     pub arrival: Nanos,
+    /// Arrival time of the client's *first* attempt. Client-perceived
+    /// latency — and SLA timeout accounting — is measured from here, not
+    /// from the retry's re-submission.
+    pub first_arrival: Nanos,
     /// Intrinsic service time at the reference frequency, uncontended.
     pub work_ref_ns: Nanos,
     /// Fraction of the work that scales with core frequency; the remainder
@@ -30,6 +40,17 @@ pub struct Request {
 }
 
 impl Request {
+    /// When the *client* submitted this logical request: the first
+    /// attempt's arrival. Falls back to `arrival` for fresh requests
+    /// whose constructor left `first_arrival` unset.
+    pub fn client_arrival(&self) -> Nanos {
+        if self.attempt == 0 {
+            self.arrival
+        } else {
+            self.first_arrival
+        }
+    }
+
     /// Wall-clock time this request needs on a core at `freq_mhz`, given
     /// the reference frequency and a contention inflation factor, starting
     /// from `remaining_ref_ns` of intrinsic work.

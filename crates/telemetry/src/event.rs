@@ -30,6 +30,8 @@ pub struct DrlStep {
     /// Action applied for the *next* window.
     pub base_freq: f64,
     pub scaling_coef: f64,
+    /// Commanded admission threshold (1.0 for freq-only agents).
+    pub admit_frac: f64,
     /// Mean commanded core frequency at the step boundary, MHz.
     pub avg_freq_mhz: f64,
     pub queue_len: u64,
@@ -41,6 +43,8 @@ pub struct DrlStep {
     pub r_energy: f64,
     pub r_timeout: f64,
     pub r_queue: f64,
+    /// Wasted-work term (overload extension; 0 without an overload plan).
+    pub r_wasted: f64,
 }
 
 /// A core's commanded frequency actually changed (a command equal to
@@ -151,6 +155,50 @@ pub struct JobEnd {
     pub drl_steps: u64,
 }
 
+/// A request was rejected at admission time — bounded-queue overflow,
+/// an admission-controller decision, or eviction by `DropOldest` —
+/// and its client received an immediate failure. `reason` is a stable
+/// tag: `queue-full`, `admission`, `evicted`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Shed {
+    pub t: u64,
+    /// Server-side id of the rejected attempt.
+    pub id: u64,
+    /// Stable client-visible id (survives retries).
+    pub client: u64,
+    /// Attempt ordinal (0 = first submission).
+    pub attempt: u32,
+    pub reason: String,
+}
+
+/// A client's per-attempt deadline expired before the server answered:
+/// the client walked away. Any later completion of this attempt is
+/// wasted work.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Abandoned {
+    pub t: u64,
+    pub id: u64,
+    pub client: u64,
+    pub attempt: u32,
+    /// How long the client waited before giving up, ns.
+    pub waited_ns: u64,
+}
+
+/// A client scheduled a retry after a shed or an abandonment. Emitted
+/// at scheduling time; the retried attempt arrives `delay_ns` later
+/// under the new server-side `id` (the client id is unchanged).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Retry {
+    pub t: u64,
+    /// Server-side id the retried attempt will arrive under.
+    pub id: u64,
+    pub client: u64,
+    /// Attempt ordinal of the *retry* (≥ 1).
+    pub attempt: u32,
+    /// Backoff + jitter until the retry arrives, ns.
+    pub delay_ns: u64,
+}
+
 /// One discrete injected fault (from the simulator's `FaultPlan`) or a
 /// detected internal fault (training divergence, rejected replay
 /// transition). `kind` is a stable tag: `dvfs-fail`, `dvfs-spike`,
@@ -212,6 +260,12 @@ pub struct WindowRollup {
     pub avg_freq_mhz: f64,
     /// Queue length at window close.
     pub queue_len: u64,
+    /// Completions whose client was still waiting (goodput).
+    pub good: u64,
+    /// Completions after the client abandoned (wasted work).
+    pub wasted: u64,
+    /// Requests shed at admission inside the window.
+    pub shed: u64,
     /// Nonzero latency-histogram buckets: upper bounds and counts.
     pub bucket_ubs: Vec<u64>,
     pub bucket_counts: Vec<u64>,
@@ -248,6 +302,9 @@ impl WindowRollup {
             power_w,
             avg_freq_mhz,
             queue_len,
+            good: 0,
+            wasted: 0,
+            shed: 0,
             bucket_ubs,
             bucket_counts,
         }
@@ -332,6 +389,9 @@ pub enum Event {
     JobEnd(JobEnd),
     FaultInjected(FaultInjected),
     SafetyAction(SafetyAction),
+    Shed(Shed),
+    Abandoned(Abandoned),
+    Retry(Retry),
     WindowRollup(WindowRollup),
     SloViolation(SloViolation),
     Alert(Alert),
@@ -354,6 +414,9 @@ impl Event {
             Event::JobEnd(_) => "JobEnd",
             Event::FaultInjected(_) => "FaultInjected",
             Event::SafetyAction(_) => "SafetyAction",
+            Event::Shed(_) => "Shed",
+            Event::Abandoned(_) => "Abandoned",
+            Event::Retry(_) => "Retry",
             Event::WindowRollup(_) => "WindowRollup",
             Event::SloViolation(_) => "SloViolation",
             Event::Alert(_) => "Alert",
@@ -375,6 +438,7 @@ mod tests {
                 power_w: 87.5,
                 base_freq: 0.3,
                 scaling_coef: 0.9,
+                admit_frac: 1.0,
                 avg_freq_mhz: 1450.0,
                 queue_len: 4,
                 timeouts: 0,
@@ -382,6 +446,7 @@ mod tests {
                 r_energy: 0.4,
                 r_timeout: 0.0,
                 r_queue: 0.1,
+                r_wasted: 0.0,
             }),
             Event::FreqTransition(FreqTransition {
                 t: 5,
@@ -421,8 +486,32 @@ mod tests {
                 power_w: 84.0,
                 avg_freq_mhz: 1900.0,
                 queue_len: 2,
+                good: 1190,
+                wasted: 10,
+                shed: 7,
                 bucket_ubs: vec![98_303, 589_823, 9_437_183],
                 bucket_counts: vec![1, 1195, 4],
+            }),
+            Event::Shed(Shed {
+                t: 1_500_000,
+                id: (1 << 48) + 3,
+                client: 41,
+                attempt: 1,
+                reason: "queue-full".into(),
+            }),
+            Event::Abandoned(Abandoned {
+                t: 2_500_000,
+                id: 41,
+                client: 41,
+                attempt: 0,
+                waited_ns: 2_000_000,
+            }),
+            Event::Retry(Retry {
+                t: 2_500_000,
+                id: (1 << 48) + 4,
+                client: 41,
+                attempt: 1,
+                delay_ns: 650_000,
             }),
             Event::SloViolation(SloViolation {
                 t: 2_000_000_000,

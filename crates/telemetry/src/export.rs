@@ -34,7 +34,7 @@ pub fn from_jsonl(text: &str) -> Result<Vec<Event>, String> {
 
 /// Column order of [`steps_to_csv`] (documented in EXPERIMENTS.md).
 pub const STEP_CSV_HEADER: &str =
-    "t_ns,num_req,power_w,base_freq,scaling_coef,avg_freq_mhz,queue_len,timeouts,reward,r_energy,r_timeout,r_queue";
+    "t_ns,num_req,power_w,base_freq,scaling_coef,admit_frac,avg_freq_mhz,queue_len,timeouts,reward,r_energy,r_timeout,r_queue,r_wasted";
 
 /// Project the `DrlStep` events out of a stream as a CSV table, one
 /// row per step in stream order.
@@ -49,6 +49,7 @@ pub fn steps_to_csv(events: &[Event]) -> String {
                 power_w,
                 base_freq,
                 scaling_coef,
+                admit_frac,
                 avg_freq_mhz,
                 queue_len,
                 timeouts,
@@ -56,9 +57,10 @@ pub fn steps_to_csv(events: &[Event]) -> String {
                 r_energy,
                 r_timeout,
                 r_queue,
+                r_wasted,
             } = s;
             out.push_str(&format!(
-                "{t},{num_req},{power_w},{base_freq},{scaling_coef},{avg_freq_mhz},{queue_len},{timeouts},{reward},{r_energy},{r_timeout},{r_queue}\n"
+                "{t},{num_req},{power_w},{base_freq},{scaling_coef},{admit_frac},{avg_freq_mhz},{queue_len},{timeouts},{reward},{r_energy},{r_timeout},{r_queue},{r_wasted}\n"
             ));
         }
     }
@@ -149,6 +151,7 @@ mod tests {
                 power_w: 80.0,
                 base_freq: 0.25,
                 scaling_coef: 1.0,
+                admit_frac: 1.0,
                 avg_freq_mhz: 1300.0,
                 queue_len: 2,
                 timeouts: 1,
@@ -156,6 +159,7 @@ mod tests {
                 r_energy: 0.4,
                 r_timeout: 0.1,
                 r_queue: 0.0,
+                r_wasted: 0.0,
             }),
             Event::FreqTransition(FreqTransition {
                 t: 500,
@@ -287,6 +291,7 @@ mod tests {
             power_w: 80.0,
             base_freq: 0.25,
             scaling_coef: 1.0,
+            admit_frac: 1.0,
             avg_freq_mhz: 1300.0,
             queue_len: 0,
             timeouts: 0,
@@ -294,6 +299,7 @@ mod tests {
             r_energy: 0.4,
             r_timeout: 0.1,
             r_queue: 0.0,
+            r_wasted: 0.0,
         })
     }
 

@@ -70,6 +70,6 @@ pub use profile::{
 };
 pub use recorder::{NoopSink, Recorder, RingSink, TelemetrySink};
 pub use slo::{
-    default_rules, BurnRateRule, EwmaConfig, EwmaDetector, SloSpec, LATENCY_BUDGET, METRIC_P99,
-    METRIC_POWER, METRIC_TIMEOUT,
+    default_rules, BurnRateRule, EwmaConfig, EwmaDetector, SloSpec, LATENCY_BUDGET, METRIC_GOODPUT,
+    METRIC_P99, METRIC_POWER, METRIC_TIMEOUT,
 };

@@ -36,7 +36,8 @@ use crate::event::{Alert, AlertResolved, Event, IncidentEntry, SloViolation, Win
 use crate::histogram::Histogram;
 use crate::recorder::TelemetrySink;
 use crate::slo::{
-    EwmaConfig, EwmaDetector, SloSpec, LATENCY_BUDGET, METRIC_P99, METRIC_POWER, METRIC_TIMEOUT,
+    EwmaConfig, EwmaDetector, SloSpec, LATENCY_BUDGET, METRIC_GOODPUT, METRIC_P99, METRIC_POWER,
+    METRIC_TIMEOUT,
 };
 
 /// Monitor configuration: the SLO under evaluation plus alerting knobs.
@@ -273,6 +274,9 @@ impl FleetMonitor {
                         m.freq_nodes += 1;
                     }
                     m.queue_len += w.queue_len;
+                    m.good += w.good;
+                    m.wasted += w.wasted;
+                    m.shed += w.shed;
                     m.nodes += 1;
                 }
                 m
@@ -490,6 +494,10 @@ struct MergedWindow {
     freq_sum: f64,
     freq_nodes: u64,
     queue_len: u64,
+    /// Closed-loop overload accounting summed across nodes.
+    good: u64,
+    wasted: u64,
+    shed: u64,
     nodes: u64,
     hist: Histogram,
 }
@@ -509,6 +517,9 @@ impl MergedWindow {
             freq_sum: 0.0,
             freq_nodes: 0,
             queue_len: 0,
+            good: 0,
+            wasted: 0,
+            shed: 0,
             nodes: 0,
             hist: Histogram::new(),
         }
@@ -550,6 +561,19 @@ impl MergedWindow {
             METRIC_POWER => {
                 let observed = self.power_w;
                 (observed, observed / target, observed > target)
+            }
+            METRIC_GOODPUT => {
+                // Higher-is-better floor: the error budget is the
+                // tolerated useless fraction (1 - target), burned by the
+                // observed useless fraction. Open-loop windows offer no
+                // shed/wasted signal and never violate.
+                let offered = self.good + self.wasted + self.shed;
+                if offered == 0 {
+                    return (1.0, 0.0, false);
+                }
+                let observed = self.good as f64 / offered as f64;
+                let burn = (1.0 - observed) / (1.0 - target).max(1e-9);
+                (observed, burn, observed < target)
             }
             _ => (0.0, 0.0, false),
         }
@@ -846,6 +870,7 @@ mod tests {
             p99_ms: 0.0,
             timeout_rate: 0.05,
             power_w: 0.0,
+            goodput_ratio: 0.0,
             rules: vec![BurnRateRule {
                 long_windows: 3,
                 short_windows: 1,
@@ -932,6 +957,7 @@ mod tests {
             p99_ms: 0.0,
             timeout_rate: 0.0,
             power_w: 100.0,
+            goodput_ratio: 0.0,
             rules: vec![BurnRateRule {
                 long_windows: 2,
                 short_windows: 1,
@@ -952,6 +978,77 @@ mod tests {
         assert!((o.worst_observed - 120.0).abs() < 1e-9);
         assert_eq!(report.alerts.len(), 1);
         assert_eq!(report.alerts[0].t_resolve, 0, "alert stays open");
+    }
+
+    #[test]
+    fn goodput_collapse_fires_and_resolves() {
+        let cfg = MonitorConfig::with_slo(SloSpec {
+            name: "goodput".into(),
+            p99_ms: 0.0,
+            timeout_rate: 0.0,
+            power_w: 0.0,
+            goodput_ratio: 0.5,
+            rules: vec![BurnRateRule {
+                long_windows: 2,
+                short_windows: 1,
+                max_burn: 1.5,
+            }],
+        });
+        let mut m = FleetMonitor::new(cfg);
+        let mk = |i: u64, good: u64, wasted: u64, shed: u64| {
+            let Event::WindowRollup(mut w) = rollup(i, &[1000, 1000, 1000, 1000], 0, 50.0) else {
+                unreachable!()
+            };
+            w.good = good;
+            w.wasted = wasted;
+            w.shed = shed;
+            Event::WindowRollup(w)
+        };
+        // 2 healthy windows, then 3 collapsed ones (goodput 20% against
+        // a 50% floor: burn (1-0.2)/(1-0.5) = 1.6), then recovery.
+        for i in 0..2 {
+            m.observe(0, &mk(i, 4, 0, 0));
+        }
+        for i in 2..5 {
+            m.observe(0, &mk(i, 1, 2, 2));
+        }
+        for i in 5..9 {
+            m.observe(0, &mk(i, 4, 0, 0));
+        }
+        let report = m.finish();
+        let o = report
+            .outcomes
+            .iter()
+            .find(|o| o.metric == METRIC_GOODPUT)
+            .expect("goodput objective evaluated");
+        assert_eq!(o.violations, 3, "{}", report.render_incident_log());
+        assert_eq!(report.alerts.len(), 1);
+        let a = &report.alerts[0];
+        assert_eq!(a.metric, METRIC_GOODPUT);
+        assert!(
+            a.t_resolve > a.t_fire,
+            "collapse alert must resolve once goodput recovers"
+        );
+    }
+
+    #[test]
+    fn open_loop_windows_never_violate_goodput() {
+        let mut cfg = timeout_cfg();
+        cfg.slo.goodput_ratio = 0.9;
+        let mut m = FleetMonitor::new(cfg);
+        // Plain rollups carry good == wasted == shed == 0 (open loop).
+        for i in 0..6 {
+            m.observe(0, &rollup(i, &[1000, 2000], 0, 60.0));
+        }
+        let report = m.finish();
+        let o = report
+            .outcomes
+            .iter()
+            .find(|o| o.metric == METRIC_GOODPUT)
+            .expect("goodput objective evaluated");
+        assert_eq!(o.violations, 0);
+        assert_eq!(o.worst_burn, 0.0);
+        assert!(report.healthy);
     }
 
     #[test]

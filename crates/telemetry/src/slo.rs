@@ -25,6 +25,7 @@ use serde::{Deserialize, Serialize};
 pub const METRIC_P99: &str = "p99-latency";
 pub const METRIC_TIMEOUT: &str = "timeout-rate";
 pub const METRIC_POWER: &str = "power";
+pub const METRIC_GOODPUT: &str = "goodput";
 
 /// One multi-window burn-rate rule: fire when the trailing mean burn
 /// over the last `long_windows` windows *and* the last `short_windows`
@@ -99,6 +100,11 @@ pub struct SloSpec {
     pub timeout_rate: f64,
     /// Fleet power budget in watts (0 = disabled).
     pub power_w: f64,
+    /// Goodput floor as a fraction of offered load per window, 0..1
+    /// (0 = disabled). Only meaningful for closed-loop overload runs:
+    /// open-loop windows report everything as goodput and never
+    /// violate.
+    pub goodput_ratio: f64,
     /// Burn-rate rules applied to every enabled objective.
     pub rules: Vec<BurnRateRule>,
 }
@@ -110,6 +116,7 @@ impl Default for SloSpec {
             p99_ms: 0.0,
             timeout_rate: 0.05,
             power_w: 0.0,
+            goodput_ratio: 0.0,
             rules: default_rules(),
         }
     }
@@ -142,6 +149,7 @@ impl SloSpec {
             ("p99_ms", self.p99_ms),
             ("timeout_rate", self.timeout_rate),
             ("power_w", self.power_w),
+            ("goodput_ratio", self.goodput_ratio),
         ] {
             if !(v.is_finite() && v >= 0.0) {
                 return Err(format!(
@@ -156,7 +164,17 @@ impl SloSpec {
                 self.name, self.timeout_rate
             ));
         }
-        if self.p99_ms == 0.0 && self.timeout_rate == 0.0 && self.power_w == 0.0 {
+        if self.goodput_ratio > 1.0 {
+            return Err(format!(
+                "SLO spec `{}`: goodput_ratio must be <= 1, got {}",
+                self.name, self.goodput_ratio
+            ));
+        }
+        if self.p99_ms == 0.0
+            && self.timeout_rate == 0.0
+            && self.power_w == 0.0
+            && self.goodput_ratio == 0.0
+        {
             return Err(format!(
                 "SLO spec `{}`: every objective is disabled (all targets 0)",
                 self.name
@@ -184,6 +202,9 @@ impl SloSpec {
         }
         if self.power_w > 0.0 {
             out.push((METRIC_POWER, self.power_w));
+        }
+        if self.goodput_ratio > 0.0 {
+            out.push((METRIC_GOODPUT, self.goodput_ratio));
         }
         out
     }
@@ -307,25 +328,40 @@ mod tests {
     }
 
     #[test]
+    fn goodput_objective_enables_and_validates() {
+        let mut spec = SloSpec {
+            goodput_ratio: 0.5,
+            ..Default::default()
+        };
+        spec.validate().unwrap();
+        assert_eq!(
+            spec.objectives(),
+            vec![(METRIC_TIMEOUT, 0.05), (METRIC_GOODPUT, 0.5)]
+        );
+        spec.goodput_ratio = 1.5;
+        assert!(spec.validate().unwrap_err().contains("goodput_ratio"));
+    }
+
+    #[test]
     fn bad_specs_are_rejected_with_context() {
         // Not JSON at all.
         assert!(SloSpec::from_json("{nope").unwrap_err().contains("bad SLO"));
         // All objectives disabled.
-        let all_off = r#"{"name":"x","p99_ms":0.0,"timeout_rate":0.0,"power_w":0.0,"rules":[]}"#;
+        let all_off = r#"{"name":"x","p99_ms":0.0,"timeout_rate":0.0,"power_w":0.0,"goodput_ratio":0.0,"rules":[]}"#;
         assert!(SloSpec::from_json(all_off)
             .unwrap_err()
             .contains("disabled"));
         // Negative target.
-        let neg = r#"{"name":"x","p99_ms":-1.0,"timeout_rate":0.0,"power_w":0.0,"rules":[]}"#;
+        let neg = r#"{"name":"x","p99_ms":-1.0,"timeout_rate":0.0,"power_w":0.0,"goodput_ratio":0.0,"rules":[]}"#;
         assert!(SloSpec::from_json(neg).unwrap_err().contains("p99_ms"));
         // Rule with long < short.
-        let bad_rule = r#"{"name":"x","p99_ms":1.0,"timeout_rate":0.0,"power_w":0.0,
+        let bad_rule = r#"{"name":"x","p99_ms":1.0,"timeout_rate":0.0,"power_w":0.0,"goodput_ratio":0.0,
             "rules":[{"long_windows":1,"short_windows":3,"max_burn":1.0}]}"#;
         assert!(SloSpec::from_json(bad_rule)
             .unwrap_err()
             .contains("long_windows"));
         // Zero burn threshold.
-        let zero_burn = r#"{"name":"x","p99_ms":1.0,"timeout_rate":0.0,"power_w":0.0,
+        let zero_burn = r#"{"name":"x","p99_ms":1.0,"timeout_rate":0.0,"power_w":0.0,"goodput_ratio":0.0,
             "rules":[{"long_windows":3,"short_windows":1,"max_burn":0.0}]}"#;
         assert!(SloSpec::from_json(zero_burn)
             .unwrap_err()
@@ -334,7 +370,7 @@ mod tests {
 
     #[test]
     fn empty_rules_fall_back_to_defaults() {
-        let json = r#"{"name":"x","p99_ms":2.0,"timeout_rate":0.0,"power_w":0.0,"rules":[]}"#;
+        let json = r#"{"name":"x","p99_ms":2.0,"timeout_rate":0.0,"power_w":0.0,"goodput_ratio":0.0,"rules":[]}"#;
         let spec = SloSpec::from_json(json).unwrap();
         assert_eq!(spec.rules, default_rules());
     }

@@ -192,7 +192,10 @@ impl AppSpec {
         let size_feature = (body / self.body_mean_ns()) as f32;
         Request {
             id,
+            client_id: id,
+            attempt: 0,
             arrival,
+            first_arrival: arrival,
             work_ref_ns: work.max(1.0) as Nanos,
             freq_sensitivity: self.freq_sensitivity,
             sla: self.sla,

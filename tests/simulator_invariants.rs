@@ -159,7 +159,10 @@ fn controller_under_overload_eventually_turbos_every_busy_core() {
     let srv = server(1);
     let req = Request {
         id: 0,
+        client_id: 0,
+        attempt: 0,
         arrival: 0,
+        first_arrival: 0,
         work_ref_ns: 40 * MILLISECOND,
         freq_sensitivity: 1.0,
         sla: 10 * MILLISECOND,
