@@ -195,6 +195,7 @@ mod tests {
             contention: ContentionModel::default(),
             initial_mhz: 2100,
             cstates: deeppower_simd_server::CStatePlan::none(),
+            core_max_mhz: Vec::new(),
         });
         let arrivals = constant_rate_arrivals(&spec, spec.rps_for_load(0.4), 5 * SECOND, 21);
 

@@ -17,6 +17,13 @@
 //!    Timed best-of-k with the two drivers alternating, so neither
 //!    side pockets the warm-up; emitted as
 //!    `batched_over_reference_ratio` for the bench-diff gate.
+//! 4. **Heterogeneous fleets** — on a mixed-profile fleet (4×1-core
+//!    edge boxes + 2×4-core nodes) the grouped coordinator pass must
+//!    not lose to per-node inference (`hetero_grouped_over_pernode_ratio`,
+//!    byte-identity asserted), and the hardware-aware PowerAware
+//!    balancer must beat capacity-blind round-robin on fleet p99 —
+//!    round-robin hands every 1-core node the same share an 8-core
+//!    node gets and drowns it.
 //!
 //! Results are printed as a table and written to
 //! `target/fleet-scaling.json` (the CI artifact; the committed
@@ -24,7 +31,8 @@
 //! `DEEPPOWER_SMOKE=1` shrinks reps and durations for CI.
 
 use deeppower_fleet::{
-    run_fleet, run_fleet_reference, run_fleet_threaded, untrained_policy, BalancerPolicy, FleetSpec,
+    run_fleet, run_fleet_reference, run_fleet_threaded, untrained_policy, BalancerPolicy,
+    FleetSpec, NodeProfile,
 };
 use deeppower_nn::Matrix;
 use deeppower_workload::App;
@@ -116,16 +124,14 @@ fn main() {
     let mut parallel_walls = std::collections::BTreeMap::new();
     let scale_rounds = 2;
     for &nodes in node_counts {
-        let spec = FleetSpec {
-            app: App::Masstree,
+        let spec = FleetSpec::uniform(
+            App::Masstree,
             nodes,
-            balancer: BalancerPolicy::RoundRobin,
-            seed: 7,
-            peak_load: 0.4,
+            BalancerPolicy::RoundRobin,
+            7,
+            0.4,
             duration_s,
-            faults: Default::default(),
-            overload: Default::default(),
-        };
+        );
         // Alternating best-of-k, like section 3: a cold first run can
         // be 2-3× slower than steady state, so single-shot serial-then-
         // parallel timing would credit the parallel driver with the
@@ -182,16 +188,14 @@ fn main() {
     // cache/allocator warm-up lands on both sides equally (single-shot
     // timing here once let the batched path "lose" 2.5% purely to
     // running first, cold).
-    let spec = FleetSpec {
-        app: App::Masstree,
-        nodes: 8,
-        balancer: BalancerPolicy::RoundRobin,
-        seed: 7,
-        peak_load: 0.4,
+    let spec = FleetSpec::uniform(
+        App::Masstree,
+        8,
+        BalancerPolicy::RoundRobin,
+        7,
+        0.4,
         duration_s,
-        faults: Default::default(),
-        overload: Default::default(),
-    };
+    );
     let rounds = if smoke { 3 } else { 5 };
     let mut wall_batched = f64::INFINITY;
     let mut wall_reference = f64::INFINITY;
@@ -226,10 +230,79 @@ fn main() {
         "\n# end-to-end at 8 nodes: batched {wall_batched:.2} s vs per-node loop {wall_reference:.2} s, ratio {ratio:.3} (results byte-identical, best of {rounds})"
     );
 
+    // ---- 4. heterogeneous fleet: grouped inference + hardware-aware balancing ----
+    // Mixed hardware: 4 one-core edge boxes next to 2 four-core nodes,
+    // 8 cores of true capacity under a trace sized for the node count.
+    // `peak_load` 0.12 puts the capacity-weighted split at ~0.72 load
+    // per core at peak while round-robin drives each 1-core node to
+    // ~0.96 — saturated but not in the everything-times-out regime
+    // where all balancers look alike.
+    let hetero = |balancer| {
+        FleetSpec::uniform(App::Masstree, 0, balancer, 7, 0.12, duration_s).with_profiles(vec![
+            NodeProfile {
+                name: "edge-1c".into(),
+                max_mhz: 1500,
+                ..NodeProfile::paper_default(1, 4)
+            },
+            NodeProfile {
+                name: "quad".into(),
+                ..NodeProfile::paper_default(4, 2)
+            },
+        ])
+    };
+
+    // 4a. grouped coordinator pass vs per-node inference, alternating
+    // best-of-k, byte-identity asserted — the heterogeneous analogue of
+    // section 3's unity gate.
+    let spec_pa = hetero(BalancerPolicy::PowerAware);
+    let mut wall_grouped = f64::INFINITY;
+    let mut wall_pernode = f64::INFINITY;
+    let mut checked = false;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        let grouped = run_fleet(&spec_pa, &policy);
+        wall_grouped = wall_grouped.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let pernode = run_fleet_reference(&spec_pa, &policy);
+        wall_pernode = wall_pernode.min(t.elapsed().as_secs_f64());
+        if !checked {
+            assert_eq!(
+                grouped.to_json(),
+                pernode.to_json(),
+                "grouped hetero fleet drifted from the per-node reference"
+            );
+            checked = true;
+        }
+    }
+    let hetero_ratio = wall_grouped / wall_pernode;
+    assert!(
+        hetero_ratio <= 1.10,
+        "grouped hetero inference lost to per-node: {wall_grouped:.3}s vs {wall_pernode:.3}s ({hetero_ratio:.3}x)"
+    );
+
+    // 4b. hardware-aware balancing must pay off on the mixed fleet.
+    let pa = run_fleet(&spec_pa, &policy);
+    let rr = run_fleet(&hetero(BalancerPolicy::RoundRobin), &policy);
+    assert!(
+        pa.fleet_p99_ms <= rr.fleet_p99_ms,
+        "PowerAware did not beat round-robin on the mixed fleet: p99 {:.2} ms vs {:.2} ms",
+        pa.fleet_p99_ms,
+        rr.fleet_p99_ms
+    );
+    println!(
+        "\n# heterogeneous fleet (4x edge-1c + 2x quad): grouped {wall_grouped:.2} s vs per-node {wall_pernode:.2} s, ratio {hetero_ratio:.3} (byte-identical, best of {rounds})"
+    );
+    println!(
+        "#   balancer p99: power-aware {:.2} ms vs round-robin {:.2} ms",
+        pa.fleet_p99_ms, rr.fleet_p99_ms
+    );
+
     let json = format!(
-        "{{\n  \"smoke\": {smoke},\n  \"inference\": [{}],\n  \"fleet\": [{}],\n  \"end_to_end_8_nodes\": {{\"batched_s\": {wall_batched:.3}, \"reference_s\": {wall_reference:.3}, \"batched_over_reference_ratio\": {ratio:.3}}}\n}}\n",
+        "{{\n  \"smoke\": {smoke},\n  \"inference\": [{}],\n  \"fleet\": [{}],\n  \"end_to_end_8_nodes\": {{\"batched_s\": {wall_batched:.3}, \"reference_s\": {wall_reference:.3}, \"batched_over_reference_ratio\": {ratio:.3}}},\n  \"hetero\": {{\"grouped_s\": {wall_grouped:.3}, \"pernode_s\": {wall_pernode:.3}, \"hetero_grouped_over_pernode_ratio\": {hetero_ratio:.3}, \"power_aware_p99_ms\": {:.3}, \"round_robin_p99_ms\": {:.3}}}\n}}\n",
         inference_rows.join(", "),
-        fleet_rows.join(", ")
+        fleet_rows.join(", "),
+        pa.fleet_p99_ms,
+        rr.fleet_p99_ms
     );
     let out =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/fleet-scaling.json");

@@ -503,6 +503,13 @@ mod tests {
         assert_eq!(classify("loop_us"), Direction::LowerBetter);
         assert_eq!(classify("batched_s"), Direction::LowerBetter);
         assert_eq!(classify("batched_over_reference_ratio"), Direction::Ratio);
+        // The heterogeneous-fleet leaves: grouped-vs-pernode is a paired
+        // unity-gated ratio, the balancer p99s are plain lower-better.
+        assert_eq!(
+            classify("hetero_grouped_over_pernode_ratio"),
+            Direction::Ratio
+        );
+        assert_eq!(classify("power_aware_p99_ms"), Direction::LowerBetter);
         assert_eq!(classify("requests"), Direction::Exact);
         assert_eq!(classify("epochs"), Direction::Exact);
         assert_eq!(classify("label"), Direction::Info);

@@ -107,9 +107,9 @@ USAGE:
                     [--queue-policy fifo|lifo|drop-newest|drop-oldest]
                     [--queue-capacity N] [--retry-prob F]
   deeppower fleet   --policy FILE | --app <name> [--nodes N1,N2] [--balancer LIST]
-                    [--duration-s S] [--peak-load F] [--seed K] [--train-seed K]
-                    [--fault none|dvfs|sensor|stall|all] [--monitor] [--slo FILE]
-                    [--health FILE] [--threads N] [-o FILE] [--telemetry DIR]
+                    [--profiles FILE] [--duration-s S] [--peak-load F] [--seed K]
+                    [--train-seed K] [--fault none|dvfs|sensor|stall|all] [--monitor]
+                    [--slo FILE] [--health FILE] [--threads N] [-o FILE] [--telemetry DIR]
   deeppower monitor --input FILE[,FILE...] [--slo FILE | --app <name>] [-o FILE]
                     [--log FILE]
   deeppower trace   --policy FILE | --app <name> [--duration-s S] [--peak-load F] [--seed K]
@@ -148,6 +148,10 @@ to a grid. -o writes the fleet reports as JSON; --telemetry DIR writes
 one JSONL artifact per node per cell. --threads N (0 = all cores) splits
 across grid cells first, then leftover cores parallelize the node
 sessions *inside* each fleet — results are byte-identical either way.
+--profiles FILE loads a heterogeneous fleet description (a JSON list of
+node profiles: name/count/cores/DVFS range/power coefficients/optional
+big.LITTLE core caps — see EXPERIMENTS.md); it replaces --nodes, and the
+coordinator batches inference per profile group.
 --fault applies one of the seeded robustness fault scenarios to every
 node; --monitor attaches the fleet health monitor inline (SLO from
 --slo FILE or the app's SLA) and prints each cell's incident log;
@@ -561,10 +565,32 @@ fn cmd_robustness(flags: &Flags, log: &Logger) -> Result<(), String> {
 /// inference. The policy comes from `--policy FILE` or is trained
 /// in-process from `--app` (same recipe as `compare`).
 fn cmd_fleet(flags: &Flags, log: &Logger) -> Result<(), String> {
+    let profiles = match flags.get("profiles") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read profile file {path}: {e}"))?;
+            let ps =
+                deeppower_fleet::profiles_from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+            Some(ps)
+        }
+        None => None,
+    };
+    if profiles.is_some() && flags.contains_key("nodes") {
+        return Err(
+            "--profiles and --nodes are mutually exclusive (profile counts set the fleet size)"
+                .into(),
+        );
+    }
     let node_counts = parse_list(flags, "nodes", "4", |s| {
         s.parse::<usize>()
             .map_err(|_| format!("bad node count `{s}`"))
     })?;
+    // With a profile file the fleet size comes from the profile counts;
+    // the grid collapses to one cell per balancer.
+    let node_counts = match &profiles {
+        Some(ps) => vec![ps.iter().map(|p| p.count).sum()],
+        None => node_counts,
+    };
     let balancers = parse_list(flags, "balancer", "round-robin", |s| {
         BalancerPolicy::parse(s)
             .ok_or_else(|| format!("unknown balancer `{s}` (round-robin|jsq|power-aware)"))
@@ -609,6 +635,16 @@ fn cmd_fleet(flags: &Flags, log: &Logger) -> Result<(), String> {
     );
     for job in &mut jobs {
         job.fleet.faults = faults;
+        if let Some(ps) = &profiles {
+            job.fleet = job.fleet.clone().with_profiles(ps.clone());
+        }
+    }
+    if let Some(ps) = &profiles {
+        let groups: Vec<String> = ps
+            .iter()
+            .map(|p| format!("{}x {} ({}c)", p.count, p.name, p.cores))
+            .collect();
+        log.info(&format!("fleet profiles: {}", groups.join(", ")));
     }
     log.info(&format!(
         "running {} fleet cells on {app:?}: nodes {node_counts:?} x balancers {:?}, {duration_s} s each, faults `{fault}`",

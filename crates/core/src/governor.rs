@@ -554,6 +554,53 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_actor_output_never_escapes_the_admission_clamp() {
+        // Satellite audit of `admit_frac` clamping: an actor whose
+        // weights have gone NaN must degrade to admit-all, and every
+        // admission value that reaches the queue gate and the step log
+        // stays in [0, 1] — never NaN, never out of range.
+        use deeppower_simd_server::{AdmissionMode, OverloadPlan};
+        let spec = AppSpec::get(App::Xapian);
+        let arrivals = constant_rate_arrivals(&spec, 2000.0, SECOND, 12);
+        let server = Server::new(ServerConfig::paper_default(8));
+        let mut ag = Ddpg::new(DdpgConfig {
+            state_dim: STATE_DIM,
+            action_dim: 3,
+            seed: 11,
+            ..Default::default()
+        });
+        let poisoned = vec![f32::NAN; ag.actor_snapshot().len()];
+        ag.load_actor_snapshot(&poisoned);
+        let mut gov = DeepPowerGovernor::new(&mut ag, small_cfg(), Mode::Eval);
+        let opts = RunOptions {
+            overload: OverloadPlan {
+                seed: 5,
+                admission: AdmissionMode::Drl,
+                ..OverloadPlan::none()
+            },
+            ..Default::default()
+        };
+        let res = server.run(&arrivals, &mut gov, opts);
+        assert!(!gov.log.is_empty());
+        for l in &gov.log {
+            assert!(
+                (0.0..=1.0).contains(&l.admit_frac),
+                "admit_frac {} escaped [0, 1]",
+                l.admit_frac
+            );
+            assert_eq!(
+                l.admit_frac, 1.0,
+                "non-finite admission head must degrade to admit-all"
+            );
+            assert!((0.0..=1.0).contains(&l.base_freq));
+            assert!(l.scaling_coef >= 0.0);
+        }
+        // Admit-all: the DRL gate sheds nothing, and conservation holds.
+        assert_eq!(res.shed, 0);
+        assert_eq!(res.goodput + res.wasted, res.stats.count);
+    }
+
+    #[test]
     #[should_panic(expected = "state dim mismatch")]
     fn rejects_mismatched_agent() {
         let mut ag = Ddpg::new(DdpgConfig {

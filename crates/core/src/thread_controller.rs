@@ -171,6 +171,7 @@ mod tests {
             contention: ContentionModel::none(),
             initial_mhz: 2100,
             cstates: deeppower_simd_server::CStatePlan::none(),
+            core_max_mhz: Vec::new(),
         })
     }
 
@@ -307,6 +308,7 @@ mod tests {
             contention: ContentionModel::none(),
             initial_mhz: 2000,
             cstates: deeppower_simd_server::CStatePlan::none(),
+            core_max_mhz: Vec::new(),
         });
         // base 0.5 → 1000 + 1000·0.5 = 1500 exactly (a plan level).
         let mut tc = ThreadController::new(ControllerParams::new(0.5, 0.0));

@@ -148,6 +148,36 @@ impl TwoHeadActor {
         }
     }
 
+    /// Ragged/grouped batching: run the batched inference pass over an
+    /// arbitrary *row subset* of a stacked state matrix. The rows are
+    /// gathered (in the given order) into a dense scratch batch and fed
+    /// through the same fused kernels as [`act_batch_into`], so row `k`
+    /// of `out` is bit-identical to `act(states.row(rows[k]))` — the
+    /// property heterogeneous fleets lean on when nodes sharing a
+    /// hardware profile batch together under one per-group policy while
+    /// the fleet's state matrix stays a single `N × state_dim` stack.
+    ///
+    /// [`act_batch_into`]: Self::act_batch_into
+    pub fn act_batch_rows_into(
+        &self,
+        states: &Matrix,
+        rows: &[usize],
+        out: &mut Matrix,
+        scratch: &mut ActorScratch,
+    ) {
+        assert_eq!(
+            states.cols(),
+            self.state_dim,
+            "actor batch state width mismatch"
+        );
+        // The gather buffer is split out of `scratch` so the borrow of
+        // the remaining buffers can ride into act_batch_into.
+        let mut gathered = std::mem::replace(&mut scratch.gathered, Matrix::zeros(0, 0));
+        states.gather_rows_into(rows, &mut gathered);
+        self.act_batch_into(&gathered, out, scratch);
+        scratch.gathered = gathered;
+    }
+
     /// Backward pass given `d_actions (n × action_dim)`; accumulates
     /// gradients and returns the gradient w.r.t. the input states.
     pub fn backward(&mut self, d_actions: &Matrix) -> Matrix {
@@ -209,6 +239,9 @@ pub struct ActorScratch {
     tmp: Matrix,
     head_out: Matrix,
     head_tmp: Matrix,
+    /// Dense row-subset batch for [`TwoHeadActor::act_batch_rows_into`]
+    /// (ragged/grouped batching over one stacked state matrix).
+    gathered: Matrix,
 }
 
 impl ActorScratch {
@@ -218,6 +251,7 @@ impl ActorScratch {
             tmp: Matrix::zeros(0, 0),
             head_out: Matrix::zeros(0, 0),
             head_tmp: Matrix::zeros(0, 0),
+            gathered: Matrix::zeros(0, 0),
         }
     }
 }
@@ -326,6 +360,35 @@ mod tests {
     }
 
     #[test]
+    fn act_batch_rows_into_matches_single_act_exactly() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let actor = TwoHeadActor::paper_default(&mut rng, 8, 3);
+        let n = 11;
+        let mut states = Matrix::zeros(n, 8);
+        let mut r = StdRng::seed_from_u64(31);
+        for i in 0..n {
+            let row: Vec<f32> = (0..8).map(|_| r.random_range(-2.0..2.0)).collect();
+            states.set_row(i, &row);
+        }
+        let mut out = Matrix::zeros(0, 0);
+        let mut scratch = ActorScratch::new();
+        // Mixed group shapes, out-of-order and with a repeat — the ragged
+        // cases a heterogeneous fleet's profile groups produce.
+        for rows in [vec![0usize], vec![4, 1, 9], vec![10, 10], (0..n).collect()] {
+            actor.act_batch_rows_into(&states, &rows, &mut out, &mut scratch);
+            assert_eq!(out.rows(), rows.len());
+            for (k, &src) in rows.iter().enumerate() {
+                let single = actor.act(states.row(src));
+                assert_eq!(
+                    out.row(k),
+                    &single[..],
+                    "gathered row {k} (source {src}) diverged from single-state act"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn forward_matches_inference() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut actor = TwoHeadActor::paper_default(&mut rng, 8, 2);
@@ -389,5 +452,59 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let actor = TwoHeadActor::paper_default(&mut rng, 8, 2);
         let _ = actor.act(&[0.0; 7]);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+            /// Ragged/grouped batching over mixed profile shapes is
+            /// bit-identical to per-node `act`: however a fleet's nodes
+            /// are partitioned into profile groups (any sizes, any
+            /// interleaving), gathering each group out of the stacked
+            /// state matrix and batching it produces exactly the floats
+            /// of N single-state passes.
+            #[test]
+            fn grouped_batching_is_bit_identical_to_per_node_act(
+                weights_seed in 0u64..1000,
+                states_seed in 0u64..1000,
+                n in 1usize..24,
+                // Group assignment per node: up to 4 profile groups.
+                assign in proptest::collection::vec(0usize..4, 24),
+                action_dim in 2usize..4,
+            ) {
+                let mut rng = StdRng::seed_from_u64(weights_seed);
+                let actor = TwoHeadActor::paper_default(&mut rng, 8, action_dim);
+                let mut states = Matrix::zeros(n, 8);
+                let mut r = StdRng::seed_from_u64(states_seed);
+                for i in 0..n {
+                    let row: Vec<f32> = (0..8).map(|_| r.random_range(-3.0..3.0)).collect();
+                    states.set_row(i, &row);
+                }
+                // Partition nodes 0..n into groups by the assignment map.
+                let mut groups: Vec<Vec<usize>> = vec![Vec::new(); 4];
+                for i in 0..n {
+                    groups[assign[i]].push(i);
+                }
+                let mut out = Matrix::zeros(0, 0);
+                let mut scratch = ActorScratch::new();
+                for group in groups.iter().filter(|g| !g.is_empty()) {
+                    actor.act_batch_rows_into(&states, group, &mut out, &mut scratch);
+                    for (k, &src) in group.iter().enumerate() {
+                        let single = actor.act(states.row(src));
+                        prop_assert_eq!(
+                            out.row(k),
+                            &single[..],
+                            "group row {} (node {}) diverged",
+                            k,
+                            src
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -210,6 +210,20 @@ impl Ddpg {
         self.actor.act_batch_into(states, out, scratch)
     }
 
+    /// Ragged/grouped variant of [`Ddpg::act_batch_into`]: gathers the
+    /// selected `rows` out of `states` before batching, so a heterogeneous
+    /// fleet can batch only the nodes sharing this policy's profile.
+    /// Bit-identical to calling [`Ddpg::act`] per selected row.
+    pub fn act_batch_rows_into(
+        &self,
+        states: &Matrix,
+        rows: &[usize],
+        out: &mut Matrix,
+        scratch: &mut crate::actor::ActorScratch,
+    ) {
+        self.actor.act_batch_rows_into(states, rows, out, scratch)
+    }
+
     /// Training action: before `warmup` transitions have been observed a
     /// uniform-random action is returned (Algorithm 2 line 7), afterwards
     /// the actor output plus Gaussian noise, clamped to `[0, 1]`.

@@ -73,21 +73,70 @@ impl BalancerPolicy {
 /// spread load the way a connection-count table would.
 const DRAIN_FRACTION: f64 = 0.4;
 
+/// DVFS floor the `DRAIN_FRACTION` constant was calibrated against (the
+/// Xeon plan's 800 MHz minimum). A node whose own floor differs scales
+/// its drain by `floor_mhz / 800`.
+const REFERENCE_FLOOR_MHZ: u32 = 800;
+
+/// What the balancer knows about one node's hardware: enough to build
+/// its fluid drain model. Derived from a
+/// [`crate::NodeProfile`] in heterogeneous fleets; uniform fleets use
+/// [`NodeCapacity::uniform`], which reproduces the historical
+/// one-`cores`-for-everyone model bit-for-bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeCapacity {
+    /// Physical cores retiring work in parallel.
+    pub cores: usize,
+    /// The node's own DVFS floor — the frequency the conservative drain
+    /// estimate assumes (see [`DRAIN_FRACTION`]).
+    pub floor_mhz: u32,
+}
+
+impl NodeCapacity {
+    /// The historical homogeneous-node capacity: `cores` at the Xeon
+    /// 800 MHz floor.
+    pub fn uniform(cores: usize) -> Self {
+        Self {
+            cores,
+            floor_mhz: REFERENCE_FLOOR_MHZ,
+        }
+    }
+
+    /// Reference-time work retired per nanosecond: the satellite bugfix
+    /// — previously every node drained at one fleet-wide `cores ×
+    /// DRAIN_FRACTION`, so a 2-core node next to 1-core nodes was
+    /// modeled at half its real capacity. At the default floor the
+    /// scale factor is exactly 1.0, leaving uniform fleets bit-identical.
+    fn drain_per_ns(&self) -> f64 {
+        self.cores.max(1) as f64
+            * DRAIN_FRACTION
+            * (self.floor_mhz as f64 / REFERENCE_FLOOR_MHZ as f64)
+    }
+}
+
 /// Estimated-backlog model of one node: a fluid queue that retires
-/// reference-time work at `cores × DRAIN_FRACTION ×` real time.
+/// reference-time work at `cores × DRAIN_FRACTION ×` real time, scaled
+/// by the node's own DVFS floor.
 struct BacklogModel {
     /// Reference-time work (ns) outstanding as of `last_t`.
     work_ref_ns: f64,
     last_t: u64,
     drain_per_ns: f64,
+    /// Drain rate relative to the fleet's fastest node, in `(0, 1]`.
+    /// Exactly 1.0 for every node of a uniform fleet — and dividing or
+    /// multiplying by exactly 1.0 is an IEEE identity, so uniform
+    /// routing decisions are bit-identical to the unweighted model.
+    capacity_rel: f64,
 }
 
 impl BacklogModel {
-    fn new(cores: usize) -> Self {
+    fn new(cap: NodeCapacity, max_drain: f64) -> Self {
+        let drain = cap.drain_per_ns();
         Self {
             work_ref_ns: 0.0,
             last_t: 0,
-            drain_per_ns: cores.max(1) as f64 * DRAIN_FRACTION,
+            drain_per_ns: drain,
+            capacity_rel: drain / max_drain,
         }
     }
 
@@ -99,71 +148,87 @@ impl BacklogModel {
         self.work_ref_ns
     }
 
-    fn route(&mut self, req: &Request) {
-        self.work_ref_ns += req.work_ref_ns as f64;
+    /// Capacity-weighted backlog: outstanding work as seen by a node of
+    /// unit (fleet-max) capacity. JSQ compares these, so a 2-core node
+    /// holding 2× the work of a 1-core node reads as equally loaded.
+    fn effective_at(&mut self, now: u64) -> f64 {
+        self.outstanding_at(now) / self.capacity_rel
     }
 }
 
-/// Split a sorted fleet-level arrival stream into `nodes` per-node
+/// Split a sorted fleet-level arrival stream into `caps.len()` per-node
 /// streams under `policy`. Every request lands on exactly one node and
 /// per-node streams preserve arrival order (both properties are pinned
-/// by the conservation tests).
+/// by the conservation tests). Heterogeneous capacities weight the
+/// stateful policies; a uniform slice reproduces the historical split
+/// bit-for-bit.
 pub fn split_arrivals(
     arrivals: &[Request],
-    nodes: usize,
-    node_cores: usize,
+    caps: &[NodeCapacity],
     policy: BalancerPolicy,
 ) -> Vec<Vec<Request>> {
+    let nodes = caps.len();
     assert!(nodes > 0, "fleet needs at least one node");
+    let max_drain = caps
+        .iter()
+        .map(|c| c.drain_per_ns())
+        .fold(f64::MIN, f64::max);
     let mut streams: Vec<Vec<Request>> = (0..nodes).map(|_| Vec::new()).collect();
-    let mut models: Vec<BacklogModel> = (0..nodes).map(|_| BacklogModel::new(node_cores)).collect();
+    let mut models: Vec<BacklogModel> = caps
+        .iter()
+        .map(|&c| BacklogModel::new(c, max_drain))
+        .collect();
 
     for (i, req) in arrivals.iter().enumerate() {
         let target = match policy {
             BalancerPolicy::RoundRobin => i % nodes,
-            BalancerPolicy::JoinShortestQueue => argmin_outstanding(&mut models, req.arrival, i),
+            BalancerPolicy::JoinShortestQueue => argmin_effective(&mut models, req.arrival, i),
             BalancerPolicy::PowerAware => {
                 // Pack onto the most loaded node that still has headroom:
                 // adding to a node already more than SLA/2 behind risks
-                // queueing timeouts, so such nodes are skipped.
+                // queueing timeouts, so such nodes are skipped. Headroom
+                // scales with node capacity (a 4-core node retires SLA/2
+                // of backlog 4× as fast), and fullness is compared on
+                // the capacity-weighted backlog.
                 let headroom = req.sla as f64 / 2.0;
                 let mut best: Option<(usize, f64)> = None;
                 for (k, m) in models.iter_mut().enumerate() {
                     let out = m.outstanding_at(req.arrival);
-                    if out < headroom {
+                    if out < headroom * m.capacity_rel {
+                        let eff = out / m.capacity_rel;
                         let fuller = match best {
-                            Some((_, b)) => out > b,
+                            Some((_, b)) => eff > b,
                             None => true,
                         };
                         if fuller {
-                            best = Some((k, out));
+                            best = Some((k, eff));
                         }
                     }
                 }
                 match best {
                     Some((k, _)) => k,
-                    None => argmin_outstanding(&mut models, req.arrival, i),
+                    None => argmin_effective(&mut models, req.arrival, i),
                 }
             }
         };
-        models[target].route(req);
+        models[target].work_ref_ns += req.work_ref_ns as f64;
         streams[target].push(req.clone());
     }
     streams
 }
 
-/// Node with the least outstanding estimated work at `now`. Equal
-/// backlogs rotate with `req_index` instead of collapsing to the lowest
-/// node index: between bursts every estimate drains to zero, and under
-/// lowest-index tie-breaking each new burst's head would land on node 0
-/// every time — at N ≥ 32 that low-index bias is the dominant routing
-/// signal. Rotation keeps the choice a pure function of
-/// `(trace, nodes, policy)`, so determinism is untouched.
-fn argmin_outstanding(models: &mut [BacklogModel], now: u64, req_index: usize) -> usize {
+/// Node with the least capacity-weighted outstanding work at `now`.
+/// Equal backlogs rotate with `req_index` instead of collapsing to the
+/// lowest node index: between bursts every estimate drains to zero, and
+/// under lowest-index tie-breaking each new burst's head would land on
+/// node 0 every time — at N ≥ 32 that low-index bias is the dominant
+/// routing signal. Rotation keeps the choice a pure function of
+/// `(trace, capacities, policy)`, so determinism is untouched.
+fn argmin_effective(models: &mut [BacklogModel], now: u64, req_index: usize) -> usize {
     let mut ties: Vec<usize> = Vec::with_capacity(4);
     let mut best_out = f64::INFINITY;
     for (k, m) in models.iter_mut().enumerate() {
-        let out = m.outstanding_at(now);
+        let out = m.effective_at(now);
         if out < best_out {
             best_out = out;
             ties.clear();
@@ -196,7 +261,11 @@ mod tests {
     #[test]
     fn round_robin_strides_across_nodes() {
         let arrivals: Vec<Request> = (0..10).map(|i| req(i, i * 1000, 500)).collect();
-        let streams = split_arrivals(&arrivals, 3, 4, BalancerPolicy::RoundRobin);
+        let streams = split_arrivals(
+            &arrivals,
+            &[NodeCapacity::uniform(4); 3],
+            BalancerPolicy::RoundRobin,
+        );
         assert_eq!(
             streams[0].iter().map(|r| r.id).collect::<Vec<_>>(),
             [0, 3, 6, 9]
@@ -220,7 +289,11 @@ mod tests {
             req(1, 0, 1_000_000),
             req(2, 0, 1_000_000),
         ];
-        let streams = split_arrivals(&arrivals, 3, 1, BalancerPolicy::JoinShortestQueue);
+        let streams = split_arrivals(
+            &arrivals,
+            &[NodeCapacity::uniform(1); 3],
+            BalancerPolicy::JoinShortestQueue,
+        );
         assert!(streams.iter().all(|s| s.len() == 1), "{streams:?}");
     }
 
@@ -237,7 +310,11 @@ mod tests {
             req(1, 9_000_000, 4_000_000),
             req(2, 10_000_000, 1000),
         ];
-        let streams = split_arrivals(&arrivals, 2, 1, BalancerPolicy::JoinShortestQueue);
+        let streams = split_arrivals(
+            &arrivals,
+            &[NodeCapacity::uniform(1); 2],
+            BalancerPolicy::JoinShortestQueue,
+        );
         assert_eq!(
             streams[0].iter().map(|r| r.id).collect::<Vec<_>>(),
             [0, 2],
@@ -253,7 +330,11 @@ mod tests {
             req(1, 0, 4_000_000),
             req(2, 1000, 1000),
         ];
-        let streams = split_arrivals(&arrivals, 2, 1, BalancerPolicy::JoinShortestQueue);
+        let streams = split_arrivals(
+            &arrivals,
+            &[NodeCapacity::uniform(1); 2],
+            BalancerPolicy::JoinShortestQueue,
+        );
         assert_eq!(streams[1].iter().map(|r| r.id).collect::<Vec<_>>(), [1, 2]);
     }
 
@@ -264,12 +345,20 @@ mod tests {
         // Rotation must spread them evenly; the old lowest-index
         // tie-break put all twelve on node 0.
         let arrivals: Vec<Request> = (0..12).map(|i| req(i, i * 1_000_000_000, 1000)).collect();
-        let streams = split_arrivals(&arrivals, 4, 1, BalancerPolicy::JoinShortestQueue);
+        let streams = split_arrivals(
+            &arrivals,
+            &[NodeCapacity::uniform(1); 4],
+            BalancerPolicy::JoinShortestQueue,
+        );
         for (k, s) in streams.iter().enumerate() {
             assert_eq!(s.len(), 3, "node {k} got {} of 12: {streams:?}", s.len());
         }
         // Still a pure function of the trace: same call, same split.
-        let again = split_arrivals(&arrivals, 4, 1, BalancerPolicy::JoinShortestQueue);
+        let again = split_arrivals(
+            &arrivals,
+            &[NodeCapacity::uniform(1); 4],
+            BalancerPolicy::JoinShortestQueue,
+        );
         for (a, b) in streams.iter().zip(&again) {
             let ids: Vec<u64> = a.iter().map(|r| r.id).collect();
             let ids_b: Vec<u64> = b.iter().map(|r| r.id).collect();
@@ -287,7 +376,11 @@ mod tests {
             req(1, 0, 3_000_000),
             req(2, 0, 3_000_000),
         ];
-        let streams = split_arrivals(&arrivals, 3, 1, BalancerPolicy::PowerAware);
+        let streams = split_arrivals(
+            &arrivals,
+            &[NodeCapacity::uniform(1); 3],
+            BalancerPolicy::PowerAware,
+        );
         assert_eq!(streams[0].iter().map(|r| r.id).collect::<Vec<_>>(), [0, 1]);
         assert_eq!(streams[1].iter().map(|r| r.id).collect::<Vec<_>>(), [2]);
         assert!(streams[2].is_empty());
@@ -298,8 +391,87 @@ mod tests {
         // Every node saturated: the request still lands somewhere.
         let mut arrivals: Vec<Request> = (0..8).map(|i| req(i, 0, 20_000_000)).collect();
         arrivals.push(req(8, 0, 1000));
-        let streams = split_arrivals(&arrivals, 2, 1, BalancerPolicy::PowerAware);
+        let streams = split_arrivals(
+            &arrivals,
+            &[NodeCapacity::uniform(1); 2],
+            BalancerPolicy::PowerAware,
+        );
         let total: usize = streams.iter().map(|s| s.len()).sum();
         assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn packing_headroom_scales_with_node_capacity() {
+        // SLA 10 ms → base headroom 5 ms, anchored at the fleet's
+        // fastest node. Next to a 2-core node a 1-core node drains half
+        // as fast, so its cutoff halves to 2.5 ms of raw backlog. Three
+        // simultaneous 3 ms requests: the first fills the 1-core node
+        // past its cutoff, so both remaining requests pack onto the
+        // 2-core node — under the old one-cores-fits-all model both
+        // nodes shared the 5 ms cutoff and the split came out [2, 1].
+        let caps = [NodeCapacity::uniform(1), NodeCapacity::uniform(2)];
+        let arrivals: Vec<Request> = (0..3).map(|i| req(i, 0, 3_000_000)).collect();
+        let streams = split_arrivals(&arrivals, &caps, BalancerPolicy::PowerAware);
+        assert_eq!(
+            streams[0].iter().map(|r| r.id).collect::<Vec<_>>(),
+            [0],
+            "{streams:?}"
+        );
+        assert_eq!(streams[1].iter().map(|r| r.id).collect::<Vec<_>>(), [1, 2]);
+
+        // Same three requests on equal 1-core nodes: node 0 keeps its
+        // full 5 ms cutoff and takes two before spilling.
+        let caps = [NodeCapacity::uniform(1), NodeCapacity::uniform(1)];
+        let streams = split_arrivals(&arrivals, &caps, BalancerPolicy::PowerAware);
+        assert_eq!(streams[0].iter().map(|r| r.id).collect::<Vec<_>>(), [0, 1]);
+        assert_eq!(streams[1].iter().map(|r| r.id).collect::<Vec<_>>(), [2]);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+            /// The satellite bugfix pinned: under sustained load a
+            /// 2-core node must absorb ~2× the work of a 1-core node.
+            /// With the old uniform-`cores` drain model both policies
+            /// split the work evenly regardless of node size.
+            #[test]
+            fn two_core_node_absorbs_about_twice_the_work(
+                gap_ns in 500u64..2000,
+                load in 1.05f64..1.4,
+                policy_idx in 0usize..2,
+            ) {
+                let policy = [
+                    BalancerPolicy::JoinShortestQueue,
+                    BalancerPolicy::PowerAware,
+                ][policy_idx];
+                let caps = [NodeCapacity::uniform(1), NodeCapacity::uniform(2)];
+                // Offered work = `load` × the fleet's total drain
+                // capacity (1.2 ref-ns per ns), so backlogs stay alive
+                // and the capacity weighting is what routes. A tight SLA
+                // keeps the packing cutoffs saturated, so PowerAware
+                // spends the run in its capacity-weighted steady state
+                // instead of packing one node forever.
+                let work = (gap_ns as f64 * 1.2 * load) as u64;
+                let arrivals: Vec<Request> = (0..2000)
+                    .map(|i| Request {
+                        sla: 100_000,
+                        ..req(i, i * gap_ns, work)
+                    })
+                    .collect();
+                let streams = split_arrivals(&arrivals, &caps, policy);
+                let w0: u64 = streams[0].iter().map(|r| r.work_ref_ns).sum();
+                let w1: u64 = streams[1].iter().map(|r| r.work_ref_ns).sum();
+                prop_assert!(w0 > 0, "1-core node starved entirely");
+                let ratio = w1 as f64 / w0 as f64;
+                prop_assert!(
+                    (1.5..=2.6).contains(&ratio),
+                    "2-core/1-core work ratio {ratio:.2} not ~2 under {policy:?}"
+                );
+            }
+        }
     }
 }

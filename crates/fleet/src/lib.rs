@@ -21,13 +21,19 @@
 //! byte-for-byte at any harness thread count.
 
 pub mod balancer;
+pub mod coordinator;
+pub mod profile;
 pub mod sim;
 
-pub use balancer::{split_arrivals, BalancerPolicy};
+pub use balancer::{split_arrivals, BalancerPolicy, NodeCapacity};
+pub use coordinator::Coordinator;
+pub use profile::{
+    node_profile_indices, profile_groups, profiles_from_json, NodeProfile, FLEET_REFERENCE_MHZ,
+};
 pub use sim::{
-    fleet_arrivals, run_fleet, run_fleet_monitored, run_fleet_profiled, run_fleet_recorded,
-    run_fleet_reference, run_fleet_threaded, run_fleet_threaded_profiled, untrained_policy,
-    FleetResult, FleetSpec, NodeSummary,
+    fleet_arrivals, run_fleet, run_fleet_hier, run_fleet_monitored, run_fleet_profiled,
+    run_fleet_recorded, run_fleet_reference, run_fleet_threaded, run_fleet_threaded_profiled,
+    untrained_policy, FleetResult, FleetSpec, NodeSummary,
 };
 
 #[cfg(test)]
@@ -53,8 +59,9 @@ mod proptests {
             let trace = deeppower_core::train::trace_for(&spec, 0.5, 2, seed);
             let arrivals = deeppower_workload::trace_arrivals(&spec, &trace, seed);
             let policy = policy_from_index(pol);
-            let a = split_arrivals(&arrivals, nodes, spec.n_threads, policy);
-            let b = split_arrivals(&arrivals, nodes, spec.n_threads, policy);
+            let caps = vec![NodeCapacity::uniform(spec.n_threads); nodes];
+            let a = split_arrivals(&arrivals, &caps, policy);
+            let b = split_arrivals(&arrivals, &caps, policy);
             prop_assert_eq!(&a, &b);
         }
 
@@ -66,7 +73,8 @@ mod proptests {
             let spec = AppSpec::get(App::Masstree);
             let trace = deeppower_core::train::trace_for(&spec, 0.7, 2, seed);
             let arrivals = deeppower_workload::trace_arrivals(&spec, &trace, seed);
-            let streams = split_arrivals(&arrivals, nodes, spec.n_threads, policy_from_index(pol));
+            let caps = vec![NodeCapacity::uniform(spec.n_threads); nodes];
+            let streams = split_arrivals(&arrivals, &caps, policy_from_index(pol));
 
             prop_assert_eq!(streams.len(), nodes);
             let total: usize = streams.iter().map(|s| s.len()).sum();
@@ -109,7 +117,8 @@ mod proptests {
                     features: vec![],
                 })
                 .collect();
-            let streams = split_arrivals(&arrivals, nodes, 1, BalancerPolicy::JoinShortestQueue);
+            let caps = vec![NodeCapacity::uniform(1); nodes];
+            let streams = split_arrivals(&arrivals, &caps, BalancerPolicy::JoinShortestQueue);
             let max = streams.iter().map(|s| s.len()).max().unwrap();
             let min = streams.iter().map(|s| s.len()).min().unwrap();
             prop_assert!(

@@ -21,18 +21,21 @@
 //! at every epoch; it is byte-identical to the serial driver at any
 //! thread count (see its docs for the protocol).
 
-use crate::balancer::{split_arrivals, BalancerPolicy};
+use crate::balancer::{split_arrivals, BalancerPolicy, NodeCapacity};
+use crate::coordinator::Coordinator;
+use crate::profile::{node_profile_indices, profile_groups, NodeProfile};
 use deeppower_core::{
-    ControllerParams, StateObserver, ThreadController, TrainConfig, TrainedPolicy, STATE_DIM,
+    ControllerParams, StateNorm, StateObserver, ThreadController, TrainConfig, TrainedPolicy,
+    STATE_DIM,
 };
-use deeppower_drl::{ActorScratch, Ddpg};
+use deeppower_drl::Ddpg;
 use deeppower_nn::Matrix;
 use deeppower_simd_server::{
     FaultPlan, FreqCommands, Governor, LatencyStats, OverloadPlan, Request, RequestRecord,
     RunOptions, Server, ServerConfig, ServerView, Session, MILLISECOND,
 };
 use deeppower_telemetry::{
-    FleetMonitor, HealthReport, MonitorConfig, MonitorSink, Profiler, Recorder,
+    merge_gauges, FleetMonitor, HealthReport, MonitorConfig, MonitorSink, Profiler, Recorder,
 };
 use deeppower_workload::{trace_arrivals, App, AppSpec, DiurnalConfig, DiurnalTrace};
 use serde::{Deserialize, Serialize};
@@ -41,12 +44,14 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex, OnceLock};
 
-/// One fleet experiment: N identical nodes serving a shared diurnal
-/// trace behind a balancer, under one trained policy.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+/// One fleet experiment: N nodes serving a shared diurnal trace behind
+/// a balancer, under one trained policy (or one per profile group; see
+/// [`run_fleet_hier`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct FleetSpec {
     pub app: App,
-    /// Number of server nodes.
+    /// Number of server nodes. With `profiles` set this must equal the
+    /// sum of profile counts (use [`FleetSpec::with_profiles`]).
     pub nodes: usize,
     pub balancer: BalancerPolicy,
     /// Master seed: the diurnal trace and request sampling derive from
@@ -66,6 +71,120 @@ pub struct FleetSpec {
     /// RNG seed is offset by the node index so retry storms desynchronize
     /// across the fleet.
     pub overload: OverloadPlan,
+    /// Hardware profiles, consecutive by node index (`[{count: 2},
+    /// {count: 1}]` puts nodes 0–1 on the first profile and node 2 on
+    /// the second). Empty — the historical homogeneous fleet — means
+    /// `nodes ×` the app's paper-default config.
+    #[serde(default)]
+    pub profiles: Vec<NodeProfile>,
+}
+
+impl FleetSpec {
+    /// The historical homogeneous fleet: `nodes` paper-default servers,
+    /// no faults, no overload plan.
+    pub fn uniform(
+        app: App,
+        nodes: usize,
+        balancer: BalancerPolicy,
+        seed: u64,
+        peak_load: f64,
+        duration_s: u64,
+    ) -> Self {
+        Self {
+            app,
+            nodes,
+            balancer,
+            seed,
+            peak_load,
+            duration_s,
+            faults: FaultPlan::none(),
+            overload: OverloadPlan::none(),
+            profiles: Vec::new(),
+        }
+    }
+
+    /// Attach hardware profiles, recomputing `nodes` from the profile
+    /// counts. Panics on an invalid profile — callers deserializing
+    /// untrusted files validate via `profiles_from_json` first.
+    pub fn with_profiles(mut self, profiles: Vec<NodeProfile>) -> Self {
+        assert!(!profiles.is_empty(), "profile list cannot be empty");
+        for p in &profiles {
+            if let Err(e) = p.validate() {
+                panic!("invalid fleet profile: {e}");
+            }
+        }
+        self.nodes = profiles.iter().map(|p| p.count).sum();
+        self.profiles = profiles;
+        self
+    }
+
+    fn assert_consistent(&self) {
+        assert!(self.nodes > 0, "fleet needs at least one node");
+        if !self.profiles.is_empty() {
+            let total: usize = self.profiles.iter().map(|p| p.count).sum();
+            assert_eq!(
+                total, self.nodes,
+                "profile counts must sum to the node count"
+            );
+        }
+    }
+
+    /// What the balancer knows about each node (index order).
+    pub fn capacities(&self) -> Vec<NodeCapacity> {
+        if self.profiles.is_empty() {
+            let cores = AppSpec::get(self.app).n_threads;
+            vec![NodeCapacity::uniform(cores); self.nodes]
+        } else {
+            node_profile_indices(&self.profiles)
+                .into_iter()
+                .map(|k| self.profiles[k].capacity())
+                .collect()
+        }
+    }
+
+    /// Node indices grouped by profile (one all-nodes group for the
+    /// homogeneous fleet) — the batching units of the [`Coordinator`].
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        if self.profiles.is_empty() {
+            vec![(0..self.nodes).collect()]
+        } else {
+            profile_groups(&self.profiles)
+        }
+    }
+
+    /// One engine config per profile group, aligned with
+    /// [`FleetSpec::groups`].
+    pub fn group_configs(&self) -> Vec<ServerConfig> {
+        if self.profiles.is_empty() {
+            vec![ServerConfig::paper_default(
+                AppSpec::get(self.app).n_threads,
+            )]
+        } else {
+            self.profiles.iter().map(|p| p.server_config()).collect()
+        }
+    }
+
+    /// Profile-group index of every node (all zeros when homogeneous).
+    fn group_of(&self) -> Vec<usize> {
+        if self.profiles.is_empty() {
+            vec![0; self.nodes]
+        } else {
+            node_profile_indices(&self.profiles)
+        }
+    }
+
+    /// Display name of `node`'s hardware profile. The homogeneous fleet
+    /// *is* the paper-default profile, so it reports the same name a
+    /// one-profile `NodeProfile::paper_default` fleet would — keeping
+    /// the two byte-identical in serialized results.
+    fn profile_name(&self, node: usize) -> String {
+        if self.profiles.is_empty() {
+            "xeon-gold-5218r".into()
+        } else {
+            let k = node_profile_indices(&self.profiles)[node];
+            self.profiles[k].name.clone()
+        }
+    }
 }
 
 /// Per-node slice of a fleet run.
@@ -94,6 +213,10 @@ pub struct NodeSummary {
     pub p99_ms: f64,
     pub timeout_rate: f64,
     pub freq_transitions: u64,
+    /// Deepest this node's queue ever got.
+    pub peak_queue_depth: u64,
+    /// Hardware profile name the node ran on.
+    pub profile: String,
 }
 
 /// Fleet-level aggregates plus the per-node breakdown.
@@ -121,6 +244,9 @@ pub struct FleetResult {
     pub fleet_p95_ms: f64,
     pub fleet_p99_ms: f64,
     pub fleet_timeout_rate: f64,
+    /// Deepest any node's queue got — a max-merge across nodes (the
+    /// gauge-policy fold; last-write merging under-reported this).
+    pub fleet_peak_queue_depth: u64,
     pub per_node: Vec<NodeSummary>,
 }
 
@@ -197,7 +323,8 @@ pub fn run_fleet_recorded(
     policy: &TrainedPolicy,
     recs: &[Recorder],
 ) -> FleetResult {
-    run_fleet_impl(spec, policy, recs, true, &Profiler::disabled())
+    let policies = shared_policies(spec, policy);
+    run_fleet_impl(spec, &policies, recs, true, &Profiler::disabled())
 }
 
 /// [`run_fleet_recorded`] with a span [`Profiler`]: the lockstep epoch
@@ -212,7 +339,8 @@ pub fn run_fleet_profiled(
     recs: &[Recorder],
     prof: &Profiler,
 ) -> FleetResult {
-    run_fleet_impl(spec, policy, recs, true, prof)
+    let policies = shared_policies(spec, policy);
+    run_fleet_impl(spec, &policies, recs, true, prof)
 }
 
 /// Reference implementation: identical lockstep drive, but each node's
@@ -222,7 +350,47 @@ pub fn run_fleet_profiled(
 /// result-identical. Not the path experiments use.
 pub fn run_fleet_reference(spec: &FleetSpec, policy: &TrainedPolicy) -> FleetResult {
     let recs = vec![Recorder::disabled(); spec.nodes];
-    run_fleet_impl(spec, policy, &recs, false, &Profiler::disabled())
+    let policies = shared_policies(spec, policy);
+    run_fleet_impl(spec, &policies, &recs, false, &Profiler::disabled())
+}
+
+/// The same shared policy for every profile group — the historical
+/// single-policy fleet, expressed in coordinator terms.
+fn shared_policies<'a>(spec: &FleetSpec, policy: &'a TrainedPolicy) -> Vec<&'a TrainedPolicy> {
+    spec.groups().iter().map(|_| policy).collect()
+}
+
+/// Every group policy must agree on the lockstep grids: the fleet runs
+/// one tick/epoch cadence, whatever each group's actor weights are.
+fn check_policies(spec: &FleetSpec, policies: &[&TrainedPolicy]) {
+    spec.assert_consistent();
+    assert_eq!(
+        policies.len(),
+        spec.groups().len(),
+        "one policy per profile group"
+    );
+    let lead = policies[0];
+    for p in policies {
+        assert_eq!(
+            p.deeppower.short_time, lead.deeppower.short_time,
+            "group policies must share ShortTime (the fleet tick grid)"
+        );
+        assert_eq!(
+            p.deeppower.long_time, lead.deeppower.long_time,
+            "group policies must share LongTime (the fleet epoch grid)"
+        );
+    }
+}
+
+/// Hierarchical control: one trained policy per profile group
+/// (HiDVFS-style), `policies[g]` steering exactly the nodes of group
+/// `g` in [`FleetSpec::groups`] order. A homogeneous fleet has one
+/// group, so this degenerates to [`run_fleet_threaded`]. Same
+/// byte-identity-at-any-thread-count contract as the shared-policy
+/// drivers; all policies must agree on `ShortTime`/`LongTime`.
+pub fn run_fleet_hier(spec: &FleetSpec, policies: &[TrainedPolicy], threads: usize) -> FleetResult {
+    let refs: Vec<&TrainedPolicy> = policies.iter().collect();
+    run_fleet_threaded_hier(spec, &refs, threads, &Profiler::disabled())
 }
 
 /// Per-node [`RunOptions`]: every node shares the fleet's tick grid
@@ -250,25 +418,27 @@ fn node_opts(
 
 fn run_fleet_impl(
     spec: &FleetSpec,
-    policy: &TrainedPolicy,
+    policies: &[&TrainedPolicy],
     recs: &[Recorder],
     batched: bool,
     prof: &Profiler,
 ) -> FleetResult {
-    assert!(spec.nodes > 0, "fleet needs at least one node");
+    check_policies(spec, policies);
     assert_eq!(recs.len(), spec.nodes, "one recorder per node");
     let n = spec.nodes;
     let app_spec = AppSpec::get(spec.app);
-    let server = Server::new(ServerConfig::paper_default(app_spec.n_threads));
+    let group_of = spec.group_of();
+    let servers: Vec<Server> = spec.group_configs().into_iter().map(Server::new).collect();
     let sp = prof.span("fleet.balance");
     let arrivals = fleet_arrivals(spec);
-    let streams = split_arrivals(&arrivals, n, app_spec.n_threads, spec.balancer);
+    let streams = split_arrivals(&arrivals, &spec.capacities(), spec.balancer);
     let assigned: Vec<u64> = streams.iter().map(|s| s.len() as u64).collect();
     drop(sp);
 
-    let agent = policy.build_agent();
+    let lead = policies[0];
+    let mut coordinator = Coordinator::new(spec.groups(), policies);
     let opts = RunOptions {
-        tick_ns: policy.deeppower.short_time,
+        tick_ns: lead.deeppower.short_time,
         ..Default::default()
     };
     let cells: Vec<Rc<Cell<ControllerParams>>> = (0..n)
@@ -286,7 +456,7 @@ fn run_fleet_impl(
         .zip(recs)
         .enumerate()
         .map(|(i, ((gov, stream), rec))| {
-            server
+            servers[group_of[i]]
                 .session(
                     stream,
                     gov as &mut dyn Governor,
@@ -296,34 +466,33 @@ fn run_fleet_impl(
                 .with_profiler(prof)
         })
         .collect();
-    let mut observers = vec![StateObserver::new(policy.deeppower.state_norm); n];
+    let mut observers: Vec<StateObserver> = (0..n)
+        .map(|i| StateObserver::new(policies[group_of[i]].deeppower.state_norm))
+        .collect();
     let mut states = Matrix::zeros(n, STATE_DIM);
-    let mut actions = Matrix::zeros(0, 0);
-    let mut scratch = ActorScratch::new();
+    let mut actions = vec![ControllerParams::default(); n];
 
-    let long = policy.deeppower.long_time.max(1);
+    let long = lead.deeppower.long_time.max(1);
     let mut epochs = 0u64;
     loop {
         // Observe every node (the first epoch sees the pre-run empty
         // state, mirroring the single-node governor acting on its first
-        // tick) and act — one batched pass, or N single passes on the
-        // reference path. The batched pass reuses `actions`/`scratch`
-        // across epochs so the steady-state loop never allocates.
+        // tick) and act — one grouped batched pass per profile, or N
+        // single passes on the reference path. The coordinator reuses
+        // its per-group out/scratch buffers across epochs so the
+        // steady-state loop never allocates.
         let sp = prof.span("fleet.batch_act");
         for (i, (observer, session)) in observers.iter_mut().zip(&sessions).enumerate() {
             let s = session.with_view(|v| observer.observe(v));
             states.set_row(i, &s);
         }
         if batched {
-            agent.act_batch_into(&states, &mut actions, &mut scratch);
-            for (i, cell) in cells.iter().enumerate() {
-                cell.set(ControllerParams::from_action(actions.row(i)));
-            }
+            coordinator.act(&states, &mut actions);
         } else {
-            for (i, cell) in cells.iter().enumerate() {
-                let action = agent.act(states.row(i));
-                cell.set(ControllerParams::from_action(&action));
-            }
+            coordinator.act_per_node(&states, &mut actions);
+        }
+        for (i, cell) in cells.iter().enumerate() {
+            cell.set(actions[i]);
         }
         drop(sp);
         epochs += 1;
@@ -382,13 +551,25 @@ pub fn run_fleet_threaded_profiled(
     threads: usize,
     prof: &Profiler,
 ) -> FleetResult {
+    let policies = shared_policies(spec, policy);
+    run_fleet_threaded_hier(spec, &policies, threads, prof)
+}
+
+/// Thread-count dispatch shared by [`run_fleet_threaded_profiled`] and
+/// [`run_fleet_hier`]: `1` falls back to the serial driver.
+fn run_fleet_threaded_hier(
+    spec: &FleetSpec,
+    policies: &[&TrainedPolicy],
+    threads: usize,
+    prof: &Profiler,
+) -> FleetResult {
     assert!(spec.nodes > 0, "fleet needs at least one node");
     let threads = resolve_threads(threads, spec.nodes);
     if threads == 1 {
         let recs = vec![Recorder::disabled(); spec.nodes];
-        return run_fleet_impl(spec, policy, &recs, true, prof);
+        return run_fleet_impl(spec, policies, &recs, true, prof);
     }
-    run_fleet_parallel(spec, policy, threads, prof)
+    run_fleet_parallel(spec, policies, threads, prof)
 }
 
 /// `0` → all available cores; otherwise clamp into `[1, nodes]`.
@@ -425,12 +606,14 @@ pub fn run_fleet_monitored(
         let recs: Vec<Recorder> = (0..spec.nodes)
             .map(|i| Recorder::with_sink(Box::new(MonitorSink::new(Rc::clone(&monitor), i as u64))))
             .collect();
-        let result = run_fleet_impl(spec, policy, &recs, true, &Profiler::disabled());
+        let policies = shared_policies(spec, policy);
+        let result = run_fleet_impl(spec, &policies, &recs, true, &Profiler::disabled());
         let report = monitor.borrow().finish();
         return (result, report);
     }
+    let policies = shared_policies(spec, policy);
     let (result, report) =
-        run_fleet_parallel_inner(spec, policy, threads, &Profiler::disabled(), Some(cfg));
+        run_fleet_parallel_inner(spec, &policies, threads, &Profiler::disabled(), Some(cfg));
     (
         result,
         report.expect("monitored parallel fleet returns a report"),
@@ -439,37 +622,42 @@ pub fn run_fleet_monitored(
 
 fn run_fleet_parallel(
     spec: &FleetSpec,
-    policy: &TrainedPolicy,
+    policies: &[&TrainedPolicy],
     threads: usize,
     prof: &Profiler,
 ) -> FleetResult {
-    run_fleet_parallel_inner(spec, policy, threads, prof, None).0
+    run_fleet_parallel_inner(spec, policies, threads, prof, None).0
 }
 
 fn run_fleet_parallel_inner(
     spec: &FleetSpec,
-    policy: &TrainedPolicy,
+    policies: &[&TrainedPolicy],
     threads: usize,
     prof: &Profiler,
     monitor_cfg: Option<MonitorConfig>,
 ) -> (FleetResult, Option<HealthReport>) {
+    check_policies(spec, policies);
     let n = spec.nodes;
     debug_assert!(threads >= 2 && threads <= n);
     let app_spec = AppSpec::get(spec.app);
-    let server = Server::new(ServerConfig::paper_default(app_spec.n_threads));
+    let group_of = spec.group_of();
+    let servers: Vec<Server> = spec.group_configs().into_iter().map(Server::new).collect();
     let sp = prof.span("fleet.balance");
     let arrivals = fleet_arrivals(spec);
-    let streams = split_arrivals(&arrivals, n, app_spec.n_threads, spec.balancer);
+    let streams = split_arrivals(&arrivals, &spec.capacities(), spec.balancer);
     let assigned: Vec<u64> = streams.iter().map(|s| s.len() as u64).collect();
     drop(sp);
 
-    let agent = policy.build_agent();
+    let lead = policies[0];
+    let mut coordinator = Coordinator::new(spec.groups(), policies);
     let opts = RunOptions {
-        tick_ns: policy.deeppower.short_time,
+        tick_ns: lead.deeppower.short_time,
         ..Default::default()
     };
-    let long = policy.deeppower.long_time.max(1);
-    let state_norm = policy.deeppower.state_norm;
+    let long = lead.deeppower.long_time.max(1);
+    let state_norms: Vec<StateNorm> = (0..n)
+        .map(|i| policies[group_of[i]].deeppower.state_norm)
+        .collect();
 
     // Epoch protocol, three barriers per epoch:
     //   workers observe → states rows   ── A ──
@@ -492,8 +680,8 @@ fn run_fleet_parallel_inner(
     let mut epochs = 0u64;
     std::thread::scope(|scope| {
         for w in 0..threads {
-            let (server, streams) = (&server, &streams);
-            let (states, actions) = (&states, &actions);
+            let (servers, streams, group_of) = (&servers, &streams, &group_of);
+            let (states, actions, state_norms) = (&states, &actions, &state_norms);
             let (barrier, done, slots, prof) = (&barrier, &done, &slots, prof);
             let (monitor_cfg, mon_slots) = (monitor_cfg.as_ref(), &mon_slots);
             scope.spawn(move || {
@@ -530,7 +718,7 @@ fn run_fleet_parallel_inner(
                     .zip(&owned)
                     .zip(&recs)
                     .map(|((gov, &i), rec)| {
-                        server
+                        servers[group_of[i]]
                             .session(
                                 &streams[i],
                                 gov as &mut dyn Governor,
@@ -540,7 +728,10 @@ fn run_fleet_parallel_inner(
                             .with_profiler(prof)
                     })
                     .collect();
-                let mut observers = vec![StateObserver::new(state_norm); owned.len()];
+                let mut observers: Vec<StateObserver> = owned
+                    .iter()
+                    .map(|&i| StateObserver::new(state_norms[i]))
+                    .collect();
                 let mut finished = vec![false; owned.len()];
                 let mut local_epochs = 0u64;
                 loop {
@@ -604,21 +795,16 @@ fn run_fleet_parallel_inner(
             });
         }
 
-        // Leader: the one batched forward pass per epoch, reusing the
-        // action matrix and actor scratch so nothing here allocates in
-        // steady state.
-        let mut actions_mat = Matrix::zeros(0, 0);
-        let mut scratch = ActorScratch::new();
+        // Leader: one grouped batched forward pass per profile group
+        // per epoch; the coordinator reuses its per-group out/scratch
+        // buffers so nothing here allocates in steady state.
         loop {
             barrier.wait(); // A
             {
                 let sp = prof.span("fleet.batch_act");
                 let st = states.lock().expect("fleet states lock");
-                agent.act_batch_into(&st, &mut actions_mat, &mut scratch);
                 let mut acts = actions.lock().expect("fleet actions lock");
-                for (i, a) in acts.iter_mut().enumerate() {
-                    *a = ControllerParams::from_action(actions_mat.row(i));
-                }
+                coordinator.act(&st, &mut acts);
                 drop(sp);
             }
             barrier.wait(); // B
@@ -668,7 +854,15 @@ fn assemble(
     let mut total_energy_j = 0.0;
     let mut total_power_w = 0.0;
     let (mut total_goodput, mut total_wasted, mut total_shed) = (0u64, 0u64, 0u64);
+    // Fleet gauges fold through the per-key merge policy — "peak" keys
+    // take the max across nodes, where a last-write fold would report
+    // whichever node happened to merge last.
+    let mut fleet_gauges: std::collections::BTreeMap<&'static str, f64> = Default::default();
     for (node, sim) in results.into_iter().enumerate() {
+        merge_gauges(
+            &mut fleet_gauges,
+            &[("queue.peak_depth", sim.peak_queue_depth as f64)],
+        );
         let s = &sim.stats;
         total_goodput += sim.goodput;
         total_wasted += sim.wasted;
@@ -688,6 +882,8 @@ fn assemble(
             p99_ms: ms(s.p99_ns),
             timeout_rate: s.timeout_rate(),
             freq_transitions: sim.freq_transitions,
+            peak_queue_depth: sim.peak_queue_depth,
+            profile: spec.profile_name(node),
         });
         total_energy_j += sim.energy_j;
         total_power_w += sim.avg_power_w;
@@ -712,6 +908,7 @@ fn assemble(
         fleet_p95_ms: ms(fleet.p95_ns),
         fleet_p99_ms: ms(fleet.p99_ns),
         fleet_timeout_rate: fleet.timeout_rate(),
+        fleet_peak_queue_depth: fleet_gauges.get("queue.peak_depth").copied().unwrap_or(0.0) as u64,
         per_node,
     }
 }
@@ -721,16 +918,8 @@ mod tests {
     use super::*;
 
     fn small_spec(nodes: usize, balancer: BalancerPolicy) -> FleetSpec {
-        FleetSpec {
-            app: App::Masstree, // the 8-thread app — cheapest node
-            nodes,
-            balancer,
-            seed: 11,
-            peak_load: 0.4,
-            duration_s: 3,
-            faults: FaultPlan::none(),
-            overload: OverloadPlan::none(),
-        }
+        // App::Masstree is the 8-thread app — cheapest node.
+        FleetSpec::uniform(App::Masstree, nodes, balancer, 11, 0.4, 3)
     }
 
     #[test]
@@ -812,6 +1001,177 @@ mod tests {
             let parallel = run_fleet_threaded(&spec, &policy, threads).to_json();
             assert_eq!(serial, parallel, "--threads {threads} diverged from serial");
         }
+    }
+
+    #[test]
+    fn uniform_fleet_reproduces_pinned_pre_profile_baseline() {
+        // Result anchors captured on the homogeneous fleet *before* the
+        // heterogeneous-profile refactor: exact bit patterns, not
+        // tolerances. The refactor threads capacity weights through the
+        // balancer and a coordinator through inference, all of which
+        // must reduce to IEEE identities (×1.0, ÷1.0, one group) on a
+        // uniform fleet — any drift here means a calibrated seed
+        // re-rolled.
+        let policy = untrained_policy(App::Masstree, 5);
+        let cases: [(BalancerPolicy, u64, u64, [u64; 3]); 3] = [
+            (
+                BalancerPolicy::RoundRobin,
+                0x407352ff40fbfd84,
+                0x3fd172a38b8ae31d,
+                [94343, 94343, 94342],
+            ),
+            (
+                BalancerPolicy::JoinShortestQueue,
+                0x407351e15a2df2e9,
+                0x3fd1292817763e4b,
+                [94716, 93509, 94803],
+            ),
+            (
+                BalancerPolicy::PowerAware,
+                0x407369d3c696804d,
+                0x3fd18b86b15f88fd,
+                [105933, 100718, 76377],
+            ),
+        ];
+        for (balancer, energy_bits, p99_bits, assigned) in cases {
+            let res = run_fleet(&small_spec(3, balancer), &policy);
+            assert_eq!(res.total_requests, 283028, "{balancer:?}: trace drifted");
+            assert_eq!(
+                res.total_energy_j.to_bits(),
+                energy_bits,
+                "{balancer:?}: energy drifted from the pre-profile baseline"
+            );
+            assert_eq!(
+                res.fleet_p99_ms.to_bits(),
+                p99_bits,
+                "{balancer:?}: p99 drifted from the pre-profile baseline"
+            );
+            let got: Vec<u64> = res.per_node.iter().map(|n| n.assigned).collect();
+            assert_eq!(got, assigned, "{balancer:?}: balancer split drifted");
+            if balancer == BalancerPolicy::RoundRobin {
+                assert_eq!(res.drl_epochs, 4, "epoch grid drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn single_profile_fleet_is_byte_identical_to_uniform_spec() {
+        // A one-profile fleet of paper-default nodes is the homogeneous
+        // fleet, down to the last byte: same configs, same capacities,
+        // same single coordinator group.
+        let policy = untrained_policy(App::Masstree, 7);
+        let uniform = small_spec(3, BalancerPolicy::JoinShortestQueue);
+        let profiled = uniform
+            .clone()
+            .with_profiles(vec![NodeProfile::paper_default(8, 3)]);
+        assert_eq!(profiled.nodes, 3);
+        assert_eq!(
+            run_fleet(&uniform, &policy).to_json(),
+            run_fleet(&profiled, &policy).to_json(),
+            "one-profile fleet diverged from the profile-free spec"
+        );
+    }
+
+    #[test]
+    fn mixed_profile_fleet_is_byte_identical_at_any_thread_count() {
+        // The acceptance fleet: 4 one-core edge boxes (capped DVFS
+        // range) next to 2 four-core nodes with big.LITTLE core caps.
+        // Same bar as the homogeneous driver: byte-identity between the
+        // serial and threaded drivers at any thread count.
+        let spec = small_spec(0, BalancerPolicy::PowerAware).with_profiles(vec![
+            NodeProfile {
+                name: "edge-1c".into(),
+                max_mhz: 1500,
+                ..NodeProfile::paper_default(1, 4)
+            },
+            NodeProfile {
+                name: "quad-biglittle".into(),
+                little_cores: 2,
+                little_max_mhz: 1100,
+                ..NodeProfile::paper_default(4, 2)
+            },
+        ]);
+        assert_eq!(spec.nodes, 6);
+        let policy = untrained_policy(spec.app, 13);
+        let serial = run_fleet(&spec, &policy);
+        let generated = fleet_arrivals(&spec).len() as u64;
+        assert_eq!(
+            serial.total_requests, generated,
+            "mixed fleet dropped or duplicated requests"
+        );
+        let names: Vec<&str> = serial.per_node.iter().map(|n| n.profile.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "edge-1c",
+                "edge-1c",
+                "edge-1c",
+                "edge-1c",
+                "quad-biglittle",
+                "quad-biglittle"
+            ]
+        );
+        let serial = serial.to_json();
+        for threads in [1usize, 2, 8] {
+            let parallel = run_fleet_threaded(&spec, &policy, threads).to_json();
+            assert_eq!(serial, parallel, "--threads {threads} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn hier_fleet_runs_per_group_policies_byte_identically_threaded() {
+        // Hierarchical control: each profile group steered by its own
+        // policy, same serial/threaded byte-identity bar — and the
+        // second group's weights must actually reach its nodes. The two
+        // groups run identical paper-default hardware at moderate load
+        // (the regime where controller params demonstrably change the
+        // result), so any divergence from the shared-policy run can
+        // only come from per-group policy attribution.
+        let spec = small_spec(0, BalancerPolicy::JoinShortestQueue).with_profiles(vec![
+            NodeProfile {
+                name: "rack-a".into(),
+                ..NodeProfile::paper_default(8, 2)
+            },
+            NodeProfile {
+                name: "rack-b".into(),
+                ..NodeProfile::paper_default(8, 2)
+            },
+        ]);
+        let policies = vec![
+            untrained_policy(spec.app, 17),
+            untrained_policy(spec.app, 23),
+        ];
+        let serial = run_fleet_hier(&spec, &policies, 1);
+        assert_eq!(serial.per_node.len(), 4);
+        let serial_json = serial.to_json();
+        for threads in [2usize, 4] {
+            assert_eq!(
+                serial_json,
+                run_fleet_hier(&spec, &policies, threads).to_json(),
+                "hier --threads {threads} diverged from serial"
+            );
+        }
+        let shared = run_fleet(&spec, &policies[0]).to_json();
+        assert_ne!(
+            serial_json, shared,
+            "second group's policy had no effect on the fleet"
+        );
+    }
+
+    #[test]
+    fn fleet_peak_queue_depth_merges_by_max_not_last_write() {
+        // Satellite of the gauge-merge bugfix: the fleet-level peak is
+        // the deepest any node got, not whichever node merged last.
+        let spec = small_spec(3, BalancerPolicy::JoinShortestQueue);
+        let res = run_fleet(&spec, &untrained_policy(spec.app, 5));
+        let max = res
+            .per_node
+            .iter()
+            .map(|n| n.peak_queue_depth)
+            .max()
+            .unwrap();
+        assert!(max > 0, "no node ever queued");
+        assert_eq!(res.fleet_peak_queue_depth, max);
     }
 
     #[test]
@@ -919,16 +1279,14 @@ mod tests {
         // names the injected faults, while the identical fault-free
         // fleet produces zero alerts and zero violations.
         use deeppower_telemetry::{BurnRateRule, Event, MonitorConfig, SloSpec};
-        let mut spec = FleetSpec {
-            app: App::Masstree,
-            nodes: 3,
-            balancer: BalancerPolicy::JoinShortestQueue,
-            seed: 11,
-            peak_load: 0.75,
-            duration_s: 6,
-            faults: FaultPlan::none(),
-            overload: OverloadPlan::none(),
-        };
+        let mut spec = FleetSpec::uniform(
+            App::Masstree,
+            3,
+            BalancerPolicy::JoinShortestQueue,
+            11,
+            0.75,
+            6,
+        );
         let policy = untrained_policy(spec.app, 5);
         let mut slo = SloSpec::for_sla_ns("masstree", MILLISECOND);
         // Short trailing windows: the run is only six windows long.

@@ -1064,16 +1064,7 @@ pub fn fleet_grid(
     for &nodes in node_counts {
         for &balancer in balancers {
             jobs.push(FleetJobSpec {
-                fleet: FleetSpec {
-                    app,
-                    nodes,
-                    balancer,
-                    seed,
-                    peak_load,
-                    duration_s,
-                    faults: Default::default(),
-                    overload: Default::default(),
-                },
+                fleet: FleetSpec::uniform(app, nodes, balancer, seed, peak_load, duration_s),
                 policy: policy.clone(),
             });
         }

@@ -168,6 +168,29 @@ impl Matrix {
         self.data.resize(rows * cols, 0.0);
     }
 
+    /// Gather the given rows of `self` into `out` (reshaped to
+    /// `rows.len() × self.cols`), preserving the order of `rows`. Row
+    /// indices may repeat. This is the ragged-batching primitive: a
+    /// caller holding one stacked `N × d` state matrix extracts an
+    /// arbitrary row subset — e.g. the nodes of one hardware profile
+    /// group — as a dense batch without touching the source.
+    pub fn gather_rows_into(&self, rows: &[usize], out: &mut Matrix) {
+        out.reshape(rows.len(), self.cols);
+        for (k, &r) in rows.iter().enumerate() {
+            assert!(
+                r < self.rows,
+                "Matrix::gather_rows_into row {r} out of bounds"
+            );
+            let src = r * self.cols;
+            let dst = k * self.cols;
+            let (s, d) = (
+                &self.data[src..src + self.cols],
+                &mut out.data[dst..dst + self.cols],
+            );
+            d.copy_from_slice(s);
+        }
+    }
+
     /// Rows-of-B panel size for the blocked matmul kernels. Each panel
     /// (`K_BLOCK × m` floats of the RHS) stays resident in L1/L2 while it
     /// is streamed against every row of the LHS.
@@ -441,6 +464,23 @@ impl Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gather_rows_into_preserves_order_and_allows_repeats() {
+        let m = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut out = Matrix::zeros(0, 0);
+        m.gather_rows_into(&[2, 0, 2], &mut out);
+        assert_eq!(out.rows(), 3);
+        assert_eq!(out.cols(), 2);
+        assert_eq!(out.as_slice(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        // Reuse across a shrinking gather: stale storage must not leak.
+        m.gather_rows_into(&[1], &mut out);
+        assert_eq!(out.as_slice(), &[3.0, 4.0]);
+        // Empty gathers are legal (a profile group can own zero nodes
+        // only transiently, but the primitive should not care).
+        m.gather_rows_into(&[], &mut out);
+        assert_eq!(out.rows(), 0);
+    }
 
     #[test]
     fn matmul_small_known_values() {

@@ -74,7 +74,16 @@ impl FreqPlan {
         if self.turbo_mhz <= self.max_mhz() {
             return Err("turbo must exceed the max nominal level".into());
         }
-        if !self.levels_mhz.contains(&self.reference_mhz) && self.reference_mhz != self.turbo_mhz {
+        // `reference_mhz` is a *calibration* frequency, not a commanded
+        // one: heterogeneous fleets share one fleet-wide reference so
+        // `work_ref_ns` means the same thing on every node, and a little
+        // core's plan may top out below it. Anything at or above this
+        // plan's max nominal level is therefore legal; below it, the
+        // reference must be an actual level (or turbo).
+        if self.reference_mhz < self.max_mhz()
+            && !self.levels_mhz.contains(&self.reference_mhz)
+            && self.reference_mhz != self.turbo_mhz
+        {
             return Err("reference frequency must be an available level".into());
         }
         Ok(())
@@ -289,6 +298,15 @@ mod tests {
         let mut p = FreqPlan::test_plan();
         p.levels_mhz.clear();
         assert!(p.validate().is_err());
+        // A reference *below* the max level must be a real level...
+        let mut p = FreqPlan::test_plan();
+        p.reference_mhz = 1700;
+        assert!(p.validate().is_err());
+        // ...but a fleet-wide reference above this plan's range is fine
+        // (a little core calibrated against the fleet's big cores).
+        let mut p = FreqPlan::test_plan();
+        p.reference_mhz = 2100;
+        assert!(p.validate().is_ok());
     }
 
     #[test]

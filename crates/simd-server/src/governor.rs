@@ -174,7 +174,13 @@ impl FreqCommands {
     /// scale (clamped to `[0, 1]`). Consumed only by runs whose
     /// [`crate::OverloadPlan`] uses [`crate::AdmissionMode::Drl`];
     /// ignored everywhere else. Last write wins.
+    ///
+    /// The value is sanitized *here*, before it can reach the queue or a
+    /// step CSV: non-finite input (a NaN-poisoned actor head) falls back
+    /// to fully open (`1.0`), and finite input is clamped — `f32::clamp`
+    /// alone would pass NaN straight through.
     pub fn set_admission(&mut self, frac: f32) {
+        let frac = if frac.is_finite() { frac } else { 1.0 };
         self.admission = Some(frac.clamp(0.0, 1.0));
     }
 
@@ -319,6 +325,22 @@ mod tests {
         for i in 0..4 {
             assert_eq!(cmds.take(i), Some(2000));
         }
+    }
+
+    #[test]
+    fn set_admission_clamps_and_sanitizes_nan() {
+        let plan = FreqPlan::test_plan();
+        let mut cmds = FreqCommands::new(1, &plan);
+        cmds.set_admission(0.42);
+        assert_eq!(cmds.get_admission(), Some(0.42));
+        cmds.set_admission(7.0);
+        assert_eq!(cmds.get_admission(), Some(1.0));
+        cmds.set_admission(-3.0);
+        assert_eq!(cmds.get_admission(), Some(0.0));
+        cmds.set_admission(f32::NAN);
+        assert_eq!(cmds.get_admission(), Some(1.0));
+        cmds.set_admission(f32::NEG_INFINITY);
+        assert_eq!(cmds.get_admission(), Some(1.0));
     }
 
     #[test]

@@ -49,6 +49,10 @@ pub struct ServerConfig {
     /// Idle states governors may use (empty = the paper's main setting,
     /// where the `userspace` governor keeps cores clocked).
     pub cstates: CStatePlan,
+    /// Per-core frequency ceilings for big.LITTLE-style mixes: core `i`
+    /// never runs above `core_max_mhz[i]` (turbo included). Empty — the
+    /// paper's homogeneous socket — leaves every core uncapped.
+    pub core_max_mhz: Vec<u32>,
 }
 
 impl ServerConfig {
@@ -64,7 +68,13 @@ impl ServerConfig {
             contention: ContentionModel::default(),
             initial_mhz,
             cstates: CStatePlan::none(),
+            core_max_mhz: Vec::new(),
         }
+    }
+
+    /// The ceiling core `i` may be commanded to, or `None` when uncapped.
+    pub fn core_cap(&self, core: usize) -> Option<u32> {
+        self.core_max_mhz.get(core).copied()
     }
 
     /// Paper testbed plus Xeon-like C1/C6 idle states — the substrate for
@@ -379,8 +389,11 @@ impl Server {
         let n = self.cfg.n_cores;
         Session {
             cores: (0..n)
-                .map(|_| CoreState {
-                    freq_mhz: self.cfg.initial_mhz,
+                .map(|i| CoreState {
+                    freq_mhz: match self.cfg.core_cap(i) {
+                        Some(cap) => self.cfg.initial_mhz.min(cap),
+                        None => self.cfg.initial_mhz,
+                    },
                     running: None,
                     sleep: None,
                 })
@@ -570,7 +583,6 @@ impl Session<'_> {
     /// Process phases 0–6 at `self.now`; returns `true` on termination.
     fn process_now(&mut self) -> bool {
         let now = self.now;
-        let plan = &self.cfg.freq_plan;
 
         // ---- 0. Fault-plan boundaries at `now` ----
         // Stall windows open/close, and deferred (spiked) DVFS
@@ -711,8 +723,7 @@ impl Session<'_> {
                 now,
                 &mut self.cores,
                 &mut self.cmds,
-                plan,
-                &self.cfg.cstates,
+                self.cfg,
                 &mut self.metrics,
                 self.rec,
                 &mut self.freq_telem,
@@ -775,8 +786,7 @@ impl Session<'_> {
                 now,
                 &mut self.cores,
                 &mut self.cmds,
-                plan,
-                &self.cfg.cstates,
+                self.cfg,
                 &mut self.metrics,
                 self.rec,
                 &mut self.freq_telem,
@@ -1128,20 +1138,33 @@ fn apply_commands(
     now: Nanos,
     cores: &mut [CoreState],
     cmds: &mut FreqCommands,
-    plan: &FreqPlan,
-    cstates: &CStatePlan,
+    cfg: &ServerConfig,
     metrics: &mut MetricsCollector,
     rec: &Recorder,
     freq_telem: &mut FreqTelemetry,
     faults: &mut FaultState,
     dvfs: &mut DvfsController,
 ) {
+    let plan = &cfg.freq_plan;
+    let cstates = &cfg.cstates;
     for (i, core) in cores.iter_mut().enumerate() {
         if let Some(mhz) = cmds.take(i) {
             let snapped = if mhz == plan.turbo_mhz {
                 mhz
             } else {
                 plan.snap(mhz)
+            };
+            // big.LITTLE cap: a little core silently tops out at its
+            // ceiling, whatever the governor commanded (turbo included).
+            let snapped = match cfg.core_cap(i) {
+                Some(cap) if snapped > cap => {
+                    if plan.is_valid(cap) {
+                        cap
+                    } else {
+                        plan.snap(cap)
+                    }
+                }
+                _ => snapped,
             };
             if dvfs.in_transition(i) {
                 // A write while a (spiked) transition is in flight is
@@ -1203,6 +1226,7 @@ mod tests {
             contention: ContentionModel::none(),
             initial_mhz: 2100,
             cstates: crate::CStatePlan::none(),
+            core_max_mhz: Vec::new(),
         })
     }
 
@@ -1264,6 +1288,31 @@ mod tests {
                 r.latency
             );
         }
+    }
+
+    #[test]
+    fn little_core_cap_holds_for_initial_and_commanded_frequency() {
+        let server = Server::new(ServerConfig {
+            n_cores: 2,
+            contention: ContentionModel::none(),
+            core_max_mhz: vec![2100, 1100],
+            ..ServerConfig::paper_default(2)
+        });
+        // Two simultaneous requests land on both cores; the governor
+        // commands the full 2100 MHz everywhere but core 1 is capped.
+        let arrivals = vec![req(0, 0, 2 * MILLISECOND), req(1, 0, 2 * MILLISECOND)];
+        let mut gov = FixedFrequency { mhz: 2100 };
+        let res = server.run(&arrivals, &mut gov, RunOptions::default());
+        let mut lats: Vec<u64> = res.records.iter().map(|r| r.latency).collect();
+        lats.sort_unstable();
+        let big = 2 * MILLISECOND;
+        let little = 2 * MILLISECOND * 2100 / 1100;
+        assert!(lats[0].abs_diff(big) <= 2, "big-core latency {}", lats[0]);
+        assert!(
+            lats[1].abs_diff(little) <= 2,
+            "little-core latency {} vs {little}",
+            lats[1]
+        );
     }
 
     #[test]

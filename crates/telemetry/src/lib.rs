@@ -61,8 +61,8 @@ pub use fs::atomic_write;
 pub use histogram::{Histogram, HistogramSnapshot, LatencyRecorder};
 pub use logger::{LogLevel, Logger};
 pub use monitor::{
-    AlertRecord, AnomalyRecord, FleetMonitor, HealthReport, MonitorConfig, MonitorSink, SloOutcome,
-    WindowSummary,
+    gauge_merge_policy, merge_gauges, AlertRecord, AnomalyRecord, FleetMonitor, GaugeMerge,
+    HealthReport, MonitorConfig, MonitorSink, SloOutcome, WindowSummary,
 };
 pub use profile::{
     from_chrome_trace, render_phase_table, ChromeEvent, PhaseRow, Profiler, Span, SpanRecord,

@@ -26,6 +26,7 @@ fn server(n_cores: usize) -> Server {
         power: PowerModel::default(),
         contention: ContentionModel::default(),
         initial_mhz: 2100,
+        core_max_mhz: Vec::new(),
         cstates: deeppower_suite::sim::CStatePlan::none(),
     })
 }

@@ -9,6 +9,10 @@
 //! * enums with unit variants and tuple variants;
 //! * the `#[serde(skip)]` field attribute (field omitted on
 //!   serialize, `Default::default()` on deserialize);
+//! * the `#[serde(default)]` / `#[serde(default = "path")]` field
+//!   attributes (missing field on deserialize falls back to
+//!   `Default::default()` or `path()`; serialization still emits the
+//!   field);
 //! * no generic parameters (none of the workspace's serde types have
 //!   any — the macro panics with a clear message if one appears).
 //!
@@ -55,6 +59,9 @@ enum ItemKind {
 struct Field {
     name: String,
     skip: bool,
+    /// `None` — field required. `Some(None)` — `#[serde(default)]`.
+    /// `Some(Some(path))` — `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
 }
 
 struct Variant {
@@ -98,35 +105,71 @@ fn parse_item(input: TokenStream) -> Item {
 
 type Toks = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
 
+/// The serde field attributes this shim understands.
+#[derive(Default)]
+struct FieldAttrs {
+    skip: bool,
+    default: Option<Option<String>>,
+}
+
 /// Consume leading `#[...]` attributes (including doc comments) and
-/// report whether any of them is `#[serde(skip)]`.
-fn skip_attrs(toks: &mut Toks) -> bool {
-    let mut skip = false;
+/// collect any recognized `#[serde(...)]` field attributes.
+fn skip_attrs(toks: &mut Toks) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         toks.next();
         match toks.next() {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
-                skip |= attr_is_serde_skip(g.stream());
+                collect_serde_attrs(g.stream(), &mut attrs);
             }
             other => panic!("serde_derive: malformed attribute, got {other:?}"),
         }
     }
-    skip
+    attrs
 }
 
-/// True iff the attribute body is `serde(... skip ...)`.
-fn attr_is_serde_skip(stream: TokenStream) -> bool {
+/// Fold one attribute body (`serde(skip)`, `serde(default)`,
+/// `serde(default = "path")`, …) into `attrs`. Non-serde attributes
+/// and unrecognized serde idents are ignored, matching real serde's
+/// tolerance of attributes meant for other derives.
+fn collect_serde_attrs(stream: TokenStream, attrs: &mut FieldAttrs) {
     let mut toks = stream.into_iter();
     match toks.next() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
-        _ => return false,
+        _ => return,
     }
-    match toks.next() {
-        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
-        _ => false,
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return,
+    };
+    let mut inner = body.into_iter().peekable();
+    while let Some(tok) = inner.next() {
+        let TokenTree::Ident(id) = tok else { continue };
+        match id.to_string().as_str() {
+            "skip" => attrs.skip = true,
+            "default" => {
+                let named = matches!(
+                    inner.peek(),
+                    Some(TokenTree::Punct(p)) if p.as_char() == '='
+                );
+                if named {
+                    inner.next(); // `=`
+                    match inner.next() {
+                        Some(TokenTree::Literal(lit)) => {
+                            let path = lit.to_string();
+                            let path = path.trim_matches('"').to_string();
+                            attrs.default = Some(Some(path));
+                        }
+                        other => panic!(
+                            "serde_derive: expected string literal after `default =`, got {other:?}"
+                        ),
+                    }
+                } else {
+                    attrs.default = Some(None);
+                }
+            }
+            _ => {}
+        }
     }
 }
 
@@ -149,7 +192,7 @@ fn parse_fields(body: TokenStream) -> Vec<Field> {
         if toks.peek().is_none() {
             break;
         }
-        let skip = skip_attrs(&mut toks);
+        let attrs = skip_attrs(&mut toks);
         skip_visibility(&mut toks);
         let name = match toks.next() {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -161,7 +204,11 @@ fn parse_fields(body: TokenStream) -> Vec<Field> {
             other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
         }
         consume_type_until_comma(&mut toks);
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+            default: attrs.default,
+        });
     }
     fields
 }
@@ -274,12 +321,20 @@ fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
                 f.name
             ));
         } else {
+            let on_missing = match &f.default {
+                Some(Some(path)) => format!("{path}()"),
+                Some(None) => "::std::default::Default::default()".to_string(),
+                None => format!(
+                    "return ::std::result::Result::Err(\
+                     ::serde::Error::custom(\"{name}: missing field `{0}`\"))",
+                    f.name
+                ),
+            };
             inits.push_str(&format!(
                 "{0}: match __obj.iter().find(|(__k, _)| __k.as_str() == \"{0}\") {{\n\
                      ::std::option::Option::Some((_, __v)) => \
                          ::serde::Deserialize::deserialize_value(__v)?,\n\
-                     ::std::option::Option::None => return ::std::result::Result::Err(\
-                         ::serde::Error::custom(\"{name}: missing field `{0}`\")),\n\
+                     ::std::option::Option::None => {on_missing},\n\
                  }},\n",
                 f.name
             ));
