@@ -45,6 +45,7 @@ fn main() {
                 workload: WorkloadKind::Constant,
                 faults: deeppower_simd_server::FaultPlan::none(),
                 overload: deeppower_simd_server::OverloadPlan::none(),
+                rtrace: deeppower_telemetry::TracePlan::none(),
                 safety: false,
             })
         })

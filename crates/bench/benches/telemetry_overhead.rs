@@ -22,7 +22,9 @@
 
 use deeppower_core::{ControllerParams, ThreadController};
 use deeppower_simd_server::{RunOptions, Server, ServerConfig, SimResult};
-use deeppower_telemetry::{FleetMonitor, MonitorConfig, MonitorSink, NoopSink, Profiler, Recorder};
+use deeppower_telemetry::{
+    FleetMonitor, MonitorConfig, MonitorSink, NoopSink, Profiler, Recorder, TracePlan,
+};
 use deeppower_workload::{constant_rate_arrivals, App, AppSpec};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -102,6 +104,27 @@ fn main() {
             &Recorder::with_sink(Box::new(MonitorSink::new(mon, 0))),
         )
     });
+    // Request-lifecycle tracing holds the contract at two levels: an
+    // active plan behind a *disabled* recorder never builds a tracer
+    // at all (one branch per hook, budgeted with the other disabled
+    // paths), and head-sampling at 1% plus tail exemplars — which
+    // opens a chain per request so the slowest completions can be
+    // traced retroactively — stays within its own 5% budget.
+    let traced_opts = RunOptions {
+        rtrace: TracePlan::sampled(0.01, 2, 7),
+        ..opts
+    };
+    let (t_trace_off, r_trace_off) = min_wall_s(repeats, || {
+        server.run_recorded(&arrivals, &mut gov(), traced_opts, &Recorder::disabled())
+    });
+    let (t_trace_1pct, r_trace_1pct) = min_wall_s(repeats, || {
+        server.run_recorded(
+            &arrivals,
+            &mut gov(),
+            traced_opts,
+            &Recorder::with_sink(Box::new(NoopSink)),
+        )
+    });
     // The span profiler holds the same contract as the recorder: when
     // disabled it is one `Option` branch per span site (open + drop).
     let (t_prof_off, r_prof_off) = min_wall_s(repeats, || {
@@ -130,6 +153,8 @@ fn main() {
         ("ring", &r_ring),
         ("monitor-off", &r_mon_off),
         ("monitor-on", &r_mon_on),
+        ("tracer-off", &r_trace_off),
+        ("tracer-1pct", &r_trace_1pct),
         ("profiler-off", &r_prof_off),
         ("profiler-on", &r_prof_on),
     ] {
@@ -174,6 +199,18 @@ fn main() {
     );
     println!(
         "{:<22} {:>9.4} {:>+8.2}%",
+        "tracer disabled",
+        t_trace_off,
+        pct(t_trace_off)
+    );
+    println!(
+        "{:<22} {:>9.4} {:>+8.2}%",
+        "tracer sampled 1%",
+        t_trace_1pct,
+        pct(t_trace_1pct)
+    );
+    println!(
+        "{:<22} {:>9.4} {:>+8.2}%",
         "profiler disabled",
         t_prof_off,
         pct(t_prof_off)
@@ -188,15 +225,28 @@ fn main() {
     let worst = (t_disabled / t_plain - 1.0)
         .max(t_noop / t_plain - 1.0)
         .max(t_mon_off / t_plain - 1.0)
+        .max(t_trace_off / t_plain - 1.0)
         .max(t_prof_off / t_plain - 1.0);
     assert!(
         worst < tolerance,
-        "disabled recorder/monitor/profiler overhead {:.2}% exceeds {:.0}% budget",
+        "disabled recorder/monitor/tracer/profiler overhead {:.2}% exceeds {:.0}% budget",
         worst * 100.0,
         tolerance * 100.0
     );
+    // Sampled tracing gets its own, looser budget: 1% head sampling +
+    // tail exemplars pays for per-request chain bookkeeping.
+    let trace_tolerance = if smoke { 0.20 } else { 0.05 };
+    let trace_over = t_trace_1pct / t_plain - 1.0;
+    assert!(
+        trace_over < trace_tolerance,
+        "1%-sampled tracer overhead {:.2}% exceeds {:.0}% budget",
+        trace_over * 100.0,
+        trace_tolerance * 100.0
+    );
     println!(
-        "\n[overhead OK] disabled recorder/monitor/profiler within {:.0}% of the plain path",
-        tolerance * 100.0
+        "\n[overhead OK] disabled recorder/monitor/tracer/profiler within {:.0}% of the plain \
+         path; 1%-sampled tracer within {:.0}%",
+        tolerance * 100.0,
+        trace_tolerance * 100.0
     );
 }

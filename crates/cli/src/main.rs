@@ -28,16 +28,17 @@ use deeppower_core::{
     evaluate_recorded, explain_decisions, mean_abs_saliency, surface_to_csv, train, train_profiled,
     TrainConfig, TrainedPolicy, STATE_DIM_NAMES,
 };
-use deeppower_fleet::{run_fleet_monitored, run_fleet_recorded, BalancerPolicy};
+use deeppower_fleet::{run_fleet_monitored_full, run_fleet_recorded, BalancerPolicy, FleetSpec};
 use deeppower_harness::{
-    calibrated_train_seed, fault_scenarios, fleet_grid, grid, robustness_matrix_for,
-    run_fleet_grid, run_grid, run_grid_telemetry, select_scenarios, summarize, GovernorSpec,
-    JobResult, WorkloadKind,
+    calibrated_train_seed, fault_scenarios, fleet_grid, grid, overload_scenarios,
+    robustness_matrix_for, run_fleet_grid, run_grid, run_grid_telemetry, select_scenarios,
+    summarize, GovernorSpec, JobResult, WorkloadKind,
 };
-use deeppower_simd_server::{QueuePolicy, TraceConfig, MILLISECOND};
+use deeppower_simd_server::{OverloadPlan, QueuePolicy, TraceConfig, MILLISECOND};
 use deeppower_telemetry::{
-    atomic_write, from_jsonl, render_phase_table, steps_to_csv, to_jsonl, Event, FleetMonitor,
-    HealthReport, Logger, MonitorConfig, Profiler, Recorder, SloSpec,
+    atomic_write, from_jsonl, render_phase_table, steps_to_csv, to_jsonl, traces_to_chrome,
+    BurnRateRule, Event, FleetMonitor, FlightRecorder, HealthReport, Logger, MonitorConfig,
+    Profiler, Recorder, RequestTrace, SloSpec, TracePlan, SPAN_BACKOFF, SPAN_QUEUE, SPAN_SERVICE,
 };
 use deeppower_workload::{save_trace_csv, App, AppSpec, DiurnalConfig, DiurnalTrace};
 use std::collections::HashMap;
@@ -71,6 +72,7 @@ fn main() -> ExitCode {
         "fleet" => cmd_fleet(&flags, &log),
         "monitor" => cmd_monitor(&flags, &log),
         "trace" => cmd_trace(&flags, &log),
+        "rtrace" => cmd_rtrace(&flags, &log),
         "profile" => cmd_profile(&flags, &log),
         "explain" => cmd_explain(&flags, &log),
         "bench-diff" => cmd_bench_diff(&flags, &log),
@@ -108,12 +110,18 @@ USAGE:
                     [--queue-capacity N] [--retry-prob F]
   deeppower fleet   --policy FILE | --app <name> [--nodes N1,N2] [--balancer LIST]
                     [--profiles FILE] [--duration-s S] [--peak-load F] [--seed K]
-                    [--train-seed K] [--fault none|dvfs|sensor|stall|all] [--monitor]
+                    [--train-seed K] [--fault none|dvfs|sensor|stall|all]
+                    [--overload none|retry-storm|flash-crowd|collapse] [--monitor]
+                    [--trace] [--trace-sample F] [--trace-exemplars K] [--flight-dump DIR]
                     [--slo FILE] [--health FILE] [--threads N] [-o FILE] [--telemetry DIR]
   deeppower monitor --input FILE[,FILE...] [--slo FILE | --app <name>] [-o FILE]
                     [--log FILE]
   deeppower trace   --policy FILE | --app <name> [--duration-s S] [--peak-load F] [--seed K]
                     [-o FILE.jsonl] [--csv FILE.csv]
+  deeppower rtrace  --input FILE | (--policy FILE | --app <name>)
+                    [--scenario retry-storm|flash-crowd|collapse] [--sample F] [--exemplars K]
+                    [--nodes N] [--duration-s S] [--peak-load F] [--seed K]
+                    [--slo FILE] [--flight-dump DIR] [-o FILE.jsonl]
   deeppower profile --policy FILE | --app <name> [--duration-s S] [--peak-load F] [--seed K]
                     [-o FILE.json] [--table FILE.txt]
   deeppower explain --policy FILE | --app <name> [--duration-s S] [--peak-load F] [--seed K]
@@ -129,7 +137,20 @@ GOVERNORS: baseline | fixed-<mhz> | thread-controller | retail | gemini | deeppo
 
 `trace` replays a trained policy with full instrumentation and writes the
 decision trace (DrlStep, FreqTransition, RequestDispatch/Complete, ...) as
-JSONL; --csv additionally writes the per-second DrlStep table.
+JSONL; --csv additionally writes the per-second DrlStep table. For
+request-lifecycle traces (retry chains, queue-vs-service) see `rtrace`.
+`rtrace` records request-lifecycle traces: each sampled client request
+becomes a retry-chain trace (submit, queue residency, service with
+core/frequency/admission context, shed/abandon/backoff spans) measured
+from first submission — the latency the SLA is charged against. Online
+mode runs a monitored fleet under an overload scenario (--sample is the
+head-sampling rate in [0,1], keyed on client id; --exemplars K always
+traces the K slowest completions per window); offline mode (--input)
+renders the queue-vs-service breakdown of a recorded JSONL artifact.
+--flight-dump DIR writes each fired alert's flight-recorder contents
+(the retained trailing windows of traces) as replayable `traces.jsonl`
+plus a Chrome trace-event `trace.json` under
+DIR/incident-NN-<metric>/.
 `--telemetry DIR` on compare/grid writes one JSONL artifact per job,
 named job-NNN-<app>-<governor>-seed<K>.jsonl.
 `robustness` sweeps every governor (plain and wrapped in the safety
@@ -153,9 +174,15 @@ node profiles: name/count/cores/DVFS range/power coefficients/optional
 big.LITTLE core caps — see EXPERIMENTS.md); it replaces --nodes, and the
 coordinator batches inference per profile group.
 --fault applies one of the seeded robustness fault scenarios to every
-node; --monitor attaches the fleet health monitor inline (SLO from
+node; --overload applies one of the seeded closed-loop overload
+scenarios; --monitor attaches the fleet health monitor inline (SLO from
 --slo FILE or the app's SLA) and prints each cell's incident log;
---health FILE writes the per-cell health reports as JSON.
+--health FILE writes the per-cell health reports as JSON. --trace
+samples request-lifecycle traces on every node (--trace-sample /
+--trace-exemplars, defaults 0.01 / 2); with --monitor the traces feed
+each cell's flight recorder and --flight-dump DIR dumps the traces
+behind every fired alert (see `rtrace`); with --telemetry the traces
+ride in the per-node artifacts.
 `monitor` replays telemetry JSONL artifacts offline — one file per node,
 e.g. the per-node artifacts of `fleet --telemetry` — through the fleet
 health monitor: tumbling-window SLO evaluation, multi-window burn-rate
@@ -175,7 +202,7 @@ BENCH_*.json baseline; exits non-zero on any gated regression.";
 type Flags = HashMap<String, String>;
 
 /// Flags that take no value; their presence maps to `"true"`.
-const BOOL_FLAGS: &[&str] = &["quiet", "verbose", "monitor"];
+const BOOL_FLAGS: &[&str] = &["quiet", "verbose", "monitor", "trace"];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut out = HashMap::new();
@@ -619,10 +646,33 @@ fn cmd_fleet(flags: &Flags, log: &Logger) -> Result<(), String> {
                 .into(),
         );
     }
+    let trace = flags.contains_key("trace");
+    let trace_sample = get(flags, "trace-sample", 0.01f64)?;
+    let trace_exemplars = get(flags, "trace-exemplars", 2u32)?;
+    if !(0.0..=1.0).contains(&trace_sample) {
+        return Err(format!(
+            "bad value for --trace-sample: {trace_sample} (sampling rate must be in [0, 1])"
+        ));
+    }
+    if trace && !monitor && !flags.contains_key("telemetry") {
+        return Err(
+            "--trace needs a sink: add --monitor (flight recorder + incident dumps) or \
+             --telemetry DIR (traces ride in the per-node artifacts)"
+                .into(),
+        );
+    }
+    if flags.contains_key("flight-dump") && !(trace && monitor) {
+        return Err("--flight-dump needs --trace --monitor (the flight recorder is the monitor's trace ring)".into());
+    }
+    let overload_name = flags.get("overload").map(String::as_str).unwrap_or("none");
+    // Name check up front, before the (possibly expensive) policy
+    // load / in-process training; the real plan needs the app's SLA.
+    overload_plan_by_name(overload_name, seed, MILLISECOND)?;
 
     let policy = policy_or_train(flags, log, "fleet", &Profiler::disabled())?;
     let app = policy.app;
     let peak_load = get(flags, "peak-load", default_peak_load(app))?;
+    let overload = overload_plan_by_name(overload_name, seed, AppSpec::get(app).sla)?;
 
     let mut jobs = fleet_grid(
         app,
@@ -635,6 +685,10 @@ fn cmd_fleet(flags: &Flags, log: &Logger) -> Result<(), String> {
     );
     for job in &mut jobs {
         job.fleet.faults = faults;
+        job.fleet.overload = overload;
+        if trace {
+            job.fleet.rtrace = TracePlan::sampled(trace_sample, trace_exemplars, seed);
+        }
         if let Some(ps) = &profiles {
             job.fleet = job.fleet.clone().with_profiles(ps.clone());
         }
@@ -656,18 +710,26 @@ fn cmd_fleet(flags: &Flags, log: &Logger) -> Result<(), String> {
     let results = if monitor {
         let app_spec = AppSpec::get(app);
         let slo = slo_from_flags(flags, SloSpec::for_sla_ns(app_spec.name, app_spec.sla))?;
-        jobs.iter()
-            .map(|job| {
-                let (res, rep) = run_fleet_monitored(
-                    &job.fleet,
-                    &job.policy,
-                    threads,
-                    MonitorConfig::with_slo(slo.clone()),
-                );
-                healths.push(rep);
-                res
-            })
-            .collect()
+        let mut results = Vec::with_capacity(jobs.len());
+        for (j, job) in jobs.iter().enumerate() {
+            let cfg = MonitorConfig::with_slo(slo.clone());
+            let keep = cfg.flight_windows;
+            let (res, mon) = run_fleet_monitored_full(&job.fleet, &job.policy, threads, cfg);
+            let mut rep = mon.finish();
+            if let Some(dir) = flags.get("flight-dump") {
+                let cell_dir = Path::new(dir).join(format!("cell-{j:02}"));
+                let dumped = dump_flight_recorder(&cell_dir, &mut rep, mon.flight(), keep)?;
+                if dumped > 0 {
+                    log.info(&format!(
+                        "cell {j}: {dumped} incident dump(s) -> {}",
+                        cell_dir.display()
+                    ));
+                }
+            }
+            healths.push(rep);
+            results.push(res);
+        }
+        results
     } else {
         match flags.get("telemetry") {
             Some(dir) => {
@@ -842,6 +904,10 @@ fn policy_or_train(
 /// `FreqTransition` per core per 1 ms tick plus two request marks per
 /// request — so nothing is evicted on sane durations.
 fn cmd_trace(flags: &Flags, log: &Logger) -> Result<(), String> {
+    log.info(
+        "`trace` records the governor decision trace; for request-lifecycle traces \
+         (retry chains, queue-vs-service breakdown) use `deeppower rtrace`",
+    );
     let policy = policy_or_train(flags, log, "trace", &Profiler::disabled())?;
     let duration_s = get(flags, "duration-s", 10u64)?;
     let peak = get(flags, "peak-load", default_peak_load(policy.app))?;
@@ -890,6 +956,278 @@ fn cmd_trace(flags: &Flags, log: &Logger) -> Result<(), String> {
         s.count,
         events.len()
     );
+    Ok(())
+}
+
+/// Resolve an overload scenario name (`none` or one of the harness's
+/// seeded closed-loop scenarios) to its [`OverloadPlan`].
+fn overload_plan_by_name(name: &str, seed: u64, sla_ns: u64) -> Result<OverloadPlan, String> {
+    if name == "none" {
+        return Ok(OverloadPlan::none());
+    }
+    overload_scenarios(seed, sla_ns)
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, plan)| plan)
+        .ok_or_else(|| {
+            format!("unknown overload scenario `{name}` (none|retry-storm|flash-crowd|collapse)")
+        })
+}
+
+/// Write one flight-recorder dump per fired alert: the traces the
+/// monitor retained for the alert's trailing windows, as replayable
+/// JSONL (`traces.jsonl`, one [`Event::RequestTrace`] per line — feed
+/// it back through `rtrace --input`) plus a Chrome trace-event view
+/// (`trace.json`, loadable at ui.perfetto.dev), under
+/// `dir/incident-NN-<metric>/`. Each dumped alert's `flight_dump`
+/// field points at its directory, so the incident log names the
+/// artifact. Returns how many alerts got a dump (alerts whose windows
+/// were already pruned from the ring get none).
+fn dump_flight_recorder(
+    dir: &Path,
+    report: &mut HealthReport,
+    flight: &FlightRecorder,
+    keep_windows: u64,
+) -> Result<usize, String> {
+    if flight.is_empty() || report.alerts.is_empty() {
+        return Ok(0);
+    }
+    let mut dumped = 0;
+    for (i, alert) in report.alerts.iter_mut().enumerate() {
+        let lo = (alert.window + 1).saturating_sub(keep_windows);
+        let traces = flight.traces_in(lo, alert.window);
+        if traces.is_empty() {
+            continue;
+        }
+        let sub = dir.join(format!("incident-{i:02}-{}", alert.metric));
+        std::fs::create_dir_all(&sub)
+            .map_err(|e| format!("cannot create {}: {e}", sub.display()))?;
+        let events: Vec<Event> = traces
+            .iter()
+            .map(|(_, _, t)| Event::RequestTrace((*t).clone()))
+            .collect();
+        atomic_write(sub.join("traces.jsonl"), to_jsonl(&events)).map_err(|e| e.to_string())?;
+        atomic_write(sub.join("trace.json"), traces_to_chrome(&traces))
+            .map_err(|e| e.to_string())?;
+        alert.flight_dump = sub.display().to_string();
+        dumped += 1;
+    }
+    Ok(dumped)
+}
+
+/// Queue-vs-service breakdown of a trace set: per-outcome aggregates
+/// plus the slowest chains, so the first question an incident raises —
+/// "was the tail waiting or working?" — is answered offline.
+fn render_trace_breakdown(traces: &[&RequestTrace]) -> String {
+    use std::fmt::Write as _;
+    let ms = |ns: u64| ns as f64 / MILLISECOND as f64;
+    let mut out = String::new();
+    let (mut q_total, mut s_total, mut b_total) = (0u64, 0u64, 0u64);
+    let mut by_outcome: std::collections::BTreeMap<&str, u64> = Default::default();
+    for t in traces {
+        q_total += t.span_total_ns(SPAN_QUEUE);
+        s_total += t.span_total_ns(SPAN_SERVICE);
+        b_total += t.span_total_ns(SPAN_BACKOFF);
+        *by_outcome.entry(t.outcome.as_str()).or_default() += 1;
+    }
+    let outcomes: Vec<String> = by_outcome.iter().map(|(k, v)| format!("{v} {k}")).collect();
+    let active = (q_total + s_total).max(1);
+    writeln!(
+        out,
+        "{} trace(s) ({}); queue {:.1}% vs service {:.1}% of in-server time, {:.1} ms total client backoff",
+        traces.len(),
+        outcomes.join(", "),
+        100.0 * q_total as f64 / active as f64,
+        100.0 * s_total as f64 / active as f64,
+        ms(b_total),
+    )
+    .unwrap();
+    let mut worst: Vec<&&RequestTrace> = traces.iter().collect();
+    worst.sort_by(|a, b| (b.latency_ns, a.client).cmp(&(a.latency_ns, b.client)));
+    writeln!(
+        out,
+        "{:>10} {:>5} {:>9} {:>10} {:>9} {:>11} {:>10} {:>12} {:>12}",
+        "client",
+        "node",
+        "attempts",
+        "outcome",
+        "sampled",
+        "latency(ms)",
+        "queue(ms)",
+        "service(ms)",
+        "backoff(ms)"
+    )
+    .unwrap();
+    for t in worst.iter().take(10) {
+        writeln!(
+            out,
+            "{:>10} {:>5} {:>9} {:>10} {:>9} {:>11.3} {:>10.3} {:>12.3} {:>12.3}",
+            t.client,
+            t.node,
+            t.attempts.len(),
+            t.outcome,
+            t.sampled,
+            ms(t.latency_ns),
+            ms(t.span_total_ns(SPAN_QUEUE)),
+            ms(t.span_total_ns(SPAN_SERVICE)),
+            ms(t.span_total_ns(SPAN_BACKOFF)),
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Request-lifecycle tracing. Offline (`--input FILE`): render the
+/// queue-vs-service breakdown of a recorded JSONL artifact (a
+/// `--telemetry` node artifact, an `rtrace -o` file, or a flight
+/// dump's `traces.jsonl`). Online: run a monitored fleet under a
+/// seeded overload scenario with head sampling + tail exemplars, print
+/// the incident log and breakdown, and optionally write all traces
+/// (`-o`) and per-alert flight dumps (`--flight-dump DIR`).
+fn cmd_rtrace(flags: &Flags, log: &Logger) -> Result<(), String> {
+    let sample = get(flags, "sample", 0.01f64)?;
+    let exemplars = get(flags, "exemplars", 2u32)?;
+    if !(0.0..=1.0).contains(&sample) {
+        return Err(format!(
+            "bad value for --sample: {sample} (sampling rate must be in [0, 1])"
+        ));
+    }
+    if let Some(path) = flags.get("input") {
+        if flags.contains_key("app") || flags.contains_key("policy") {
+            return Err(
+                "--input replays a recorded artifact; --app/--policy run a live fleet — pick one"
+                    .into(),
+            );
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read trace artifact {path}: {e}"))?;
+        let events = from_jsonl(&text).map_err(|e| format!("corrupt artifact {path}: {e}"))?;
+        let traces: Vec<&RequestTrace> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::RequestTrace(t) => Some(t),
+                _ => None,
+            })
+            .collect();
+        if traces.is_empty() {
+            return Err(format!(
+                "no request traces in {path} — record one with `deeppower rtrace --app <name>` \
+                 or `deeppower fleet --trace`"
+            ));
+        }
+        print!("{}", render_trace_breakdown(&traces));
+        return Ok(());
+    }
+
+    let scenario = flags
+        .get("scenario")
+        .map(String::as_str)
+        .unwrap_or("collapse");
+    let duration_s = get(flags, "duration-s", 6u64)?;
+    let seed = get(flags, "seed", 999u64)?;
+    let nodes = get(flags, "nodes", 1usize)?;
+    if nodes == 0 {
+        return Err("--nodes needs a positive node count".into());
+    }
+    // Validate the scenario name before the (possibly expensive)
+    // policy load / in-process training.
+    if !overload_plan_by_name(scenario, seed, MILLISECOND)?.is_active() {
+        return Err(
+            "rtrace needs an overload scenario (retry-storm|flash-crowd|collapse) — \
+             open-loop runs have no retry chains to trace"
+                .into(),
+        );
+    }
+    let policy = policy_or_train(flags, log, "rtrace", &Profiler::disabled())?;
+    let app = policy.app;
+    let app_spec = AppSpec::get(app);
+    let peak_load = get(flags, "peak-load", default_peak_load(app))?;
+    let overload = overload_plan_by_name(scenario, seed, app_spec.sla)?;
+
+    let mut spec = FleetSpec::uniform(
+        app,
+        nodes,
+        BalancerPolicy::JoinShortestQueue,
+        seed,
+        peak_load,
+        duration_s,
+    );
+    spec.overload = overload;
+    spec.rtrace = TracePlan::sampled(sample, exemplars, seed);
+    log.info(&format!(
+        "tracing {app:?} under `{scenario}` overload: {nodes} node(s), {duration_s} s at peak \
+         load {peak_load:.2}, sampling {sample} + {exemplars} tail exemplar(s) per window"
+    ));
+
+    // Ring recorders keep the full event stream (the monitor's flight
+    // ring only retains trailing windows), so `-o` gets every sampled
+    // trace; the monitor then replays the same streams offline.
+    let recs: Vec<Recorder> = (0..spec.nodes).map(|_| Recorder::ring(1 << 18)).collect();
+    let res = run_fleet_recorded(&spec, &policy, &recs);
+    let streams: Vec<Vec<Event>> = recs.iter().map(|r| r.drain_events()).collect();
+    // Overload runs are short, so the default SLO uses single-window
+    // burn rules (plus a goodput floor) — a collapse inside the run
+    // trips an alert and fills the flight recorder instead of hiding
+    // under a 15-window trailing average. `--slo FILE` overrides.
+    let default_slo = {
+        let mut s = SloSpec::for_sla_ns(app_spec.name, app_spec.sla);
+        s.goodput_ratio = 0.9;
+        s.rules = vec![
+            BurnRateRule {
+                long_windows: 2,
+                short_windows: 1,
+                max_burn: 2.0,
+            },
+            BurnRateRule {
+                long_windows: 1,
+                short_windows: 1,
+                max_burn: 4.0,
+            },
+        ];
+        s
+    };
+    let slo = slo_from_flags(flags, default_slo)?;
+    let cfg = MonitorConfig::with_slo(slo);
+    let keep = cfg.flight_windows;
+    let mut mon = FleetMonitor::new(cfg);
+    for (node, ev) in streams.iter().enumerate() {
+        mon.ingest(node as u64, ev);
+    }
+    let mut report = mon.finish();
+
+    let trace_events: Vec<Event> = streams
+        .iter()
+        .flat_map(|ev| ev.iter().filter(|e| matches!(e, Event::RequestTrace(_))))
+        .cloned()
+        .collect();
+    let traces: Vec<&RequestTrace> = trace_events
+        .iter()
+        .filter_map(|e| match e {
+            Event::RequestTrace(t) => Some(t),
+            _ => None,
+        })
+        .collect();
+    if traces.is_empty() {
+        return Err(format!(
+            "run produced no traces (sampling {sample}, {exemplars} exemplar(s)) — raise --sample \
+             or --exemplars"
+        ));
+    }
+
+    if let Some(dir) = flags.get("flight-dump") {
+        let dumped = dump_flight_recorder(Path::new(dir), &mut report, mon.flight(), keep)?;
+        log.info(&format!("{dumped} incident dump(s) -> {dir}"));
+    }
+    if let Some(out) = flags.get("out") {
+        atomic_write(Path::new(out), to_jsonl(&trace_events)).map_err(|e| e.to_string())?;
+        log.info(&format!("{} traces -> {out}", traces.len()));
+    }
+    print!("{}", report.render_incident_log());
+    println!(
+        "\nfleet: {} requests, goodput {}, shed {}, p99 {:.2} ms",
+        res.total_requests, res.total_goodput, res.total_shed, res.fleet_p99_ms
+    );
+    print!("{}", render_trace_breakdown(&traces));
     Ok(())
 }
 

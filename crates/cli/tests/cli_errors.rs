@@ -278,3 +278,96 @@ fn unwritable_report_path_fails() {
         "no partial report may appear at the target path"
     );
 }
+
+#[test]
+fn rtrace_sample_out_of_range_fails() {
+    let out = deeppower(&["rtrace", "--app", "masstree", "--sample", "1.5"]);
+    assert_clean_failure(&out, "bad value for --sample");
+    let out = deeppower(&["rtrace", "--app", "masstree", "--sample", "-0.1"]);
+    assert_clean_failure(&out, "bad value for --sample");
+}
+
+#[test]
+fn rtrace_non_numeric_exemplars_fails() {
+    let out = deeppower(&["rtrace", "--app", "masstree", "--exemplars", "many"]);
+    assert_clean_failure(&out, "bad value for --exemplars");
+}
+
+#[test]
+fn rtrace_missing_input_file_fails() {
+    let out = deeppower(&["rtrace", "--input", "/nonexistent/traces.jsonl"]);
+    assert_clean_failure(&out, "cannot read trace artifact");
+}
+
+#[test]
+fn rtrace_corrupt_input_fails() {
+    let dir = std::env::temp_dir().join("deeppower-cli-errors");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corrupt-traces.jsonl");
+    std::fs::write(&path, "this is not jsonl\n").unwrap();
+    let out = deeppower(&["rtrace", "--input", path.to_str().unwrap()]);
+    assert_clean_failure(&out, "corrupt artifact");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn rtrace_input_without_traces_fails() {
+    // A valid telemetry artifact that holds no RequestTrace events must
+    // say so, and point at how to record one.
+    let dir = std::env::temp_dir().join("deeppower-cli-errors");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("no-traces.jsonl");
+    std::fs::write(
+        &path,
+        "{\"JobStart\":{\"job\":0,\"app\":\"masstree\",\"governor\":\"max-freq\",\"seed\":1}}\n",
+    )
+    .unwrap();
+    let out = deeppower(&["rtrace", "--input", path.to_str().unwrap()]);
+    assert_clean_failure(&out, "no request traces");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn rtrace_input_and_live_run_are_mutually_exclusive() {
+    let out = deeppower(&["rtrace", "--input", "x.jsonl", "--app", "masstree"]);
+    assert_clean_failure(&out, "pick one");
+}
+
+#[test]
+fn rtrace_unknown_scenario_fails() {
+    let out = deeppower(&["rtrace", "--app", "masstree", "--scenario", "bogus"]);
+    assert_clean_failure(&out, "unknown overload scenario `bogus`");
+}
+
+#[test]
+fn fleet_trace_without_sink_fails() {
+    let out = deeppower(&["fleet", "--app", "masstree", "--trace"]);
+    assert_clean_failure(&out, "--trace needs a sink");
+}
+
+#[test]
+fn fleet_trace_sample_out_of_range_fails() {
+    let out = deeppower(&[
+        "fleet",
+        "--app",
+        "masstree",
+        "--monitor",
+        "--trace",
+        "--trace-sample",
+        "7",
+    ]);
+    assert_clean_failure(&out, "bad value for --trace-sample");
+}
+
+#[test]
+fn fleet_flight_dump_without_trace_fails() {
+    let out = deeppower(&[
+        "fleet",
+        "--app",
+        "masstree",
+        "--monitor",
+        "--flight-dump",
+        "/tmp/deeppower-cli-errors-dumps",
+    ]);
+    assert_clean_failure(&out, "--flight-dump needs --trace --monitor");
+}

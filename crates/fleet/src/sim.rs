@@ -36,6 +36,7 @@ use deeppower_simd_server::{
 };
 use deeppower_telemetry::{
     merge_gauges, FleetMonitor, HealthReport, MonitorConfig, MonitorSink, Profiler, Recorder,
+    TracePlan,
 };
 use deeppower_workload::{trace_arrivals, App, AppSpec, DiurnalConfig, DiurnalTrace};
 use serde::{Deserialize, Serialize};
@@ -77,6 +78,13 @@ pub struct FleetSpec {
     /// `nodes ×` the app's paper-default config.
     #[serde(default)]
     pub profiles: Vec<NodeProfile>,
+    /// Request-lifecycle tracing plan applied to every node. The plan's
+    /// `node` field is stamped with each node's index, so one
+    /// spec-level plan fans out into per-node tracers whose traces
+    /// carry their origin. Default (`TracePlan::none()`) traces
+    /// nothing and adds a single disabled branch per hook.
+    #[serde(default)]
+    pub rtrace: TracePlan,
 }
 
 impl FleetSpec {
@@ -100,6 +108,7 @@ impl FleetSpec {
             faults: FaultPlan::none(),
             overload: OverloadPlan::none(),
             profiles: Vec::new(),
+            rtrace: TracePlan::none(),
         }
     }
 
@@ -401,6 +410,7 @@ fn node_opts(
     base: RunOptions,
     faults: FaultPlan,
     overload: OverloadPlan,
+    rtrace: TracePlan,
     node: usize,
 ) -> RunOptions {
     RunOptions {
@@ -411,6 +421,13 @@ fn node_opts(
         overload: OverloadPlan {
             seed: overload.seed.wrapping_add(node as u64),
             ..overload
+        },
+        // Sampling stays keyed on the fleet-wide seed (a client's
+        // retries land on the same node, and head sampling must pick
+        // the same clients fleet-wide); only the origin tag varies.
+        rtrace: TracePlan {
+            node: node as u64,
+            ..rtrace
         },
         ..base
     }
@@ -460,7 +477,7 @@ fn run_fleet_impl(
                 .session(
                     stream,
                     gov as &mut dyn Governor,
-                    node_opts(opts, spec.faults, spec.overload, i),
+                    node_opts(opts, spec.faults, spec.overload, spec.rtrace, i),
                     rec,
                 )
                 .with_profiler(prof)
@@ -599,6 +616,22 @@ pub fn run_fleet_monitored(
     threads: usize,
     cfg: MonitorConfig,
 ) -> (FleetResult, HealthReport) {
+    let (result, monitor) = run_fleet_monitored_full(spec, policy, threads, cfg);
+    let report = monitor.finish();
+    (result, report)
+}
+
+/// [`run_fleet_monitored`], but hands back the merged [`FleetMonitor`]
+/// itself instead of its finished [`HealthReport`]. Callers that need
+/// the monitor's flight recorder — e.g. to dump the traces behind an
+/// alert — take this entry point and call
+/// [`FleetMonitor::finish`] themselves.
+pub fn run_fleet_monitored_full(
+    spec: &FleetSpec,
+    policy: &TrainedPolicy,
+    threads: usize,
+    cfg: MonitorConfig,
+) -> (FleetResult, FleetMonitor) {
     assert!(spec.nodes > 0, "fleet needs at least one node");
     let threads = resolve_threads(threads, spec.nodes);
     if threads == 1 {
@@ -608,15 +641,26 @@ pub fn run_fleet_monitored(
             .collect();
         let policies = shared_policies(spec, policy);
         let result = run_fleet_impl(spec, &policies, &recs, true, &Profiler::disabled());
-        let report = monitor.borrow().finish();
-        return (result, report);
+        // The sessions (and with them every sink's Rc clone) died with
+        // run_fleet_impl; dropping the recorders leaves this function
+        // holding the only reference.
+        drop(recs);
+        let monitor = Rc::try_unwrap(monitor)
+            .unwrap_or_else(|m| {
+                unreachable!(
+                    "serial fleet monitor still shared: {} refs",
+                    Rc::strong_count(&m)
+                )
+            })
+            .into_inner();
+        return (result, monitor);
     }
     let policies = shared_policies(spec, policy);
-    let (result, report) =
+    let (result, monitor) =
         run_fleet_parallel_inner(spec, &policies, threads, &Profiler::disabled(), Some(cfg));
     (
         result,
-        report.expect("monitored parallel fleet returns a report"),
+        monitor.expect("monitored parallel fleet returns a monitor"),
     )
 }
 
@@ -635,7 +679,7 @@ fn run_fleet_parallel_inner(
     threads: usize,
     prof: &Profiler,
     monitor_cfg: Option<MonitorConfig>,
-) -> (FleetResult, Option<HealthReport>) {
+) -> (FleetResult, Option<FleetMonitor>) {
     check_policies(spec, policies);
     let n = spec.nodes;
     debug_assert!(threads >= 2 && threads <= n);
@@ -676,6 +720,7 @@ fn run_fleet_parallel_inner(
     let mon_slots: Vec<OnceLock<FleetMonitor>> = (0..threads).map(|_| OnceLock::new()).collect();
     let faults = spec.faults;
     let overload = spec.overload;
+    let rtrace = spec.rtrace;
 
     let mut epochs = 0u64;
     std::thread::scope(|scope| {
@@ -722,7 +767,7 @@ fn run_fleet_parallel_inner(
                             .session(
                                 &streams[i],
                                 gov as &mut dyn Governor,
-                                node_opts(opts, faults, overload, i),
+                                node_opts(opts, faults, overload, rtrace, i),
                                 rec,
                             )
                             .with_profiler(prof)
@@ -821,7 +866,7 @@ fn run_fleet_parallel_inner(
         .into_iter()
         .map(|s| s.into_inner().expect("every node produces a result"))
         .collect();
-    let report = monitor_cfg.map(|cfg| {
+    let monitor = monitor_cfg.map(|cfg| {
         let mut fleet_mon = FleetMonitor::new(cfg);
         for slot in mon_slots {
             fleet_mon.merge(
@@ -829,11 +874,11 @@ fn run_fleet_parallel_inner(
                     .expect("every worker publishes its monitor"),
             );
         }
-        fleet_mon.finish()
+        fleet_mon
     });
     (
         assemble(spec, &app_spec, epochs, &assigned, results),
-        report,
+        monitor,
     )
 }
 
@@ -1328,6 +1373,132 @@ mod tests {
             .iter()
             .any(|e| matches!(e, Event::SloViolation(_))));
         assert!(faulted.outcomes.iter().any(|o| o.violations > 0));
+    }
+
+    #[test]
+    fn traced_collapse_fleet_is_unperturbed_and_alerts_carry_exemplars() {
+        // The tracing acceptance bar: a collapse-regime fleet run with
+        // request tracing on is byte-identical to tracing off (fleet
+        // results) and to itself at any thread count (traces + health
+        // report), and the goodput alert's incident timeline names at
+        // least one tail-exemplar trace id whose flight-recorded retry
+        // chain shows the shed/backoff spans.
+        use deeppower_telemetry::{BurnRateRule, MonitorConfig, SloSpec, SPAN_BACKOFF, SPAN_SHED};
+        let sla = MILLISECOND;
+        let mut spec = FleetSpec::uniform(
+            App::Masstree,
+            3,
+            BalancerPolicy::JoinShortestQueue,
+            11,
+            0.9,
+            6,
+        );
+        // The harness's `collapse` scenario knobs: tight queue, short
+        // deadlines, near-certain retries.
+        spec.overload = OverloadPlan {
+            seed: 42,
+            queue_capacity: 64,
+            client_timeout_ns: 2 * sla,
+            retry_prob: 0.95,
+            max_attempts: 5,
+            retry_backoff_ns: sla / 2,
+            retry_jitter_ns: (sla / 4).max(1),
+            ..OverloadPlan::none()
+        };
+        let policy = untrained_policy(spec.app, 5);
+        // Goodput floor 0.9 with a single-window burn-rate rule at
+        // 1.5: the alert fires the moment one window delivers less
+        // than 85% useful completions — the collapse signature.
+        let mut slo = SloSpec::for_sla_ns("masstree", sla);
+        slo.goodput_ratio = 0.9;
+        slo.rules = vec![BurnRateRule {
+            long_windows: 1,
+            short_windows: 1,
+            max_burn: 1.5,
+        }];
+        let cfg = MonitorConfig::with_slo(slo);
+
+        let (off_res, _) = run_fleet_monitored(&spec, &policy, 1, cfg.clone());
+
+        spec.rtrace = TracePlan::sampled(0.05, 2, 7);
+        let (on_res, mon) = run_fleet_monitored_full(&spec, &policy, 1, cfg.clone());
+        assert_eq!(
+            off_res.to_json(),
+            on_res.to_json(),
+            "tracing perturbed the fleet result"
+        );
+
+        let rep = mon.finish();
+        assert!(
+            rep.alerts.iter().any(|a| a.metric == "goodput"),
+            "collapse plan must trip a goodput alert: {}",
+            rep.render_incident_log()
+        );
+        let alert = rep.alerts.iter().find(|a| a.metric == "goodput").unwrap();
+        let exemplar_entries: Vec<_> = alert
+            .timeline
+            .iter()
+            .filter(|e| e.kind == "tail-exemplar")
+            .collect();
+        assert!(
+            !exemplar_entries.is_empty(),
+            "goodput alert timeline carries no tail-exemplar trace ids"
+        );
+        // Every exemplar id the timeline names resolves to a flight-
+        // recorded trace, and at least one is a retry chain whose
+        // spans show the shed → backoff ladder.
+        let flight = mon.flight();
+        assert!(!flight.is_empty(), "flight recorder captured nothing");
+        let traces = flight.all();
+        let named: Vec<&deeppower_telemetry::RequestTrace> = exemplar_entries
+            .iter()
+            .flat_map(|e| {
+                e.detail
+                    .trim_start_matches("trace ids [")
+                    .trim_end_matches(']')
+                    .split(", ")
+                    .filter_map(|s| s.parse::<u64>().ok())
+                    .collect::<Vec<_>>()
+            })
+            .filter_map(|id| {
+                traces
+                    .iter()
+                    .find(|(_, _, t)| t.client == id)
+                    .map(|(_, _, t)| *t)
+            })
+            .collect();
+        assert!(
+            !named.is_empty(),
+            "no timeline exemplar id resolves to a flight-recorded trace"
+        );
+        assert!(
+            traces.iter().any(|(_, _, t)| t.attempts.len() > 1
+                && t.span_total_ns(SPAN_BACKOFF) > 0
+                && t.spans_named(SPAN_SHED).count() > 0),
+            "flight recorder holds no retry chain with shed + backoff spans"
+        );
+
+        // Thread-count identity: results, health report, and the
+        // flight-recorded traces themselves.
+        let serial_rep = rep.to_json();
+        for threads in [2usize, 8] {
+            let (res_t, mon_t) = run_fleet_monitored_full(&spec, &policy, threads, cfg.clone());
+            assert_eq!(
+                on_res.to_json(),
+                res_t.to_json(),
+                "--threads {threads} result diverged"
+            );
+            assert_eq!(
+                mon.flight().all(),
+                mon_t.flight().all(),
+                "--threads {threads} traces diverged from serial"
+            );
+            assert_eq!(
+                serial_rep,
+                mon_t.finish().to_json(),
+                "--threads {threads} health report diverged"
+            );
+        }
     }
 
     #[test]

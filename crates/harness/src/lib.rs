@@ -34,7 +34,9 @@ use deeppower_simd_server::{
     FaultPlan, FixedFrequency, FreqPlan, Governor, OverloadPlan, Request, RunOptions, Server,
     ServerConfig, SimResult, MILLISECOND, SECOND,
 };
-use deeppower_telemetry::{event, Event, FleetMonitor, MonitorConfig, Profiler, Recorder, SloSpec};
+use deeppower_telemetry::{
+    event, Event, FleetMonitor, MonitorConfig, Profiler, Recorder, SloSpec, TracePlan,
+};
 use deeppower_workload::{constant_rate_arrivals, trace_arrivals, App, AppSpec};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -124,6 +126,11 @@ pub struct JobSpec {
     /// Closed-loop client / bounded-queue overload model for this cell
     /// ([`OverloadPlan::none`] = the classic open-loop rollout).
     pub overload: OverloadPlan,
+    /// Request-lifecycle tracing plan for this cell
+    /// ([`TracePlan::none`] = no traces; tracing never perturbs the
+    /// simulation either way).
+    #[serde(default)]
+    pub rtrace: TracePlan,
     /// Wrap the governor in a [`SafetyGovernor`] (default thresholds).
     /// Reported labels gain a `+safe` suffix.
     pub safety: bool,
@@ -271,6 +278,7 @@ pub fn grid(
                     workload,
                     faults: FaultPlan::none(),
                     overload: OverloadPlan::none(),
+                    rtrace: TracePlan::none(),
                     safety: false,
                 });
             }
@@ -338,6 +346,7 @@ pub fn run_job_profiled(spec: &JobSpec, job: u64, rec: &Recorder, prof: &Profile
     let opts = RunOptions {
         faults: spec.faults,
         overload: spec.overload,
+        rtrace: spec.rtrace,
         ..Default::default()
     };
     let plan = FreqPlan::xeon_gold_5218r;
@@ -447,6 +456,7 @@ fn run_policy(
         tick_ns: policy.deeppower.short_time,
         faults: spec.faults,
         overload: spec.overload,
+        rtrace: spec.rtrace,
         ..Default::default()
     };
     let sim = run_sim(server, arrivals, &mut gov, opts, rec, spec.safety, prof);
@@ -920,6 +930,7 @@ pub fn robustness_jobs_for(
                     workload: WorkloadKind::Constant,
                     faults: *faults,
                     overload: *overload,
+                    rtrace: TracePlan::none(),
                     safety,
                 });
             }
@@ -1287,6 +1298,7 @@ mod tests {
             workload: WorkloadKind::Constant,
             faults: FaultPlan::none(),
             overload: OverloadPlan::none(),
+            rtrace: TracePlan::none(),
             safety: false,
         }];
         let res = run_grid(&jobs, 1);
@@ -1337,6 +1349,57 @@ mod tests {
     }
 
     #[test]
+    fn traced_jobs_are_unperturbed_and_replay_across_thread_counts() {
+        // Request tracing never perturbs a grid cell's results, and a
+        // traced cell's telemetry stream (request traces included) is
+        // byte-identical at any thread count.
+        let sla = AppSpec::get(App::Masstree).sla;
+        let overload = overload_scenarios(9, sla)
+            .into_iter()
+            .find(|(name, _)| *name == "collapse")
+            .expect("collapse scenario exists")
+            .1;
+        let mk = |rtrace| {
+            vec![JobSpec {
+                app: App::Masstree,
+                governor: GovernorSpec::MaxFreq,
+                seed: 9,
+                peak_load: 0.8,
+                duration_s: 2,
+                workload: WorkloadKind::Constant,
+                faults: FaultPlan::none(),
+                overload,
+                rtrace,
+                safety: false,
+            }]
+        };
+        let plan = TracePlan::sampled(0.1, 2, 5);
+        let (off_res, _) = run_grid_telemetry(&mk(TracePlan::none()), 1);
+        let (on_res, on_ev) = run_grid_telemetry(&mk(plan), 1);
+        assert_eq!(
+            summarize(off_res).to_json(),
+            summarize(on_res.clone()).to_json(),
+            "tracing perturbed the job result"
+        );
+        let traces = on_ev[0]
+            .iter()
+            .filter(|e| matches!(e, Event::RequestTrace(_)))
+            .count();
+        assert!(traces > 0, "traced collapse cell emitted no traces");
+        let (res4, ev4) = run_grid_telemetry(&mk(plan), 4);
+        assert_eq!(
+            summarize(on_res).to_json(),
+            summarize(res4).to_json(),
+            "traced grid diverged across thread counts"
+        );
+        assert_eq!(
+            deeppower_telemetry::to_jsonl(&on_ev[0]),
+            deeppower_telemetry::to_jsonl(&ev4[0]),
+            "traced telemetry differs across thread counts"
+        );
+    }
+
+    #[test]
     fn safety_wrapped_jobs_report_suffixed_labels() {
         let mut job = JobSpec {
             app: App::Xapian,
@@ -1347,6 +1410,7 @@ mod tests {
             workload: WorkloadKind::Constant,
             faults: FaultPlan::none(),
             overload: OverloadPlan::none(),
+            rtrace: TracePlan::none(),
             safety: true,
         };
         assert_eq!(job.governor_label(), "thread-controller+safe");
@@ -1461,6 +1525,7 @@ mod tests {
             workload: WorkloadKind::Constant,
             faults: FaultPlan::none(),
             overload: OverloadPlan::none(),
+            rtrace: TracePlan::none(),
             safety: false,
         };
         let plain = run_job(&job);
@@ -1492,6 +1557,7 @@ mod tests {
             workload: WorkloadKind::Diurnal,
             faults: FaultPlan::none(),
             overload: OverloadPlan::none(),
+            rtrace: TracePlan::none(),
             safety: false,
         };
         let json = serde_json::to_string(&job).expect("serialize JobSpec");

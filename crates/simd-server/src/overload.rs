@@ -33,7 +33,7 @@
 
 use crate::clock::Nanos;
 use crate::request::Request;
-use deeppower_telemetry::{event, Event, Recorder};
+use deeppower_telemetry::{event, Event, Recorder, RequestTracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -238,6 +238,13 @@ pub trait AdmissionController {
     /// scale, clamped to `[0, 1]`). Ignored by non-DRL controllers.
     fn set_threshold(&mut self, _frac: f32) {}
 
+    /// The admission threshold currently in effect, as a fraction of
+    /// scale (1.0 for controllers without a commanded threshold).
+    /// Observability only — never consulted by the engine.
+    fn admit_frac(&self) -> f64 {
+        1.0
+    }
+
     /// Stable reporting name.
     fn name(&self) -> &'static str;
 }
@@ -332,6 +339,10 @@ impl AdmissionController for DrlAdmission {
 
     fn set_threshold(&mut self, frac: f32) {
         self.frac = frac.clamp(0.0, 1.0);
+    }
+
+    fn admit_frac(&self) -> f64 {
+        self.frac as f64
     }
 
     fn name(&self) -> &'static str {
@@ -485,6 +496,12 @@ impl OverloadState {
         self.admission.set_threshold(frac);
     }
 
+    /// The admission threshold currently in effect (observability: the
+    /// request tracer stamps it into service spans).
+    pub fn admit_frac(&self) -> f64 {
+        self.admission.admit_frac()
+    }
+
     /// Earliest pending client event (deadline expiry or retry
     /// arrival). The front deadline may belong to an already-answered
     /// attempt — the resulting wakeup is a deterministic no-op.
@@ -527,7 +544,7 @@ impl OverloadState {
     /// Expire every client deadline at or before `now`: mark the
     /// attempt abandoned, emit the event, maybe schedule a retry.
     /// Deadlines of already-answered attempts pop silently.
-    pub fn expire(&mut self, now: Nanos, rec: &Recorder) {
+    pub fn expire(&mut self, now: Nanos, rec: &Recorder, tracer: &mut RequestTracer) {
         while self.deadlines.front().is_some_and(|d| d.at <= now) {
             let d = self.deadlines.pop_front().expect("front checked");
             if !self.open.remove(&d.id) {
@@ -546,7 +563,8 @@ impl OverloadState {
                     waited_ns: waited,
                 })
             });
-            self.maybe_retry(now, &d.template, rec);
+            tracer.on_abandon(now, d.id, waited);
+            self.maybe_retry(now, &d.template, rec, tracer);
         }
     }
 
@@ -588,7 +606,14 @@ impl OverloadState {
     /// Record a shed (fast-fail): the client learns immediately and may
     /// retry. `reason` is the stable tag (`queue-full`, `admission`,
     /// `evicted`).
-    pub fn on_shed(&mut self, now: Nanos, req: &Request, reason: &'static str, rec: &Recorder) {
+    pub fn on_shed(
+        &mut self,
+        now: Nanos,
+        req: &Request,
+        reason: &'static str,
+        rec: &Recorder,
+        tracer: &mut RequestTracer,
+    ) {
         // An evicted request was admitted earlier: close its open slot
         // so its (stale) deadline pops silently.
         self.open.remove(&req.id);
@@ -603,8 +628,9 @@ impl OverloadState {
                 reason: reason.to_string(),
             })
         });
+        tracer.on_shed(now, req.id, reason);
         let template = RetryTemplate::of(req);
-        self.maybe_retry(now, &template, rec);
+        self.maybe_retry(now, &template, rec, tracer);
     }
 
     /// Classify a completion: `true` if the work was wasted (client
@@ -643,12 +669,23 @@ impl OverloadState {
 
     /// Draw the retry decision for a failed attempt and, on success,
     /// schedule the resubmission after exponential backoff + jitter.
-    fn maybe_retry(&mut self, now: Nanos, template: &RetryTemplate, rec: &Recorder) {
+    /// The no-retry exits are the chain-finality points: the client
+    /// walks away for good, and the tracer finalizes the chain as
+    /// failed.
+    fn maybe_retry(
+        &mut self,
+        now: Nanos,
+        template: &RetryTemplate,
+        rec: &Recorder,
+        tracer: &mut RequestTracer,
+    ) {
         if self.plan.retry_prob <= 0.0 || template.attempt + 1 >= self.plan.max_attempts {
+            tracer.on_give_up(now, template.client, rec);
             return;
         }
         let u: f64 = self.rng.random();
         if u >= self.plan.retry_prob {
+            tracer.on_give_up(now, template.client, rec);
             return;
         }
         // attempt k (0-based) failed → backoff · 2^k, shift-capped.
@@ -777,7 +814,7 @@ mod tests {
         let rec = Recorder::ring(64);
         st.on_admitted(0, &req(7, 0));
         assert_eq!(st.next_event_time(), Some(5 * MILLISECOND));
-        st.expire(5 * MILLISECOND, &rec);
+        st.expire(5 * MILLISECOND, &rec, &mut RequestTracer::disabled());
         assert_eq!(st.counters.abandoned, 1);
         // Completion after abandonment is wasted; its service time is
         // charged to the wasted bucket.
@@ -799,7 +836,7 @@ mod tests {
         let rec = Recorder::ring(64);
         st.on_admitted(0, &req(7, 0));
         assert!(!st.on_completion(7, MILLISECOND));
-        st.expire(5 * MILLISECOND, &rec);
+        st.expire(5 * MILLISECOND, &rec, &mut RequestTracer::disabled());
         assert_eq!(st.counters.abandoned, 0);
         assert_eq!(st.counters.good, 1);
         assert!(rec.drain_events().is_empty());
@@ -819,18 +856,26 @@ mod tests {
             let mut st = OverloadState::new(plan, 1);
             let rec = Recorder::ring(256);
             st.on_admitted(0, &req(0, 0));
-            st.expire(MILLISECOND, &rec); // attempt 0 abandoned → retry 1
+            st.expire(MILLISECOND, &rec, &mut RequestTracer::disabled()); // attempt 0 abandoned → retry 1
             let r1 = st.pop_due_retry(10 * MILLISECOND).expect("retry scheduled");
             assert_eq!(r1.attempt, 1);
             assert_eq!(r1.client_id, 0);
             assert_eq!(r1.first_arrival, 0);
             assert!(r1.id >= SYNTH_ID_BASE);
             st.on_admitted(r1.arrival, &r1);
-            st.expire(r1.arrival + MILLISECOND, &rec); // attempt 1 → retry 2
+            st.expire(
+                r1.arrival + MILLISECOND,
+                &rec,
+                &mut RequestTracer::disabled(),
+            ); // attempt 1 → retry 2
             let r2 = st.pop_due_retry(30 * MILLISECOND).expect("second retry");
             assert_eq!(r2.attempt, 2);
             st.on_admitted(r2.arrival, &r2);
-            st.expire(r2.arrival + MILLISECOND, &rec); // attempt cap reached
+            st.expire(
+                r2.arrival + MILLISECOND,
+                &rec,
+                &mut RequestTracer::disabled(),
+            ); // attempt cap reached
             assert!(st.pop_due_retry(100 * MILLISECOND).is_none());
             (st.counters, rec.drain_events())
         };

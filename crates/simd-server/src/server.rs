@@ -29,7 +29,7 @@ use crate::metrics::{LatencyStats, MetricsCollector, RequestRecord, TraceConfig,
 use crate::overload::{Admit, OverloadPlan, OverloadState};
 use crate::power::{EnergyMeter, PowerModel};
 use crate::request::Request;
-use deeppower_telemetry::{event, Event, Histogram, Profiler, Recorder};
+use deeppower_telemetry::{event, Event, Histogram, Profiler, Recorder, RequestTracer, TracePlan};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Work remaining below this many reference-nanoseconds counts as done
@@ -108,6 +108,10 @@ pub struct RunOptions {
     /// aligned window indices — the property the fleet health monitor
     /// merges on.
     pub window_ns: Nanos,
+    /// Deterministic request-lifecycle tracing (off by default; see
+    /// [`deeppower_telemetry::trace`]). Active only with an enabled
+    /// recorder, and never perturbs results.
+    pub rtrace: TracePlan,
 }
 
 impl Default for RunOptions {
@@ -118,6 +122,7 @@ impl Default for RunOptions {
             faults: FaultPlan::none(),
             overload: OverloadPlan::none(),
             window_ns: crate::clock::SECOND,
+            rtrace: TracePlan::none(),
         }
     }
 }
@@ -234,7 +239,14 @@ impl WindowTelemetry {
     /// Close the open window at `now`, emit its rollup, and open the
     /// next one. No-op when nothing has elapsed (a roll at the exact
     /// boundary already happened).
-    fn roll(&mut self, now: Nanos, queue_len: u64, energy_uj: u64, rec: &Recorder) {
+    fn roll(
+        &mut self,
+        now: Nanos,
+        queue_len: u64,
+        energy_uj: u64,
+        rec: &Recorder,
+        exemplars: Vec<u64>,
+    ) {
         let span = now - self.start;
         if span == 0 {
             return;
@@ -260,6 +272,7 @@ impl WindowTelemetry {
         rollup.good = self.good;
         rollup.wasted = self.wasted;
         rollup.shed = self.shed;
+        rollup.exemplars = exemplars;
         rec.emit(|| Event::WindowRollup(rollup));
         self.index += 1;
         self.start = now;
@@ -414,6 +427,7 @@ impl Server {
             // event times), at most one per simulated second.
             next_snapshot: crate::clock::SECOND,
             window: WindowTelemetry::new(rec.enabled(), opts.window_ns),
+            rtrace: RequestTracer::new(opts.rtrace, rec.enabled()),
             next_freq_sample: if opts.trace.freq_sample_ns > 0 {
                 0
             } else {
@@ -468,6 +482,8 @@ pub struct Session<'a> {
     next_tick: Nanos,
     next_snapshot: Nanos,
     window: WindowTelemetry,
+    /// Request-lifecycle tracer (inactive plan = one branch per hook).
+    rtrace: RequestTracer,
     next_freq_sample: Nanos,
     next_power_sample: Nanos,
     /// Whether the events at `now` (initially t=0) have been processed.
@@ -539,7 +555,14 @@ impl Session<'_> {
         if self.window.enabled {
             let queue_len = self.queue.len() as u64;
             let energy_uj = self.energy.read_energy_uj();
-            self.window.roll(self.now, queue_len, energy_uj, self.rec);
+            // Tail exemplars of the trailing window emit first, then
+            // their ids ride on its rollup.
+            let exemplars = self.rtrace.roll(self.rec);
+            self.window
+                .roll(self.now, queue_len, energy_uj, self.rec, exemplars);
+        } else if self.rtrace.enabled() {
+            // No rollup stream to ride on; still flush tail exemplars.
+            self.rtrace.roll(self.rec);
         }
         self.freq_telem.finish(self.now, &self.cores, self.rec);
         self.rec
@@ -627,6 +650,8 @@ impl Session<'_> {
                 };
                 self.metrics.on_completion(record);
                 self.window.on_completion(latency, record.timed_out, wasted);
+                self.rtrace
+                    .on_complete(now, running.req.id, wasted, self.rec);
                 if self.opts.trace.request_marks {
                     self.traces
                         .marks
@@ -652,7 +677,7 @@ impl Session<'_> {
         // good/wasted classification is exact, not tick-sampled. Runs
         // after completions: a request finishing at its deadline counts
         // as goodput.
-        self.overload.expire(now, self.rec);
+        self.overload.expire(now, self.rec, &mut self.rtrace);
 
         // ---- 2. Arrivals at `now` ----
         // Each workload arrival is offered through admission control,
@@ -743,6 +768,17 @@ impl Session<'_> {
                     })
                 });
             }
+            // Post-command state: the service span records the core
+            // frequency and admission threshold actually in effect.
+            if self.rtrace.enabled() {
+                self.rtrace.on_dispatch(
+                    now,
+                    req.id,
+                    core_id,
+                    self.cores[core_id].freq_mhz,
+                    self.overload.admit_frac(),
+                );
+            }
             let wake_ns = self.cores[core_id]
                 .sleep
                 .take()
@@ -816,7 +852,11 @@ impl Session<'_> {
                 if now >= self.window.next {
                     let queue_len = self.queue.len() as u64;
                     let energy_uj = self.energy.read_energy_uj();
-                    self.window.roll(now, queue_len, energy_uj, self.rec);
+                    // Exemplar traces first, then the rollup that links
+                    // to them (stream order the monitor relies on).
+                    let exemplars = self.rtrace.roll(self.rec);
+                    self.window
+                        .roll(now, queue_len, energy_uj, self.rec, exemplars);
                 }
             }
         }
@@ -869,16 +909,28 @@ impl Session<'_> {
     /// then enqueue. Every offered request counts as arrived.
     fn offer(&mut self, now: Nanos, req: Request) {
         self.metrics.on_arrival();
+        // Open (or extend) the request's trace chain before the
+        // admission decision, so shed spans land on a known attempt.
+        self.rtrace.on_offer(
+            now,
+            req.id,
+            req.client_id,
+            req.attempt,
+            req.client_arrival(),
+            req.sla,
+        );
         match self.overload.admit(now, &self.queue) {
             Admit::Accept => {}
             Admit::Reject(reason) => {
-                self.overload.on_shed(now, &req, reason, self.rec);
+                self.overload
+                    .on_shed(now, &req, reason, self.rec, &mut self.rtrace);
                 self.window.on_shed();
                 return;
             }
             Admit::EvictOldest => {
                 if let Some(old) = self.queue.pop_front() {
-                    self.overload.on_shed(now, &old, "evicted", self.rec);
+                    self.overload
+                        .on_shed(now, &old, "evicted", self.rec, &mut self.rtrace);
                     self.window.on_shed();
                 }
             }
@@ -2028,5 +2080,164 @@ mod tests {
         assert_eq!(res.stats.count, 2);
         let r1 = res.records.iter().find(|r| r.id == 1).unwrap();
         assert!(r1.started >= 2 * SECOND);
+    }
+
+    /// Request-lifecycle tracing must never perturb the simulation:
+    /// an overloaded, faulted run with tracing at full sampling is
+    /// bit-identical (records, energy, counters) to the same run with
+    /// tracing off — and the emitted traces are internally consistent:
+    /// chain latency matches the completion record's client-perceived
+    /// latency, rollup exemplar ids resolve to emitted traces, and
+    /// retry chains carry their shed/backoff spans.
+    #[test]
+    fn request_tracing_never_perturbs_results_and_links_exemplars() {
+        let server = Server::new(ServerConfig::paper_default(2));
+        let arrivals: Vec<Request> = (0..400)
+            .map(|i| req(i, i * 100_000, 300_000 + (i % 9) * 80_000))
+            .collect();
+        let base = RunOptions {
+            overload: crate::OverloadPlan {
+                seed: 42,
+                queue_capacity: 4,
+                client_timeout_ns: 2 * MILLISECOND,
+                retry_prob: 0.9,
+                max_attempts: 3,
+                retry_backoff_ns: 500_000,
+                retry_jitter_ns: 200_000,
+                ..crate::OverloadPlan::none()
+            },
+            ..Default::default()
+        };
+        let traced_opts = RunOptions {
+            rtrace: TracePlan::sampled(1.0, 3, 7),
+            ..base
+        };
+        let rec_off = deeppower_telemetry::Recorder::ring(1 << 16);
+        let rec_on = deeppower_telemetry::Recorder::ring(1 << 16);
+        let off = server.run_recorded(&arrivals, &mut FixedFrequency { mhz: 1000 }, base, &rec_off);
+        let on = server.run_recorded(
+            &arrivals,
+            &mut FixedFrequency { mhz: 1000 },
+            traced_opts,
+            &rec_on,
+        );
+        assert_eq!(off.records, on.records, "tracing perturbed the results");
+        assert_eq!(off.energy_j.to_bits(), on.energy_j.to_bits());
+        assert_eq!(
+            (
+                off.goodput,
+                off.wasted,
+                off.shed,
+                off.abandoned,
+                off.retries
+            ),
+            (on.goodput, on.wasted, on.shed, on.abandoned, on.retries)
+        );
+        assert!(on.shed > 0 && on.retries > 0, "plan produced no overload");
+
+        let events = rec_on.drain_events();
+        let mut seen_traces: std::collections::HashMap<u64, &deeppower_telemetry::RequestTrace> =
+            std::collections::HashMap::new();
+        for ev in &events {
+            match ev {
+                Event::RequestTrace(tr) => {
+                    // Chain latency is client-visible: end − first submit.
+                    assert_eq!(tr.latency_ns, tr.end - tr.first_submit);
+                    seen_traces.insert(tr.client, tr);
+                }
+                Event::WindowRollup(w) => {
+                    for ex in &w.exemplars {
+                        assert!(
+                            seen_traces.contains_key(ex),
+                            "exemplar id {ex} has no emitted trace before its rollup"
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(!seen_traces.is_empty(), "full sampling emitted no traces");
+        // Completed chains agree with the engine's completion records.
+        let mut checked = 0;
+        for tr in seen_traces.values().filter(|t| t.outcome == "completed") {
+            let last = tr.attempts.last().unwrap();
+            let rec = on.records.iter().find(|r| r.id == last.id).unwrap();
+            assert_eq!(tr.latency_ns, rec.latency);
+            assert_eq!(tr.end, rec.completed);
+            assert_eq!(tr.timed_out, rec.timed_out);
+            checked += 1;
+        }
+        assert!(checked > 0);
+        // At least one retry chain shows the shed → backoff ladder.
+        assert!(
+            seen_traces.values().any(|t| t.attempts.len() > 1
+                && t.span_total_ns(deeppower_telemetry::SPAN_BACKOFF) > 0
+                && t.spans_named(deeppower_telemetry::SPAN_SHED).count() > 0),
+            "no retry chain with shed + backoff spans"
+        );
+    }
+
+    mod trace_latency_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// For any overload plan, a chain trace's client-visible
+            /// latency equals the SLA latency the overload accounting
+            /// charges from first submission — the two accountings are
+            /// pinned together.
+            #[test]
+            fn retry_chain_trace_latency_matches_sla_accounting(
+                seed in 0u64..u64::MAX,
+                queue_capacity in 1u32..16,
+                timeout_ms in 0u64..6,
+                retry_prob in 0.0f64..1.0,
+                max_attempts in 1u32..5,
+            ) {
+                let plan = crate::OverloadPlan {
+                    seed,
+                    queue_capacity,
+                    client_timeout_ns: timeout_ms * MILLISECOND,
+                    retry_prob,
+                    max_attempts,
+                    retry_backoff_ns: 400_000,
+                    retry_jitter_ns: 150_000,
+                    ..crate::OverloadPlan::none()
+                };
+                let server = Server::new(ServerConfig::paper_default(2));
+                let arrivals: Vec<Request> = (0..80)
+                    .map(|i| req(i, i * 120_000, 400_000 + (i % 7) * 90_000))
+                    .collect();
+                let opts = RunOptions {
+                    overload: plan,
+                    rtrace: TracePlan::sampled(1.0, 2, seed),
+                    ..Default::default()
+                };
+                let rec = deeppower_telemetry::Recorder::ring(1 << 16);
+                let res = server.run_recorded(
+                    &arrivals,
+                    &mut FixedFrequency { mhz: 1200 },
+                    opts,
+                    &rec,
+                );
+                for ev in rec.drain_events() {
+                    let Event::RequestTrace(tr) = ev else { continue };
+                    prop_assert_eq!(tr.latency_ns, tr.end - tr.first_submit);
+                    if tr.outcome == "completed" {
+                        let last = tr.attempts.last().unwrap();
+                        let record = res
+                            .records
+                            .iter()
+                            .find(|r| r.id == last.id)
+                            .expect("completed chain has a record");
+                        // The engine charges SLA latency from the first
+                        // submission (Request::client_arrival); the
+                        // trace must agree exactly.
+                        prop_assert_eq!(tr.latency_ns, record.latency);
+                        prop_assert_eq!(tr.timed_out, record.timed_out);
+                    }
+                }
+            }
+        }
     }
 }

@@ -269,6 +269,12 @@ pub struct WindowRollup {
     /// Nonzero latency-histogram buckets: upper bounds and counts.
     pub bucket_ubs: Vec<u64>,
     pub bucket_counts: Vec<u64>,
+    /// Tail-exemplar trace links: client ids of the window's slowest
+    /// traced chains, latency-descending (empty when request tracing is
+    /// off). Each id resolves to a `RequestTrace` event emitted just
+    /// before this rollup.
+    #[serde(default)]
+    pub exemplars: Vec<u64>,
 }
 
 impl WindowRollup {
@@ -307,6 +313,7 @@ impl WindowRollup {
             shed: 0,
             bucket_ubs,
             bucket_counts,
+            exemplars: Vec::new(),
         }
     }
 }
@@ -396,6 +403,7 @@ pub enum Event {
     SloViolation(SloViolation),
     Alert(Alert),
     AlertResolved(AlertResolved),
+    RequestTrace(crate::trace::RequestTrace),
 }
 
 impl Event {
@@ -421,6 +429,7 @@ impl Event {
             Event::SloViolation(_) => "SloViolation",
             Event::Alert(_) => "Alert",
             Event::AlertResolved(_) => "AlertResolved",
+            Event::RequestTrace(_) => "RequestTrace",
         }
     }
 }
@@ -491,6 +500,7 @@ mod tests {
                 shed: 7,
                 bucket_ubs: vec![98_303, 589_823, 9_437_183],
                 bucket_counts: vec![1, 1195, 4],
+                exemplars: vec![41, 12],
             }),
             Event::Shed(Shed {
                 t: 1_500_000,
@@ -539,6 +549,31 @@ mod tests {
                 metric: "p99-latency".into(),
                 rule: "burn>=2/5w:2w".into(),
                 duration_ns: 4_000_000_000,
+            }),
+            Event::RequestTrace(crate::trace::RequestTrace {
+                client: 41,
+                node: 2,
+                first_submit: 1_500_000,
+                end: 4_100_000,
+                latency_ns: 2_600_000,
+                sla_ns: 2_000_000,
+                timed_out: true,
+                outcome: "completed".into(),
+                sampled: "exemplar".into(),
+                attempts: vec![crate::trace::AttemptTrace {
+                    id: (1 << 48) + 4,
+                    attempt: 1,
+                    outcome: "completed".into(),
+                    spans: vec![crate::trace::TraceSpan {
+                        name: "service".into(),
+                        start: 3_600_000,
+                        end: 4_100_000,
+                        core: 3,
+                        freq_mhz: 1800,
+                        admit_frac: 0.5,
+                        detail: String::new(),
+                    }],
+                }],
             }),
         ];
         for ev in &events {

@@ -177,6 +177,256 @@ mod tests {
         ]
     }
 
+    /// One instance of **every** `Event` variant. The `match` in
+    /// `assert_covers_every_variant` has no wildcard arm, so adding a
+    /// variant without extending this list is a compile error — the
+    /// JSONL exporter and the offline monitor replay can never silently
+    /// drop a variant.
+    fn one_of_every_variant() -> Vec<Event> {
+        use crate::event::*;
+        use crate::trace::{AttemptTrace, RequestTrace, TraceSpan};
+        vec![
+            Event::DrlStep(DrlStep {
+                t: 1_000_000_000,
+                num_req: 900,
+                power_w: 80.0,
+                base_freq: 0.25,
+                scaling_coef: 1.0,
+                admit_frac: 0.75,
+                avg_freq_mhz: 1300.0,
+                queue_len: 2,
+                timeouts: 1,
+                reward: -0.5,
+                r_energy: 0.4,
+                r_timeout: 0.1,
+                r_queue: 0.0,
+                r_wasted: 0.05,
+            }),
+            Event::FreqTransition(FreqTransition {
+                t: 500,
+                core: 1,
+                from_mhz: 800,
+                to_mhz: 1600,
+            }),
+            Event::CoreResidency(CoreResidency {
+                core: 0,
+                mhz: 2100,
+                ns: 77,
+            }),
+            Event::RequestDispatch(RequestDispatch {
+                t: 10,
+                core: 2,
+                id: 5,
+            }),
+            Event::RequestComplete(RequestComplete {
+                t: 20,
+                core: 2,
+                id: 5,
+                latency_ns: 10,
+                timed_out: false,
+            }),
+            Event::LatencySnapshot(LatencySnapshot {
+                t: 30,
+                count: 100,
+                p50_ns: 1,
+                p95_ns: 2,
+                p99_ns: 3,
+                timeouts: 0,
+            }),
+            Event::TrainUpdate(TrainUpdate {
+                t: 40,
+                updates: 12,
+                critic_loss: 0.5,
+                actor_q: -1.0,
+                actor_grad_norm: 0.1,
+                critic_grad_norm: 0.2,
+                replay_len: 64,
+                replay_capacity: 128,
+            }),
+            Event::EpisodeEnd(EpisodeEnd {
+                episode: 0,
+                steps: 2,
+                mean_reward: -0.5,
+                avg_power_w: 80.0,
+                timeout_rate: 0.01,
+                updates: 10,
+            }),
+            Event::JobStart(JobStart {
+                job: 0,
+                app: "xapian".into(),
+                governor: "deeppower".into(),
+                seed: 42,
+            }),
+            Event::JobEnd(JobEnd {
+                job: 0,
+                sim_ns: 2_000_000_000,
+                requests: 1800,
+                energy_j: 160.0,
+                drl_steps: 2,
+            }),
+            Event::FaultInjected(FaultInjected {
+                t: 50,
+                kind: "dvfs-fail".into(),
+                core: 3,
+                magnitude: 2100.0,
+            }),
+            Event::SafetyAction(SafetyAction {
+                t: 60,
+                action: "watchdog-turbo".into(),
+                core: -1,
+            }),
+            Event::Shed(Shed {
+                t: 70,
+                id: 9,
+                client: 9,
+                attempt: 0,
+                reason: "queue-full".into(),
+            }),
+            Event::Abandoned(Abandoned {
+                t: 80,
+                id: 9,
+                client: 9,
+                attempt: 0,
+                waited_ns: 10,
+            }),
+            Event::Retry(Retry {
+                t: 80,
+                id: (1 << 48) + 1,
+                client: 9,
+                attempt: 1,
+                delay_ns: 100,
+            }),
+            Event::WindowRollup(WindowRollup {
+                t: 1_000_000_000,
+                index: 0,
+                window_ns: 1_000_000_000,
+                count: 10,
+                timeouts: 1,
+                min_ns: 1,
+                max_ns: 9,
+                mean_ns: 5.0,
+                p50_ns: 5,
+                p95_ns: 9,
+                p99_ns: 9,
+                power_w: 84.0,
+                avg_freq_mhz: 1900.0,
+                queue_len: 2,
+                good: 9,
+                wasted: 1,
+                shed: 1,
+                bucket_ubs: vec![15],
+                bucket_counts: vec![10],
+                exemplars: vec![9],
+            }),
+            Event::SloViolation(SloViolation {
+                t: 1_000_000_000,
+                window: 0,
+                metric: "timeout-rate".into(),
+                observed: 0.12,
+                target: 0.05,
+                burn: 2.4,
+            }),
+            Event::Alert(Alert {
+                t: 5_000_000_000,
+                metric: "p99-latency".into(),
+                rule: "burn>=2/5w:2w".into(),
+                burn: 3.1,
+                timeline: vec![IncidentEntry {
+                    t: 4_400_000_000,
+                    node: 1,
+                    kind: "tail-exemplar".into(),
+                    count: 1,
+                    detail: "trace ids [9]".into(),
+                }],
+            }),
+            Event::AlertResolved(AlertResolved {
+                t: 9_000_000_000,
+                metric: "p99-latency".into(),
+                rule: "burn>=2/5w:2w".into(),
+                duration_ns: 4_000_000_000,
+            }),
+            Event::RequestTrace(RequestTrace {
+                client: 9,
+                node: 0,
+                first_submit: 70,
+                end: 200,
+                latency_ns: 130,
+                sla_ns: 100,
+                timed_out: true,
+                outcome: "completed".into(),
+                sampled: "head".into(),
+                attempts: vec![AttemptTrace {
+                    id: (1 << 48) + 1,
+                    attempt: 1,
+                    outcome: "completed".into(),
+                    spans: vec![TraceSpan {
+                        name: "queue".into(),
+                        start: 180,
+                        end: 190,
+                        core: -1,
+                        freq_mhz: 0,
+                        admit_frac: 1.0,
+                        detail: String::new(),
+                    }],
+                }],
+            }),
+        ]
+    }
+
+    /// Compile-time exhaustiveness: this match has no `_` arm, so a new
+    /// `Event` variant breaks this test's build until
+    /// `one_of_every_variant` covers it.
+    fn assert_covers_every_variant(events: &[Event]) {
+        let mut kinds: Vec<&'static str> = events.iter().map(Event::kind).collect();
+        kinds.sort_unstable();
+        let before = kinds.len();
+        kinds.dedup();
+        assert_eq!(kinds.len(), before, "duplicate variant in the fixture");
+        for ev in events {
+            match ev {
+                Event::DrlStep(_)
+                | Event::FreqTransition(_)
+                | Event::CoreResidency(_)
+                | Event::RequestDispatch(_)
+                | Event::RequestComplete(_)
+                | Event::LatencySnapshot(_)
+                | Event::TrainUpdate(_)
+                | Event::EpisodeEnd(_)
+                | Event::JobStart(_)
+                | Event::JobEnd(_)
+                | Event::FaultInjected(_)
+                | Event::SafetyAction(_)
+                | Event::Shed(_)
+                | Event::Abandoned(_)
+                | Event::Retry(_)
+                | Event::WindowRollup(_)
+                | Event::SloViolation(_)
+                | Event::Alert(_)
+                | Event::AlertResolved(_)
+                | Event::RequestTrace(_) => {}
+            }
+        }
+        // Count the arms above: they are the enum, exactly.
+        assert_eq!(before, 20, "fixture count != variant count — extend both");
+    }
+
+    #[test]
+    fn jsonl_roundtrips_every_event_variant() {
+        let events = one_of_every_variant();
+        assert_covers_every_variant(&events);
+        let text = to_jsonl(&events);
+        assert_eq!(text.lines().count(), events.len());
+        let back = from_jsonl(&text).unwrap();
+        assert_eq!(back, events, "round trip must preserve every variant");
+        assert_eq!(to_jsonl(&back), text, "re-serialization is byte-identical");
+        // The offline monitor replay path accepts the full stream (the
+        // `monitor` CLI command feeds from_jsonl output straight in).
+        let mut mon = crate::FleetMonitor::new(crate::MonitorConfig::default());
+        mon.ingest(0, &back);
+        let report = mon.finish();
+        assert_eq!(report.windows, 1, "the rollup variant must be consumed");
+    }
+
     #[test]
     fn jsonl_roundtrips() {
         let events = sample_events();

@@ -48,6 +48,7 @@ pub mod monitor;
 pub mod profile;
 pub mod recorder;
 pub mod slo;
+pub mod trace;
 
 pub use event::{
     Alert, AlertResolved, CoreResidency, DrlStep, EpisodeEnd, Event, FaultInjected, FreqTransition,
@@ -72,4 +73,9 @@ pub use recorder::{NoopSink, Recorder, RingSink, TelemetrySink};
 pub use slo::{
     default_rules, BurnRateRule, EwmaConfig, EwmaDetector, SloSpec, LATENCY_BUDGET, METRIC_GOODPUT,
     METRIC_P99, METRIC_POWER, METRIC_TIMEOUT,
+};
+pub use trace::{
+    traces_to_chrome, AttemptTrace, FlightRecorder, RequestTrace, RequestTracer, TracePlan,
+    TraceSpan, SAMPLED_EXEMPLAR, SAMPLED_HEAD, SPAN_ABANDON, SPAN_BACKOFF, SPAN_QUEUE,
+    SPAN_SERVICE, SPAN_SHED,
 };

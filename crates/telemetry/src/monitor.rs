@@ -50,6 +50,14 @@ pub struct MonitorConfig {
     /// Windows of context (ending at the tripping window) a timeline
     /// draws from.
     pub context_windows: u64,
+    /// Flight-recorder depth: request traces of the last N windows are
+    /// retained per node for dump-on-alert (0 disables the ring).
+    #[serde(default = "default_flight_windows")]
+    pub flight_windows: u64,
+}
+
+fn default_flight_windows() -> u64 {
+    8
 }
 
 impl Default for MonitorConfig {
@@ -59,6 +67,7 @@ impl Default for MonitorConfig {
             anomaly: EwmaConfig::default(),
             timeline_cap: 16,
             context_windows: 3,
+            flight_windows: default_flight_windows(),
         }
     }
 }
@@ -103,6 +112,8 @@ pub struct FleetMonitor {
     cur_window: BTreeMap<u64, u64>,
     /// node -> training diagnostics series, stream order.
     train: BTreeMap<u64, Vec<TrainSample>>,
+    /// Bounded ring of received request traces (dump-on-alert source).
+    flight: crate::trace::FlightRecorder,
 }
 
 impl FleetMonitor {
@@ -114,6 +125,7 @@ impl FleetMonitor {
             context: BTreeMap::new(),
             cur_window: BTreeMap::new(),
             train: BTreeMap::new(),
+            flight: crate::trace::FlightRecorder::new(),
         }
     }
 
@@ -141,11 +153,28 @@ impl FleetMonitor {
         }
         match event {
             Event::WindowRollup(w) => {
+                // Tail-exemplar links land on the *closing* window's
+                // context (cur_window still points at it here), so an
+                // alert tripping on this window carries the trace ids.
+                if !w.exemplars.is_empty() {
+                    self.context_entry(
+                        node,
+                        w.t,
+                        "tail-exemplar".into(),
+                        format!("trace ids {:?}", w.exemplars),
+                    );
+                }
                 self.cur_window.insert(node, w.index + 1);
+                if self.cfg.flight_windows > 0 {
+                    self.flight.seal(node, w.index, self.cfg.flight_windows);
+                }
                 self.windows
                     .entry(w.index)
                     .or_default()
                     .insert(node, w.clone());
+            }
+            Event::RequestTrace(tr) if self.cfg.flight_windows > 0 => {
+                self.flight.push(node, tr.clone());
             }
             Event::FaultInjected(f) => {
                 self.context_entry(
@@ -204,6 +233,13 @@ impl FleetMonitor {
         self.context.extend(other.context);
         self.cur_window.extend(other.cur_window);
         self.train.extend(other.train);
+        self.flight.merge(other.flight);
+    }
+
+    /// The flight recorder's retained traces (bounded to the last
+    /// `flight_windows` windows per node).
+    pub fn flight(&self) -> &crate::trace::FlightRecorder {
+        &self.flight
     }
 
     fn context_entry(&mut self, node: u64, t: u64, kind: String, detail: String) {
@@ -351,8 +387,10 @@ impl FleetMonitor {
                                     rule: rule.label(),
                                     t_fire: w.t_end,
                                     t_resolve: 0,
+                                    window: w.index,
                                     peak_burn: short_avg,
                                     timeline,
+                                    flight_dump: String::new(),
                                 });
                             }
                         }
@@ -657,8 +695,15 @@ pub struct AlertRecord {
     pub rule: String,
     pub t_fire: u64,
     pub t_resolve: u64,
+    /// Tumbling-window ordinal of the tripping window.
+    #[serde(default)]
+    pub window: u64,
     pub peak_burn: f64,
     pub timeline: Vec<IncidentEntry>,
+    /// Path of the flight-recorder dump written for this incident
+    /// (empty when no dump was requested or nothing was retained).
+    #[serde(default)]
+    pub flight_dump: String,
 }
 
 /// One EWMA z-score anomaly. `node == -1` marks a fleet-level series.
@@ -772,6 +817,12 @@ impl HealthReport {
                     e.kind,
                     e.count,
                     e.detail
+                ));
+            }
+            if !a.flight_dump.is_empty() {
+                out.push_str(&format!(
+                    "            | flight-recorder dump: {}\n",
+                    a.flight_dump
                 ));
             }
             if a.t_resolve > 0 {
